@@ -1,0 +1,23 @@
+// Figure 4 of the paper: execution time breakdown (busy/data/synch/ipc/
+// others) under AEC without LAP (=100) and AEC, for the lock-dominated
+// applications.
+#include <iostream>
+
+#include "harness/format.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace aecdsm;
+  for (const std::string& app : {std::string("IS"), std::string("Raytrace"),
+                                 std::string("Water-ns")}) {
+    const auto nolap = harness::run_experiment("AEC-noLAP", app, apps::Scale::kDefault,
+                                               harness::paper_params());
+    const auto lap = harness::run_experiment("AEC", app, apps::Scale::kDefault,
+                                             harness::paper_params());
+    harness::print_breakdown_figure(
+        std::cout, "Figure 4: " + app + " running time, AEC-noLAP (=100) vs AEC",
+        {{"AEC-noLAP", nolap.stats.aggregate(), nolap.stats.finish_time},
+         {"AEC", lap.stats.aggregate(), lap.stats.finish_time}});
+  }
+  return 0;
+}

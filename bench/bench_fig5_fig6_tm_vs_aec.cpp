@@ -1,0 +1,29 @@
+// Figures 5 and 6 of the paper: execution time breakdowns under TreadMarks
+// (=100) and AEC. Figure 5 covers the barrier-dominated applications (FFT,
+// Ocean, Water-sp); figure 6 the lock-dominated ones (IS, Raytrace,
+// Water-ns).
+#include <iostream>
+
+#include "harness/format.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace aecdsm;
+  const std::vector<std::pair<std::string, std::vector<std::string>>> figures = {
+      {"Figure 5", {"FFT", "Ocean", "Water-sp"}},
+      {"Figure 6", {"IS", "Raytrace", "Water-ns"}},
+  };
+  for (const auto& [fig, apps_list] : figures) {
+    for (const std::string& app : apps_list) {
+      const auto tm = harness::run_experiment("TreadMarks", app, apps::Scale::kDefault,
+                                              harness::paper_params());
+      const auto aec = harness::run_experiment("AEC", app, apps::Scale::kDefault,
+                                               harness::paper_params());
+      harness::print_breakdown_figure(
+          std::cout, fig + ": " + app + " execution time, TreadMarks (=100) vs AEC",
+          {{"TreadMarks", tm.stats.aggregate(), tm.stats.finish_time},
+           {"AEC", aec.stats.aggregate(), aec.stats.finish_time}});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks of the host-side cost of the simulator's
+// core primitives (diff machinery, interconnect model, event engine). These
+// measure the *simulator's* speed, complementing the experiment drivers
+// that measure *simulated* time.
+#include <benchmark/benchmark.h>
+
+#include "common/params.hpp"
+#include "mem/diff.hpp"
+#include "net/mesh.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace aecdsm;
+
+std::vector<Word> make_page(std::size_t words, std::uint64_t seed) {
+  std::vector<Word> page(words);
+  std::uint64_t z = seed;
+  for (Word& w : page) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    w = static_cast<Word>(z);
+  }
+  return page;
+}
+
+void BM_DiffCreate(benchmark::State& state) {
+  const std::size_t words = 1024;
+  auto twin = make_page(words, 1);
+  auto cur = twin;
+  // Modify a fraction of the words controlled by the benchmark argument.
+  const std::size_t stride = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < words; i += stride) cur[i] ^= 0xDEADBEEF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::Diff::create(twin, cur));
+  }
+}
+BENCHMARK(BM_DiffCreate)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_DiffApply(benchmark::State& state) {
+  const std::size_t words = 1024;
+  auto twin = make_page(words, 1);
+  auto cur = twin;
+  const std::size_t stride = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < words; i += stride) cur[i] ^= 0xDEADBEEF;
+  const mem::Diff d = mem::Diff::create(twin, cur);
+  auto target = make_page(words, 2);
+  for (auto _ : state) {
+    d.apply_to(target);
+    benchmark::DoNotOptimize(target.data());
+  }
+}
+BENCHMARK(BM_DiffApply)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_DiffMerge(benchmark::State& state) {
+  const std::size_t words = 1024;
+  auto twin = make_page(words, 1);
+  auto a = twin;
+  auto b = twin;
+  for (std::size_t i = 0; i < words; i += 4) a[i] ^= 0x1111;
+  for (std::size_t i = 2; i < words; i += 4) b[i] ^= 0x2222;
+  const mem::Diff da = mem::Diff::create(twin, a);
+  const mem::Diff db = mem::Diff::create(twin, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::Diff::merge(da, db));
+  }
+}
+BENCHMARK(BM_DiffMerge);
+
+void BM_MeshSend(benchmark::State& state) {
+  SystemParams params;
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::MeshNetwork net(engine, params);
+    int delivered = 0;
+    for (int i = 0; i < 64; ++i) {
+      net.send(i % 16, (i * 7) % 16, 4096, [&delivered] { ++delivered; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_MeshSend);
+
+void BM_EngineEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    for (Cycles t = 0; t < 1000; ++t) {
+      engine.schedule(t * 10, [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EngineEvents);
+
+}  // namespace
+
+BENCHMARK_MAIN();

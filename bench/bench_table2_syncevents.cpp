@@ -1,0 +1,26 @@
+// Table 2 of the paper: synchronization events in the application suite
+// (number of lock variables, lock acquire events, barrier events) measured
+// on the default scaled inputs with 16 simulated processors.
+#include <iomanip>
+#include <iostream>
+
+#include "harness/format.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace aecdsm;
+  harness::print_header(std::cout,
+                        "Table 2: Synchronization events (16 procs, default scaled inputs)");
+  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
+            << "# locks" << std::setw(14) << "# acq events" << std::setw(18)
+            << "# barrier events" << "\n";
+  for (const std::string& app : apps::app_names()) {
+    const auto r = harness::run_experiment("AEC", app, apps::Scale::kDefault,
+                                           harness::paper_params());
+    std::cout << std::left << std::setw(12) << app << std::right << std::setw(10)
+              << r.stats.sync.distinct_locks << std::setw(14)
+              << r.stats.sync.lock_acquires << std::setw(18)
+              << r.stats.sync.barrier_events << "\n";
+  }
+  return 0;
+}

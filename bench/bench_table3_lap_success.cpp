@@ -1,0 +1,24 @@
+// Table 3 of the paper: LAP success rates for K = 2 — per lock-variable
+// group, the number of acquire events, the share of all acquires, and the
+// success rate of the full LAP combination plus the low-level technique
+// combinations (waitQ, waitQ+affinity, waitQ+virtualQ).
+#include <iostream>
+
+#include "harness/format.hpp"
+#include "harness/lap_report.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace aecdsm;
+  harness::print_header(std::cout, "Table 3: LAP success rates for K = 2 (AEC, 16 procs)");
+  for (const std::string& app : apps::app_names()) {
+    const auto r = harness::run_experiment("AEC", app, apps::Scale::kDefault,
+                                           harness::paper_params());
+    const auto scores = harness::lap_scores_of(r);
+    const auto rows = harness::lap_rows(
+        scores, apps::lock_groups(app, apps::Scale::kDefault, r.stats.num_procs));
+    harness::print_lap_table(std::cout, app, rows);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// AEC protocol variant switches (the paper's AEC vs AEC-without-LAP, plus
+// the ablation knobs studied in section 5.1).
+#pragma once
+
+namespace aecdsm::aec {
+
+struct AecConfig {
+  /// false = the paper's "noLAP" baseline: modifications made inside
+  /// critical sections are never pushed eagerly; acquirers invalidate and
+  /// fetch lazily at access faults.
+  bool lap_enabled = true;
+
+  /// Feed acquire notices into the predictor (virtual queue technique).
+  bool use_virtual_queue = true;
+
+  /// Use the transfer-affinity technique.
+  bool use_affinity = true;
+};
+
+}  // namespace aecdsm::aec

@@ -1,0 +1,164 @@
+#include "aec/lap.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace aecdsm::aec {
+
+LockLap::LockLap(int num_procs, int update_set_size, double affinity_threshold)
+    : nprocs_(num_procs),
+      k_(update_set_size),
+      threshold_(affinity_threshold),
+      affinity_(static_cast<std::size_t>(num_procs) * num_procs, 0),
+      snapshot_(static_cast<std::size_t>(num_procs)) {
+  AECDSM_CHECK(num_procs > 0 && update_set_size > 0);
+}
+
+void LockLap::add_notice(ProcId p) { virtual_queue_.push_back(p); }
+
+void LockLap::consume_notice(ProcId p) {
+  auto it = std::find(virtual_queue_.begin(), virtual_queue_.end(), p);
+  if (it != virtual_queue_.end()) virtual_queue_.erase(it);
+}
+
+ProcId LockLap::dequeue_waiter() {
+  AECDSM_CHECK(!waiting_.empty());
+  const ProcId p = waiting_.front();
+  waiting_.pop_front();
+  return p;
+}
+
+int LockLap::affinity(ProcId from, ProcId to) const {
+  return affinity_[static_cast<std::size_t>(from) * nprocs_ + static_cast<std::size_t>(to)];
+}
+
+bool LockLap::contains(const std::vector<ProcId>& v, ProcId p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+std::vector<ProcId> LockLap::affinity_set(ProcId p) const {
+  // Mean affinity of p over the other processors (zeros included).
+  long total = 0;
+  for (ProcId q = 0; q < nprocs_; ++q) {
+    if (q != p) total += affinity(p, q);
+  }
+  const double mean =
+      nprocs_ > 1 ? static_cast<double>(total) / static_cast<double>(nprocs_ - 1) : 0.0;
+  const double cut = (1.0 + threshold_) * mean;
+
+  std::vector<ProcId> set;
+  for (ProcId q = 0; q < nprocs_; ++q) {
+    const int a = affinity(p, q);
+    if (q == p || a == 0) continue;
+    if (static_cast<double>(a) >= cut) set.push_back(q);
+  }
+  std::sort(set.begin(), set.end(), [&](ProcId a, ProcId b) {
+    const int aa = affinity(p, a);
+    const int ab = affinity(p, b);
+    if (aa != ab) return aa > ab;
+    return a < b;
+  });
+  return set;
+}
+
+std::vector<ProcId> LockLap::compute_update_set(ProcId p) {
+  Snapshot& snap = snapshot_[static_cast<std::size_t>(p)];
+  snap = Snapshot{};
+  snap.valid = true;
+
+  const std::vector<ProcId> aff = affinity_set(p);
+
+  // --- Low-level combination snapshots for Table 3 scoring ----------------
+  if (!waiting_.empty()) {
+    snap.waitq = {waiting_.front()};
+    snap.waitq_affinity = {waiting_.front()};
+    snap.waitq_virtualq = {waiting_.front()};
+  } else {
+    snap.waitq = {};
+    snap.waitq_affinity = aff;
+    if (snap.waitq_affinity.size() > static_cast<std::size_t>(k_)) {
+      snap.waitq_affinity.resize(static_cast<std::size_t>(k_));
+    }
+    for (const ProcId q : virtual_queue_) {
+      if (snap.waitq_virtualq.size() >= static_cast<std::size_t>(k_)) break;
+      if (q != p && !contains(snap.waitq_virtualq, q)) snap.waitq_virtualq.push_back(q);
+    }
+  }
+
+  // --- The §2.2 algorithm ---------------------------------------------------
+  std::vector<ProcId> u;
+
+  // 1. Under contention the head of the real waiting queue is a perfect
+  //    prediction; the algorithm stops there.
+  if (!waiting_.empty()) {
+    u.push_back(waiting_.front());
+    snap.lap = u;
+    return u;
+  }
+
+  // 2. Include the affinity set.
+  for (const ProcId q : aff) {
+    if (u.size() >= static_cast<std::size_t>(k_)) break;
+    u.push_back(q);
+  }
+
+  // 3. Complete with virtual-queue members that have nonzero affinity.
+  if (u.size() < static_cast<std::size_t>(k_)) {
+    for (const ProcId q : virtual_queue_) {
+      if (u.size() >= static_cast<std::size_t>(k_)) break;
+      if (q != p && affinity(p, q) > 0 && !contains(u, q)) u.push_back(q);
+    }
+  }
+
+  // 4. Still short: any virtual-queue member first, then any processor with
+  //    nonzero affinity.
+  if (u.size() < static_cast<std::size_t>(k_)) {
+    for (const ProcId q : virtual_queue_) {
+      if (u.size() >= static_cast<std::size_t>(k_)) break;
+      if (q != p && !contains(u, q)) u.push_back(q);
+    }
+  }
+  if (u.size() < static_cast<std::size_t>(k_)) {
+    // Candidates ordered by descending affinity for determinism.
+    std::vector<ProcId> by_aff;
+    for (ProcId q = 0; q < nprocs_; ++q) {
+      if (q != p && affinity(p, q) > 0 && !contains(u, q)) by_aff.push_back(q);
+    }
+    std::sort(by_aff.begin(), by_aff.end(), [&](ProcId a, ProcId b) {
+      const int aa = affinity(p, a);
+      const int ab = affinity(p, b);
+      if (aa != ab) return aa > ab;
+      return a < b;
+    });
+    for (const ProcId q : by_aff) {
+      if (u.size() >= static_cast<std::size_t>(k_)) break;
+      u.push_back(q);
+    }
+  }
+
+  snap.lap = u;
+  return u;
+}
+
+void LockLap::record_transfer(ProcId from, ProcId to) {
+  AECDSM_CHECK(from >= 0 && from < nprocs_ && to >= 0 && to < nprocs_);
+  if (from == to) return;  // self-reacquisition needs no prediction
+
+  Snapshot& snap = snapshot_[static_cast<std::size_t>(from)];
+  if (snap.valid) {
+    auto score = [&](PredictorScore& s, const std::vector<ProcId>& pred) {
+      ++s.predictions;
+      if (contains(pred, to)) ++s.hits;
+    };
+    score(scores_.lap, snap.lap);
+    score(scores_.waitq, snap.waitq);
+    score(scores_.waitq_affinity, snap.waitq_affinity);
+    score(scores_.waitq_virtualq, snap.waitq_virtualq);
+    snap.valid = false;
+  }
+
+  ++affinity_[static_cast<std::size_t>(from) * nprocs_ + static_cast<std::size_t>(to)];
+}
+
+}  // namespace aecdsm::aec

@@ -1,0 +1,104 @@
+// Run-wide AEC state: the per-lock manager records (conceptually resident
+// on each lock's manager node — all handlers that touch a lock's record run
+// as services on that node, so the *timing* is distributed even though the
+// storage is shared), the barrier manager's episode state, and the per-page
+// home map.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "aec/config.hpp"
+#include "aec/lap.hpp"
+#include "common/params.hpp"
+#include "common/types.hpp"
+
+namespace aecdsm::aec {
+
+/// Manager-side record of one lock.
+struct LockRecord {
+  LockRecord(const SystemParams& p, double affinity_threshold)
+      : lap(p.num_procs, p.update_set_size, affinity_threshold),
+        update_set(static_cast<std::size_t>(p.num_procs)) {}
+
+  bool taken = false;
+  ProcId owner = kNoProc;          ///< current owner while taken
+  ProcId last_releaser = kNoProc;  ///< kNoProc right after a barrier (chain reset)
+  std::uint32_t counter = 0;       ///< acquire counter; ++ per grant
+  /// Acquisition counter of the last release — the counter its push carries.
+  /// Grants ship it so acquirers can tell the announced push from a stale
+  /// one left over from an earlier ownership of the same processor.
+  std::uint32_t last_release_counter = 0;
+  std::uint32_t epoch = 0;         ///< barrier episode of the last chain reset
+
+  LockLap lap;
+
+  /// U_l(p) as computed at p's last grant (shipped in the grant reply; the
+  /// releaser pushes its merged diffs to this set).
+  std::vector<std::vector<ProcId>> update_set;
+
+  /// Cumulative, per barrier step: which processor holds the freshest
+  /// merged diff of each page modified under this lock. Drives both the
+  /// grant-time invalidation list and the barrier diff routing.
+  std::map<PageId, ProcId> diff_holder;
+};
+
+/// Per-lock information a processor reports on barrier arrival: the acquire
+/// counter of its last ownership and the pages its merged diffs cover.
+/// Routing diffs from these lists (highest counter wins per page) makes the
+/// barrier independent of release messages still in flight to lock managers.
+struct ArrivalLockInfo {
+  LockId lock = 0;
+  std::uint32_t counter = 0;
+  std::vector<PageId> pages;
+};
+
+/// Barrier manager episode state (lives on node 0).
+struct BarrierEpisode {
+  struct Arrival {
+    bool here = false;
+    std::vector<ArrivalLockInfo> lock_info;
+    std::vector<PageId> outside_pages;   ///< pages this proc wrote outside CSes
+    std::vector<std::uint8_t> valid_map; ///< bitmap of pages valid at arrival
+  };
+  std::vector<Arrival> arrival;
+  int arrived = 0;
+  int completed = 0;
+  std::uint32_t episode = 0;
+};
+
+class AecProtocol;
+
+struct AecShared {
+  AecShared(const SystemParams& p, AecConfig cfg)
+      : params(p), config(cfg), home(0) {}
+
+  const SystemParams params;  ///< by value: outlives the Machine for post-run reads
+  AecConfig config;
+
+  /// Node protocol instances, for engine-side cross-node handler access.
+  std::vector<AecProtocol*> nodes;
+
+  std::map<LockId, LockRecord> locks;
+  BarrierEpisode barrier;
+
+  /// Current home node per page (initially page % nprocs); reassigned by
+  /// the barrier manager and distributed with the episode directives.
+  std::vector<ProcId> home;
+
+  LockRecord& lock(LockId l) {
+    auto it = locks.find(l);
+    if (it == locks.end()) {
+      // Disabling the affinity technique is modeled as an unreachable
+      // inclusion threshold (the affinity set is then always empty).
+      const double threshold =
+          config.use_affinity ? params.affinity_threshold : 1e30;
+      it = locks.emplace(l, LockRecord(params, threshold)).first;
+    }
+    return it->second;
+  }
+};
+
+}  // namespace aecdsm::aec

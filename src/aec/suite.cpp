@@ -1,0 +1,17 @@
+#include "aec/suite.hpp"
+
+#include "aec/protocol.hpp"
+
+namespace aecdsm::aec {
+
+dsm::ProtocolSuite AecSuite::suite() {
+  dsm::ProtocolSuite s;
+  s.name = cfg_.lap_enabled ? "AEC" : "AEC-noLAP";
+  s.make = [this](dsm::Machine& m, ProcId p) -> std::unique_ptr<dsm::Protocol> {
+    if (p == 0) shared_ = std::make_shared<AecShared>(m.params(), cfg_);
+    return std::make_unique<AecProtocol>(m, p, shared_);
+  };
+  return s;
+}
+
+}  // namespace aecdsm::aec

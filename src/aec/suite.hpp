@@ -1,0 +1,34 @@
+// Factory tying AEC into the generic run driver, keeping a handle on the
+// run's shared state so experiments can read LAP scores (Table 3) after the
+// simulation finishes.
+#pragma once
+
+#include <memory>
+
+#include "aec/config.hpp"
+#include "aec/shared.hpp"
+#include "dsm/system.hpp"
+
+namespace aecdsm::aec {
+
+class AecSuite {
+ public:
+  explicit AecSuite(AecConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Protocol suite for dsm::run_app. A fresh AecShared is created when
+  /// node 0's protocol is built, so one AecSuite can drive several runs
+  /// (each run's scores replace the previous ones).
+  dsm::ProtocolSuite suite();
+
+  /// Shared state of the most recent run (LAP scores, lock records).
+  const AecShared* shared() const { return shared_.get(); }
+  std::shared_ptr<const AecShared> shared_handle() const { return shared_; }
+
+  const AecConfig& config() const { return cfg_; }
+
+ private:
+  AecConfig cfg_;
+  std::shared_ptr<AecShared> shared_;
+};
+
+}  // namespace aecdsm::aec

@@ -1,0 +1,55 @@
+// Shared helpers for the SPMD application suite.
+//
+// All applications validate against a sequential oracle. Science kernels
+// use scaled 64-bit fixed-point arithmetic so that parallel accumulation
+// order cannot perturb results — the oracle comparison is exact, which
+// turns every run into a protocol-correctness check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dsm/app.hpp"
+#include "dsm/context.hpp"
+#include "dsm/shared_array.hpp"
+
+namespace aecdsm::apps {
+
+/// Contiguous block partition of [0, n) among nprocs; returns [begin, end)
+/// for processor `pid`.
+struct Block {
+  std::size_t begin;
+  std::size_t end;
+};
+
+inline Block block_of(std::size_t n, int nprocs, int pid) {
+  const std::size_t base = n / static_cast<std::size_t>(nprocs);
+  const std::size_t extra = n % static_cast<std::size_t>(nprocs);
+  const std::size_t b =
+      static_cast<std::size_t>(pid) * base + std::min<std::size_t>(pid, extra);
+  const std::size_t len = base + (static_cast<std::size_t>(pid) < extra ? 1 : 0);
+  return Block{b, b + len};
+}
+
+/// Order-independent checksum for result validation.
+inline std::uint64_t mix_into(std::uint64_t acc, std::uint64_t v) {
+  v *= 0x9E3779B97F4A7C15ULL;
+  v ^= v >> 29;
+  return acc + v;
+}
+
+/// Base class centralizing the ok-flag plumbing.
+class AppBase : public dsm::App {
+ public:
+  bool ok() const override { return ok_; }
+
+ protected:
+  void set_ok(bool v) { ok_ = v; }
+
+ private:
+  bool ok_ = false;
+};
+
+}  // namespace aecdsm::apps

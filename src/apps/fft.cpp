@@ -1,0 +1,190 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace aecdsm::apps {
+
+namespace {
+
+/// In-place iterative radix-2 FFT of one row (`len` complex values,
+/// interleaved re/im). Shared by the oracle and the parallel body so both
+/// perform bit-identical floating-point operations.
+void fft_row(double* row, std::size_t len) {
+  // Bit reversal.
+  for (std::size_t i = 1, j = 0; i < len; ++i) {
+    std::size_t bit = len >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(row[2 * i], row[2 * j]);
+      std::swap(row[2 * i + 1], row[2 * j + 1]);
+    }
+  }
+  for (std::size_t half = 1; half < len; half <<= 1) {
+    const double ang = -std::numbers::pi / static_cast<double>(half);
+    const double wr = std::cos(ang);
+    const double wi = std::sin(ang);
+    for (std::size_t base = 0; base < len; base += 2 * half) {
+      double cr = 1.0, ci = 0.0;
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::size_t u = 2 * (base + k);
+        const std::size_t v = 2 * (base + k + half);
+        const double tr = row[v] * cr - row[v + 1] * ci;
+        const double ti = row[v] * ci + row[v + 1] * cr;
+        row[v] = row[u] - tr;
+        row[v + 1] = row[u + 1] - ti;
+        row[u] += tr;
+        row[u + 1] += ti;
+        const double ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }
+    }
+  }
+}
+
+void twiddle(double* re, double* im, std::size_t i, std::size_t j, std::size_t n) {
+  const double ang = -2.0 * std::numbers::pi * static_cast<double>(i) *
+                     static_cast<double>(j) / static_cast<double>(n);
+  const double wr = std::cos(ang);
+  const double wi = std::sin(ang);
+  const double r = *re * wr - *im * wi;
+  const double m = *re * wi + *im * wr;
+  *re = r;
+  *im = m;
+}
+
+double input_value(std::size_t idx, bool imag) {
+  std::uint64_t z = (idx * 2 + (imag ? 1 : 0) + 11) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return static_cast<double>(z % 2048) / 1024.0 - 1.0;
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+void FftApp::setup(dsm::Machine& machine) {
+  const std::size_t m = cfg_.m;
+  const std::size_t n = m * m;
+  AECDSM_CHECK_MSG((m & (m - 1)) == 0, "FFT matrix edge must be a power of two");
+  a_ = dsm::SharedArray<double>::alloc(machine, n * 2);
+  b_ = dsm::SharedArray<double>::alloc(machine, n * 2);
+  ids_ = dsm::SharedArray<std::uint32_t>::alloc(machine, 1);
+
+  // Oracle: the same six-step algorithm, sequentially.
+  std::vector<double> a(n * 2), b(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[2 * i] = input_value(i, false);
+    a[2 * i + 1] = input_value(i, true);
+  }
+  auto transpose = [&](std::vector<double>& src, std::vector<double>& dst) {
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) {
+        dst[2 * (c * m + r)] = src[2 * (r * m + c)];
+        dst[2 * (c * m + r) + 1] = src[2 * (r * m + c) + 1];
+      }
+    }
+  };
+  transpose(a, b);
+  for (std::size_t r = 0; r < m; ++r) fft_row(&b[2 * r * m], m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      twiddle(&b[2 * (r * m + c)], &b[2 * (r * m + c) + 1], r, c, n);
+    }
+  }
+  transpose(b, a);
+  for (std::size_t r = 0; r < m; ++r) fft_row(&a[2 * r * m], m);
+  transpose(a, b);
+
+  oracle_checksum_ = 0;
+  for (std::size_t i = 0; i < n * 2; ++i) {
+    oracle_checksum_ = mix_into(oracle_checksum_, bits_of(b[i]));
+  }
+}
+
+void FftApp::body(dsm::Context& ctx) {
+  const std::size_t m = cfg_.m;
+  const std::size_t n = m * m;
+  const int np = ctx.nprocs();
+  const int me = ctx.pid();
+  const Block rows = block_of(m, np, me);
+
+  // The original program's only lock: process-id assignment.
+  ctx.lock(0);
+  ids_.put(ctx, 0, ids_.get(ctx, 0) + 1);
+  ctx.unlock(0);
+
+  // Distributed initialization of this processor's rows of A.
+  for (std::size_t r = rows.begin; r < rows.end; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const std::size_t i = r * m + c;
+      a_.put(ctx, 2 * i, input_value(i, false));
+      a_.put(ctx, 2 * i + 1, input_value(i, true));
+    }
+  }
+  ctx.barrier();
+
+  auto transpose_into = [&](dsm::SharedArray<double>& src,
+                            dsm::SharedArray<double>& dst) {
+    // Each processor writes its own rows of dst, reading columns of src
+    // (the all-to-all communication step of the six-step FFT).
+    for (std::size_t r = rows.begin; r < rows.end; ++r) {
+      for (std::size_t c = 0; c < m; ++c) {
+        dst.put(ctx, 2 * (r * m + c), src.get(ctx, 2 * (c * m + r)));
+        dst.put(ctx, 2 * (r * m + c) + 1, src.get(ctx, 2 * (c * m + r) + 1));
+        ctx.compute(4);
+      }
+    }
+  };
+  auto fft_rows = [&](dsm::SharedArray<double>& arr) {
+    std::vector<double> row(2 * m);
+    for (std::size_t r = rows.begin; r < rows.end; ++r) {
+      for (std::size_t c = 0; c < 2 * m; ++c) row[c] = arr.get(ctx, 2 * r * m + c);
+      ctx.compute(static_cast<Cycles>(5 * m));  // the butterflies
+      fft_row(row.data(), m);
+      for (std::size_t c = 0; c < 2 * m; ++c) arr.put(ctx, 2 * r * m + c, row[c]);
+    }
+  };
+
+  transpose_into(a_, b_);
+  ctx.barrier();
+  fft_rows(b_);
+  ctx.barrier();
+  for (std::size_t r = rows.begin; r < rows.end; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double re = b_.get(ctx, 2 * (r * m + c));
+      double im = b_.get(ctx, 2 * (r * m + c) + 1);
+      twiddle(&re, &im, r, c, n);
+      b_.put(ctx, 2 * (r * m + c), re);
+      b_.put(ctx, 2 * (r * m + c) + 1, im);
+      ctx.compute(12);
+    }
+  }
+  ctx.barrier();
+  transpose_into(b_, a_);
+  ctx.barrier();
+  fft_rows(a_);
+  ctx.barrier();
+  transpose_into(a_, b_);
+  ctx.barrier();
+
+  if (me == 0) {
+    std::uint64_t checksum = 0;
+    for (std::size_t i = 0; i < n * 2; ++i) {
+      checksum = mix_into(checksum, bits_of(b_.get(ctx, i)));
+    }
+    set_ok(checksum == oracle_checksum_ && ids_.get(ctx, 0) ==
+                                               static_cast<std::uint32_t>(np));
+  }
+}
+
+}  // namespace aecdsm::apps

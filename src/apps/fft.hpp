@@ -1,0 +1,41 @@
+// FFT — complex 1-D FFT, six-step (transpose) formulation optimized to
+// reduce interprocessor communication (paper §4.2). Synchronization is
+// almost entirely barriers (7 events); the single lock only hands out
+// process ids, exactly as in the original program.
+//
+// The sequential oracle runs the same six-step algorithm on host arrays,
+// so the comparison is bitwise exact.
+#pragma once
+
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace aecdsm::apps {
+
+struct FftConfig {
+  std::size_t m = 64;  ///< matrix edge; n = m*m points (paper: 1024 -> 1M)
+};
+
+class FftApp : public AppBase {
+ public:
+  explicit FftApp(FftConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "FFT"; }
+  std::size_t shared_bytes() const override {
+    return cfg_.m * cfg_.m * 2 * sizeof(double) * 2 + 8 * 4096;
+  }
+  void setup(dsm::Machine& m) override;
+  void body(dsm::Context& ctx) override;
+
+  const FftConfig& config() const { return cfg_; }
+
+ private:
+  FftConfig cfg_;
+  dsm::SharedArray<double> a_;   ///< m x m complex matrix (interleaved re/im)
+  dsm::SharedArray<double> b_;   ///< transpose scratch
+  dsm::SharedArray<std::uint32_t> ids_;  ///< the id lock's shared counter
+  std::uint64_t oracle_checksum_ = 0;
+};
+
+}  // namespace aecdsm::apps

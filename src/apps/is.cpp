@@ -1,0 +1,102 @@
+#include "apps/is.hpp"
+
+#include "common/check.hpp"
+
+namespace aecdsm::apps {
+
+namespace {
+/// Deterministic key generator (pure function of the index, so processors
+/// can initialize their own blocks without host-side distribution).
+std::uint32_t key_of(std::size_t i, std::size_t buckets) {
+  std::uint64_t z = (static_cast<std::uint64_t>(i) + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  return static_cast<std::uint32_t>(z % buckets);
+}
+}  // namespace
+
+void IsApp::setup(dsm::Machine& m) {
+  keys_ = dsm::SharedArray<std::uint32_t>::alloc(m, cfg_.num_keys);
+  buckets_ = dsm::SharedArray<std::uint32_t>::alloc(m, cfg_.num_buckets);
+  // One result slot per processor, padded onto separate cache lines.
+  results_ = dsm::SharedArray<std::uint64_t>::alloc(
+      m, static_cast<std::size_t>(m.nprocs()) * 8);
+
+  // Sequential oracle: bucket histogram -> prefix ranks -> checksum.
+  std::vector<std::uint32_t> hist(cfg_.num_buckets, 0);
+  for (std::size_t i = 0; i < cfg_.num_keys; ++i) ++hist[key_of(i, cfg_.num_buckets)];
+  std::vector<std::uint32_t> prefix(cfg_.num_buckets, 0);
+  std::uint32_t run = 0;
+  for (std::size_t b = 0; b < cfg_.num_buckets; ++b) {
+    prefix[b] = run;
+    run += hist[b];
+  }
+  oracle_checksum_ = 0;
+  for (std::size_t i = 0; i < cfg_.num_keys; ++i) {
+    oracle_checksum_ = mix_into(oracle_checksum_, prefix[key_of(i, cfg_.num_buckets)]);
+  }
+}
+
+void IsApp::body(dsm::Context& ctx) {
+  const int np = ctx.nprocs();
+  const int me = ctx.pid();
+  const Block kb = block_of(cfg_.num_keys, np, me);
+  const Block bb = block_of(cfg_.num_buckets, np, me);
+
+  // Distributed initialization of the key array.
+  for (std::size_t i = kb.begin; i < kb.end; ++i) {
+    keys_.put(ctx, i, key_of(i, cfg_.num_buckets));
+    ctx.compute(4);
+  }
+  ctx.barrier();
+
+  std::uint64_t checksum = 0;
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    // Phase 0: distributed reset of the shared bucket array.
+    for (std::size_t b = bb.begin; b < bb.end; ++b) buckets_.put(ctx, b, 0);
+    ctx.barrier();
+
+    // Phase 1: private histogram of this block's keys...
+    std::vector<std::uint32_t> local(cfg_.num_buckets, 0);
+    for (std::size_t i = kb.begin; i < kb.end; ++i) {
+      ++local[keys_.get(ctx, i)];
+      ctx.compute(6);
+    }
+    ctx.barrier();
+    // ...then the program's single critical section: update the whole
+    // shared array (the paper's heavily contended lock).
+    ctx.lock(0);
+    for (std::size_t b = 0; b < cfg_.num_buckets; ++b) {
+      if (local[b] != 0) buckets_.put(ctx, b, buckets_.get(ctx, b) + local[b]);
+      ctx.compute(2);
+    }
+    ctx.unlock(0);
+    ctx.barrier();
+
+    // Phase 2: read the shared histogram and rank this block's keys.
+    std::vector<std::uint32_t> prefix(cfg_.num_buckets, 0);
+    std::uint32_t run = 0;
+    for (std::size_t b = 0; b < cfg_.num_buckets; ++b) {
+      prefix[b] = run;
+      run += buckets_.get(ctx, b);
+      ctx.compute(2);
+    }
+    checksum = 0;
+    for (std::size_t i = kb.begin; i < kb.end; ++i) {
+      checksum = mix_into(checksum, prefix[keys_.get(ctx, i)]);
+      ctx.compute(4);
+    }
+    results_.put(ctx, static_cast<std::size_t>(me) * 8, checksum);
+    ctx.barrier();
+  }
+
+  if (me == 0) {
+    std::uint64_t total = 0;
+    for (int p = 0; p < np; ++p) {
+      total += results_.get(ctx, static_cast<std::size_t>(p) * 8);
+    }
+    set_ok(total == oracle_checksum_);
+  }
+}
+
+}  // namespace aecdsm::apps

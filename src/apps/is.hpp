@@ -1,0 +1,45 @@
+// IS — integer sort by bucket ranking (Rice University kernel, paper §4.2).
+//
+// Each iteration: every processor ranks its block of keys into a private
+// histogram, then updates the single shared bucket array inside the one
+// critical section of the program (processors write the whole array there,
+// which is why IS has large merged diffs and release-point diff creation in
+// the paper's Table 4); a barrier follows the contended section, then every
+// processor reads the shared array to compute its keys' final ranks.
+#pragma once
+
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace aecdsm::apps {
+
+struct IsConfig {
+  std::size_t num_keys = 16 * 1024;  ///< paper: 64K
+  std::size_t num_buckets = 4096;  ///< rank array: 4 pages -> multi-page CS diffs
+  int iterations = 5;                ///< paper: 80 acquires / 16 procs = 5
+};
+
+class IsApp : public AppBase {
+ public:
+  explicit IsApp(IsConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "IS"; }
+  std::size_t shared_bytes() const override {
+    return (cfg_.num_keys + cfg_.num_buckets) * sizeof(std::uint32_t) + 16 * 4096;
+  }
+
+  void setup(dsm::Machine& m) override;
+  void body(dsm::Context& ctx) override;
+
+  const IsConfig& config() const { return cfg_; }
+
+ private:
+  IsConfig cfg_;
+  dsm::SharedArray<std::uint32_t> keys_;
+  dsm::SharedArray<std::uint32_t> buckets_;
+  dsm::SharedArray<std::uint64_t> results_;  ///< per-proc checksum slots (padded)
+  std::uint64_t oracle_checksum_ = 0;
+};
+
+}  // namespace aecdsm::apps

@@ -1,0 +1,153 @@
+#include "apps/ocean.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace aecdsm::apps {
+
+namespace {
+
+double initial_value(std::size_t r, std::size_t c) {
+  std::uint64_t z = ((r + 3) * 0x9E3779B97F4A7C15ULL) ^ ((c + 5) * 0xD1B54A32D192ED03ULL);
+  z = (z ^ (z >> 31)) * 0xBF58476D1CE4E5B9ULL;
+  return static_cast<double>(z % 4096) / 2048.0 - 1.0;
+}
+
+std::int64_t scaled_residual(double a, double b) {
+  return static_cast<std::int64_t>(std::fabs(a - b) * 1048576.0);
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+void OceanApp::setup(dsm::Machine& m) {
+  const std::size_t g = cfg_.grid;
+  grid_a_ = dsm::SharedArray<double>::alloc(m, g * g);
+  grid_b_ = dsm::SharedArray<double>::alloc(m, g * g);
+  globals_ = dsm::SharedArray<std::int64_t>::alloc(m, 32);
+
+  // Oracle: identical Jacobi sweep, sequentially.
+  std::vector<double> a(g * g), b(g * g);
+  for (std::size_t r = 0; r < g; ++r) {
+    for (std::size_t c = 0; c < g; ++c) a[r * g + c] = initial_value(r, c);
+  }
+  b = a;
+  std::int64_t residual = 0;
+  double* src = a.data();
+  double* dst = b.data();
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    std::int64_t iter_residual = 0;
+    for (std::size_t r = 1; r + 1 < g; ++r) {
+      for (std::size_t c = 1; c + 1 < g; ++c) {
+        const double v = 0.25 * (src[(r - 1) * g + c] + src[(r + 1) * g + c] +
+                                 src[r * g + c - 1] + src[r * g + c + 1]);
+        dst[r * g + c] = v;
+        iter_residual += scaled_residual(v, src[r * g + c]);
+      }
+    }
+    if ((it + 1) % cfg_.reduce_every == 0) residual += iter_residual;
+    std::swap(src, dst);
+  }
+  oracle_grid_.assign(src, src + g * g);
+  oracle_residual_ = residual;
+  oracle_checksum_ = 0;
+  for (std::size_t i = 0; i < g * g; ++i) {
+    oracle_checksum_ = mix_into(oracle_checksum_, bits_of(src[i]));
+  }
+  oracle_checksum_ = mix_into(oracle_checksum_, static_cast<std::uint64_t>(residual));
+}
+
+void OceanApp::body(dsm::Context& ctx) {
+  const std::size_t g = cfg_.grid;
+  const int np = ctx.nprocs();
+  const int me = ctx.pid();
+  // Interior rows are block-partitioned.
+  const Block rows = block_of(g - 2, np, me);
+
+  // The program's id lock (lock 0).
+  ctx.lock(0);
+  globals_.put(ctx, 0, globals_.get(ctx, 0) + 1);
+  ctx.unlock(0);
+
+  // Distributed initialization: each proc fills its interior rows; proc 0
+  // also fills the two boundary rows, the left/right columns come with the
+  // row initialization.
+  auto init_row = [&](std::size_t r) {
+    for (std::size_t c = 0; c < g; ++c) {
+      const double v = initial_value(r, c);
+      grid_a_.put(ctx, r * g + c, v);
+      grid_b_.put(ctx, r * g + c, v);
+    }
+  };
+  for (std::size_t r = rows.begin + 1; r < rows.end + 1; ++r) init_row(r);
+  if (me == 0) {
+    init_row(0);
+    init_row(g - 1);
+    globals_.put(ctx, 1, 0);
+  }
+  ctx.barrier();
+
+  dsm::SharedArray<double>* src = &grid_a_;
+  dsm::SharedArray<double>* dst = &grid_b_;
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    std::int64_t iter_residual = 0;
+    for (std::size_t r = rows.begin + 1; r < rows.end + 1; ++r) {
+      for (std::size_t c = 1; c + 1 < g; ++c) {
+        const double v = 0.25 * (src->get(ctx, (r - 1) * g + c) +
+                                 src->get(ctx, (r + 1) * g + c) +
+                                 src->get(ctx, r * g + c - 1) +
+                                 src->get(ctx, r * g + c + 1));
+        dst->put(ctx, r * g + c, v);
+        iter_residual += scaled_residual(v, src->get(ctx, r * g + c));
+        ctx.compute(16);
+      }
+    }
+    if ((it + 1) % cfg_.reduce_every == 0) {
+      // Global residual reduction (lock 1), plus the auxiliary sums the
+      // original accumulates (locks 2 and 3).
+      ctx.lock(1);
+      globals_.put(ctx, 1, globals_.get(ctx, 1) + iter_residual);
+      ctx.unlock(1);
+      ctx.lock(2);
+      globals_.put(ctx, 2, globals_.get(ctx, 2) + (iter_residual >> 4));
+      ctx.unlock(2);
+      ctx.lock(3);
+      globals_.put(ctx, 3, globals_.get(ctx, 3) + 1);
+      ctx.unlock(3);
+    }
+    ctx.barrier();
+    std::swap(src, dst);
+    ctx.barrier();
+  }
+
+  if (me == 0) {
+    std::uint64_t checksum = 0;
+    int shown = 0;
+    for (std::size_t i = 0; i < g * g; ++i) {
+      const double v = src->get(ctx, i);
+      if (!oracle_grid_.empty() && v != oracle_grid_[i] && shown < 6) {
+        AECDSM_DEBUG("ocean mismatch cell (" << i / g << "," << i % g << "): got " << v
+                                             << " want " << oracle_grid_[i]);
+        ++shown;
+      }
+      checksum = mix_into(checksum, bits_of(v));
+    }
+    const std::int64_t res = globals_.get(ctx, 1);
+    if (res != oracle_residual_) {
+      AECDSM_DEBUG("ocean residual mismatch: got " << res << " want "
+                                                   << oracle_residual_);
+    }
+    checksum = mix_into(checksum, static_cast<std::uint64_t>(res));
+    set_ok(checksum == oracle_checksum_);
+  }
+}
+
+}  // namespace aecdsm::apps

@@ -1,0 +1,47 @@
+// Ocean — eddy/boundary-current simulation reduced to its computational
+// core: iterative 5-point stencil relaxation over a shared grid with
+// barrier-separated phases and a small set of locks for global reductions
+// (paper §4.2: 4 locks — processor ids and global sums — plus hundreds of
+// barrier events).
+//
+// The stencil runs a fixed number of Jacobi iterations (deterministic); the
+// residual reduction accumulates in scaled 64-bit integers so the parallel
+// sum matches the sequential oracle exactly.
+#pragma once
+
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace aecdsm::apps {
+
+struct OceanConfig {
+  std::size_t grid = 34;  ///< grid edge incl. boundary (paper: 258)
+  int iterations = 20;
+  int reduce_every = 2;   ///< residual reduction cadence (lock traffic)
+};
+
+class OceanApp : public AppBase {
+ public:
+  explicit OceanApp(OceanConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "Ocean"; }
+  std::size_t shared_bytes() const override {
+    return cfg_.grid * cfg_.grid * sizeof(double) * 2 + 8 * 4096;
+  }
+  void setup(dsm::Machine& m) override;
+  void body(dsm::Context& ctx) override;
+
+  const OceanConfig& config() const { return cfg_; }
+
+ private:
+  OceanConfig cfg_;
+  dsm::SharedArray<double> grid_a_;
+  dsm::SharedArray<double> grid_b_;
+  dsm::SharedArray<std::int64_t> globals_;  ///< [id_count, residual, sum2, sum3]
+  std::vector<double> oracle_grid_;   ///< final oracle grid (debug aid)
+  std::int64_t oracle_residual_ = 0;  ///< final oracle residual (debug aid)
+  std::uint64_t oracle_checksum_ = 0;
+};
+
+}  // namespace aecdsm::apps

@@ -1,0 +1,221 @@
+#include "apps/raytrace.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include <sstream>
+#include <cstdio>
+
+namespace aecdsm::apps {
+
+namespace {
+/// Deterministic stand-in for tracing one pixel's ray through the scene.
+std::uint32_t trace_pixel(std::size_t x, std::size_t y) {
+  std::uint64_t z = (static_cast<std::uint64_t>(y) << 32) | (x + 1);
+  for (int round = 0; round < 3; ++round) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z ^= z >> 27;
+  }
+  return static_cast<std::uint32_t>(z);
+}
+}  // namespace
+
+std::size_t RaytraceApp::shared_bytes() const {
+  // Image + queues (generously sized: each queue can hold every task) +
+  // counters, each rounded up to pages by the allocator.
+  const std::size_t queue_words = 64 * (2 + total_tasks());
+  return (cfg_.width * cfg_.height + queue_words + 64) * 4 + 80 * 4096;
+}
+
+void RaytraceApp::setup(dsm::Machine& m) {
+  nprocs_ = m.nprocs();
+  image_ = dsm::SharedArray<std::uint32_t>::alloc(m, cfg_.width * cfg_.height);
+  queue_stride_ = 2 + total_tasks();
+  queues_ = dsm::SharedArray<std::uint32_t>::alloc(
+      m, static_cast<std::size_t>(nprocs_) * queue_stride_);
+  counters_ = dsm::SharedArray<std::uint32_t>::alloc(m, 2);
+
+  oracle_checksum_ = 0;
+  for (std::size_t y = 0; y < cfg_.height; ++y) {
+    for (std::size_t x = 0; x < cfg_.width; ++x) {
+      oracle_checksum_ = mix_into(oracle_checksum_, trace_pixel(x, y));
+    }
+  }
+}
+
+void RaytraceApp::body(dsm::Context& ctx) {
+    const int np = ctx.nprocs();
+  const int me = ctx.pid();
+  const LockId mem_lock = memory_lock(np);
+  const std::size_t q0 = static_cast<std::size_t>(me) * queue_stride_;
+
+  // Distributed initialization: this processor's queue receives the tasks
+  // of its contiguous block of tiles.
+  const Block tb = block_of(total_tasks(), np, me);
+  queues_.put(ctx, q0 + 0, 0);  // base
+  queues_.put(ctx, q0 + 1, static_cast<std::uint32_t>(tb.end - tb.begin));  // count
+  for (std::size_t t = tb.begin; t < tb.end; ++t) {
+    queues_.put(ctx, q0 + 2 + (t - tb.begin), static_cast<std::uint32_t>(t));
+  }
+  if (me == 0) {
+    counters_.put(ctx, 0, 0);
+    counters_.put(ctx, 1, 0);
+  }
+  ctx.barrier();
+
+  const std::uint32_t total = static_cast<std::uint32_t>(total_tasks());
+  auto render_task = [&](std::uint32_t task) {
+    AECDSM_DEBUG("RENDER p" << me << " task " << task);
+    // Allocate ray nodes (the hot memory-management lock of the paper).
+    for (int a = 0; a < cfg_.allocs_per_task; ++a) {
+      ctx.lock(mem_lock);
+      counters_.put(ctx, 0, counters_.get(ctx, 0) + 1);
+      ctx.unlock(mem_lock);
+      ctx.compute(40);
+    }
+    const std::size_t ty = task / tiles_x();
+    const std::size_t tx = task % tiles_x();
+    for (std::size_t dy = 0; dy < cfg_.tile; ++dy) {
+      for (std::size_t dx = 0; dx < cfg_.tile; ++dx) {
+        const std::size_t x = tx * cfg_.tile + dx;
+        const std::size_t y = ty * cfg_.tile + dy;
+        // Ray cost varies strongly with scene content: pixels near the
+        // scene object (image centre) trace many reflections, the border
+        // almost none. The contiguous-block partition then overloads the
+        // processors owning the centre, so stealing is sustained and the
+        // queue locks develop the transfer affinity the paper reports.
+        const double nx = (static_cast<double>(x) / cfg_.width) - 0.5;
+        const double ny = (static_cast<double>(y) / cfg_.height) - 0.5;
+        const double r2 = nx * nx + ny * ny;
+        const Cycles depth = r2 < 0.09 ? 26000 : (r2 < 0.2 ? 4000 : 300);
+        ctx.compute(depth + (trace_pixel(x, y) & 0x7F));
+        image_.put(ctx, y * cfg_.width + x, trace_pixel(x, y));
+      }
+    }
+    // Completion bookkeeping shares the memory-management lock.
+    ctx.lock(mem_lock);
+    counters_.put(ctx, 1, counters_.get(ctx, 1) + 1);
+    ctx.unlock(mem_lock);
+  };
+
+  // Pop from the own queue; steal from victims when empty; stop once all
+  // tasks are confirmed done.
+  int last_victim = (me + 1) % np;
+  for (;;) {
+    bool worked = false;
+
+    // Own queue (LIFO end). An emptied queue is compacted so re-queued
+    // loot never outgrows the slot array.
+    ctx.lock(queue_lock(me));
+    std::uint32_t base = queues_.get(ctx, q0 + 0);
+    std::uint32_t count = queues_.get(ctx, q0 + 1);
+    std::uint32_t task = 0;
+    if (count > base) {
+      task = queues_.get(ctx, q0 + 2 + count - 1);
+      queues_.put(ctx, q0 + 1, count - 1);
+      AECDSM_DEBUG("POP p" << me << " task " << task << " base=" << base
+                           << " count=" << count - 1);
+      worked = true;
+    } else if (base != 0) {
+      queues_.put(ctx, q0 + 0, 0);
+      queues_.put(ctx, q0 + 1, 0);
+    }
+    ctx.unlock(queue_lock(me));
+    if (worked) {
+      render_task(task);
+      continue;
+    }
+
+    // Steal from the other queues (FIFO end). A thief retries its last
+    // successful victim first (affinity stealing), so the queue locks
+    // develop the stable owner<->thief transfer pairs the original program
+    // exhibits; half of the remaining tasks move over (chunky stealing).
+    for (int k = 0; k < np && !worked; ++k) {
+      const int victim = k == 0 ? last_victim : (me + k) % np;
+      if (victim == me || (k > 0 && victim == last_victim)) continue;
+      const std::size_t v0 = static_cast<std::size_t>(victim) * queue_stride_;
+      // Racy peek without the lock (stale values are fine — the steal
+      // re-checks under the lock). This keeps the queue locks for genuine
+      // transfers instead of idle-scan churn.
+      if (queues_.get(ctx, v0 + 1) <= queues_.get(ctx, v0 + 0)) continue;
+      std::vector<std::uint32_t> loot;
+      ctx.lock(queue_lock(victim));
+      base = queues_.get(ctx, v0 + 0);
+      count = queues_.get(ctx, v0 + 1);
+      if (count > base) {
+        const std::uint32_t take = (count - base + 1) / 2;
+        for (std::uint32_t t = 0; t < take; ++t) {
+          loot.push_back(queues_.get(ctx, v0 + 2 + base + t));
+        }
+        queues_.put(ctx, v0 + 0, base + take);
+        worked = true;
+      }
+      ctx.unlock(queue_lock(victim));
+      if (worked) {
+        AECDSM_DEBUG("STEAL p" << me << " from p" << victim << " base=" << base
+                               << " take=" << loot.size() << " first=" << loot.front());
+        last_victim = victim;
+        // First loot task runs now; the rest join the own queue.
+        task = loot.front();
+        if (loot.size() > 1) {
+          ctx.lock(queue_lock(me));
+          base = queues_.get(ctx, q0 + 0);
+          count = queues_.get(ctx, q0 + 1);
+          for (std::size_t t = 1; t < loot.size(); ++t) {
+            queues_.put(ctx, q0 + 2 + count, loot[t]);
+            ++count;
+          }
+          queues_.put(ctx, q0 + 1, count);
+          ctx.unlock(queue_lock(me));
+        }
+      }
+    }
+    if (worked) {
+      render_task(task);
+      continue;
+    }
+
+    // Nothing found anywhere: check the done counter under the lock.
+    ctx.lock(mem_lock);
+    const std::uint32_t done = counters_.get(ctx, 1);
+    ctx.unlock(mem_lock);
+    if (done >= total) break;
+    AECDSM_DEBUG("raytrace p" << me << " idle: done=" << done << "/" << total);
+    if (me == 0 && logging::level() == logging::Level::kDebug) {
+      std::ostringstream qs;
+      for (int q = 0; q < np; ++q) {
+        const std::size_t v0 = static_cast<std::size_t>(q) * queue_stride_;
+        ctx.lock(queue_lock(q));
+        qs << " q" << q << "=" << queues_.get(ctx, v0) << "/"
+           << queues_.get(ctx, v0 + 1);
+        ctx.unlock(queue_lock(q));
+      }
+      AECDSM_DEBUG("raytrace queues:" << qs.str());
+    }
+    ctx.compute(500);  // back off before rescanning
+  }
+
+  ctx.barrier();
+  if (me == 0) {
+    std::uint64_t checksum = 0;
+    for (std::size_t y = 0; y < cfg_.height; ++y) {
+      for (std::size_t x = 0; x < cfg_.width; ++x) {
+        checksum = mix_into(checksum, image_.get(ctx, y * cfg_.width + x));
+      }
+    }
+    const bool allocs_ok =
+        counters_.get(ctx, 0) ==
+        total * static_cast<std::uint32_t>(cfg_.allocs_per_task);
+    if (checksum != oracle_checksum_) {
+      AECDSM_DEBUG("raytrace checksum mismatch");
+    }
+    if (!allocs_ok) {
+      AECDSM_DEBUG("raytrace alloc count " << counters_.get(ctx, 0) << " want "
+                                           << total * static_cast<std::uint32_t>(
+                                                          cfg_.allocs_per_task)
+                                           << " done=" << counters_.get(ctx, 1));
+    }
+    set_ok(checksum == oracle_checksum_ && allocs_ok);
+  }
+}
+
+}  // namespace aecdsm::apps

@@ -1,0 +1,49 @@
+// Raytrace — ray tracing with per-processor task queues and task stealing
+// (paper §4.2). The image plane is partitioned into tiles distributed over
+// per-processor work queues (one lock each); an additional memory-management
+// lock serializes ray-node allocation and is the program's hottest lock
+// (the paper's variable 1). Stealing moves tiles between queues for load
+// balance, producing the lock-transfer affinity the LAP technique exploits.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace aecdsm::apps {
+
+struct RaytraceConfig {
+  std::size_t width = 64;
+  std::size_t height = 64;
+  std::size_t tile = 4;          ///< tile edge (tasks are tile x tile pixels)
+  int allocs_per_task = 1;       ///< memory-management lock acquires per tile
+};
+
+class RaytraceApp : public AppBase {
+ public:
+  explicit RaytraceApp(RaytraceConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "Raytrace"; }
+  std::size_t shared_bytes() const override;
+  void setup(dsm::Machine& m) override;
+  void body(dsm::Context& ctx) override;
+
+  const RaytraceConfig& config() const { return cfg_; }
+
+  /// Lock ids: one queue lock per processor, then the memory lock.
+  static LockId queue_lock(int pid) { return static_cast<LockId>(pid); }
+  LockId memory_lock(int nprocs) const { return static_cast<LockId>(nprocs); }
+
+ private:
+  std::size_t tiles_x() const { return cfg_.width / cfg_.tile; }
+  std::size_t tiles_y() const { return cfg_.height / cfg_.tile; }
+  std::size_t total_tasks() const { return tiles_x() * tiles_y(); }
+
+  RaytraceConfig cfg_;
+  int nprocs_ = 0;
+  dsm::SharedArray<std::uint32_t> image_;
+  dsm::SharedArray<std::uint32_t> queues_;  ///< per proc: [base, count, slots...]
+  dsm::SharedArray<std::uint32_t> counters_;  ///< [alloc_count, done_count]
+  std::size_t queue_stride_ = 0;
+  std::uint64_t oracle_checksum_ = 0;
+};
+
+}  // namespace aecdsm::apps

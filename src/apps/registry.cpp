@@ -1,0 +1,90 @@
+#include "apps/registry.hpp"
+
+#include "apps/fft.hpp"
+#include "apps/is.hpp"
+#include "apps/ocean.hpp"
+#include "apps/raytrace.hpp"
+#include "apps/water_ns.hpp"
+#include "apps/water_sp.hpp"
+#include "common/check.hpp"
+
+namespace aecdsm::apps {
+
+std::vector<std::string> app_names() {
+  return {"IS", "Raytrace", "Water-ns", "FFT", "Ocean", "Water-sp"};
+}
+
+std::unique_ptr<dsm::App> make_app(const std::string& name, Scale scale) {
+  const bool small = scale == Scale::kSmall;
+  if (name == "IS") {
+    IsConfig cfg;
+    if (small) {
+      cfg.num_keys = 2048;
+      cfg.num_buckets = 256;
+      cfg.iterations = 2;
+    }
+    return std::make_unique<IsApp>(cfg);
+  }
+  if (name == "Raytrace") {
+    RaytraceConfig cfg;
+    if (small) {
+      cfg.width = 32;
+      cfg.height = 32;
+    }
+    return std::make_unique<RaytraceApp>(cfg);
+  }
+  if (name == "Water-ns") {
+    WaterNsConfig cfg;
+    if (small) {
+      cfg.molecules = 32;
+      cfg.steps = 2;
+    }
+    return std::make_unique<WaterNsApp>(cfg);
+  }
+  if (name == "FFT") {
+    FftConfig cfg;
+    if (small) cfg.m = 16;
+    return std::make_unique<FftApp>(cfg);
+  }
+  if (name == "Ocean") {
+    OceanConfig cfg;
+    if (small) {
+      cfg.grid = 18;
+      cfg.iterations = 6;
+    }
+    return std::make_unique<OceanApp>(cfg);
+  }
+  if (name == "Water-sp") {
+    WaterSpConfig cfg;
+    if (small) {
+      cfg.molecules = 32;
+      cfg.steps = 2;
+    }
+    return std::make_unique<WaterSpApp>(cfg);
+  }
+  AECDSM_CHECK_MSG(false, "unknown application: " << name);
+}
+
+std::vector<LockGroup> lock_groups(const std::string& name, Scale scale, int nprocs) {
+  const bool small = scale == Scale::kSmall;
+  if (name == "IS") return {{"var 0 (rank array)", 0, 0}};
+  if (name == "Raytrace") {
+    const LockId mem = static_cast<LockId>(nprocs);
+    return {{"var 1 (memory mgmt)", mem, mem},
+            {"vars 2-" + std::to_string(nprocs + 1) + " (task queues)", 0,
+             static_cast<LockId>(nprocs - 1)}};
+  }
+  if (name == "Water-ns") {
+    const LockId mols = small ? 32 : 64;
+    return {{"vars 0-3 (global sums)", mols, mols + 5},
+            {"vars 4-" + std::to_string(mols + 3) + " (molecules)", 0, mols - 1}};
+  }
+  if (name == "FFT") return {{"var 0 (proc ids)", 0, 0}};
+  if (name == "Ocean") {
+    return {{"var 0 (proc ids)", 0, 0}, {"vars 1-3 (global sums)", 1, 3}};
+  }
+  if (name == "Water-sp") return {{"vars 0-5 (global values)", 0, 5}};
+  AECDSM_CHECK_MSG(false, "unknown application: " << name);
+}
+
+}  // namespace aecdsm::apps

@@ -1,0 +1,32 @@
+// Factory for the paper's application suite (§4.2), with two preset input
+// scales: "small" for tests and quick runs, "default" for the benchmark
+// harness (scaled-down but representative inputs; see DESIGN.md §5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/app.hpp"
+
+namespace aecdsm::apps {
+
+enum class Scale { kSmall, kDefault };
+
+/// Names in the paper's order: IS, Raytrace, Water-ns, FFT, Ocean, Water-sp.
+std::vector<std::string> app_names();
+
+/// Build an application by paper name; throws SimError on unknown names.
+std::unique_ptr<dsm::App> make_app(const std::string& name, Scale scale);
+
+/// Logical grouping of an application's lock variables, mirroring how the
+/// paper's Table 3 groups related variables (inclusive lock-id ranges).
+struct LockGroup {
+  std::string label;
+  LockId lo = 0;
+  LockId hi = 0;
+};
+
+std::vector<LockGroup> lock_groups(const std::string& name, Scale scale, int nprocs);
+
+}  // namespace aecdsm::apps

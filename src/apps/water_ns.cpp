@@ -1,0 +1,200 @@
+#include "apps/water_ns.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace aecdsm::apps {
+
+namespace {
+
+// Fixed-point "physics": deterministic, overflow-safe, order-independent.
+
+std::int64_t clip(std::int64_t v) { return (v << 20) >> 20; }  // keep 44 bits
+
+void init_position(std::size_t mol, std::int64_t out[3]) {
+  std::uint64_t z = (static_cast<std::uint64_t>(mol) + 7) * 0xD1B54A32D192ED03ULL;
+  for (int d = 0; d < 3; ++d) {
+    z = (z ^ (z >> 29)) * 0x9E3779B97F4A7C15ULL;
+    out[d] = static_cast<std::int64_t>(z & 0xFFFFF) - 0x80000;
+  }
+}
+
+/// Pairwise interaction on molecule i from molecule j (antisymmetric).
+void pair_force(const std::int64_t pi[3], const std::int64_t pj[3],
+                std::int64_t out[3]) {
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t diff = clip(pi[d] - pj[d]);
+    out[d] = clip(diff - (diff >> 3) + ((diff * diff) >> 24));
+  }
+}
+
+std::int64_t potential_of(const std::int64_t f[3]) {
+  return clip((f[0] >> 2) + (f[1] >> 3) + (f[2] >> 4));
+}
+
+void advance_position(std::int64_t pos[3], const std::int64_t force[3]) {
+  for (int d = 0; d < 3; ++d) pos[d] = clip(pos[d] + (force[d] >> 6));
+}
+
+}  // namespace
+
+void WaterNsApp::setup(dsm::Machine& m) {
+  mol_ = dsm::SharedArray<std::int64_t>::alloc(m, cfg_.molecules * 8);
+  globals_ = dsm::SharedArray<std::int64_t>::alloc(m, 64);
+
+  // Sequential oracle: identical phase structure on host arrays.
+  const std::size_t n = cfg_.molecules;
+  std::vector<std::int64_t> pos(n * 3), force(n * 3, 0);
+  for (std::size_t i = 0; i < n; ++i) init_position(i, &pos[i * 3]);
+  std::int64_t potential = 0;
+  for (int step = 0; step < cfg_.steps; ++step) {
+    std::fill(force.begin(), force.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < std::min(n, i + 1 + n / 2); ++j) {
+        std::int64_t f[3];
+        pair_force(&pos[i * 3], &pos[j * 3], f);
+        // Plain additions keep accumulation commutative, so the parallel
+        // run (any lock-arrival order) reproduces the oracle exactly.
+        for (int d = 0; d < 3; ++d) {
+          force[i * 3 + d] += f[d];
+          force[j * 3 + d] -= f[d];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      advance_position(&pos[i * 3], &force[i * 3]);
+      potential += potential_of(&force[i * 3]);
+    }
+  }
+  oracle_pos_ = pos;
+  oracle_potential_ = potential;
+  oracle_checksum_ = 0;
+  for (std::size_t i = 0; i < n * 3; ++i) {
+    oracle_checksum_ = mix_into(oracle_checksum_, static_cast<std::uint64_t>(pos[i]));
+  }
+  oracle_checksum_ = mix_into(oracle_checksum_, static_cast<std::uint64_t>(potential));
+}
+
+void WaterNsApp::body(dsm::Context& ctx) {
+  const int np = ctx.nprocs();
+  const int me = ctx.pid();
+  const std::size_t n = cfg_.molecules;
+  const Block mb = block_of(n, np, me);
+
+  auto pos_addr = [&](std::size_t i, int d) { return i * 8 + static_cast<std::size_t>(d); };
+  auto force_addr = [&](std::size_t i, int d) {
+    return i * 8 + 3 + static_cast<std::size_t>(d);
+  };
+
+  // Initialization: each processor places its own molecules.
+  for (std::size_t i = mb.begin; i < mb.end; ++i) {
+    std::int64_t p[3];
+    init_position(i, p);
+    for (int d = 0; d < 3; ++d) mol_.put(ctx, pos_addr(i, d), p[d]);
+    ctx.compute(20);
+  }
+  if (me == 0) {
+    globals_.put(ctx, 0, 0);  // potential
+  }
+  ctx.barrier();
+  ctx.barrier();  // INTRAF-style phase split of the original program
+  ctx.barrier();
+
+  for (int step = 0; step < cfg_.steps; ++step) {
+    // Phase 1: owners clear their molecules' force accumulators.
+    for (std::size_t i = mb.begin; i < mb.end; ++i) {
+      for (int d = 0; d < 3; ++d) mol_.put(ctx, force_addr(i, d), 0);
+    }
+    ctx.barrier();
+    ctx.barrier();  // predictor phase (compute only in the original)
+
+    // Phase 2: O(n^2) pair interactions; partial forces accumulate locally,
+    // then flow into the shared per-molecule records under their locks.
+    std::vector<std::int64_t> local(n * 3, 0);
+    std::vector<bool> touched(n, false);
+    for (std::size_t i = mb.begin; i < mb.end; ++i) {
+      for (std::size_t j = i + 1; j < std::min(n, i + 1 + n / 2); ++j) {
+        std::int64_t pi[3], pj[3], f[3];
+        for (int d = 0; d < 3; ++d) pi[d] = mol_.get(ctx, pos_addr(i, d));
+        for (int d = 0; d < 3; ++d) pj[d] = mol_.get(ctx, pos_addr(j, d));
+        ctx.compute(80);
+        pair_force(pi, pj, f);
+        for (int d = 0; d < 3; ++d) {
+          local[i * 3 + d] += f[d];
+          local[j * 3 + d] -= f[d];
+        }
+        touched[i] = touched[j] = true;
+      }
+    }
+    // Visit molecules starting at the own block so processors sweep the
+    // lock space in staggered order (less contention, more transfers).
+    std::vector<std::size_t> mols;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (touched[(i + mb.begin) % n]) mols.push_back((i + mb.begin) % n);
+    }
+    for (std::size_t k = 0; k < mols.size(); ++k) {
+      // Acquire notices a few locks ahead: the compiler-inserted
+      // virtual-queue hints of the paper (the lead distance gives the
+      // notice time to reach the manager before the predecessor's grant).
+      if (k + 6 < mols.size()) {
+        ctx.lock_acquire_notice(molecule_lock(mols[k + 6]));
+      }
+      if (k == 0) {
+        for (std::size_t ahead = 0; ahead < std::min<std::size_t>(6, mols.size()); ++ahead) {
+          ctx.lock_acquire_notice(molecule_lock(mols[ahead]));
+        }
+      }
+      const std::size_t i = mols[k];
+      ctx.lock(molecule_lock(i));
+      for (int d = 0; d < 3; ++d) {
+        const std::int64_t cur = mol_.get(ctx, force_addr(i, d));
+        mol_.put(ctx, force_addr(i, d), cur + local[i * 3 + d]);
+      }
+      ctx.unlock(molecule_lock(i));
+      ctx.compute(60);
+    }
+    ctx.barrier();
+    ctx.barrier();  // force-scaling phase of the original
+
+    // Phase 3: owners advance their molecules and accumulate the potential
+    // under a global lock.
+    std::int64_t my_potential = 0;
+    for (std::size_t i = mb.begin; i < mb.end; ++i) {
+      std::int64_t p[3], f[3];
+      for (int d = 0; d < 3; ++d) p[d] = mol_.get(ctx, pos_addr(i, d));
+      for (int d = 0; d < 3; ++d) f[d] = mol_.get(ctx, force_addr(i, d));
+      advance_position(p, f);
+      for (int d = 0; d < 3; ++d) mol_.put(ctx, pos_addr(i, d), p[d]);
+      my_potential += potential_of(f);
+      ctx.compute(60);
+    }
+    ctx.lock(global_lock(0));
+    globals_.put(ctx, 0, globals_.get(ctx, 0) + my_potential);
+    ctx.unlock(global_lock(0));
+    ctx.barrier();
+    ctx.barrier();  // kinetic-energy phase of the original
+  }
+
+  if (me == 0) {
+    std::uint64_t checksum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        const std::int64_t v = mol_.get(ctx, pos_addr(i, d));
+        if (!oracle_pos_.empty() && v != oracle_pos_[i * 3 + static_cast<std::size_t>(d)]) {
+          AECDSM_DEBUG("water-ns mismatch mol " << i << " d" << d << ": got " << v
+                                                << " want " << oracle_pos_[i * 3 + d]);
+        }
+        checksum = mix_into(checksum, static_cast<std::uint64_t>(v));
+      }
+    }
+    const std::int64_t pot = globals_.get(ctx, 0);
+    if (pot != oracle_potential_) {
+      AECDSM_DEBUG("water-ns potential mismatch: got " << pot << " want "
+                                                       << oracle_potential_);
+    }
+    checksum = mix_into(checksum, static_cast<std::uint64_t>(pot));
+    set_ok(checksum == oracle_checksum_);
+  }
+}
+
+}  // namespace aecdsm::apps

@@ -1,0 +1,52 @@
+// Water-nsquared — molecular dynamics with an O(n^2) force computation
+// (paper §4.2). One lock per molecule protects its force accumulator (the
+// paper's variables 4..515); a handful of global locks accumulate system
+// energies. The application inserts lock acquire notices ahead of its
+// molecule-lock acquisitions, feeding LAP's virtual-queue technique exactly
+// as the paper describes.
+//
+// All arithmetic is 64-bit fixed point, so parallel accumulation order
+// cannot perturb the result and the sequential oracle comparison is exact.
+#pragma once
+
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace aecdsm::apps {
+
+struct WaterNsConfig {
+  std::size_t molecules = 64;  ///< paper: 512
+  int steps = 5;               ///< paper: 5
+};
+
+class WaterNsApp : public AppBase {
+ public:
+  explicit WaterNsApp(WaterNsConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "Water-ns"; }
+  std::size_t shared_bytes() const override {
+    return cfg_.molecules * 8 * 8 + 64 * 8 + 32 * 4096;
+  }
+  void setup(dsm::Machine& m) override;
+  void body(dsm::Context& ctx) override;
+
+  const WaterNsConfig& config() const { return cfg_; }
+
+  LockId molecule_lock(std::size_t mol) const { return static_cast<LockId>(mol); }
+  LockId global_lock(int k) const {
+    return static_cast<LockId>(cfg_.molecules + static_cast<std::size_t>(k));
+  }
+
+ private:
+  WaterNsConfig cfg_;
+  /// Per molecule: pos[3], force[3], pad[2] (64 bytes — several molecules
+  /// share a page, reproducing the paper's small per-molecule diffs).
+  dsm::SharedArray<std::int64_t> mol_;
+  dsm::SharedArray<std::int64_t> globals_;  ///< [potential, kinetic] padded
+  std::vector<std::int64_t> oracle_pos_;  ///< final oracle positions (debug aid)
+  std::int64_t oracle_potential_ = 0;
+  std::uint64_t oracle_checksum_ = 0;
+};
+
+}  // namespace aecdsm::apps

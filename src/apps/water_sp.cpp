@@ -1,0 +1,281 @@
+#include "apps/water_sp.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace aecdsm::apps {
+
+namespace {
+
+std::int64_t clip(std::int64_t v) { return (v << 20) >> 20; }
+
+int trace_mol() {
+  static const int m = [] {
+    const char* v = std::getenv("AECDSM_WSP_TRACE");
+    return v == nullptr ? -1 : std::atoi(v);
+  }();
+  return m;
+}
+
+void init_position(std::size_t mol, std::int64_t out[3]) {
+  std::uint64_t z = (static_cast<std::uint64_t>(mol) + 13) * 0xD1B54A32D192ED03ULL;
+  for (int d = 0; d < 3; ++d) {
+    z = (z ^ (z >> 29)) * 0x9E3779B97F4A7C15ULL;
+    out[d] = static_cast<std::int64_t>(z & 0xFFFFF);  // non-negative: cell mapping
+  }
+}
+
+void pair_force(const std::int64_t pi[3], const std::int64_t pj[3],
+                std::int64_t out[3]) {
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t diff = clip(pi[d] - pj[d]);
+    out[d] = clip(diff - (diff >> 2) + ((diff * diff) >> 26));
+  }
+}
+
+std::int64_t potential_of(const std::int64_t f[3]) {
+  return clip((f[0] >> 2) + (f[1] >> 3) + (f[2] >> 4));
+}
+
+void advance_position(std::int64_t pos[3], const std::int64_t force[3]) {
+  for (int d = 0; d < 3; ++d) {
+    pos[d] = (pos[d] + (force[d] >> 7)) & 0xFFFFF;  // wrap within the box
+  }
+}
+
+/// Cell of a molecule from its (x, y) position (2-D decomposition).
+std::size_t cell_of(const std::int64_t pos[3], std::size_t cells) {
+  const std::size_t cx = static_cast<std::size_t>(pos[0]) * cells >> 20;
+  const std::size_t cy = static_cast<std::size_t>(pos[1]) * cells >> 20;
+  return std::min(cy, cells - 1) * cells + std::min(cx, cells - 1);
+}
+
+}  // namespace
+
+void WaterSpApp::setup(dsm::Machine& m) {
+  const std::size_t n = cfg_.molecules;
+  const std::size_t nc = cfg_.cells * cfg_.cells;
+  mol_ = dsm::SharedArray<std::int64_t>::alloc(m, n * 8);
+  cells_ = dsm::SharedArray<std::uint32_t>::alloc(m, nc * (n + 1));
+  globals_ = dsm::SharedArray<std::int64_t>::alloc(m, 64);
+
+  // Oracle: same phases, sequentially.
+  std::vector<std::int64_t> pos(n * 3), force(n * 3);
+  for (std::size_t i = 0; i < n; ++i) init_position(i, &pos[i * 3]);
+  std::int64_t potential = 0;
+  for (int step = 0; step < cfg_.steps; ++step) {
+    std::vector<std::vector<std::uint32_t>> lists(nc);
+    for (std::size_t i = 0; i < n; ++i) {
+      lists[cell_of(&pos[i * 3], cfg_.cells)].push_back(static_cast<std::uint32_t>(i));
+    }
+    oracle_lists_.push_back(lists);
+    oracle_step_pos_.push_back(pos);
+    std::fill(force.begin(), force.end(), 0);
+    for (std::size_t cy = 0; cy < cfg_.cells; ++cy) {
+      for (std::size_t cx = 0; cx < cfg_.cells; ++cx) {
+        for (const std::uint32_t i : lists[cy * cfg_.cells + cx]) {
+          for (std::size_t dy = 0; dy < 3; ++dy) {
+            for (std::size_t dx = 0; dx < 3; ++dx) {
+              const std::size_t ny = (cy + dy + cfg_.cells - 1) % cfg_.cells;
+              const std::size_t nx = (cx + dx + cfg_.cells - 1) % cfg_.cells;
+              for (const std::uint32_t j : lists[ny * cfg_.cells + nx]) {
+                if (j == i) continue;
+                std::int64_t f[3];
+                pair_force(&pos[i * 3], &pos[j * 3], f);
+                for (int d = 0; d < 3; ++d) force[i * 3 + d] += f[d];
+                if (trace_mol() == static_cast<int>(i) && step == cfg_.steps - 1) {
+                  AECDSM_DEBUG("oracle mol" << i << " pair j" << j << " pj="
+                                            << pos[j * 3] << " f0=" << f[0]);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      advance_position(&pos[i * 3], &force[i * 3]);
+      potential += potential_of(&force[i * 3]);
+    }
+  }
+  oracle_pos_ = pos;
+  oracle_checksum_ = 0;
+  for (std::size_t i = 0; i < n * 3; ++i) {
+    oracle_checksum_ = mix_into(oracle_checksum_, static_cast<std::uint64_t>(pos[i]));
+  }
+  oracle_checksum_ = mix_into(oracle_checksum_, static_cast<std::uint64_t>(potential));
+}
+
+void WaterSpApp::body(dsm::Context& ctx) {
+  const std::size_t n = cfg_.molecules;
+  const std::size_t nc = cfg_.cells * cfg_.cells;
+  const int np = ctx.nprocs();
+  const int me = ctx.pid();
+  const Block mb = block_of(n, np, me);       // molecule blocks (init only)
+  const Block cb = block_of(nc, np, me);      // owned cells
+  const std::size_t cell_stride = n + 1;
+
+  auto pos_addr = [&](std::size_t i, int d) { return i * 8 + static_cast<std::size_t>(d); };
+  auto force_addr = [&](std::size_t i, int d) {
+    return i * 8 + 3 + static_cast<std::size_t>(d);
+  };
+
+  // The paper's 6 global lock variables.
+  const LockId kIdLock = 0, kPotLock = 1, kKinLock = 2;
+  const LockId kSumLock[3] = {3, 4, 5};
+
+  ctx.lock(kIdLock);
+  globals_.put(ctx, 0, globals_.get(ctx, 0) + 1);
+  ctx.unlock(kIdLock);
+
+  for (std::size_t i = mb.begin; i < mb.end; ++i) {
+    std::int64_t p[3];
+    init_position(i, p);
+    for (int d = 0; d < 3; ++d) mol_.put(ctx, pos_addr(i, d), p[d]);
+    ctx.compute(20);
+  }
+  ctx.barrier();
+  ctx.barrier();  // system-setup phase split of the original
+
+  for (int step = 0; step < cfg_.steps; ++step) {
+    // Phase 1: rebuild the molecule lists of the owned cells (reads every
+    // position, writes only the owned cells).
+    std::vector<std::uint32_t> counts(nc, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t p[3];
+      for (int d = 0; d < 3; ++d) p[d] = mol_.get(ctx, pos_addr(i, d));
+      const std::size_t cell = cell_of(p, cfg_.cells);
+      if (cell >= cb.begin && cell < cb.end) {
+        cells_.put(ctx, cell * cell_stride + 1 + counts[cell],
+                   static_cast<std::uint32_t>(i));
+        ++counts[cell];
+      }
+      ctx.compute(10);
+    }
+    for (std::size_t cell = cb.begin; cell < cb.end; ++cell) {
+      cells_.put(ctx, cell * cell_stride, counts[cell]);
+    }
+    ctx.barrier();
+
+    // Phase 2: forces for molecules in the owned cells; every pair is
+    // evaluated from both sides, so all writes stay local to the owner.
+    std::int64_t my_potential = 0;
+    for (std::size_t cell = cb.begin; cell < cb.end; ++cell) {
+      const std::size_t cy = cell / cfg_.cells;
+      const std::size_t cx = cell % cfg_.cells;
+      const std::uint32_t cnt = cells_.get(ctx, cell * cell_stride);
+      if (!oracle_lists_.empty() &&
+          cnt != oracle_lists_[static_cast<std::size_t>(step)][cell].size()) {
+        AECDSM_DEBUG("p" << me << " step" << step << " cell" << cell
+                         << " count=" << cnt << " want "
+                         << oracle_lists_[static_cast<std::size_t>(step)][cell].size());
+      }
+      for (std::uint32_t k = 0; k < cnt; ++k) {
+        const std::uint32_t i = cells_.get(ctx, cell * cell_stride + 1 + k);
+        if (!oracle_lists_.empty() &&
+            (k >= oracle_lists_[static_cast<std::size_t>(step)][cell].size() ||
+             i != oracle_lists_[static_cast<std::size_t>(step)][cell][k])) {
+          AECDSM_DEBUG("p" << me << " step" << step << " cell" << cell << " slot" << k
+                           << " id=" << i);
+        }
+        std::int64_t pi[3], acc[3] = {0, 0, 0};
+        for (int d = 0; d < 3; ++d) pi[d] = mol_.get(ctx, pos_addr(i, d));
+        for (std::size_t dy = 0; dy < 3; ++dy) {
+          for (std::size_t dx = 0; dx < 3; ++dx) {
+            const std::size_t ny = (cy + dy + cfg_.cells - 1) % cfg_.cells;
+            const std::size_t nx = (cx + dx + cfg_.cells - 1) % cfg_.cells;
+            const std::size_t ncell = ny * cfg_.cells + nx;
+            const std::uint32_t ncnt = cells_.get(ctx, ncell * cell_stride);
+            if (!oracle_lists_.empty() &&
+                ncnt != oracle_lists_[static_cast<std::size_t>(step)][ncell].size()) {
+              AECDSM_DEBUG("p" << me << " step" << step << " ncell" << ncell
+                               << " count=" << ncnt << " want "
+                               << oracle_lists_[static_cast<std::size_t>(step)][ncell].size());
+            }
+            for (std::uint32_t kk = 0; kk < ncnt; ++kk) {
+              const std::uint32_t j = cells_.get(ctx, ncell * cell_stride + 1 + kk);
+              if (j == i) continue;
+              std::int64_t pj[3], f[3];
+              for (int d = 0; d < 3; ++d) pj[d] = mol_.get(ctx, pos_addr(j, d));
+              if (!oracle_step_pos_.empty() &&
+                  pj[0] != oracle_step_pos_[static_cast<std::size_t>(step)][j * 3]) {
+                AECDSM_DEBUG("p" << me << " step" << step << " stale pos mol" << j
+                                 << ": got " << pj[0] << " want "
+                                 << oracle_step_pos_[static_cast<std::size_t>(step)][j * 3]);
+              }
+              ctx.compute(60);
+              pair_force(pi, pj, f);
+              for (int d = 0; d < 3; ++d) acc[d] += f[d];
+              if (trace_mol() == static_cast<int>(i) && step == cfg_.steps - 1) {
+                AECDSM_DEBUG("p" << me << " mol" << i << " pair j" << j << " pj="
+                                 << pj[0] << " f0=" << f[0]);
+              }
+            }
+          }
+        }
+        for (int d = 0; d < 3; ++d) mol_.put(ctx, force_addr(i, d), acc[d]);
+        my_potential += potential_of(acc);
+      }
+    }
+    ctx.barrier();
+
+    // Phase 3: advance the owned cells' molecules; global reductions under
+    // the remaining locks.
+    for (std::size_t cell = cb.begin; cell < cb.end; ++cell) {
+      const std::uint32_t cnt = cells_.get(ctx, cell * cell_stride);
+      for (std::uint32_t k = 0; k < cnt; ++k) {
+        const std::uint32_t i = cells_.get(ctx, cell * cell_stride + 1 + k);
+        std::int64_t p[3], f[3];
+        for (int d = 0; d < 3; ++d) p[d] = mol_.get(ctx, pos_addr(i, d));
+        for (int d = 0; d < 3; ++d) f[d] = mol_.get(ctx, force_addr(i, d));
+        advance_position(p, f);
+        if (trace_mol() == static_cast<int>(i)) {
+          AECDSM_DEBUG("p" << me << " advance mol" << i << " step" << step
+                           << " f0=" << f[0] << " new_pos0=" << p[0]);
+        }
+        for (int d = 0; d < 3; ++d) mol_.put(ctx, pos_addr(i, d), p[d]);
+        ctx.compute(40);
+      }
+    }
+    ctx.lock(kPotLock);
+    globals_.put(ctx, 8, globals_.get(ctx, 8) + my_potential);
+    ctx.unlock(kPotLock);
+    ctx.lock(kKinLock);
+    globals_.put(ctx, 16, globals_.get(ctx, 16) + (my_potential >> 3));
+    ctx.unlock(kKinLock);
+    for (int s = 0; s < 3; ++s) {
+      ctx.lock(kSumLock[s]);
+      globals_.put(ctx, 24 + static_cast<std::size_t>(s) * 8,
+                   globals_.get(ctx, 24 + static_cast<std::size_t>(s) * 8) + 1);
+      ctx.unlock(kSumLock[s]);
+    }
+    ctx.barrier();
+    ctx.barrier();  // bookkeeping phase splits of the original
+    ctx.barrier();
+    ctx.barrier();
+  }
+  ctx.barrier();
+
+  if (me == 0) {
+    std::uint64_t checksum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        const std::int64_t v = mol_.get(ctx, pos_addr(i, d));
+        if (oracle_pos_.size() == n * 3 &&
+            v != oracle_pos_[i * 3 + static_cast<std::size_t>(d)]) {
+          AECDSM_DEBUG("water-sp mismatch mol " << i << " d" << d << ": got " << v
+                                                << " want "
+                                                << oracle_pos_[i * 3 + d]);
+        }
+        checksum = mix_into(checksum, static_cast<std::uint64_t>(v));
+      }
+    }
+    checksum = mix_into(checksum, static_cast<std::uint64_t>(globals_.get(ctx, 8)));
+    set_ok(checksum == oracle_checksum_);
+  }
+}
+
+}  // namespace aecdsm::apps

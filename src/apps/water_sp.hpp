@@ -1,0 +1,49 @@
+// Water-spatial — the O(n) cell-list variant of Water (paper §4.2). Space
+// is divided into cells; each processor owns a block of cells, rebuilds
+// their molecule lists each step, and computes forces for the molecules in
+// its cells by scanning neighbour cells (each pair evaluated from both
+// sides, so all force writes stay with the cell owner and no per-molecule
+// locks are needed). Locks protect only the global accumulations — the
+// paper's 6 lock variables.
+#pragma once
+
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace aecdsm::apps {
+
+struct WaterSpConfig {
+  std::size_t molecules = 64;  ///< paper: 512
+  std::size_t cells = 4;       ///< cell grid edge (cells x cells)
+  int steps = 5;
+};
+
+class WaterSpApp : public AppBase {
+ public:
+  explicit WaterSpApp(WaterSpConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "Water-sp"; }
+  std::size_t shared_bytes() const override {
+    const std::size_t cell_words = cfg_.cells * cfg_.cells * (cfg_.molecules + 1);
+    return cfg_.molecules * 8 * 8 + cell_words * 4 + 64 * 8 + 16 * 4096;
+  }
+  void setup(dsm::Machine& m) override;
+  void body(dsm::Context& ctx) override;
+
+  const WaterSpConfig& config() const { return cfg_; }
+
+ private:
+  WaterSpConfig cfg_;
+  dsm::SharedArray<std::int64_t> mol_;      ///< per molecule: pos[3], force[3], pad[2]
+  dsm::SharedArray<std::uint32_t> cells_;   ///< per cell: count + molecule ids
+  dsm::SharedArray<std::int64_t> globals_;  ///< 6 lock-protected global sums
+  std::vector<std::int64_t> oracle_pos_;  ///< final oracle positions (debug aid)
+  /// Oracle start-of-step positions (debug aid).
+  std::vector<std::vector<std::int64_t>> oracle_step_pos_;
+  /// Oracle cell lists per step (debug aid for stale-list detection).
+  std::vector<std::vector<std::vector<std::uint32_t>>> oracle_lists_;
+  std::uint64_t oracle_checksum_ = 0;
+};
+
+}  // namespace aecdsm::apps

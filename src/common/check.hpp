@@ -1,0 +1,49 @@
+// Runtime invariant checking for the simulator.
+//
+// Simulation bugs (protocol state machine violations, time going backwards)
+// must fail loudly and immediately; they would otherwise silently corrupt
+// the measured results. CHECK stays on in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aecdsm {
+
+/// Thrown on any violated simulator invariant.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw SimError(os.str());
+}
+
+}  // namespace detail
+}  // namespace aecdsm
+
+/// Always-on invariant check. Throws aecdsm::SimError on failure.
+#define AECDSM_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::aecdsm::detail::check_failed(#cond, __FILE__, __LINE__, {});         \
+  } while (0)
+
+/// Invariant check with a streamed message: AECDSM_CHECK_MSG(x > 0, "x=" << x)
+#define AECDSM_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream aecdsm_check_os_;                                   \
+      aecdsm_check_os_ << stream_expr;                                       \
+      ::aecdsm::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                     aecdsm_check_os_.str());                \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+
+namespace aecdsm::logging {
+
+namespace {
+Level g_level = Level::kOff;
+bool g_env_done = false;
+}  // namespace
+
+Level level() { return g_level; }
+
+void set_level(Level lvl) { g_level = lvl; }
+
+void init_from_env() {
+  if (g_env_done) return;
+  g_env_done = true;
+  const char* v = std::getenv("AECDSM_LOG");
+  if (v == nullptr) return;
+  const std::string s(v);
+  if (s == "debug") g_level = Level::kDebug;
+  else if (s == "info") g_level = Level::kInfo;
+  else if (s == "warn") g_level = Level::kWarn;
+}
+
+namespace detail {
+void emit(Level lvl, const std::string& msg) {
+  const char* tag = lvl == Level::kDebug ? "D" : lvl == Level::kInfo ? "I" : "W";
+  std::cerr << "[" << tag << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace aecdsm::logging

@@ -1,0 +1,40 @@
+// Minimal leveled logging. Off by default so simulation hot paths stay cheap;
+// enable with AECDSM_LOG=debug|info|warn in the environment or via set_level.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace aecdsm::logging {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+/// Current threshold; messages below it are discarded.
+Level level();
+
+/// Override the threshold programmatically (tests use this).
+void set_level(Level lvl);
+
+/// Initialize from the AECDSM_LOG environment variable (idempotent).
+void init_from_env();
+
+namespace detail {
+void emit(Level lvl, const std::string& msg);
+}  // namespace detail
+
+}  // namespace aecdsm::logging
+
+#define AECDSM_LOG_AT(lvl, stream_expr)                                     \
+  do {                                                                      \
+    if (static_cast<int>(lvl) >=                                            \
+        static_cast<int>(::aecdsm::logging::level())) {                     \
+      std::ostringstream aecdsm_log_os_;                                    \
+      aecdsm_log_os_ << stream_expr;                                        \
+      ::aecdsm::logging::detail::emit(lvl, aecdsm_log_os_.str());           \
+    }                                                                       \
+  } while (0)
+
+#define AECDSM_DEBUG(stream_expr) AECDSM_LOG_AT(::aecdsm::logging::Level::kDebug, stream_expr)
+#define AECDSM_INFO(stream_expr) AECDSM_LOG_AT(::aecdsm::logging::Level::kInfo, stream_expr)
+#define AECDSM_WARN(stream_expr) AECDSM_LOG_AT(::aecdsm::logging::Level::kWarn, stream_expr)

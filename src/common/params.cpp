@@ -1,0 +1,31 @@
+#include "common/params.hpp"
+
+#include <sstream>
+
+namespace aecdsm {
+
+std::string SystemParams::validate() const {
+  std::ostringstream err;
+  if (num_procs <= 0) err << "num_procs must be positive; ";
+  if (mesh_width <= 0) err << "mesh_width must be positive; ";
+  if (num_procs % mesh_width != 0)
+    err << "num_procs must be a multiple of mesh_width; ";
+  if (page_bytes == 0 || page_bytes % kWordBytes != 0)
+    err << "page_bytes must be a positive multiple of the word size; ";
+  if (cache_line_bytes == 0 || cache_line_bytes % kWordBytes != 0)
+    err << "cache_line_bytes must be a positive multiple of the word size; ";
+  if (cache_bytes % cache_line_bytes != 0)
+    err << "cache_bytes must be a multiple of cache_line_bytes; ";
+  if (page_bytes % cache_line_bytes != 0)
+    err << "page_bytes must be a multiple of cache_line_bytes; ";
+  if (network_width_bits % 8 != 0 || network_width_bits == 0)
+    err << "network_width_bits must be a positive multiple of 8; ";
+  if (tlb_entries <= 0) err << "tlb_entries must be positive; ";
+  if (write_buffer_entries <= 0) err << "write_buffer_entries must be positive; ";
+  if (update_set_size <= 0) err << "update_set_size must be positive; ";
+  if (affinity_threshold < 0.0) err << "affinity_threshold must be non-negative; ";
+  if (quantum_cycles == 0) err << "quantum_cycles must be positive; ";
+  return err.str();
+}
+
+}  // namespace aecdsm

@@ -1,0 +1,114 @@
+// System parameter block reproducing Table 1 of the AEC paper.
+//
+// Every timing constant of the simulated network of workstations lives here
+// so that experiments can sweep them and tests can pin them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace aecdsm {
+
+/// Defaults for system parameters (paper Table 1; 1 cycle = 10 ns).
+///
+/// The structure is a plain aggregate: experiments copy it, tweak fields and
+/// hand it to `dsm::DsmSystem`. All per-word costs are charged on 32-bit
+/// words (`Word`).
+struct SystemParams {
+  // --- Machine organization -------------------------------------------------
+  int num_procs = 16;              ///< simulated compute nodes
+  int mesh_width = 4;              ///< nodes arranged as mesh_width x (num_procs/mesh_width)
+
+  // --- Virtual memory --------------------------------------------------------
+  std::size_t page_bytes = 4096;   ///< coherence unit (Table 1: 4K bytes)
+  int tlb_entries = 128;           ///< Table 1: TLB size
+  Cycles tlb_fill_cycles = 100;    ///< Table 1: TLB fill service time
+
+  // --- Interrupts / software overheads --------------------------------------
+  Cycles interrupt_cycles = 4000;  ///< Table 1: all interrupts
+  Cycles message_overhead = 400;   ///< Table 1: messaging overhead (software send cost)
+  Cycles list_processing_per_elem = 6;  ///< Table 1: list processing, cycles/element
+
+  // --- Cache / memory hierarchy ----------------------------------------------
+  std::size_t cache_bytes = 256 * 1024;  ///< Table 1: total cache (direct mapped)
+  std::size_t cache_line_bytes = 32;     ///< Table 1: cache line size
+  int write_buffer_entries = 4;          ///< Table 1: write buffer size
+  Cycles mem_setup_cycles = 9;           ///< Table 1: memory setup time
+  /// Table 1: memory access time, 2.25 cycles/word. Stored in quarter cycles
+  /// to stay in integer arithmetic (9 quarter-cycles per word).
+  Cycles mem_quarter_cycles_per_word = 9;
+
+  // --- I/O bus (NIC attach point) --------------------------------------------
+  Cycles io_setup_cycles = 12;        ///< Table 1: I/O bus setup time
+  Cycles io_cycles_per_word = 3;      ///< Table 1: I/O bus access time
+
+  // --- Interconnect (wormhole-routed mesh) -----------------------------------
+  int network_width_bits = 16;        ///< Table 1: network path width (bidirectional)
+  Cycles switch_cycles = 4;           ///< Table 1: switch latency
+  Cycles wire_cycles = 2;             ///< Table 1: wire latency
+
+  // --- Coherence machinery per-word costs ------------------------------------
+  Cycles twin_cycles_per_word = 5;    ///< Table 1: page twinning (plus memory accesses)
+  Cycles diff_cycles_per_word = 7;    ///< Table 1: diff application/creation (plus memory)
+
+  // --- Protocol tunables (section 2.2 / 5.1) ----------------------------------
+  int update_set_size = 2;            ///< K: paper finds K=2 the best size
+  /// Affinity-set inclusion threshold: processor q enters A_l(p) when
+  /// aff_l(p,q) >= (1 + affinity_threshold) * mean affinity. Paper: 60%.
+  double affinity_threshold = 0.60;
+
+  // --- Simulation mechanics ---------------------------------------------------
+  /// An application thread synchronizes with global simulated time at least
+  /// every `quantum_cycles` of locally accumulated work, so that incoming
+  /// protocol requests are serviced with bounded skew.
+  Cycles quantum_cycles = 20000;
+
+  // Derived helpers -----------------------------------------------------------
+
+  std::size_t words_per_page() const { return page_bytes / kWordBytes; }
+  std::size_t words_per_cache_line() const { return cache_line_bytes / kWordBytes; }
+  int mesh_height() const { return (num_procs + mesh_width - 1) / mesh_width; }
+
+  /// Payload cycles for `bytes` on a 16-bit-per-cycle network path.
+  Cycles network_payload_cycles(std::size_t bytes) const {
+    const std::size_t bytes_per_cycle = static_cast<std::size_t>(network_width_bits) / 8;
+    return (bytes + bytes_per_cycle - 1) / bytes_per_cycle;
+  }
+
+  /// Memory cost of touching `words` words (setup + per-word), rounding the
+  /// quarter-cycle per-word rate up to whole cycles at the end.
+  Cycles memory_access_cycles(std::size_t words) const {
+    const Cycles quarters = mem_quarter_cycles_per_word * words;
+    return mem_setup_cycles + (quarters + 3) / 4;
+  }
+
+  /// I/O-bus cost of moving `words` words between memory and the NIC.
+  Cycles io_transfer_cycles(std::size_t words) const {
+    return io_setup_cycles + io_cycles_per_word * words;
+  }
+
+  /// Cost of creating a twin of one page (Table 1: 5 cycles/word + memory).
+  Cycles twin_create_cycles() const {
+    const std::size_t w = words_per_page();
+    return twin_cycles_per_word * w + memory_access_cycles(2 * w);
+  }
+
+  /// Cost of creating or applying a diff covering `words` changed words out
+  /// of a whole-page comparison (creation scans the full page).
+  Cycles diff_create_cycles() const {
+    const std::size_t w = words_per_page();
+    return diff_cycles_per_word * w + memory_access_cycles(2 * w);
+  }
+
+  /// Applying a diff touches only the encoded words.
+  Cycles diff_apply_cycles(std::size_t changed_words) const {
+    return diff_cycles_per_word * changed_words + memory_access_cycles(changed_words);
+  }
+
+  /// Validate invariants; returns an error string or empty when consistent.
+  std::string validate() const;
+};
+
+}  // namespace aecdsm

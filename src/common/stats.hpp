@@ -1,0 +1,139 @@
+// Execution-time accounting, mirroring the breakdown reported by the paper
+// (figures 4, 5 and 6): busy / data / synch / ipc / others.
+//
+// Every simulated cycle of a processor's wall-clock time is attributed to
+// exactly one bucket, so per-processor breakdowns always sum to the
+// processor's finish time (tests assert this invariant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aecdsm {
+
+/// Per-processor attribution of simulated time.
+struct TimeBreakdown {
+  Cycles busy = 0;        ///< useful application work (compute + hit-path accesses)
+  Cycles data = 0;        ///< memory access fault overhead (page fetch, diff fetch/apply on faults)
+  Cycles synch = 0;       ///< waiting at locks and barriers (incl. manager processing)
+  Cycles ipc = 0;         ///< servicing requests from remote processors
+  Cycles others_cache = 0;  ///< cache miss latency (dominant "others" per the paper)
+  Cycles others_tlb = 0;    ///< TLB fill latency
+  Cycles others_wb = 0;     ///< write buffer stall time
+  Cycles others_misc = 0;   ///< remaining overheads (e.g. local interrupts)
+
+  Cycles others() const { return others_cache + others_tlb + others_wb + others_misc; }
+  Cycles total() const { return busy + data + synch + ipc + others(); }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& o) {
+    busy += o.busy;
+    data += o.data;
+    synch += o.synch;
+    ipc += o.ipc;
+    others_cache += o.others_cache;
+    others_tlb += o.others_tlb;
+    others_wb += o.others_wb;
+    others_misc += o.others_misc;
+    return *this;
+  }
+};
+
+/// Diff machinery statistics (paper Table 4).
+struct DiffStats {
+  std::uint64_t diffs_created = 0;
+  std::uint64_t diff_bytes = 0;          ///< sum of encoded diff sizes
+  std::uint64_t merged_diffs = 0;        ///< diffs that participated in a merge at release
+  std::uint64_t merged_result_count = 0; ///< number of merge results produced
+  std::uint64_t merged_result_bytes = 0; ///< sum of merged-diff sizes
+  Cycles create_cycles = 0;              ///< total diff creation cost
+  Cycles create_hidden_cycles = 0;       ///< part of create_cycles overlapped with waiting
+  Cycles apply_cycles = 0;               ///< total diff application cost
+  Cycles apply_hidden_cycles = 0;        ///< part of apply_cycles overlapped with waiting
+  std::uint64_t diffs_applied = 0;
+
+  DiffStats& operator+=(const DiffStats& o) {
+    diffs_created += o.diffs_created;
+    diff_bytes += o.diff_bytes;
+    merged_diffs += o.merged_diffs;
+    merged_result_count += o.merged_result_count;
+    merged_result_bytes += o.merged_result_bytes;
+    create_cycles += o.create_cycles;
+    create_hidden_cycles += o.create_hidden_cycles;
+    apply_cycles += o.apply_cycles;
+    apply_hidden_cycles += o.apply_hidden_cycles;
+    diffs_applied += o.diffs_applied;
+    return *this;
+  }
+};
+
+/// Access-fault statistics (paper figure 3 input).
+struct FaultStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t cold_faults = 0;       ///< first-touch faults needing a remote page copy
+  std::uint64_t faults_inside_cs = 0;  ///< faults taken while holding at least one lock
+  Cycles fault_cycles = 0;             ///< total stall attributed to access faults
+
+  FaultStats& operator+=(const FaultStats& o) {
+    read_faults += o.read_faults;
+    write_faults += o.write_faults;
+    cold_faults += o.cold_faults;
+    faults_inside_cs += o.faults_inside_cs;
+    fault_cycles += o.fault_cycles;
+    return *this;
+  }
+};
+
+/// Interconnect traffic statistics.
+struct MsgStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  MsgStats& operator+=(const MsgStats& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+/// Synchronization-event counts (paper Table 2).
+struct SyncStats {
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t barrier_events = 0;    ///< global barrier episodes (counted once each)
+  std::uint64_t distinct_locks = 0;
+
+  SyncStats& operator+=(const SyncStats& o) {
+    lock_acquires += o.lock_acquires;
+    barrier_events += o.barrier_events;
+    // distinct_locks is a property of the run, not additive; keep the max.
+    if (o.distinct_locks > distinct_locks) distinct_locks = o.distinct_locks;
+    return *this;
+  }
+};
+
+/// Everything measured by one simulated run.
+struct RunStats {
+  std::string protocol;   ///< "AEC", "AEC-noLAP", "TreadMarks"
+  std::string app;
+  int num_procs = 0;
+  Cycles finish_time = 0;  ///< simulated time when the last processor finished
+
+  std::vector<TimeBreakdown> per_proc;  ///< indexed by ProcId
+  DiffStats diffs;
+  FaultStats faults;
+  MsgStats msgs;
+  SyncStats sync;
+
+  bool result_valid = false;  ///< did the app's output match its sequential oracle?
+
+  TimeBreakdown aggregate() const {
+    TimeBreakdown t;
+    for (const auto& b : per_proc) t += b;
+    return t;
+  }
+};
+
+}  // namespace aecdsm

@@ -1,0 +1,35 @@
+// SPMD application interface. An App allocates its shared data during
+// setup(), runs the same body() on every simulated processor, and validates
+// its results against a sequential oracle (the validation itself runs
+// inside the simulation — usually on processor 0 after the final barrier —
+// so a protocol that corrupts data fails the check).
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "dsm/context.hpp"
+#include "dsm/machine.hpp"
+
+namespace aecdsm::dsm {
+
+class App {
+ public:
+  virtual ~App() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Upper bound on shared-arena bytes this app will allocate.
+  virtual std::size_t shared_bytes() const = 0;
+
+  /// Allocate shared structures and compute the sequential oracle.
+  virtual void setup(Machine& m) = 0;
+
+  /// SPMD body, executed by every simulated processor.
+  virtual void body(Context& ctx) = 0;
+
+  /// Did the parallel run produce the oracle's answer? Valid after the run.
+  virtual bool ok() const = 0;
+};
+
+}  // namespace aecdsm::dsm

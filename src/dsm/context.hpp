@@ -1,0 +1,85 @@
+// Application-facing DSM interface — the shared-memory abstraction the SPMD
+// workloads program against: typed shared reads/writes, locks, barriers,
+// acquire notices and modeled compute.
+//
+// The read/write fast path (valid, unprotected page) never synchronizes
+// with global simulated time: it charges the access, TLB, cache and
+// write-buffer costs to the local clock and touches the node's page frame
+// directly. Only faults and synchronization operations enter the protocol.
+#pragma once
+
+#include <cstring>
+#include <set>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dsm/machine.hpp"
+#include "dsm/protocol.hpp"
+#include "sim/processor.hpp"
+
+namespace aecdsm::dsm {
+
+class Context {
+ public:
+  Context(Machine& machine, ProcId self, std::uint64_t seed);
+
+  ProcId pid() const { return self_; }
+  int nprocs() const { return machine_.nprocs(); }
+  Rng& rng() { return rng_; }
+  sim::Processor& proc() { return *machine_.node(self_).proc; }
+  Machine& machine() { return machine_; }
+
+  /// Model `c` cycles of private computation (always-hit accesses included).
+  void compute(Cycles c) { proc().advance(c, sim::Bucket::kBusy); }
+
+  template <typename T>
+  T read(GAddr addr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    access(addr, sizeof(T), /*is_write=*/false);
+    T out;
+    std::memcpy(&out, raw(addr), sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void write(GAddr addr, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    access(addr, sizeof(T), /*is_write=*/true);
+    std::memcpy(raw(addr), &value, sizeof(T));
+  }
+
+  void lock(LockId l);
+  void unlock(LockId l);
+  void barrier();
+
+  /// Advance notice of an upcoming lock() — feeds AEC's virtual queue.
+  void lock_acquire_notice(LockId l);
+
+  bool in_critical_section() const { return !locks_held_.empty(); }
+  const std::set<LockId>& locks_held() const { return locks_held_; }
+  std::uint32_t barrier_step() const { return step_; }
+
+  // --- Protocol support ------------------------------------------------------
+
+  /// Drop cached lines of a page whose contents changed underneath us.
+  void invalidate_cache_page(PageId page);
+
+ private:
+  void access(GAddr addr, std::size_t size, bool is_write);
+
+  /// Host pointer to the byte at `addr` in this node's page frame.
+  unsigned char* raw(GAddr addr);
+
+  Machine& machine_;
+  const ProcId self_;
+  Rng rng_;
+  std::set<LockId> locks_held_;
+  std::uint32_t step_ = 0;
+  std::vector<std::uint32_t> page_access_step_;  ///< last step each page was touched (+1; 0 = never)
+};
+
+}  // namespace aecdsm::dsm

@@ -1,0 +1,104 @@
+// The simulated machine: engine + interconnect + one Node per processor.
+// Protocols receive a reference to the whole Machine; since exactly one
+// simulation activity runs at any instant, protocol handlers may touch any
+// node's protocol state directly (the *timing* of remote effects is what
+// the message fabric models).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/params.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/pagestore.hpp"
+#include "net/mesh.hpp"
+#include "sim/engine.hpp"
+#include "sim/processor.hpp"
+
+namespace aecdsm::dsm {
+
+class Protocol;
+class Context;
+
+/// Everything one simulated workstation owns.
+struct Node {
+  std::unique_ptr<sim::Processor> proc;
+  std::unique_ptr<mem::PageStore> store;
+  std::unique_ptr<mem::CacheModel> cache;
+  std::unique_ptr<mem::TlbModel> tlb;
+  std::unique_ptr<mem::WriteBuffer> wb;
+  std::unique_ptr<Protocol> protocol;
+  std::unique_ptr<Context> ctx;
+  FaultStats faults;
+};
+
+class Machine {
+ public:
+  Machine(const SystemParams& params, std::size_t max_shared_bytes);
+  ~Machine();
+
+  const SystemParams& params() const { return params_; }
+  sim::Engine& engine() { return engine_; }
+  net::MeshNetwork& network() { return net_; }
+
+  int nprocs() const { return params_.num_procs; }
+  Node& node(ProcId p) { return nodes_[static_cast<std::size_t>(p)]; }
+  const Node& node(ProcId p) const { return nodes_[static_cast<std::size_t>(p)]; }
+
+  std::size_t num_pages() const { return num_pages_; }
+
+  /// Page-aligned bump allocation in the global shared address space.
+  /// Must be called before the run starts (all nodes see the same layout).
+  GAddr alloc_shared(std::size_t bytes);
+
+  /// Total bytes allocated so far.
+  std::size_t shared_bytes_used() const { return alloc_cursor_; }
+
+  // --- Message fabric -------------------------------------------------------
+  //
+  // Send a protocol message. At arrival the destination node is occupied for
+  // `service_cost` cycles (plus an interrupt), accounted to its ipc bucket;
+  // `handler` then runs engine-side at the service completion time.
+  // The *sender-side* software overhead (params.message_overhead) must be
+  // charged by the caller: application threads charge it via advance();
+  // engine-side handlers fold it into their own service_cost.
+  void post(ProcId from, ProcId to, std::size_t bytes, Cycles service_cost,
+            std::function<void()> handler);
+
+  /// Home node of a lock's manager (static distribution, as in TreadMarks).
+  ProcId lock_manager(LockId lock) const {
+    return static_cast<ProcId>(lock % static_cast<LockId>(params_.num_procs));
+  }
+
+  /// Node hosting the barrier manager.
+  ProcId barrier_manager() const { return 0; }
+
+  // --- Run-wide synchronization accounting (fed by Context) ----------------
+  void note_lock_acquire(LockId lock) {
+    ++lock_acquires_;
+    if (locks_seen_.insert(lock).second) ++distinct_locks_;
+  }
+  void note_barrier_episode() { ++barrier_episodes_; }
+  std::uint64_t lock_acquires() const { return lock_acquires_; }
+  std::uint64_t distinct_locks() const { return distinct_locks_; }
+  std::uint64_t barrier_episodes() const { return barrier_episodes_; }
+
+ private:
+  SystemParams params_;
+  sim::Engine engine_;
+  net::MeshNetwork net_;
+  std::vector<Node> nodes_;
+  std::size_t num_pages_;
+  std::size_t alloc_cursor_ = 0;
+
+  std::set<LockId> locks_seen_;
+  std::uint64_t lock_acquires_ = 0;
+  std::uint64_t distinct_locks_ = 0;
+  std::uint64_t barrier_episodes_ = 0;
+};
+
+}  // namespace aecdsm::dsm

@@ -1,0 +1,50 @@
+// Coherence-protocol interface. One Protocol instance runs per node; the
+// instances of a run share manager state through the Machine they are
+// attached to (handlers execute engine-side, one at a time, so no host
+// locking is needed).
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace aecdsm::dsm {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+
+  // All hooks below run on the owning processor's application thread.
+
+  /// Make `page` valid for reading. Charged to the data bucket.
+  virtual void on_read_fault(PageId page) = 0;
+
+  /// Make `page` valid and writable (twin discipline is protocol policy).
+  virtual void on_write_fault(PageId page) = 0;
+
+  /// Lock acquire: returns once the calling processor owns the lock.
+  virtual void acquire(LockId lock) = 0;
+
+  /// Lock release.
+  virtual void release(LockId lock) = 0;
+
+  /// Global barrier: returns once every processor has arrived and the
+  /// protocol's coherence actions for the episode are complete.
+  virtual void barrier() = 0;
+
+  /// Advance notice that this processor intends to acquire `lock` soon
+  /// (feeds AEC's virtual queue; other protocols may ignore it).
+  virtual void acquire_notice(LockId lock) { (void)lock; }
+
+  /// First access to `page` by this processor in the current barrier step
+  /// (metadata-only hook on the fast path — must not sync or block).
+  virtual void on_page_access(PageId page) { (void)page; }
+
+  /// Twin/diff machinery statistics accumulated by this node (Table 4).
+  virtual DiffStats diff_stats() const { return {}; }
+};
+
+}  // namespace aecdsm::dsm

@@ -1,0 +1,40 @@
+// Typed view over a shared allocation — the idiomatic way applications
+// declare their shared data structures.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "dsm/context.hpp"
+#include "dsm/machine.hpp"
+
+namespace aecdsm::dsm {
+
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+
+  /// Allocate `count` elements in `m`'s shared arena (setup phase only).
+  static SharedArray alloc(Machine& m, std::size_t count) {
+    SharedArray a;
+    a.base_ = m.alloc_shared(count * sizeof(T));
+    a.count_ = count;
+    return a;
+  }
+
+  std::size_t size() const { return count_; }
+  GAddr addr(std::size_t i) const {
+    AECDSM_CHECK_MSG(i < count_, "SharedArray index " << i << " out of " << count_);
+    return base_ + i * sizeof(T);
+  }
+
+  T get(Context& ctx, std::size_t i) const { return ctx.read<T>(addr(i)); }
+  void put(Context& ctx, std::size_t i, T v) const { ctx.write<T>(addr(i), v); }
+
+ private:
+  GAddr base_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace aecdsm::dsm

@@ -1,0 +1,67 @@
+#include "dsm/system.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "dsm/context.hpp"
+
+namespace aecdsm::dsm {
+
+void init_round_robin_validity(Machine& m, ProcId self) {
+  const int n = m.nprocs();
+  for (PageId pg = 0; pg < m.num_pages(); ++pg) {
+    if (static_cast<ProcId>(pg % static_cast<PageId>(n)) == self) {
+      m.node(self).store->frame(pg).valid = true;
+    }
+  }
+}
+
+RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) {
+  Machine m(config.params, app.shared_bytes());
+  app.setup(m);
+
+  for (int p = 0; p < m.nprocs(); ++p) {
+    Node& node = m.node(p);
+    node.protocol = suite.make(m, p);
+    node.ctx = std::make_unique<Context>(m, p, config.seed);
+  }
+  for (int p = 0; p < m.nprocs(); ++p) {
+    Node& node = m.node(p);
+    node.proc->start([&app, &node] { app.body(*node.ctx); });
+  }
+
+  m.engine().run();
+
+  // An empty event queue with unfinished processors is a protocol deadlock.
+  std::ostringstream stuck;
+  bool all_done = true;
+  for (int p = 0; p < m.nprocs(); ++p) {
+    if (!m.node(p).proc->finished()) {
+      all_done = false;
+      stuck << " p" << p << (m.node(p).proc->blocked() ? "(blocked)" : "(runnable)");
+    }
+  }
+  AECDSM_CHECK_MSG(all_done, "simulation deadlock under " << suite.name << "/"
+                                                          << app.name() << ":" << stuck.str());
+
+  RunStats out;
+  out.protocol = suite.name;
+  out.app = app.name();
+  out.num_procs = m.nprocs();
+  out.per_proc.reserve(static_cast<std::size_t>(m.nprocs()));
+  for (int p = 0; p < m.nprocs(); ++p) {
+    const Node& node = m.node(p);
+    out.per_proc.push_back(node.proc->acct());
+    out.finish_time = std::max(out.finish_time, node.proc->finish_time());
+    out.faults += node.faults;
+    out.diffs += node.protocol->diff_stats();
+  }
+  out.msgs = m.network().stats();
+  out.sync.lock_acquires = m.lock_acquires();
+  out.sync.distinct_locks = m.distinct_locks();
+  out.sync.barrier_events = m.barrier_episodes();
+  out.result_valid = app.ok();
+  return out;
+}
+
+}  // namespace aecdsm::dsm

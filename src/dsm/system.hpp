@@ -1,0 +1,39 @@
+// Run driver: wires an App, a protocol suite and a parameter block into a
+// Machine, executes the simulation to completion, and collects RunStats.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/params.hpp"
+#include "common/stats.hpp"
+#include "dsm/app.hpp"
+#include "dsm/machine.hpp"
+#include "dsm/protocol.hpp"
+
+namespace aecdsm::dsm {
+
+/// A named way of building one Protocol instance per node. The factory is
+/// called once per processor, in pid order, after app setup; factories that
+/// need shared manager state create it on first call.
+struct ProtocolSuite {
+  std::string name;
+  std::function<std::unique_ptr<Protocol>(Machine&, ProcId)> make;
+};
+
+struct RunConfig {
+  SystemParams params;
+  std::uint64_t seed = 42;
+};
+
+/// Execute `app` under `suite`; throws SimError on deadlock or invariant
+/// violation. The returned stats include whether the app's oracle check
+/// passed (RunStats::result_valid).
+RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config);
+
+/// Mark pages valid at their round-robin initial owner (page % nprocs) —
+/// the initial data distribution both protocols assume.
+void init_round_robin_validity(Machine& m, ProcId self);
+
+}  // namespace aecdsm::dsm

@@ -1,0 +1,342 @@
+#include "erc/protocol.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace aecdsm::erc {
+
+namespace {
+constexpr std::size_t kCtl = 32;
+
+PageId trace_page() {
+  static const PageId pg = [] {
+    const char* v = std::getenv("AECDSM_TRACE_PAGE");
+    return v == nullptr ? kNoPage : static_cast<PageId>(std::atoi(v));
+  }();
+  return pg;
+}
+}  // namespace
+
+#define AECDSM_TRACE(pg, stream_expr)                    \
+  do {                                                   \
+    if ((pg) == trace_page()) AECDSM_DEBUG(stream_expr); \
+  } while (0)
+
+ErcProtocol::ErcProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<ErcShared> shared)
+    : m_(m), self_(self), sh_(std::move(shared)) {
+  if (sh_->nodes.empty()) {
+    sh_->nodes.resize(static_cast<std::size_t>(m.nprocs()), nullptr);
+    sh_->copyset.assign(m.num_pages(), 0);
+    for (PageId pg = 0; pg < m.num_pages(); ++pg) {
+      sh_->copyset[pg] = 1ULL << (pg % static_cast<PageId>(m.nprocs()));
+    }
+  }
+  sh_->nodes[static_cast<std::size_t>(self)] = this;
+  dsm::init_round_robin_validity(m, self);
+}
+
+ErcProtocol::~ErcProtocol() = default;
+
+void ErcProtocol::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
+                                std::function<void()> handler, sim::Bucket bucket) {
+  proc().advance(m_.params().message_overhead, bucket);
+  proc().sync();
+  m_.post(self_, to, bytes, svc_cost, std::move(handler));
+}
+
+void ErcProtocol::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
+                               std::function<Cycles()> cost,
+                               std::function<void()> handler) {
+  m_.network().send(from, to, bytes,
+                    [this, to, c = std::move(cost), h = std::move(handler)]() mutable {
+                      const Cycles done = m_.node(to).proc->service(c());
+                      m_.engine().schedule(done, std::move(h));
+                    });
+}
+
+// --------------------------------------------------------------------------
+// Faults
+// --------------------------------------------------------------------------
+
+void ErcProtocol::on_read_fault(PageId pg) {
+  const auto& params = m_.params();
+  proc().advance(params.interrupt_cycles, sim::Bucket::kData);
+  mem::PageFrame& f = store().frame(pg);
+  if (f.valid) return;
+
+  // Fetch the current copy from the page's home (which joins us to the
+  // copyset — from now on we receive every update of the page).
+  const ProcId h = home_of(pg);
+  AECDSM_CHECK_MSG(h != self_, "ERC home fault on own page " << pg);
+  ++m_.node(self_).faults.cold_faults;
+  proc().advance(params.message_overhead, sim::Bucket::kData);
+  proc().sync();
+  bool done = false;
+  auto buf = std::make_shared<std::vector<Word>>();
+  const std::size_t page_words = params.words_per_page();
+  fetching_.insert(pg);
+  post_dynamic(
+      self_, h, kCtl,
+      [this, h, pg, buf, page_words] {
+        AECDSM_TRACE(pg, "p" << self_ << " erc-fetch pg" << pg << " (copyset now "
+                             << (sh_->copyset[pg] | (1ULL << self_)) << ")");
+        sh_->copyset[pg] |= 1ULL << self_;
+        auto span = peer(h).store().page_span(pg);
+        *buf = std::vector<Word>(span.begin(), span.end());
+        return m_.params().memory_access_cycles(page_words);
+      },
+      [this, h, pg, buf, page_words, &done] {
+        post_dynamic(
+            h, self_, m_.params().page_bytes + kCtl,
+            [this, page_words] { return m_.params().memory_access_cycles(page_words); },
+            [this, pg, buf, &done] {
+              auto span = store().page_span(pg);
+              std::copy(buf->begin(), buf->end(), span.begin());
+              // Updates that raced the reply are newer than the copied
+              // frame; fold them back in, in arrival order.
+              fetching_.erase(pg);
+              auto it = fetch_pending_.find(pg);
+              if (it != fetch_pending_.end()) {
+                for (const mem::Diff& d : it->second) apply_update(pg, d);
+                fetch_pending_.erase(it);
+              }
+              done = true;
+              proc().poke();
+            });
+      });
+  proc().wait(sim::Bucket::kData, [&done] { return done; });
+  f.valid = true;
+  ctx().invalidate_cache_page(pg);
+}
+
+void ErcProtocol::on_write_fault(PageId pg) {
+  on_read_fault(pg);  // ensure a current copy (no-op when valid)
+  mem::PageFrame& f = store().frame(pg);
+  if (f.write_protected) {
+    AECDSM_CHECK(!f.has_twin());
+    proc().advance(m_.params().twin_create_cycles(), sim::Bucket::kData);
+    store().make_twin(pg);
+    dirty_set_.insert(pg);
+    f.write_protected = false;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Update flush (release consistency's eager propagation)
+// --------------------------------------------------------------------------
+
+void ErcProtocol::flush_updates(sim::Bucket bucket) {
+  const auto& params = m_.params();
+  if (dirty_set_.empty()) return;
+
+  const std::vector<PageId> dirty(dirty_set_.begin(), dirty_set_.end());
+  for (const PageId pg : dirty) {
+    const Cycles c = params.diff_create_cycles();
+    proc().advance(c, bucket);
+    proc().sync();
+    mem::Diff d = store().diff_against_twin(pg);
+    ++dstats_.diffs_created;
+    dstats_.diff_bytes += d.encoded_bytes();
+    dstats_.create_cycles += c;  // eager RC: never hidden
+
+    store().drop_twin(pg);
+    store().frame(pg).write_protected = true;
+    dirty_set_.erase(pg);
+    if (d.empty()) continue;
+
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(self_) << 48) | next_update_id_++;
+    ++pending_acks_;
+    const std::size_t bytes = kCtl + d.encoded_bytes();
+    send_from_app(home_of(pg), bytes,
+                  params.diff_apply_cycles(d.changed_words()),
+                  [this, pg, id, diff = std::move(d), w = self_]() mutable {
+                    peer(home_of(pg)).home_handle_update(pg, w, diff, id);
+                  },
+                  bucket);
+  }
+  // The eager-RC stall: the release cannot complete until every copy is
+  // updated and acknowledged.
+  proc().wait(bucket, [this] { return pending_acks_ == 0; });
+}
+
+void ErcProtocol::home_handle_update(PageId pg, ProcId writer, const mem::Diff& diff,
+                                     std::uint64_t update_id) {
+  AECDSM_TRACE(pg, "home p" << self_ << " update pg" << pg << " from p" << writer
+                            << " words=" << diff.changed_words() << " copyset="
+                            << sh_->copyset[pg]);
+  // The home applies first (its copy is the fault-service master).
+  if (writer != self_) apply_update(pg, diff);
+
+  std::uint64_t members = sh_->copyset[pg] & ~(1ULL << writer) & ~(1ULL << self_);
+  int count = 0;
+  for (int q = 0; q < m_.nprocs(); ++q) {
+    if ((members >> q) & 1ULL) ++count;
+  }
+  if (count == 0) {
+    // Nobody else caches the page: acknowledge the writer directly.
+    m_.post(self_, writer, kCtl, m_.params().list_processing_per_elem,
+            [this, writer] {
+              ErcProtocol& w = peer(writer);
+              --w.pending_acks_;
+              w.proc().poke();
+            });
+    return;
+  }
+  fanouts_[update_id] = FanOut{writer, count};
+  for (int q = 0; q < m_.nprocs(); ++q) {
+    if (((members >> q) & 1ULL) == 0) continue;
+    m_.post(self_, q, kCtl + diff.encoded_bytes(),
+            m_.params().diff_apply_cycles(diff.changed_words()),
+            [this, pg, q, update_id, diff, h = self_] {
+              peer(q).member_apply_update(pg, h, diff, update_id, kNoProc);
+            });
+  }
+}
+
+void ErcProtocol::member_apply_update(PageId pg, ProcId home, const mem::Diff& diff,
+                                      std::uint64_t update_id, ProcId /*writer*/) {
+  if (fetching_.count(pg) != 0) {
+    // A home fetch for this page is in flight; the full-page reply would
+    // overwrite this update, so defer it (the fetch handler re-applies it,
+    // and this node cannot read the page before the fetch completes).
+    fetch_pending_[pg].push_back(diff);
+  } else {
+    apply_update(pg, diff);
+  }
+  m_.post(self_, home, kCtl, m_.params().list_processing_per_elem,
+          [this, home, update_id] {
+            ErcProtocol& hp = peer(home);
+            auto it = hp.fanouts_.find(update_id);
+            AECDSM_CHECK(it != hp.fanouts_.end());
+            if (--it->second.remaining == 0) {
+              const ProcId writer = it->second.writer;
+              hp.fanouts_.erase(it);
+              m_.post(home, writer, kCtl, m_.params().list_processing_per_elem,
+                      [this, writer] {
+                        ErcProtocol& w = peer(writer);
+                        --w.pending_acks_;
+                        w.proc().poke();
+                      });
+            }
+          });
+}
+
+void ErcProtocol::apply_update(PageId pg, const mem::Diff& diff) {
+  AECDSM_TRACE(pg, "p" << self_ << " erc-apply pg" << pg << " words="
+                       << diff.changed_words());
+  mem::PageFrame& f = store().frame(pg);
+  diff.apply_to(std::span<Word>(f.data));
+  if (f.has_twin()) diff.apply_to(std::span<Word>(*f.twin));
+  ctx().invalidate_cache_page(pg);
+  ++dstats_.diffs_applied;
+  dstats_.apply_cycles += m_.params().diff_apply_cycles(diff.changed_words());
+}
+
+// --------------------------------------------------------------------------
+// Locks
+// --------------------------------------------------------------------------
+
+void ErcProtocol::acquire_notice(LockId l) {
+  send_from_app(m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem,
+                [this, l, p = self_] { sh_->lap_of(l).add_notice(p); },
+                sim::Bucket::kSynch);
+}
+
+void ErcProtocol::acquire(LockId l) {
+  grant_ready_ = false;
+  send_from_app(m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem * 2,
+                [this, l, p = self_] { mgr_handle_request(l, p); },
+                sim::Bucket::kSynch);
+  proc().wait(sim::Bucket::kSynch, [this] { return grant_ready_; });
+}
+
+void ErcProtocol::release(LockId l) {
+  // Eager release consistency: flush and wait before releasing the lock.
+  flush_updates(sim::Bucket::kSynch);
+  send_from_app(m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem * 2,
+                [this, l, p = self_] { mgr_handle_release(l, p); },
+                sim::Bucket::kSynch);
+}
+
+void ErcProtocol::mgr_handle_request(LockId l, ProcId requester) {
+  auto& rec = sh_->locks[l];
+  aec::LockLap& lap = sh_->lap_of(l);
+  lap.count_acquire_event();
+  if (rec.taken) {
+    lap.enqueue_waiter(requester);
+  } else {
+    mgr_grant(l, requester);
+  }
+}
+
+void ErcProtocol::mgr_grant(LockId l, ProcId to) {
+  auto& rec = sh_->locks[l];
+  rec.taken = true;
+  rec.owner = to;
+  aec::LockLap& lap = sh_->lap_of(l);
+  if (rec.last_releaser != kNoProc) lap.record_transfer(rec.last_releaser, to);
+  lap.consume_notice(to);
+  lap.compute_update_set(to);  // scoring-only under ERC
+  m_.post(m_.lock_manager(l), to, kCtl, m_.params().list_processing_per_elem,
+          [this, to] {
+            ErcProtocol& p = peer(to);
+            p.grant_ready_ = true;
+            p.proc().poke();
+          });
+}
+
+void ErcProtocol::mgr_handle_release(LockId l, ProcId releaser) {
+  auto& rec = sh_->locks[l];
+  AECDSM_CHECK(rec.taken && rec.owner == releaser);
+  rec.last_releaser = releaser;
+  rec.taken = false;
+  rec.owner = kNoProc;
+  aec::LockLap& lap = sh_->lap_of(l);
+  if (lap.has_waiters()) mgr_grant(l, lap.dequeue_waiter());
+}
+
+// --------------------------------------------------------------------------
+// Barriers
+// --------------------------------------------------------------------------
+
+void ErcProtocol::barrier() {
+  flush_updates(sim::Bucket::kSynch);
+  barrier_release_ = false;
+  send_from_app(m_.barrier_manager(), kCtl, m_.params().list_processing_per_elem,
+                [this] { mgr_handle_barrier_arrival(); }, sim::Bucket::kSynch);
+  proc().wait(sim::Bucket::kSynch, [this] { return barrier_release_; });
+}
+
+void ErcProtocol::mgr_handle_barrier_arrival() {
+  auto& b = sh_->barrier;
+  if (++b.arrived < m_.nprocs()) return;
+  b.arrived = 0;
+  for (int q = 0; q < m_.nprocs(); ++q) {
+    m_.post(m_.barrier_manager(), q, kCtl, m_.params().list_processing_per_elem,
+            [this, q] {
+              ErcProtocol& p = peer(q);
+              p.barrier_release_ = true;
+              p.proc().poke();
+            });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Suite
+// --------------------------------------------------------------------------
+
+dsm::ProtocolSuite ErcSuite::suite() {
+  dsm::ProtocolSuite s;
+  s.name = "Munin-ERC";
+  s.make = [this](dsm::Machine& m, ProcId p) -> std::unique_ptr<dsm::Protocol> {
+    if (p == 0) shared_ = std::make_shared<ErcShared>(m.params());
+    return std::make_unique<ErcProtocol>(m, p, shared_);
+  };
+  return s;
+}
+
+}  // namespace aecdsm::erc

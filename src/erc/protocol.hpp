@@ -1,0 +1,175 @@
+// Munin-style eager release consistency (ERC) — the "locally-developed
+// release-consistent SW-DSM" of the paper's §5.1 robustness study, and the
+// update-everyone baseline its §6 contrasts AEC against ("AEC leads to much
+// less communication than in Munin, since updates are only sent to the
+// update set of the lock releaser, as opposed to all processors that shared
+// the modified data").
+//
+// Protocol summary:
+//  * multiple-writer pages with the usual twin/diff discipline;
+//  * a static per-page directory (the page's home, page % nprocs) tracks
+//    the copyset; faults fetch the page from the home, which always holds a
+//    current copy (it is a member of every update);
+//  * at every lock release and barrier arrival the processor flushes its
+//    dirty pages: each diff goes to the home, the home applies it and
+//    forwards it to the other copyset members, members acknowledge, and the
+//    releaser proceeds only after all updates are acknowledged — eager
+//    release consistency with its full update traffic and release stalls;
+//  * locks use a static manager with a FIFO queue (grants carry no data —
+//    the updates already happened); barriers are a gather/release round;
+//  * the LAP predictor runs scoring-only at the lock managers, fed by the
+//    same events as under AEC, completing the paper's three-protocol
+//    accuracy comparison.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "aec/lap.hpp"
+#include "common/stats.hpp"
+#include "dsm/context.hpp"
+#include "dsm/machine.hpp"
+#include "dsm/protocol.hpp"
+#include "dsm/system.hpp"
+#include "mem/diff.hpp"
+#include "sim/processor.hpp"
+
+namespace aecdsm::erc {
+
+class ErcProtocol;
+
+/// Run-wide ERC state: lock manager records, the per-page copysets (stored
+/// with the page's home; handlers touching them run as services there), and
+/// the scoring-only LAP instances.
+struct ErcShared {
+  explicit ErcShared(const SystemParams& p) : params(p) {}
+
+  const SystemParams params;
+  std::vector<ErcProtocol*> nodes;
+
+  struct LockRecord {
+    bool taken = false;
+    ProcId owner = kNoProc;
+    ProcId last_releaser = kNoProc;
+  };
+  std::map<LockId, LockRecord> locks;
+
+  /// Copyset bitmask per page (bit p = processor p caches the page).
+  std::vector<std::uint64_t> copyset;
+
+  struct BarrierGather {
+    int arrived = 0;
+  } barrier;
+
+  std::map<LockId, aec::LockLap> lap;
+
+  aec::LockLap& lap_of(LockId l) {
+    auto it = lap.find(l);
+    if (it == lap.end()) {
+      it = lap.emplace(l, aec::LockLap(params.num_procs, params.update_set_size,
+                                       params.affinity_threshold))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+class ErcProtocol : public dsm::Protocol {
+ public:
+  ErcProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<ErcShared> shared);
+  ~ErcProtocol() override;
+
+  std::string name() const override { return "Munin-ERC"; }
+
+  void on_read_fault(PageId page) override;
+  void on_write_fault(PageId page) override;
+  void acquire(LockId lock) override;
+  void release(LockId lock) override;
+  void barrier() override;
+  void acquire_notice(LockId lock) override;
+  DiffStats diff_stats() const override { return dstats_; }
+
+  const ErcShared& shared() const { return *sh_; }
+
+ private:
+  sim::Processor& proc() { return *m_.node(self_).proc; }
+  dsm::Context& ctx() { return *m_.node(self_).ctx; }
+  mem::PageStore& store() { return *m_.node(self_).store; }
+  ErcProtocol& peer(ProcId p) { return *sh_->nodes[static_cast<std::size_t>(p)]; }
+  ProcId home_of(PageId pg) const {
+    return static_cast<ProcId>(pg % static_cast<PageId>(m_.nprocs()));
+  }
+
+  void send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
+                     std::function<void()> handler, sim::Bucket bucket);
+  void post_dynamic(ProcId from, ProcId to, std::size_t bytes,
+                    std::function<Cycles()> cost, std::function<void()> handler);
+
+  /// Flush all dirty pages: diff, update the copyset through the home, and
+  /// wait for every acknowledgement (the eager-RC release stall).
+  void flush_updates(sim::Bucket bucket);
+
+  /// Engine-side: the home applies an update and fans it out; the last
+  /// member acknowledgement triggers the ack back to the writer.
+  void home_handle_update(PageId pg, ProcId writer, const mem::Diff& diff,
+                          std::uint64_t update_id);
+
+  /// Engine-side at a member: apply the forwarded update, ack the home.
+  void member_apply_update(PageId pg, ProcId home, const mem::Diff& diff,
+                           std::uint64_t update_id, ProcId writer);
+
+  /// Engine-side apply helper (frame + twin), with stats.
+  void apply_update(PageId pg, const mem::Diff& diff);
+
+  // Lock manager handlers (services on the manager's node).
+  void mgr_handle_request(LockId l, ProcId requester);
+  void mgr_handle_release(LockId l, ProcId releaser);
+  void mgr_grant(LockId l, ProcId to);
+
+  void mgr_handle_barrier_arrival();
+
+  dsm::Machine& m_;
+  const ProcId self_;
+  std::shared_ptr<ErcShared> sh_;
+
+  std::set<PageId> dirty_set_;
+
+  /// Pages whose home fetch is in flight, with updates that fanned out to
+  /// this node meanwhile: the full-page reply would overwrite them, so they
+  /// are queued and re-applied once the copy lands.
+  std::set<PageId> fetching_;
+  std::map<PageId, std::vector<mem::Diff>> fetch_pending_;
+
+  bool grant_ready_ = false;
+  bool barrier_release_ = false;
+
+  /// Outstanding update acknowledgements during a flush.
+  int pending_acks_ = 0;
+  std::uint64_t next_update_id_ = 1;
+
+  /// Home-side bookkeeping of in-flight fan-outs: update id -> (writer,
+  /// remaining member acks).
+  struct FanOut {
+    ProcId writer = kNoProc;
+    int remaining = 0;
+  };
+  std::map<std::uint64_t, FanOut> fanouts_;
+
+  DiffStats dstats_;
+};
+
+/// Suite factory (mirrors aec::AecSuite / tmk::TmSuite).
+class ErcSuite {
+ public:
+  dsm::ProtocolSuite suite();
+  const ErcShared* shared() const { return shared_.get(); }
+  std::shared_ptr<const ErcShared> shared_handle() const { return shared_; }
+
+ private:
+  std::shared_ptr<ErcShared> shared_;
+};
+
+}  // namespace aecdsm::erc

@@ -1,0 +1,48 @@
+#include "harness/lap_report.hpp"
+
+namespace aecdsm::harness {
+
+std::map<LockId, aec::LapScores> lap_scores_of(const ExperimentResult& r) {
+  std::map<LockId, aec::LapScores> out;
+  if (r.aec != nullptr) {
+    for (const auto& [l, rec] : r.aec->locks) out[l] = rec.lap.scores();
+  } else if (r.tm != nullptr) {
+    for (const auto& [l, lap] : r.tm->lap) out[l] = lap.scores();
+  } else if (r.erc != nullptr) {
+    for (const auto& [l, lap] : r.erc->lap) out[l] = lap.scores();
+  }
+  return out;
+}
+
+std::vector<LapRow> lap_rows(const std::map<LockId, aec::LapScores>& scores,
+                             const std::vector<apps::LockGroup>& groups) {
+  std::uint64_t total_events = 0;
+  for (const auto& [l, s] : scores) total_events += s.acquire_events;
+
+  std::vector<LapRow> rows;
+  for (const apps::LockGroup& g : groups) {
+    LapRow row;
+    row.variable = g.label;
+    for (const auto& [l, s] : scores) {
+      if (l < g.lo || l > g.hi) continue;
+      row.lock_events += s.acquire_events;
+      auto add = [](aec::PredictorScore& into, const aec::PredictorScore& from) {
+        into.predictions += from.predictions;
+        into.hits += from.hits;
+      };
+      add(row.scores.lap, s.lap);
+      add(row.scores.waitq, s.waitq);
+      add(row.scores.waitq_affinity, s.waitq_affinity);
+      add(row.scores.waitq_virtualq, s.waitq_virtualq);
+    }
+    row.scores.acquire_events = row.lock_events;
+    row.pct_of_total =
+        total_events == 0 ? 0.0
+                          : static_cast<double>(row.lock_events) /
+                                static_cast<double>(total_events);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace aecdsm::harness

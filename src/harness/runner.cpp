@@ -1,0 +1,43 @@
+#include "harness/runner.hpp"
+
+#include "common/check.hpp"
+#include "dsm/system.hpp"
+
+namespace aecdsm::harness {
+
+SystemParams paper_params() {
+  return SystemParams{};  // Table 1 defaults: 16 procs, 4x4 mesh, 4K pages
+}
+
+ExperimentResult run_experiment(const std::string& protocol, const std::string& app_name,
+                                apps::Scale scale, const SystemParams& params,
+                                std::uint64_t seed) {
+  auto app = apps::make_app(app_name, scale);
+  dsm::RunConfig cfg;
+  cfg.params = params;
+  cfg.seed = seed;
+
+  ExperimentResult out;
+  if (protocol == "AEC" || protocol == "AEC-noLAP") {
+    aec::AecConfig acfg;
+    acfg.lap_enabled = protocol == "AEC";
+    aec::AecSuite suite(acfg);
+    out.stats = dsm::run_app(*app, suite.suite(), cfg);
+    out.aec = suite.shared_handle();
+  } else if (protocol == "TreadMarks") {
+    tmk::TmSuite suite;
+    out.stats = dsm::run_app(*app, suite.suite(), cfg);
+    out.tm = suite.shared_handle();
+  } else if (protocol == "Munin-ERC") {
+    erc::ErcSuite suite;
+    out.stats = dsm::run_app(*app, suite.suite(), cfg);
+    out.erc = suite.shared_handle();
+  } else {
+    AECDSM_CHECK_MSG(false, "unknown protocol: " << protocol);
+  }
+  AECDSM_CHECK_MSG(out.stats.result_valid,
+                   app_name << " under " << protocol << " failed its oracle check");
+  return out;
+}
+
+}  // namespace aecdsm::harness

@@ -1,0 +1,37 @@
+// Experiment runner shared by every benchmark binary: builds an app and a
+// protocol suite, runs the simulation, and returns the run statistics plus
+// handles to protocol-internal detail (LAP scores) for the tables that
+// need them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "aec/suite.hpp"
+#include "apps/registry.hpp"
+#include "common/params.hpp"
+#include "common/stats.hpp"
+#include "erc/protocol.hpp"
+#include "tmk/protocol.hpp"
+
+namespace aecdsm::harness {
+
+struct ExperimentResult {
+  RunStats stats;
+  /// Set when the run used AEC (either variant): LAP scores & lock records.
+  std::shared_ptr<const aec::AecShared> aec;
+  /// Set when the run used TreadMarks: scoring-only LAP instances.
+  std::shared_ptr<const tmk::TmShared> tm;
+  /// Set when the run used Munin-ERC: scoring-only LAP instances.
+  std::shared_ptr<const erc::ErcShared> erc;
+};
+
+/// Protocol names accepted: "AEC", "AEC-noLAP", "TreadMarks", "Munin-ERC".
+ExperimentResult run_experiment(const std::string& protocol, const std::string& app,
+                                apps::Scale scale, const SystemParams& params,
+                                std::uint64_t seed = 42);
+
+/// The paper's simulated testbed: Table 1 defaults, 16 processors.
+SystemParams paper_params();
+
+}  // namespace aecdsm::harness

@@ -1,0 +1,118 @@
+// Timing models for the node-local memory hierarchy (Table 1): a
+// direct-mapped data cache, a TLB, and a write buffer. These models only
+// produce latencies — data correctness is handled at page granularity by
+// the DSM layer — matching the paper's accounting where cache misses, TLB
+// fills and write-buffer stalls make up the "others" execution-time bucket.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/params.hpp"
+#include "common/types.hpp"
+
+namespace aecdsm::mem {
+
+/// Direct-mapped data cache for shared accesses. Private data and
+/// instructions are assumed to always hit (1 cycle), per the paper.
+class CacheModel {
+ public:
+  explicit CacheModel(const SystemParams& params)
+      : line_bytes_(params.cache_line_bytes),
+        num_lines_(params.cache_bytes / params.cache_line_bytes),
+        miss_cycles_(params.memory_access_cycles(params.words_per_cache_line())),
+        tags_(num_lines_, kInvalidTag) {}
+
+  /// Look up `addr`; returns the stall beyond the 1-cycle hit time
+  /// (0 on hit, the line-fill latency on miss).
+  Cycles access(GAddr addr) {
+    const std::uint64_t line_addr = addr / line_bytes_;
+    const std::size_t index = static_cast<std::size_t>(line_addr % num_lines_);
+    if (tags_[index] == line_addr) return 0;
+    tags_[index] = line_addr;
+    ++misses_;
+    return miss_cycles_;
+  }
+
+  /// Drop all lines belonging to `page` — called when the page's contents
+  /// change underneath the processor (diff applied, page re-fetched) or the
+  /// page is invalidated.
+  void invalidate_page(PageId page, std::size_t page_bytes) {
+    const GAddr base = static_cast<GAddr>(page) * page_bytes;
+    for (GAddr a = base; a < base + page_bytes; a += line_bytes_) {
+      const std::uint64_t line_addr = a / line_bytes_;
+      const std::size_t index = static_cast<std::size_t>(line_addr % num_lines_);
+      if (tags_[index] == line_addr) tags_[index] = kInvalidTag;
+    }
+  }
+
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::uint64_t kInvalidTag = ~0ULL;
+  std::size_t line_bytes_;
+  std::size_t num_lines_;
+  Cycles miss_cycles_;
+  std::vector<std::uint64_t> tags_;
+  std::uint64_t misses_ = 0;
+};
+
+/// Direct-mapped TLB over shared page numbers.
+class TlbModel {
+ public:
+  explicit TlbModel(const SystemParams& params)
+      : entries_(static_cast<std::size_t>(params.tlb_entries), kNoPage),
+        fill_cycles_(params.tlb_fill_cycles) {}
+
+  /// Returns the TLB fill penalty (0 on hit).
+  Cycles access(PageId page) {
+    const std::size_t index = page % entries_.size();
+    if (entries_[index] == page) return 0;
+    entries_[index] = page;
+    ++misses_;
+    return fill_cycles_;
+  }
+
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::vector<PageId> entries_;
+  Cycles fill_cycles_;
+  std::uint64_t misses_ = 0;
+};
+
+/// Write buffer with `write_buffer_entries` slots draining at memory speed.
+/// A write stalls the processor only when the buffer is full.
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(const SystemParams& params)
+      : capacity_(static_cast<std::size_t>(params.write_buffer_entries)),
+        drain_cycles_(params.memory_access_cycles(1)) {}
+
+  /// Record a write issued at local time `now`; returns the stall (0 if a
+  /// slot is free).
+  Cycles write(Cycles now) {
+    while (!retire_.empty() && retire_.front() <= now) retire_.pop_front();
+    Cycles stall = 0;
+    if (retire_.size() >= capacity_) {
+      stall = retire_.front() - now;
+      retire_.pop_front();
+    }
+    const Cycles start = std::max(now + stall, retire_.empty() ? 0 : retire_.back());
+    retire_.push_back(start + drain_cycles_);
+    stalls_ += stall;
+    return stall;
+  }
+
+  Cycles total_stalls() const { return stalls_; }
+
+ private:
+  std::size_t capacity_;
+  Cycles drain_cycles_;
+  std::deque<Cycles> retire_;
+  Cycles stalls_ = 0;
+};
+
+}  // namespace aecdsm::mem

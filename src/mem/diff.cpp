@@ -1,0 +1,98 @@
+#include "mem/diff.hpp"
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace aecdsm::mem {
+
+Diff Diff::create(std::span<const Word> twin, std::span<const Word> current) {
+  AECDSM_CHECK_MSG(twin.size() == current.size(),
+                   "twin/page size mismatch: " << twin.size() << " vs " << current.size());
+  Diff d;
+  std::size_t i = 0;
+  const std::size_t n = twin.size();
+  while (i < n) {
+    if (twin[i] == current[i]) {
+      ++i;
+      continue;
+    }
+    Run run;
+    run.word_offset = static_cast<std::uint32_t>(i);
+    while (i < n && twin[i] != current[i]) {
+      run.words.push_back(current[i]);
+      ++i;
+    }
+    d.runs_.push_back(std::move(run));
+  }
+  return d;
+}
+
+void Diff::apply_to(std::span<Word> page) const {
+  for (const Run& run : runs_) {
+    AECDSM_CHECK_MSG(run.word_offset + run.words.size() <= page.size(),
+                     "diff run exceeds page bounds");
+    for (std::size_t k = 0; k < run.words.size(); ++k) {
+      page[run.word_offset + k] = run.words[k];
+    }
+  }
+}
+
+Diff Diff::merge(const Diff& older, const Diff& newer) {
+  // Materialize into a sparse word map; newer overwrites older. Page sizes
+  // in this simulator are small (1K words) and merge frequency is modest,
+  // so clarity beats micro-optimization here.
+  std::map<std::uint32_t, Word> words;
+  for (const Run& run : older.runs_) {
+    for (std::size_t k = 0; k < run.words.size(); ++k) {
+      words[run.word_offset + static_cast<std::uint32_t>(k)] = run.words[k];
+    }
+  }
+  for (const Run& run : newer.runs_) {
+    for (std::size_t k = 0; k < run.words.size(); ++k) {
+      words[run.word_offset + static_cast<std::uint32_t>(k)] = run.words[k];
+    }
+  }
+  Diff out;
+  Run current;
+  bool open = false;
+  std::uint32_t expected = 0;
+  for (const auto& [off, w] : words) {
+    if (open && off == expected) {
+      current.words.push_back(w);
+      ++expected;
+      continue;
+    }
+    if (open) out.runs_.push_back(std::move(current));
+    current = Run{};
+    current.word_offset = off;
+    current.words.push_back(w);
+    expected = off + 1;
+    open = true;
+  }
+  if (open) out.runs_.push_back(std::move(current));
+  return out;
+}
+
+std::size_t Diff::changed_words() const {
+  std::size_t n = 0;
+  for (const Run& run : runs_) n += run.words.size();
+  return n;
+}
+
+std::size_t Diff::encoded_bytes() const {
+  std::size_t bytes = 0;
+  for (const Run& run : runs_) bytes += 8 + run.words.size() * kWordBytes;
+  return bytes;
+}
+
+bool Diff::operator==(const Diff& o) const {
+  if (runs_.size() != o.runs_.size()) return false;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].word_offset != o.runs_[i].word_offset) return false;
+    if (runs_[i].words != o.runs_[i].words) return false;
+  }
+  return true;
+}
+
+}  // namespace aecdsm::mem

@@ -1,0 +1,70 @@
+#include "sim/cothread.hpp"
+
+#include "common/check.hpp"
+
+namespace aecdsm::sim {
+
+CoThread::CoThread(std::function<void()> body)
+    : os_thread_([this, b = std::move(body)]() mutable { thread_main(std::move(b)); }) {}
+
+CoThread::~CoThread() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!finished_) {
+      cancel_ = true;
+      turn_ = Turn::kThread;
+      cv_.notify_all();
+      cv_.wait(lk, [this] { return finished_; });
+    }
+  }
+  os_thread_.join();
+}
+
+void CoThread::thread_main(std::function<void()> body) {
+  // Wait for the first resume() before touching any simulation state.
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return turn_ == Turn::kThread; });
+    if (cancel_) {
+      finished_ = true;
+      turn_ = Turn::kEngine;
+      cv_.notify_all();
+      return;
+    }
+  }
+  try {
+    body();
+  } catch (const CoThreadCancelled&) {
+    // Clean teardown path — fall through to the finished handshake.
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    error_ = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  finished_ = true;
+  turn_ = Turn::kEngine;
+  cv_.notify_all();
+}
+
+void CoThread::resume() {
+  std::unique_lock<std::mutex> lk(mu_);
+  AECDSM_CHECK_MSG(!finished_, "resume() on a finished CoThread");
+  turn_ = Turn::kThread;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return turn_ == Turn::kEngine; });
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void CoThread::yield_to_engine() {
+  std::unique_lock<std::mutex> lk(mu_);
+  turn_ = Turn::kEngine;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return turn_ == Turn::kThread; });
+  if (cancel_) throw CoThreadCancelled{};
+}
+
+}  // namespace aecdsm::sim

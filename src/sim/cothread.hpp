@@ -1,0 +1,57 @@
+// Cooperative thread: an OS thread that runs only when the simulation engine
+// explicitly hands it control, and always hands control back before the
+// engine proceeds. At any instant at most one cooperative thread (or the
+// engine itself) is running, which makes the simulation deterministic while
+// letting application code keep its natural sequential structure — the same
+// contract Mint gave the original paper's workloads.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace aecdsm::sim {
+
+/// Thrown inside a cooperative thread when the engine tears it down early
+/// (e.g., a failed run being unwound). Body code should not catch it.
+struct CoThreadCancelled {};
+
+class CoThread {
+ public:
+  /// The body starts suspended; nothing runs until the first resume().
+  explicit CoThread(std::function<void()> body);
+
+  /// Joins the OS thread. If the body has not finished, it is cancelled
+  /// (resumed with the cancel flag set, unwinding via CoThreadCancelled).
+  ~CoThread();
+
+  CoThread(const CoThread&) = delete;
+  CoThread& operator=(const CoThread&) = delete;
+
+  /// Engine side: run the thread until it yields or finishes. If the body
+  /// exited with an exception, it is rethrown here on the engine side.
+  void resume();
+
+  /// Thread side: suspend and return control to the engine. Throws
+  /// CoThreadCancelled if the engine is tearing the thread down.
+  void yield_to_engine();
+
+  bool finished() const { return finished_; }
+
+ private:
+  enum class Turn { kEngine, kThread };
+
+  void thread_main(std::function<void()> body);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::kEngine;
+  bool finished_ = false;
+  bool cancel_ = false;
+  std::exception_ptr error_;
+  std::thread os_thread_;
+};
+
+}  // namespace aecdsm::sim

@@ -1,0 +1,71 @@
+// Discrete-event core of the execution-driven simulator.
+//
+// All simulation activity — processor wakeups, message deliveries, manager
+// processing — flows through one time-ordered event queue, processed on the
+// engine thread. Cooperative application threads only run while the engine
+// is suspended inside their resume handshake, so the whole simulation is a
+// single logical thread and therefore deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace aecdsm::sim {
+
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Schedule `fn` at absolute simulated time `t`. Events never run before
+  /// already-executed ones: t must be >= now() (checked).
+  void schedule(Cycles t, EventFn fn) {
+    AECDSM_CHECK_MSG(t >= now_, "event scheduled into the past: t=" << t
+                                                                    << " now=" << now_);
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  /// Time of the event currently (or most recently) being processed.
+  Cycles now() const { return now_; }
+
+  /// Process events until the queue drains. The caller checks afterwards
+  /// that every processor finished (an empty queue with blocked processors
+  /// is a protocol deadlock).
+  void run() {
+    while (!queue_.empty()) {
+      // priority_queue::top is const; the handler is moved out via const_cast,
+      // which is safe because the element is popped immediately after.
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      AECDSM_CHECK(ev.t >= now_);
+      now_ = ev.t;
+      ev.fn();
+    }
+  }
+
+  bool idle() const { return queue_.empty(); }
+
+  std::uint64_t events_processed() const { return seq_; }
+
+ private:
+  struct Event {
+    Cycles t;
+    std::uint64_t seq;  ///< FIFO tie-break for equal-time events
+    EventFn fn;
+
+    bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t seq_ = 0;
+  Cycles now_ = 0;
+};
+
+}  // namespace aecdsm::sim

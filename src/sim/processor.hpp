@@ -1,0 +1,129 @@
+// Simulated compute node: local virtual clock, time-bucket accounting, the
+// cooperative application thread, and the remote-request service model.
+//
+// Timing discipline
+// -----------------
+// The application thread runs ahead of global time on a private clock
+// (`now_`), charging compute and hit-path memory costs locally; it commits
+// to the global event queue (sync()) before every protocol-visible action
+// and at least once per quantum. Incoming remote requests (page fetches,
+// diff requests, manager work) are executed engine-side as "services" that
+// occupy this processor: their cost is charged to the ipc bucket, either
+// overlapping a blocked wait (replacing wait time, as the paper's ipc/synch
+// split does) or stealing cycles from the application's next advance.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/params.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/cothread.hpp"
+#include "sim/engine.hpp"
+
+namespace aecdsm::sim {
+
+/// Accounting bucket for every simulated cycle (paper figures 4-6).
+enum class Bucket {
+  kBusy,
+  kData,
+  kSynch,
+  kIpc,
+  kOthersCache,
+  kOthersTlb,
+  kOthersWb,
+  kOthersMisc,
+};
+
+class Processor {
+ public:
+  Processor(Engine& engine, ProcId id, const SystemParams& params);
+  ~Processor();
+
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+
+  ProcId id() const { return id_; }
+
+  /// Install the application body and schedule its start at time 0.
+  void start(std::function<void()> body);
+
+  // --- Application-thread side -------------------------------------------
+
+  /// Advance the local clock by `c`, attributing the cycles to `b`.
+  /// Transparently absorbs cycles stolen by services and syncs with global
+  /// time once per quantum so remote requests see bounded skew.
+  void advance(Cycles c, Bucket b);
+
+  /// Commit the local clock to the global event queue: yields until global
+  /// time catches up with `now()`, letting pending events (message
+  /// deliveries, services) execute first.
+  void sync();
+
+  /// sync(), then block until `pred()` holds, charging the blocked cycles
+  /// to `bucket` (minus any service time, which goes to ipc). Any event
+  /// that may change the predicate must poke() this processor.
+  void wait(Bucket bucket, const std::function<bool()>& pred);
+
+  /// Local virtual time of this processor.
+  Cycles now() const { return now_; }
+
+  /// True while the application thread holds control (used by CHECKs).
+  bool in_app_thread() const { return running_app_; }
+
+  // --- Engine-event side ---------------------------------------------------
+
+  /// Wake the processor if it is blocked in wait(); the predicate is then
+  /// re-evaluated. Safe to call redundantly.
+  void poke();
+
+  /// Account an incoming remote request costing `handler_cost` cycles of
+  /// processor attention (an interrupt is charged on top). Returns the
+  /// simulated time at which the service completes, for reply scheduling.
+  Cycles service(Cycles handler_cost);
+
+  // --- Results -------------------------------------------------------------
+
+  const TimeBreakdown& acct() const { return acct_; }
+  TimeBreakdown& acct() { return acct_; }
+  bool finished() const { return done_; }
+  Cycles finish_time() const { return finish_time_; }
+  bool blocked() const { return blocked_; }
+
+  const SystemParams& params() const { return params_; }
+  Engine& engine() { return engine_; }
+
+ private:
+  void charge(Cycles c, Bucket b);
+  void absorb_stolen();
+  void yield_for_resume_at(Cycles t);  ///< schedule resume event, then yield
+  void unblock_accounting(Cycles t);
+
+  Engine& engine_;
+  const ProcId id_;
+  const SystemParams& params_;
+
+  std::unique_ptr<CoThread> thread_;
+  Cycles now_ = 0;
+  TimeBreakdown acct_;
+
+  // Quantum bookkeeping: local cycles accumulated since the last sync.
+  Cycles since_sync_ = 0;
+
+  // Service model.
+  Cycles svc_free_ = 0;            ///< time the service "context" frees up
+  Cycles stolen_ = 0;              ///< service cycles to absorb into app time
+  Cycles ipc_during_block_ = 0;    ///< service cycles landed inside current block
+
+  // Blocking state.
+  bool blocked_ = false;
+  Cycles block_start_ = 0;
+  Bucket block_bucket_ = Bucket::kSynch;
+
+  bool running_app_ = false;
+  bool done_ = false;
+  Cycles finish_time_ = 0;
+};
+
+}  // namespace aecdsm::sim

@@ -1,0 +1,227 @@
+// TreadMarks-style lazy release consistency — the paper's baseline (§4.3).
+//
+// Implemented machinery:
+//  * vector timestamps and intervals; an interval ends whenever this node
+//    serves a lock grant, releases a lock, acquires a lock, or arrives at a
+//    barrier;
+//  * write notices: at interval end every still-dirty page enters the
+//    interval's notice entry; lock grants carry the entries the acquirer
+//    has not seen (vector-clock filtering), which invalidate pages;
+//  * lazy diffs: diffs are created at the *writer* only when some processor
+//    requests them on an access miss — so diff creation sits on the
+//    critical path of both the requester (data time) and the server (ipc
+//    time), the behaviour the paper contrasts AEC against;
+//  * distributed lock ownership: the static manager forwards a request to
+//    its owner hint; non-owners forward along their hand-off pointer;
+//    an owner inside its critical section queues the request locally;
+//  * barriers: one gather/broadcast round through the manager on node 0,
+//    merging vector clocks and distributing the step's write notices.
+//
+// For the paper's §5.1 robustness claim, the same LAP predictor runs here
+// in scoring-only mode (fed by grant events and acquire notices) — it never
+// influences TreadMarks' behaviour.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "aec/lap.hpp"
+#include "common/stats.hpp"
+#include "dsm/context.hpp"
+#include "dsm/machine.hpp"
+#include "dsm/protocol.hpp"
+#include "dsm/system.hpp"
+#include "mem/diff.hpp"
+#include "sim/processor.hpp"
+
+namespace aecdsm::tmk {
+
+class TmProtocol;
+
+using VectorTime = std::vector<std::uint32_t>;
+
+/// One interval's write notices: the pages `writer` dirtied in the interval
+/// stamped `vt`.
+struct NoticeEntry {
+  ProcId writer = kNoProc;
+  VectorTime vt;
+  std::vector<PageId> pages;
+};
+
+/// Run-wide TreadMarks state (manager hints, barrier gather, LAP scorer).
+struct TmShared {
+  TmShared(const SystemParams& p) : params(p) {}
+
+  const SystemParams params;
+  std::vector<TmProtocol*> nodes;
+
+  /// Manager-side owner hints (start: manager grants first requester).
+  std::map<LockId, ProcId> owner_hint;
+
+  /// Barrier gather state (node 0). Arrivals carry each processor's vector
+  /// time and the notice entries it created since the previous barrier; the
+  /// release redistributes to each processor exactly the entries its clock
+  /// has not covered (current dirty sets alone would under-report: a lazily
+  /// served diff cleans the page while its interval notices still need to
+  /// reach everyone).
+  struct BarrierGather {
+    int arrived = 0;
+    VectorTime merged_vt;
+    std::vector<VectorTime> arrival_vt;
+    std::vector<NoticeEntry> entries;
+  } barrier;
+
+  /// Global diff-creation sequence (see TmProtocol::StoredDiff).
+  std::uint64_t diff_seq = 1;
+
+  /// Scoring-only LAP instances (paper §5.1: LAP accuracy under TreadMarks).
+  std::map<LockId, aec::LockLap> lap;
+
+  aec::LockLap& lap_of(LockId l) {
+    auto it = lap.find(l);
+    if (it == lap.end()) {
+      it = lap.emplace(l, aec::LockLap(params.num_procs, params.update_set_size,
+                                       params.affinity_threshold))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+class TmProtocol : public dsm::Protocol {
+ public:
+  TmProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<TmShared> shared);
+  ~TmProtocol() override;
+
+  std::string name() const override { return "TreadMarks"; }
+
+  void on_read_fault(PageId page) override;
+  void on_write_fault(PageId page) override;
+  void acquire(LockId lock) override;
+  void release(LockId lock) override;
+  void barrier() override;
+  void acquire_notice(LockId lock) override;
+  DiffStats diff_stats() const override { return dstats_; }
+
+  const TmShared& shared() const { return *sh_; }
+
+ private:
+  /// Lazily created diff. The tag is a *global creation sequence number*:
+  /// for any word written under a lock chain, fetch-before-write forces the
+  /// older writer's diff to be materialized before the newer writer's, so
+  /// creation order is a sound application order for conflicting words
+  /// (concurrent diffs touch disjoint words in data-race-free programs).
+  /// Per-page vector-time tags are NOT sound here: a page shared by several
+  /// locks can carry concurrent intervals whose clock sums tie or invert
+  /// relative to a single word's chain.
+  struct StoredDiff {
+    std::uint64_t tag = 0;  ///< global creation sequence (TmShared::diff_seq)
+    mem::Diff diff;
+  };
+
+  struct PageState {
+    bool ever_valid = false;        ///< frame content is a sound base
+    bool dirty = false;             ///< twin present, un-diffed local mods
+    std::vector<StoredDiff> stored; ///< diffs this node created for the page
+    std::set<ProcId> pending;       ///< writers whose diffs must be fetched
+    std::map<ProcId, std::size_t> fetched_upto;  ///< stored-diff index consumed
+    /// Creation tag of the newest diff applied to each word. Batches fetched
+    /// at different times can interleave creation order (a later batch may
+    /// carry an older diff); per-word tags stop stale values from reverting
+    /// newer ones. Local writes need no stamp: a conflicting remote write
+    /// is always fetched before the local one happens (lock-chain h-b).
+    std::vector<std::uint64_t> word_tag;
+  };
+
+  struct LockLocal {
+    bool owner = false;
+    bool in_cs = false;
+    ProcId handed_to = kNoProc;
+    std::deque<std::pair<ProcId, VectorTime>> waiting;
+    bool grant_ready = false;
+  };
+
+  // Helpers.
+  sim::Processor& proc() { return *m_.node(self_).proc; }
+  dsm::Context& ctx() { return *m_.node(self_).ctx; }
+  mem::PageStore& store() { return *m_.node(self_).store; }
+  TmProtocol& peer(ProcId p) { return *sh_->nodes[static_cast<std::size_t>(p)]; }
+  PageState& page(PageId pg) { return pages_[pg]; }
+
+  static std::uint64_t vt_sum(const VectorTime& vt);
+
+  void send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
+                     std::function<void()> handler, sim::Bucket bucket);
+  void post_dynamic(ProcId from, ProcId to, std::size_t bytes,
+                    std::function<Cycles()> cost, std::function<void()> handler);
+
+  /// End the current interval: bump own clock, log the dirty set.
+  void end_interval();
+
+  /// Append a notice entry (deduplicated) and return true if it was new.
+  bool absorb_entry(const NoticeEntry& e);
+
+  /// Invalidate local copies named by `e` (writer != self).
+  void apply_entry_invalidations(const NoticeEntry& e);
+
+  // Fault machinery.
+  void handle_fault(PageId pg, bool is_write);
+  void resolve_page(PageId pg);  ///< valid after this
+  void fetch_pending_diffs(PageId pg, sim::Bucket bucket);
+
+  /// Serve a diff request (engine-side at the writer): stored diffs after
+  /// `after`, creating the live diff first if the page is dirty. `cost`
+  /// accumulates the server cycles (diff creation happens here — TreadMarks'
+  /// critical-path diffing).
+  std::vector<StoredDiff> serve_diffs(PageId pg, std::size_t after, Cycles& cost);
+
+  // Lock machinery (engine-side handlers).
+  void lock_request_arrive(LockId l, ProcId requester, VectorTime req_vt);
+  void requeue_request(LockId l, ProcId requester, VectorTime req_vt);
+  void serve_grant(LockId l, ProcId requester, const VectorTime& req_vt,
+                   bool engine_side);
+  void recv_grant(LockId l, std::vector<NoticeEntry> entries, VectorTime owner_vt);
+
+  // Barrier machinery.
+  void mgr_barrier_arrive(ProcId p, VectorTime vt, std::vector<NoticeEntry> entries);
+  void recv_barrier_release(VectorTime merged, std::vector<NoticeEntry> entries);
+
+  dsm::Machine& m_;
+  const ProcId self_;
+  std::shared_ptr<TmShared> sh_;
+
+  VectorTime vt_;
+  std::vector<PageState> pages_;
+  std::set<PageId> dirty_set_;
+  /// Pages write-faulted in the current interval. Kept separately from the
+  /// twin state: serving a diff mid-interval cleans the twin but the
+  /// interval's write notices must still be issued, or processors that did
+  /// not fetch the diff never learn of the writes.
+  std::set<PageId> interval_writes_;
+  std::vector<NoticeEntry> log_;
+  std::set<std::pair<ProcId, std::uint32_t>> seen_intervals_;
+  std::map<LockId, LockLocal> locks_;
+
+  bool barrier_release_ = false;
+  std::uint32_t last_barrier_own_ = 0;  ///< own clock at the previous barrier
+  std::uint64_t invalidations_pending_cost_ = 0;
+
+  DiffStats dstats_;
+};
+
+/// Suite factory (mirrors aec::AecSuite).
+class TmSuite {
+ public:
+  dsm::ProtocolSuite suite();
+  const TmShared* shared() const { return shared_.get(); }
+  std::shared_ptr<const TmShared> shared_handle() const { return shared_; }
+
+ private:
+  std::shared_ptr<TmShared> shared_;
+};
+
+}  // namespace aecdsm::tmk

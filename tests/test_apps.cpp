@@ -1,0 +1,61 @@
+// Integration tests: every application must produce its sequential
+// oracle's result under every protocol — the strongest end-to-end check of
+// protocol correctness — across processor counts.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "tests/test_util.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+struct Case {
+  const char* app;
+  const char* protocol;
+  int nprocs;
+};
+
+class AppCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AppCorrectness, MatchesSequentialOracle) {
+  const Case& c = GetParam();
+  auto app = apps::make_app(c.app, apps::Scale::kSmall);
+  SystemParams params = small_params(c.nprocs);
+  const RunStats stats = run_protocol(*app, c.protocol, params);
+  EXPECT_TRUE(stats.result_valid)
+      << c.app << " under " << c.protocol << " with " << c.nprocs << " procs";
+  EXPECT_GT(stats.finish_time, 0u);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const std::string& app : apps::app_names()) {
+    for (const char* proto : kAllProtocols) {
+      for (const int np : {2, 4, 8}) {
+        cases.push_back(Case{app == "IS"         ? "IS"
+                             : app == "Raytrace" ? "Raytrace"
+                             : app == "Water-ns" ? "Water-ns"
+                             : app == "FFT"      ? "FFT"
+                             : app == "Ocean"    ? "Ocean"
+                                                 : "Water-sp",
+                             proto, np});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = std::string(info.param.app) + "_" + info.param.protocol + "_p" +
+                  std::to_string(info.param.nprocs);
+  for (char& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AppCorrectness, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+}  // namespace
+}  // namespace aecdsm::test

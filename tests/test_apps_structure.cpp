@@ -1,0 +1,105 @@
+// Structural tests of the application suite: the synchronization shape the
+// paper's Table 2 reports is pinned (lock-variable counts, acquire counts,
+// barrier counts at the default scale), oracles are deterministic, and the
+// suite runs at the paper's 16-processor configuration and degenerate
+// processor counts.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "harness/runner.hpp"
+#include "tests/test_util.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+struct Shape {
+  const char* app;
+  std::uint64_t locks;
+  std::uint64_t acquires;
+  std::uint64_t barriers;
+};
+
+class AppShape : public ::testing::TestWithParam<Shape> {};
+
+// The default-scale synchronization structure at 16 processors. These pin
+// the Table 2 reproduction: any change to an application's lock/barrier
+// skeleton must be deliberate.
+TEST_P(AppShape, Table2StructureIsStable) {
+  const Shape& s = GetParam();
+  const auto r = harness::run_experiment("AEC", s.app, apps::Scale::kDefault,
+                                         harness::paper_params());
+  ASSERT_TRUE(r.stats.result_valid);
+  EXPECT_EQ(r.stats.sync.distinct_locks, s.locks) << s.app;
+  EXPECT_EQ(r.stats.sync.lock_acquires, s.acquires) << s.app;
+  EXPECT_EQ(r.stats.sync.barrier_events, s.barriers) << s.app;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AppShape,
+    ::testing::Values(Shape{"IS", 1, 80, 21}, Shape{"Water-ns", 65, 2240, 33},
+                      Shape{"FFT", 1, 16, 7}, Shape{"Ocean", 4, 496, 41},
+                      Shape{"Water-sp", 6, 416, 33}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      std::string s = info.param.app;
+      for (char& ch : s) {
+        if (ch == '-') ch = '_';
+      }
+      return s;
+    });
+
+TEST(AppOracles, SetupIsDeterministic) {
+  // Two setups of the same app produce identical shared layouts; combined
+  // with run determinism this means oracle checksums are stable.
+  for (const std::string& name : apps::app_names()) {
+    SystemParams params = small_params(4);
+    auto app1 = apps::make_app(name, apps::Scale::kSmall);
+    auto app2 = apps::make_app(name, apps::Scale::kSmall);
+    const RunStats a = run_protocol(*app1, "AEC", params);
+    const RunStats b = run_protocol(*app2, "AEC", params);
+    ASSERT_TRUE(a.result_valid) << name;
+    ASSERT_TRUE(b.result_valid) << name;
+    EXPECT_EQ(a.finish_time, b.finish_time) << name;
+  }
+}
+
+TEST(AppEdges, SixteenProcessorsSmallScale) {
+  SystemParams params;  // paper defaults: 16 procs, 4K pages
+  for (const std::string& name : apps::app_names()) {
+    auto app = apps::make_app(name, apps::Scale::kSmall);
+    dsm::RunConfig cfg;
+    cfg.params = params;
+    aec::AecSuite suite;
+    const RunStats stats = dsm::run_app(*app, suite.suite(), cfg);
+    EXPECT_TRUE(stats.result_valid) << name << " at 16 procs";
+  }
+}
+
+TEST(AppEdges, SingleProcessorDegeneratesGracefully) {
+  SystemParams params;
+  params.num_procs = 1;
+  params.mesh_width = 1;
+  auto app = apps::make_app("FFT", apps::Scale::kSmall);
+  dsm::RunConfig cfg;
+  cfg.params = params;
+  aec::AecSuite suite;
+  const RunStats stats = dsm::run_app(*app, suite.suite(), cfg);
+  EXPECT_TRUE(stats.result_valid);
+  EXPECT_EQ(stats.msgs.messages, stats.msgs.messages);  // ran to completion
+}
+
+TEST(AppEdges, OddProcessorCountsWork) {
+  // Block partitioning must handle remainders.
+  SystemParams params = small_params(3);
+  params.mesh_width = 3;
+  for (const char* name : {"IS", "Ocean"}) {
+    auto app = apps::make_app(name, apps::Scale::kSmall);
+    dsm::RunConfig cfg;
+    cfg.params = params;
+    aec::AecSuite suite;
+    const RunStats stats = dsm::run_app(*app, suite.suite(), cfg);
+    EXPECT_TRUE(stats.result_valid) << name << " at 3 procs";
+  }
+}
+
+}  // namespace
+}  // namespace aecdsm::test

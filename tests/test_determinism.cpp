@@ -1,0 +1,123 @@
+// The simulator must be exactly reproducible: identical configuration gives
+// identical cycle counts, statistics and message traffic across runs — for
+// every protocol and application.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "tests/test_util.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+struct DetCase {
+  const char* app;
+  const char* protocol;
+};
+
+class Determinism : public ::testing::TestWithParam<DetCase> {};
+
+TEST_P(Determinism, RepeatedRunsAreCycleIdentical) {
+  const DetCase& c = GetParam();
+  auto run_once = [&] {
+    auto app = apps::make_app(c.app, apps::Scale::kSmall);
+    return run_protocol(*app, c.protocol, small_params(4));
+  };
+  const RunStats a = run_once();
+  const RunStats b = run_once();
+  ASSERT_TRUE(a.result_valid);
+  ASSERT_TRUE(b.result_valid);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.msgs.messages, b.msgs.messages);
+  EXPECT_EQ(a.msgs.bytes, b.msgs.bytes);
+  EXPECT_EQ(a.faults.fault_cycles, b.faults.fault_cycles);
+  EXPECT_EQ(a.diffs.create_cycles, b.diffs.create_cycles);
+  ASSERT_EQ(a.per_proc.size(), b.per_proc.size());
+  for (std::size_t p = 0; p < a.per_proc.size(); ++p) {
+    EXPECT_EQ(a.per_proc[p].busy, b.per_proc[p].busy) << "proc " << p;
+    EXPECT_EQ(a.per_proc[p].synch, b.per_proc[p].synch) << "proc " << p;
+    EXPECT_EQ(a.per_proc[p].data, b.per_proc[p].data) << "proc " << p;
+    EXPECT_EQ(a.per_proc[p].ipc, b.per_proc[p].ipc) << "proc " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, Determinism,
+    ::testing::Values(DetCase{"IS", "AEC"}, DetCase{"IS", "TreadMarks"},
+                      DetCase{"Water-ns", "AEC"}, DetCase{"Ocean", "TreadMarks"},
+                      DetCase{"Raytrace", "AEC"}, DetCase{"Water-sp", "AEC-noLAP"}),
+    [](const ::testing::TestParamInfo<DetCase>& info) {
+      std::string s = std::string(info.param.app) + "_" + info.param.protocol;
+      for (char& ch : s) {
+        if (ch == '-') ch = '_';
+      }
+      return s;
+    });
+
+TEST(Rng, DeterministicAndSplittable) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(42);
+  Rng s1 = c.split(1);
+  Rng c2(42);
+  Rng s1b = c2.split(1);
+  EXPECT_EQ(s1.next_u64(), s1b.next_u64());
+  // Different salts give different streams.
+  Rng c3(42);
+  Rng s2 = c3.split(2);
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const auto v = r.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_THROW(r.next_below(0), SimError);
+}
+
+TEST(Stats, BreakdownArithmetic) {
+  TimeBreakdown a;
+  a.busy = 10;
+  a.data = 5;
+  a.others_tlb = 2;
+  a.others_cache = 3;
+  TimeBreakdown b;
+  b.busy = 1;
+  b.ipc = 4;
+  a += b;
+  EXPECT_EQ(a.busy, 11u);
+  EXPECT_EQ(a.ipc, 4u);
+  EXPECT_EQ(a.others(), 5u);
+  EXPECT_EQ(a.total(), 11u + 5u + 4u + 5u);
+}
+
+TEST(Stats, RunStatsAggregation) {
+  RunStats s;
+  s.per_proc.resize(2);
+  s.per_proc[0].busy = 7;
+  s.per_proc[1].synch = 3;
+  const TimeBreakdown agg = s.aggregate();
+  EXPECT_EQ(agg.busy, 7u);
+  EXPECT_EQ(agg.synch, 3u);
+  EXPECT_EQ(agg.total(), 10u);
+}
+
+TEST(Stats, SyncStatsDistinctLocksKeepMax) {
+  SyncStats a, b;
+  a.distinct_locks = 3;
+  a.lock_acquires = 10;
+  b.distinct_locks = 5;
+  b.lock_acquires = 7;
+  a += b;
+  EXPECT_EQ(a.distinct_locks, 5u);
+  EXPECT_EQ(a.lock_acquires, 17u);
+}
+
+}  // namespace
+}  // namespace aecdsm::test

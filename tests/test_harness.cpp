@@ -1,0 +1,131 @@
+// Tests for the experiment harness: runner protocol routing, LAP score
+// collection/grouping (Table 3 plumbing), formatters, and the application
+// registry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/registry.hpp"
+#include "harness/format.hpp"
+#include "harness/lap_report.hpp"
+#include "harness/runner.hpp"
+#include "tests/test_util.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+TEST(Registry, AllAppsConstructAtBothScales) {
+  for (const std::string& name : apps::app_names()) {
+    for (const apps::Scale scale : {apps::Scale::kSmall, apps::Scale::kDefault}) {
+      auto app = apps::make_app(name, scale);
+      ASSERT_NE(app, nullptr);
+      EXPECT_EQ(app->name(), name);
+      EXPECT_GT(app->shared_bytes(), 0u);
+    }
+  }
+}
+
+TEST(Registry, UnknownAppThrows) {
+  EXPECT_THROW(apps::make_app("NoSuchApp", apps::Scale::kSmall), SimError);
+}
+
+TEST(Registry, LockGroupsCoverKnownApps) {
+  for (const std::string& name : apps::app_names()) {
+    const auto groups = apps::lock_groups(name, apps::Scale::kDefault, 16);
+    EXPECT_FALSE(groups.empty()) << name;
+    for (const auto& g : groups) {
+      EXPECT_LE(g.lo, g.hi) << name << "/" << g.label;
+      EXPECT_FALSE(g.label.empty());
+    }
+  }
+}
+
+TEST(Runner, RunsEveryProtocolOnASmallApp) {
+  SystemParams params = small_params(4);
+  for (const char* proto : {"AEC", "AEC-noLAP", "TreadMarks", "Munin-ERC"}) {
+    const auto r = harness::run_experiment(proto, "FFT", apps::Scale::kSmall, params);
+    EXPECT_TRUE(r.stats.result_valid) << proto;
+    EXPECT_EQ(r.stats.num_procs, 4) << proto;
+  }
+}
+
+TEST(Runner, UnknownProtocolThrows) {
+  EXPECT_THROW(harness::run_experiment("Mystery", "FFT", apps::Scale::kSmall,
+                                       small_params(2)),
+               SimError);
+}
+
+TEST(Runner, DetailHandlesMatchProtocol) {
+  SystemParams params = small_params(4);
+  const auto a = harness::run_experiment("AEC", "IS", apps::Scale::kSmall, params);
+  EXPECT_NE(a.aec, nullptr);
+  EXPECT_EQ(a.tm, nullptr);
+  const auto t = harness::run_experiment("TreadMarks", "IS", apps::Scale::kSmall, params);
+  EXPECT_EQ(t.aec, nullptr);
+  EXPECT_NE(t.tm, nullptr);
+  const auto e = harness::run_experiment("Munin-ERC", "IS", apps::Scale::kSmall, params);
+  EXPECT_NE(e.erc, nullptr);
+}
+
+TEST(LapReport, ScoresCollectedAndGrouped) {
+  SystemParams params = small_params(4);
+  const auto r = harness::run_experiment("AEC", "IS", apps::Scale::kSmall, params);
+  const auto scores = harness::lap_scores_of(r);
+  ASSERT_FALSE(scores.empty());
+  const auto rows =
+      harness::lap_rows(scores, apps::lock_groups("IS", apps::Scale::kSmall, 4));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].lock_events, 0u);
+  EXPECT_DOUBLE_EQ(rows[0].pct_of_total, 1.0);  // IS has a single lock
+}
+
+TEST(LapReport, GroupPercentagesSumToOne) {
+  SystemParams params = small_params(4);
+  const auto r = harness::run_experiment("AEC", "Ocean", apps::Scale::kSmall, params);
+  const auto scores = harness::lap_scores_of(r);
+  const auto rows =
+      harness::lap_rows(scores, apps::lock_groups("Ocean", apps::Scale::kSmall, 4));
+  double total = 0.0;
+  for (const auto& row : rows) total += row.pct_of_total;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Format, PercentFormatting) {
+  EXPECT_EQ(harness::pct(0.5), "50.0%");
+  EXPECT_EQ(harness::pct(0.123, 2), "12.30%");
+  EXPECT_EQ(harness::pct(0.0), "0.0%");
+}
+
+TEST(Format, BreakdownFigureNormalizesToFirstBar) {
+  TimeBreakdown a;
+  a.busy = 50;
+  a.synch = 50;
+  TimeBreakdown b;
+  b.busy = 25;
+  b.synch = 25;
+  std::ostringstream os;
+  harness::print_breakdown_figure(os, "t",
+                                  {{"base", a, 100}, {"half", b, 50}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("100.0"), std::string::npos);
+  EXPECT_NE(out.find("50.0"), std::string::npos);
+  EXPECT_NE(out.find("base"), std::string::npos);
+  EXPECT_NE(out.find("half"), std::string::npos);
+}
+
+TEST(Format, DiffTableHandlesEmptyStats) {
+  std::ostringstream os;
+  harness::print_diff_table(os, {harness::DiffRow{"empty", DiffStats{}}});
+  EXPECT_NE(os.str().find("empty"), std::string::npos);  // no division crash
+}
+
+TEST(Format, LapTableShowsDashWithoutPredictions) {
+  std::ostringstream os;
+  harness::LapRow row;
+  row.variable = "quiet lock";
+  harness::print_lap_table(os, "app", {row});
+  EXPECT_NE(os.str().find("-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aecdsm::test

@@ -1,0 +1,160 @@
+// Unit tests for the node-local memory hierarchy timing models (cache, TLB,
+// write buffer) and the page store's twin mechanics.
+#include <gtest/gtest.h>
+
+#include "common/params.hpp"
+#include "mem/cache.hpp"
+#include "mem/pagestore.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+TEST(CacheModel, MissThenHit) {
+  SystemParams params;
+  mem::CacheModel cache(params);
+  const Cycles miss = cache.access(0x1000);
+  EXPECT_GT(miss, 0u);
+  EXPECT_EQ(cache.access(0x1000), 0u);  // hit
+  EXPECT_EQ(cache.access(0x1010), 0u);  // same 32-byte line
+  EXPECT_GT(cache.access(0x1020), 0u);  // next line
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheModel, DirectMappedConflict) {
+  SystemParams params;
+  mem::CacheModel cache(params);
+  cache.access(0);
+  // Same index, different tag: cache_bytes apart.
+  cache.access(params.cache_bytes);
+  EXPECT_GT(cache.access(0), 0u);  // evicted by the conflicting line
+}
+
+TEST(CacheModel, InvalidatePageDropsItsLines) {
+  SystemParams params;
+  mem::CacheModel cache(params);
+  cache.access(0);
+  cache.access(64);
+  EXPECT_EQ(cache.access(0), 0u);
+  cache.invalidate_page(0, params.page_bytes);
+  EXPECT_GT(cache.access(0), 0u);
+  EXPECT_GT(cache.access(64), 0u);
+}
+
+TEST(CacheModel, InvalidateOtherPageKeepsLines) {
+  SystemParams params;
+  mem::CacheModel cache(params);
+  cache.access(0);
+  cache.invalidate_page(1, params.page_bytes);
+  EXPECT_EQ(cache.access(0), 0u);
+}
+
+TEST(TlbModel, MissFillHit) {
+  SystemParams params;
+  mem::TlbModel tlb(params);
+  EXPECT_EQ(tlb.access(3), params.tlb_fill_cycles);
+  EXPECT_EQ(tlb.access(3), 0u);
+  EXPECT_EQ(tlb.access(3 + static_cast<PageId>(params.tlb_entries)),
+            params.tlb_fill_cycles);  // direct-mapped conflict
+  EXPECT_EQ(tlb.access(3), params.tlb_fill_cycles);  // evicted
+  EXPECT_EQ(tlb.misses(), 3u);
+}
+
+TEST(WriteBuffer, NoStallWithFreeSlots) {
+  SystemParams params;
+  mem::WriteBuffer wb(params);
+  for (int i = 0; i < params.write_buffer_entries; ++i) {
+    EXPECT_EQ(wb.write(static_cast<Cycles>(i)), 0u);
+  }
+}
+
+TEST(WriteBuffer, StallsWhenFull) {
+  SystemParams params;
+  mem::WriteBuffer wb(params);
+  Cycles stall_total = 0;
+  for (int i = 0; i < 2 * params.write_buffer_entries; ++i) {
+    stall_total += wb.write(0);  // back-to-back at time 0
+  }
+  EXPECT_GT(stall_total, 0u);
+  EXPECT_EQ(wb.total_stalls(), stall_total);
+}
+
+TEST(WriteBuffer, DrainsOverTime) {
+  SystemParams params;
+  mem::WriteBuffer wb(params);
+  for (int i = 0; i < params.write_buffer_entries; ++i) wb.write(0);
+  // Far in the future everything has drained: no stall.
+  EXPECT_EQ(wb.write(1000000), 0u);
+}
+
+TEST(PageStore, FramesAllocateLazily) {
+  SystemParams params;
+  mem::PageStore store(params, 8);
+  EXPECT_EQ(store.num_pages(), 8u);
+  const mem::PageStore& cstore = store;
+  EXPECT_TRUE(cstore.frame(3).data.empty());  // const access: no allocation
+  EXPECT_EQ(store.frame(3).data.size(), params.words_per_page());
+}
+
+TEST(PageStore, PagesStartProtectedAndInvalid) {
+  SystemParams params;
+  mem::PageStore store(params, 2);
+  EXPECT_FALSE(store.frame(0).valid);
+  EXPECT_TRUE(store.frame(0).write_protected);
+}
+
+TEST(PageStore, TwinLifecycle) {
+  SystemParams params;
+  mem::PageStore store(params, 2);
+  auto page = store.page_span(0);
+  page[0] = 42;
+  store.make_twin(0);
+  EXPECT_TRUE(store.frame(0).has_twin());
+  page[0] = 43;
+  page[7] = 7;
+  const mem::Diff d = store.diff_against_twin(0);
+  EXPECT_EQ(d.changed_words(), 2u);
+  store.refresh_twin(0);
+  EXPECT_TRUE(store.diff_against_twin(0).empty());
+  store.drop_twin(0);
+  EXPECT_FALSE(store.frame(0).has_twin());
+}
+
+TEST(PageStore, DiffWithoutTwinThrows) {
+  SystemParams params;
+  mem::PageStore store(params, 1);
+  EXPECT_THROW(store.diff_against_twin(0), SimError);
+}
+
+TEST(PageStore, OutOfRangeThrows) {
+  SystemParams params;
+  mem::PageStore store(params, 2);
+  EXPECT_THROW(store.frame(2), SimError);
+}
+
+TEST(Params, ValidationCatchesBadConfigs) {
+  SystemParams p;
+  EXPECT_TRUE(p.validate().empty());
+  p.num_procs = 15;  // not a multiple of mesh_width 4
+  EXPECT_FALSE(p.validate().empty());
+  p = SystemParams{};
+  p.page_bytes = 100;  // not a multiple of cache lines
+  EXPECT_FALSE(p.validate().empty());
+  p = SystemParams{};
+  p.update_set_size = 0;
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Params, DerivedCosts) {
+  SystemParams p;
+  EXPECT_EQ(p.words_per_page(), 1024u);
+  EXPECT_EQ(p.network_payload_cycles(4096), 2048u);  // 2 bytes/cycle
+  // memory_access_cycles: setup 9 + ceil(2.25 * words)
+  EXPECT_EQ(p.memory_access_cycles(4), 9u + 9u);
+  EXPECT_EQ(p.io_transfer_cycles(10), 12u + 30u);
+  EXPECT_GT(p.twin_create_cycles(), 5u * 1024u);
+  EXPECT_GT(p.diff_create_cycles(), 7u * 1024u);
+  EXPECT_EQ(p.diff_apply_cycles(0), p.memory_access_cycles(0));
+}
+
+}  // namespace
+}  // namespace aecdsm::test

@@ -1,0 +1,117 @@
+// Unit tests for the wormhole mesh interconnect: XY routing, the analytic
+// latency formula, link contention serialization, NIC injection
+// serialization, and self-delivery.
+#include <gtest/gtest.h>
+
+#include "common/params.hpp"
+#include "net/mesh.hpp"
+#include "sim/engine.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+class MeshTest : public ::testing::Test {
+ protected:
+  SystemParams params_;  // 16 procs, 4x4 mesh
+  sim::Engine engine_;
+};
+
+TEST_F(MeshTest, HopCountsAreManhattanDistance) {
+  net::MeshNetwork net(engine_, params_);
+  EXPECT_EQ(net.hop_count(0, 0), 0);
+  EXPECT_EQ(net.hop_count(0, 1), 1);
+  EXPECT_EQ(net.hop_count(0, 3), 3);
+  EXPECT_EQ(net.hop_count(0, 15), 6);   // (0,0)->(3,3)
+  EXPECT_EQ(net.hop_count(5, 10), 2);   // (1,1)->(2,2)
+  EXPECT_EQ(net.hop_count(12, 3), 6);   // (0,3)->(3,0)
+  EXPECT_EQ(net.hop_count(3, 12), net.hop_count(12, 3));
+}
+
+TEST_F(MeshTest, UncontendedLatencyFormula) {
+  net::MeshNetwork net(engine_, params_);
+  const std::size_t bytes = 4096;
+  const std::size_t words = bytes / kWordBytes;
+  const Cycles expected = 2 * params_.io_transfer_cycles(words) +
+                          6 * (params_.switch_cycles + params_.wire_cycles) +
+                          params_.network_payload_cycles(bytes);
+  EXPECT_EQ(net.uncontended_latency(0, 15, bytes), expected);
+  EXPECT_EQ(net.uncontended_latency(0, 0, bytes), 0u);
+}
+
+TEST_F(MeshTest, DeliveryMatchesUncontendedLatency) {
+  net::MeshNetwork net(engine_, params_);
+  Cycles arrival = 0;
+  net.send(0, 15, 256, [&] { arrival = engine_.now(); });
+  engine_.run();
+  EXPECT_EQ(arrival, net.uncontended_latency(0, 15, 256));
+}
+
+TEST_F(MeshTest, SharedLinkSerializesMessages) {
+  net::MeshNetwork net(engine_, params_);
+  // Two large messages over the same first link (0 -> 1 -> ...).
+  Cycles first = 0, second = 0;
+  net.send(0, 3, 4096, [&] { first = engine_.now(); });
+  net.send(0, 3, 4096, [&] { second = engine_.now(); });
+  engine_.run();
+  EXPECT_GT(second, first);
+  // The second waits at least a payload serialization behind the first.
+  EXPECT_GE(second - first, params_.network_payload_cycles(4096));
+}
+
+TEST_F(MeshTest, DisjointPathsDoNotContend) {
+  net::MeshNetwork net(engine_, params_);
+  Cycles a = 0, b = 0;
+  net.send(0, 1, 1024, [&] { a = engine_.now(); });
+  net.send(14, 15, 1024, [&] { b = engine_.now(); });
+  engine_.run();
+  EXPECT_EQ(a, net.uncontended_latency(0, 1, 1024));
+  EXPECT_EQ(b, net.uncontended_latency(14, 15, 1024));
+}
+
+TEST_F(MeshTest, SelfSendDeliversImmediately) {
+  net::MeshNetwork net(engine_, params_);
+  Cycles arrival = 123;
+  net.send(7, 7, 4096, [&] { arrival = engine_.now(); });
+  engine_.run();
+  EXPECT_EQ(arrival, 0u);
+}
+
+TEST_F(MeshTest, StatsCountMessagesAndBytes) {
+  net::MeshNetwork net(engine_, params_);
+  net.send(0, 1, 100, [] {});
+  net.send(2, 3, 200, [] {});
+  net.send(4, 4, 50, [] {});
+  engine_.run();
+  EXPECT_EQ(net.stats().messages, 3u);
+  EXPECT_EQ(net.stats().bytes, 350u);
+}
+
+TEST_F(MeshTest, SameSourceDestinationIsFifo) {
+  net::MeshNetwork net(engine_, params_);
+  std::vector<int> order;
+  net.send(0, 15, 64, [&] { order.push_back(1); });
+  net.send(0, 15, 64, [&] { order.push_back(2); });
+  net.send(0, 15, 64, [&] { order.push_back(3); });
+  engine_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(MeshTest, BiggerMessagesTakeLonger) {
+  net::MeshNetwork net(engine_, params_);
+  EXPECT_LT(net.uncontended_latency(0, 5, 64), net.uncontended_latency(0, 5, 4096));
+}
+
+TEST_F(MeshTest, SmallMeshWorks) {
+  SystemParams params;
+  params.num_procs = 4;
+  params.mesh_width = 2;
+  net::MeshNetwork net(engine_, params);
+  EXPECT_EQ(net.hop_count(0, 3), 2);
+  Cycles arrival = 0;
+  net.send(0, 3, 128, [&] { arrival = engine_.now(); });
+  engine_.run();
+  EXPECT_EQ(arrival, net.uncontended_latency(0, 3, 128));
+}
+
+}  // namespace
+}  // namespace aecdsm::test
