@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_updateset.dir/bench_ablation_updateset.cpp.o"
+  "CMakeFiles/bench_ablation_updateset.dir/bench_ablation_updateset.cpp.o.d"
+  "bench_ablation_updateset"
+  "bench_ablation_updateset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_updateset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_runtime_lap.dir/bench_fig4_runtime_lap.cpp.o"
+  "CMakeFiles/bench_fig4_runtime_lap.dir/bench_fig4_runtime_lap.cpp.o.d"
+  "bench_fig4_runtime_lap"
+  "bench_fig4_runtime_lap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_runtime_lap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fig6_tm_vs_aec.dir/bench_fig5_fig6_tm_vs_aec.cpp.o"
+  "CMakeFiles/bench_fig5_fig6_tm_vs_aec.dir/bench_fig5_fig6_tm_vs_aec.cpp.o.d"
+  "bench_fig5_fig6_tm_vs_aec"
+  "bench_fig5_fig6_tm_vs_aec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig6_tm_vs_aec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5_fig6_tm_vs_aec.
+# This may be replaced when dependencies are built.

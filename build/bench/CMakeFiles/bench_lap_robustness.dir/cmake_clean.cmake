@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lap_robustness.dir/bench_lap_robustness.cpp.o"
+  "CMakeFiles/bench_lap_robustness.dir/bench_lap_robustness.cpp.o.d"
+  "bench_lap_robustness"
+  "bench_lap_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lap_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

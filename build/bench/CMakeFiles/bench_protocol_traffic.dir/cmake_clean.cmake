@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_traffic.dir/bench_protocol_traffic.cpp.o"
+  "CMakeFiles/bench_protocol_traffic.dir/bench_protocol_traffic.cpp.o.d"
+  "bench_protocol_traffic"
+  "bench_protocol_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_syncevents.dir/bench_table2_syncevents.cpp.o"
+  "CMakeFiles/bench_table2_syncevents.dir/bench_table2_syncevents.cpp.o.d"
+  "bench_table2_syncevents"
+  "bench_table2_syncevents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_syncevents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

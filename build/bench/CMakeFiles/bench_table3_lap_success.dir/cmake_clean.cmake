@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lap_success.dir/bench_table3_lap_success.cpp.o"
+  "CMakeFiles/bench_table3_lap_success.dir/bench_table3_lap_success.cpp.o.d"
+  "bench_table3_lap_success"
+  "bench_table3_lap_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lap_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_diff_stats.cpp" "bench/CMakeFiles/bench_table4_diff_stats.dir/bench_table4_diff_stats.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_diff_stats.dir/bench_table4_diff_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/aecdsm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/aecdsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmk/CMakeFiles/aecdsm_tmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/erc/CMakeFiles/aecdsm_erc.dir/DependInfo.cmake"
+  "/root/repo/build/src/aec/CMakeFiles/aecdsm_aec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/aecdsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aecdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aecdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aecdsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aecdsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

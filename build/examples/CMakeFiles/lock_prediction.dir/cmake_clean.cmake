@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_prediction.dir/lock_prediction.cpp.o"
+  "CMakeFiles/lock_prediction.dir/lock_prediction.cpp.o.d"
+  "lock_prediction"
+  "lock_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_aec.dir/lap.cpp.o"
+  "CMakeFiles/aecdsm_aec.dir/lap.cpp.o.d"
+  "CMakeFiles/aecdsm_aec.dir/protocol.cpp.o"
+  "CMakeFiles/aecdsm_aec.dir/protocol.cpp.o.d"
+  "CMakeFiles/aecdsm_aec.dir/suite.cpp.o"
+  "CMakeFiles/aecdsm_aec.dir/suite.cpp.o.d"
+  "libaecdsm_aec.a"
+  "libaecdsm_aec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_aec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/aecdsm_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/aecdsm_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/is.cpp" "src/apps/CMakeFiles/aecdsm_apps.dir/is.cpp.o" "gcc" "src/apps/CMakeFiles/aecdsm_apps.dir/is.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/apps/CMakeFiles/aecdsm_apps.dir/ocean.cpp.o" "gcc" "src/apps/CMakeFiles/aecdsm_apps.dir/ocean.cpp.o.d"
+  "/root/repo/src/apps/raytrace.cpp" "src/apps/CMakeFiles/aecdsm_apps.dir/raytrace.cpp.o" "gcc" "src/apps/CMakeFiles/aecdsm_apps.dir/raytrace.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/aecdsm_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/aecdsm_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/water_ns.cpp" "src/apps/CMakeFiles/aecdsm_apps.dir/water_ns.cpp.o" "gcc" "src/apps/CMakeFiles/aecdsm_apps.dir/water_ns.cpp.o.d"
+  "/root/repo/src/apps/water_sp.cpp" "src/apps/CMakeFiles/aecdsm_apps.dir/water_sp.cpp.o" "gcc" "src/apps/CMakeFiles/aecdsm_apps.dir/water_sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/aecdsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aecdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aecdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aecdsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aecdsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

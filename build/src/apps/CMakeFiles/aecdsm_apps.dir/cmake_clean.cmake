@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_apps.dir/fft.cpp.o"
+  "CMakeFiles/aecdsm_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/aecdsm_apps.dir/is.cpp.o"
+  "CMakeFiles/aecdsm_apps.dir/is.cpp.o.d"
+  "CMakeFiles/aecdsm_apps.dir/ocean.cpp.o"
+  "CMakeFiles/aecdsm_apps.dir/ocean.cpp.o.d"
+  "CMakeFiles/aecdsm_apps.dir/raytrace.cpp.o"
+  "CMakeFiles/aecdsm_apps.dir/raytrace.cpp.o.d"
+  "CMakeFiles/aecdsm_apps.dir/registry.cpp.o"
+  "CMakeFiles/aecdsm_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/aecdsm_apps.dir/water_ns.cpp.o"
+  "CMakeFiles/aecdsm_apps.dir/water_ns.cpp.o.d"
+  "CMakeFiles/aecdsm_apps.dir/water_sp.cpp.o"
+  "CMakeFiles/aecdsm_apps.dir/water_sp.cpp.o.d"
+  "libaecdsm_apps.a"
+  "libaecdsm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_common.dir/log.cpp.o"
+  "CMakeFiles/aecdsm_common.dir/log.cpp.o.d"
+  "CMakeFiles/aecdsm_common.dir/params.cpp.o"
+  "CMakeFiles/aecdsm_common.dir/params.cpp.o.d"
+  "libaecdsm_common.a"
+  "libaecdsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

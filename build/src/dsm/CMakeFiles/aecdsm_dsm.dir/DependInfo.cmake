@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/context.cpp" "src/dsm/CMakeFiles/aecdsm_dsm.dir/context.cpp.o" "gcc" "src/dsm/CMakeFiles/aecdsm_dsm.dir/context.cpp.o.d"
+  "/root/repo/src/dsm/machine.cpp" "src/dsm/CMakeFiles/aecdsm_dsm.dir/machine.cpp.o" "gcc" "src/dsm/CMakeFiles/aecdsm_dsm.dir/machine.cpp.o.d"
+  "/root/repo/src/dsm/system.cpp" "src/dsm/CMakeFiles/aecdsm_dsm.dir/system.cpp.o" "gcc" "src/dsm/CMakeFiles/aecdsm_dsm.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aecdsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aecdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aecdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aecdsm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_dsm.dir/context.cpp.o"
+  "CMakeFiles/aecdsm_dsm.dir/context.cpp.o.d"
+  "CMakeFiles/aecdsm_dsm.dir/machine.cpp.o"
+  "CMakeFiles/aecdsm_dsm.dir/machine.cpp.o.d"
+  "CMakeFiles/aecdsm_dsm.dir/system.cpp.o"
+  "CMakeFiles/aecdsm_dsm.dir/system.cpp.o.d"
+  "libaecdsm_dsm.a"
+  "libaecdsm_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

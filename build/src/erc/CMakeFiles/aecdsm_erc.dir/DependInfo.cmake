@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/erc/protocol.cpp" "src/erc/CMakeFiles/aecdsm_erc.dir/protocol.cpp.o" "gcc" "src/erc/CMakeFiles/aecdsm_erc.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/aecdsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/aec/CMakeFiles/aecdsm_aec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aecdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aecdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aecdsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aecdsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_erc.dir/protocol.cpp.o"
+  "CMakeFiles/aecdsm_erc.dir/protocol.cpp.o.d"
+  "libaecdsm_erc.a"
+  "libaecdsm_erc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_erc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

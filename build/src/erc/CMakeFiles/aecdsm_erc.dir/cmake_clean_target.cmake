@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaecdsm_erc.a"
+)

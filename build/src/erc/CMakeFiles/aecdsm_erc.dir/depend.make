@@ -1,0 +1,2 @@
+# Empty dependencies file for aecdsm_erc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/format.cpp" "src/harness/CMakeFiles/aecdsm_harness.dir/format.cpp.o" "gcc" "src/harness/CMakeFiles/aecdsm_harness.dir/format.cpp.o.d"
+  "/root/repo/src/harness/lap_report.cpp" "src/harness/CMakeFiles/aecdsm_harness.dir/lap_report.cpp.o" "gcc" "src/harness/CMakeFiles/aecdsm_harness.dir/lap_report.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/harness/CMakeFiles/aecdsm_harness.dir/runner.cpp.o" "gcc" "src/harness/CMakeFiles/aecdsm_harness.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/aecdsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/aec/CMakeFiles/aecdsm_aec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmk/CMakeFiles/aecdsm_tmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/erc/CMakeFiles/aecdsm_erc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/aecdsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aecdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aecdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aecdsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aecdsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_harness.dir/format.cpp.o"
+  "CMakeFiles/aecdsm_harness.dir/format.cpp.o.d"
+  "CMakeFiles/aecdsm_harness.dir/lap_report.cpp.o"
+  "CMakeFiles/aecdsm_harness.dir/lap_report.cpp.o.d"
+  "CMakeFiles/aecdsm_harness.dir/runner.cpp.o"
+  "CMakeFiles/aecdsm_harness.dir/runner.cpp.o.d"
+  "libaecdsm_harness.a"
+  "libaecdsm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_mem.dir/diff.cpp.o"
+  "CMakeFiles/aecdsm_mem.dir/diff.cpp.o.d"
+  "libaecdsm_mem.a"
+  "libaecdsm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

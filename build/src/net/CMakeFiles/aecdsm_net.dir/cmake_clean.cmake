@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_net.dir/mesh.cpp.o"
+  "CMakeFiles/aecdsm_net.dir/mesh.cpp.o.d"
+  "libaecdsm_net.a"
+  "libaecdsm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_sim.dir/cothread.cpp.o"
+  "CMakeFiles/aecdsm_sim.dir/cothread.cpp.o.d"
+  "CMakeFiles/aecdsm_sim.dir/processor.cpp.o"
+  "CMakeFiles/aecdsm_sim.dir/processor.cpp.o.d"
+  "libaecdsm_sim.a"
+  "libaecdsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

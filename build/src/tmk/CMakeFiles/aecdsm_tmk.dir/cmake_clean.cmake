@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aecdsm_tmk.dir/protocol.cpp.o"
+  "CMakeFiles/aecdsm_tmk.dir/protocol.cpp.o.d"
+  "libaecdsm_tmk.a"
+  "libaecdsm_tmk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aecdsm_tmk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

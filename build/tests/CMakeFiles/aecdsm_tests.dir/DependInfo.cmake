@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aec_units.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_aec_units.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_aec_units.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_apps_structure.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_apps_structure.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_apps_structure.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_diff.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_diff.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_diff.cpp.o.d"
+  "/root/repo/tests/test_dsm_context.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_dsm_context.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_dsm_context.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_erc_units.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_erc_units.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_erc_units.cpp.o.d"
+  "/root/repo/tests/test_failure_modes.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_failure_modes.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_failure_modes.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_lap.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_lap.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_lap.cpp.o.d"
+  "/root/repo/tests/test_mem_models.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_mem_models.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_mem_models.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_property_random.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_property_random.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_property_random.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_tmk_units.cpp" "tests/CMakeFiles/aecdsm_tests.dir/test_tmk_units.cpp.o" "gcc" "tests/CMakeFiles/aecdsm_tests.dir/test_tmk_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/aecdsm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/aecdsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/aec/CMakeFiles/aecdsm_aec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmk/CMakeFiles/aecdsm_tmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/erc/CMakeFiles/aecdsm_erc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/aecdsm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aecdsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aecdsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aecdsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aecdsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
