@@ -4,36 +4,41 @@
 // applications.
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
 #include "harness/lap_report.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  harness::print_header(std::cout,
-                        "Ablation: affinity-set threshold (AEC, 16 procs, K = 2)");
-  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(12)
-            << "threshold" << std::setw(10) << "LAP" << std::setw(14) << "finish(M)"
-            << "\n";
+  harness::ExperimentPlan plan;
+  plan.name = "ablation_affinity";
   for (const std::string& app : {std::string("Raytrace"), std::string("Water-ns"),
                                  std::string("Ocean")}) {
     for (const double threshold : {0.0, 0.3, 0.6, 1.0, 2.0}) {
       SystemParams params = harness::paper_params();
       params.affinity_threshold = threshold;
-      const auto r = harness::run_experiment("AEC", app, apps::Scale::kDefault, params);
-      const auto scores = harness::lap_scores_of(r);
-      aec::PredictorScore total;
-      for (const auto& [l, s] : scores) {
-        total.predictions += s.lap.predictions;
-        total.hits += s.lap.hits;
-      }
-      std::cout << std::left << std::setw(12) << app << std::right << std::fixed
-                << std::setw(11) << std::setprecision(0) << threshold * 100.0 << "%"
-                << std::setw(9) << std::setprecision(1) << total.rate() * 100.0 << "%"
-                << std::setw(14) << std::setprecision(2) << r.stats.finish_time / 1e6
-                << "\n";
+      std::ostringstream label;
+      label << app << "/threshold=" << threshold;
+      plan.add("AEC", app, apps::Scale::kDefault, params).label = label.str();
     }
   }
-  return 0;
+  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
+    harness::print_header(std::cout,
+                          "Ablation: affinity-set threshold (AEC, 16 procs, K = 2)");
+    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(12)
+              << "threshold" << std::setw(10) << "LAP" << std::setw(14) << "finish(M)"
+              << "\n";
+    for (std::size_t i = 0; i < r.results.size(); ++i) {
+      const auto& res = r.results[i];
+      const double threshold = r.plan.cells[i].params.affinity_threshold;
+      const auto total = harness::total_lap_score(res);
+      std::cout << std::left << std::setw(12) << res.stats.app << std::right
+                << std::fixed << std::setw(11) << std::setprecision(0)
+                << threshold * 100.0 << "%" << std::setw(9) << std::setprecision(1)
+                << total.rate() * 100.0 << "%" << std::setw(14) << std::setprecision(2)
+                << res.stats.finish_time / 1e6 << "\n";
+    }
+  });
 }

@@ -5,34 +5,37 @@
 #include <iomanip>
 #include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
 #include "harness/lap_report.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  harness::print_header(std::cout, "Ablation: update-set size K (AEC, 16 procs)");
-  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(4) << "K"
-            << std::setw(10) << "LAP" << std::setw(14) << "finish(M)" << std::setw(12)
-            << "msgs" << std::setw(14) << "MB moved" << "\n";
+  harness::ExperimentPlan plan;
+  plan.name = "ablation_updateset";
   for (const std::string& app : apps::app_names()) {
     for (int k = 1; k <= 3; ++k) {
       SystemParams params = harness::paper_params();
       params.update_set_size = k;
-      const auto r = harness::run_experiment("AEC", app, apps::Scale::kDefault, params);
-      const auto scores = harness::lap_scores_of(r);
-      aec::PredictorScore total;
-      for (const auto& [l, s] : scores) {
-        total.predictions += s.lap.predictions;
-        total.hits += s.lap.hits;
-      }
-      std::cout << std::left << std::setw(12) << app << std::right << std::setw(4) << k
-                << std::setw(9) << std::fixed << std::setprecision(1)
-                << total.rate() * 100.0 << "%" << std::setw(14)
-                << std::setprecision(2) << r.stats.finish_time / 1e6 << std::setw(12)
-                << r.stats.msgs.messages << std::setw(14) << std::setprecision(2)
-                << static_cast<double>(r.stats.msgs.bytes) / 1e6 << "\n";
+      plan.add("AEC", app, apps::Scale::kDefault, params).label =
+          app + "/K=" + std::to_string(k);
     }
   }
-  return 0;
+  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
+    harness::print_header(std::cout, "Ablation: update-set size K (AEC, 16 procs)");
+    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(4)
+              << "K" << std::setw(10) << "LAP" << std::setw(14) << "finish(M)"
+              << std::setw(12) << "msgs" << std::setw(14) << "MB moved" << "\n";
+    for (std::size_t i = 0; i < r.results.size(); ++i) {
+      const auto& res = r.results[i];
+      const int k = r.plan.cells[i].params.update_set_size;
+      const auto total = harness::total_lap_score(res);
+      std::cout << std::left << std::setw(12) << res.stats.app << std::right
+                << std::setw(4) << k << std::setw(9) << std::fixed
+                << std::setprecision(1) << total.rate() * 100.0 << "%" << std::setw(14)
+                << std::setprecision(2) << res.stats.finish_time / 1e6 << std::setw(12)
+                << res.stats.msgs.messages << std::setw(14) << std::setprecision(2)
+                << static_cast<double>(res.stats.msgs.bytes) / 1e6 << "\n";
+    }
+  });
 }

@@ -3,29 +3,34 @@
 #include <iomanip>
 #include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  harness::print_header(std::cout,
-                        "Figure 3: Access fault overhead, AEC-noLAP (=100) vs AEC");
-  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
-            << "noLAP" << std::setw(8) << "LAP" << std::setw(14) << "reduction"
-            << "\n";
-  for (const std::string& app : {std::string("IS"), std::string("Raytrace"),
-                                 std::string("Water-ns")}) {
-    const auto nolap = harness::run_experiment("AEC-noLAP", app, apps::Scale::kDefault,
-                                               harness::paper_params());
-    const auto lap = harness::run_experiment("AEC", app, apps::Scale::kDefault,
-                                             harness::paper_params());
-    const double base = static_cast<double>(nolap.stats.faults.fault_cycles);
-    const double with = static_cast<double>(lap.stats.faults.fault_cycles);
-    const double norm = base == 0.0 ? 0.0 : with / base * 100.0;
-    std::cout << std::left << std::setw(12) << app << std::right << std::fixed
-              << std::setprecision(0) << std::setw(10) << 100.0 << std::setw(8)
-              << norm << std::setw(13) << std::setprecision(1) << (100.0 - norm)
-              << "%" << "\n";
+  harness::ExperimentPlan plan;
+  plan.name = "fig3_fault_overhead";
+  const std::vector<std::string> apps_list = {"IS", "Raytrace", "Water-ns"};
+  for (const std::string& app : apps_list) {
+    plan.add("AEC-noLAP", app);
+    plan.add("AEC", app);
   }
-  return 0;
+  return harness::run_bench(argc, argv, plan, [&](harness::BenchReport& r) {
+    harness::print_header(std::cout,
+                          "Figure 3: Access fault overhead, AEC-noLAP (=100) vs AEC");
+    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
+              << "noLAP" << std::setw(8) << "LAP" << std::setw(14) << "reduction"
+              << "\n";
+    for (const std::string& app : apps_list) {
+      const auto& nolap = r.result("AEC-noLAP/" + app);
+      const auto& lap = r.result("AEC/" + app);
+      const double base = static_cast<double>(nolap.stats.faults.fault_cycles);
+      const double with = static_cast<double>(lap.stats.faults.fault_cycles);
+      const double norm = base == 0.0 ? 0.0 : with / base * 100.0;
+      std::cout << std::left << std::setw(12) << app << std::right << std::fixed
+                << std::setprecision(0) << std::setw(10) << 100.0 << std::setw(8)
+                << norm << std::setw(13) << std::setprecision(1) << (100.0 - norm)
+                << "%" << "\n";
+    }
+  });
 }

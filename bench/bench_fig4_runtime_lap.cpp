@@ -3,21 +3,26 @@
 // applications.
 #include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  for (const std::string& app : {std::string("IS"), std::string("Raytrace"),
-                                 std::string("Water-ns")}) {
-    const auto nolap = harness::run_experiment("AEC-noLAP", app, apps::Scale::kDefault,
-                                               harness::paper_params());
-    const auto lap = harness::run_experiment("AEC", app, apps::Scale::kDefault,
-                                             harness::paper_params());
-    harness::print_breakdown_figure(
-        std::cout, "Figure 4: " + app + " running time, AEC-noLAP (=100) vs AEC",
-        {{"AEC-noLAP", nolap.stats.aggregate(), nolap.stats.finish_time},
-         {"AEC", lap.stats.aggregate(), lap.stats.finish_time}});
+  harness::ExperimentPlan plan;
+  plan.name = "fig4_runtime_lap";
+  const std::vector<std::string> apps_list = {"IS", "Raytrace", "Water-ns"};
+  for (const std::string& app : apps_list) {
+    plan.add("AEC-noLAP", app);
+    plan.add("AEC", app);
   }
-  return 0;
+  return harness::run_bench(argc, argv, plan, [&](harness::BenchReport& r) {
+    for (const std::string& app : apps_list) {
+      const auto& nolap = r.result("AEC-noLAP/" + app);
+      const auto& lap = r.result("AEC/" + app);
+      harness::print_breakdown_figure(
+          std::cout, "Figure 4: " + app + " running time, AEC-noLAP (=100) vs AEC",
+          {{"AEC-noLAP", nolap.stats.aggregate(), nolap.stats.finish_time},
+           {"AEC", lap.stats.aggregate(), lap.stats.finish_time}});
+    }
+  });
 }

@@ -4,26 +4,33 @@
 // Water-ns).
 #include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
   const std::vector<std::pair<std::string, std::vector<std::string>>> figures = {
       {"Figure 5", {"FFT", "Ocean", "Water-sp"}},
       {"Figure 6", {"IS", "Raytrace", "Water-ns"}},
   };
+  harness::ExperimentPlan plan;
+  plan.name = "fig5_fig6_tm_vs_aec";
   for (const auto& [fig, apps_list] : figures) {
     for (const std::string& app : apps_list) {
-      const auto tm = harness::run_experiment("TreadMarks", app, apps::Scale::kDefault,
-                                              harness::paper_params());
-      const auto aec = harness::run_experiment("AEC", app, apps::Scale::kDefault,
-                                               harness::paper_params());
-      harness::print_breakdown_figure(
-          std::cout, fig + ": " + app + " execution time, TreadMarks (=100) vs AEC",
-          {{"TreadMarks", tm.stats.aggregate(), tm.stats.finish_time},
-           {"AEC", aec.stats.aggregate(), aec.stats.finish_time}});
+      plan.add("TreadMarks", app);
+      plan.add("AEC", app);
     }
   }
-  return 0;
+  return harness::run_bench(argc, argv, plan, [&](harness::BenchReport& r) {
+    for (const auto& [fig, apps_list] : figures) {
+      for (const std::string& app : apps_list) {
+        const auto& tm = r.result("TreadMarks/" + app);
+        const auto& aec = r.result("AEC/" + app);
+        harness::print_breakdown_figure(
+            std::cout, fig + ": " + app + " execution time, TreadMarks (=100) vs AEC",
+            {{"TreadMarks", tm.stats.aggregate(), tm.stats.finish_time},
+             {"AEC", aec.stats.aggregate(), aec.stats.finish_time}});
+      }
+    }
+  });
 }

@@ -7,36 +7,34 @@
 #include <iomanip>
 #include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
 #include "harness/lap_report.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  harness::print_header(
-      std::cout, "LAP robustness: success rate under AEC / TreadMarks / ERC (16 procs)");
-  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(12)
-            << "AEC LAP" << std::setw(14) << "TM LAP" << std::setw(14) << "ERC LAP"
-            << "\n";
+  harness::ExperimentPlan plan;
+  plan.name = "lap_robustness";
   for (const std::string& app : apps::app_names()) {
-    auto rate_of = [&](const std::string& proto) {
-      const auto r =
-          harness::run_experiment(proto, app, apps::Scale::kDefault, harness::paper_params());
-      const auto scores = harness::lap_scores_of(r);
-      aec::PredictorScore total;
-      for (const auto& [l, s] : scores) {
-        total.predictions += s.lap.predictions;
-        total.hits += s.lap.hits;
-      }
-      return total.rate();
-    };
-    const double a = rate_of("AEC");
-    const double t = rate_of("TreadMarks");
-    const double e = rate_of("Munin-ERC");
-    std::cout << std::left << std::setw(12) << app << std::right << std::fixed
-              << std::setw(11) << std::setprecision(1) << a * 100.0 << "%"
-              << std::setw(13) << t * 100.0 << "%" << std::setw(13) << e * 100.0
-              << "%" << "\n";
+    for (const char* proto : {"AEC", "TreadMarks", "Munin-ERC"}) {
+      plan.add(proto, app);
+    }
   }
-  return 0;
+  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
+    harness::print_header(
+        std::cout,
+        "LAP robustness: success rate under AEC / TreadMarks / ERC (16 procs)");
+    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(12)
+              << "AEC LAP" << std::setw(14) << "TM LAP" << std::setw(14) << "ERC LAP"
+              << "\n";
+    for (const std::string& app : apps::app_names()) {
+      auto rate_of = [&](const std::string& proto) {
+        return harness::total_lap_score(r.result(proto + "/" + app)).rate();
+      };
+      std::cout << std::left << std::setw(12) << app << std::right << std::fixed
+                << std::setw(11) << std::setprecision(1) << rate_of("AEC") * 100.0
+                << "%" << std::setw(13) << rate_of("TreadMarks") * 100.0 << "%"
+                << std::setw(13) << rate_of("Munin-ERC") * 100.0 << "%" << "\n";
+    }
+  });
 }

@@ -1,10 +1,11 @@
 // Google-benchmark microbenchmarks of the host-side cost of the simulator's
-// core primitives (diff machinery, interconnect model, event engine). These
-// measure the *simulator's* speed, complementing the experiment drivers
-// that measure *simulated* time.
+// core primitives (diff machinery, interconnect model, event engine, batch
+// runner). These measure the *simulator's* speed, complementing the
+// experiment drivers that measure *simulated* time.
 #include <benchmark/benchmark.h>
 
 #include "common/params.hpp"
+#include "harness/batch.hpp"
 #include "mem/diff.hpp"
 #include "net/mesh.hpp"
 #include "sim/engine.hpp"
@@ -94,6 +95,39 @@ void BM_EngineEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEvents);
 
+void BM_BatchRunnerSmallPlan(benchmark::State& state) {
+  // Host-side throughput of the batch scheduler itself: a small-scale plan
+  // of independent simulations executed at the given worker count.
+  SystemParams params;
+  params.num_procs = 4;
+  params.mesh_width = 2;
+  params.page_bytes = 256;
+  params.cache_bytes = 8 * 1024;
+  harness::ExperimentPlan plan;
+  plan.name = "micro_batch";
+  for (int i = 0; i < 4; ++i) {
+    plan.add("AEC", "IS", apps::Scale::kSmall, params);
+  }
+  harness::BatchOptions opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  opts.json_path = "off";
+  for (auto _ : state) {
+    harness::BatchRunner runner(opts);
+    auto results = runner.run(plan);
+    benchmark::DoNotOptimize(results.data());
+  }
+}
+BENCHMARK(BM_BatchRunnerSmallPlan)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Batch flags (--jobs/--json) are stripped before google-benchmark parses
+// the rest, so the shared bench CLI works uniformly across all 12 binaries.
+int main(int argc, char** argv) {
+  aecdsm::harness::parse_batch_cli(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

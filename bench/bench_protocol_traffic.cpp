@@ -5,28 +5,34 @@
 // with the Munin-style eager-release-consistency baseline (src/erc),
 // alongside TreadMarks for reference.
 #include <cstdio>
+#include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  harness::print_header(std::cout,
-                        "Protocol traffic: AEC vs TreadMarks vs Munin-ERC (16 procs)");
-  std::printf("%-12s %-12s %12s %12s %14s\n", "application", "protocol", "messages",
-              "MB moved", "finish (M)");
+  harness::ExperimentPlan plan;
+  plan.name = "protocol_traffic";
   for (const std::string& app : apps::app_names()) {
     for (const char* proto : {"AEC", "TreadMarks", "Munin-ERC"}) {
-      const auto r = harness::run_experiment(proto, app, apps::Scale::kDefault,
-                                             harness::paper_params());
-      std::printf("%-12s %-12s %12llu %12.2f %14.2f\n", app.c_str(), proto,
-                  static_cast<unsigned long long>(r.stats.msgs.messages),
-                  static_cast<double>(r.stats.msgs.bytes) / 1e6,
-                  r.stats.finish_time / 1e6);
+      plan.add(proto, app);
     }
   }
-  std::printf("\n(Munin-ERC pushes every release's diffs to all copyset members\n"
-              " and stalls for acknowledgements — the communication volume AEC's\n"
-              " update sets avoid.)\n");
-  return 0;
+  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
+    harness::print_header(std::cout,
+                          "Protocol traffic: AEC vs TreadMarks vs Munin-ERC (16 procs)");
+    std::printf("%-12s %-12s %12s %12s %14s\n", "application", "protocol", "messages",
+                "MB moved", "finish (M)");
+    for (const auto& res : r.results) {
+      std::printf("%-12s %-12s %12llu %12.2f %14.2f\n", res.stats.app.c_str(),
+                  res.stats.protocol.c_str(),
+                  static_cast<unsigned long long>(res.stats.msgs.messages),
+                  static_cast<double>(res.stats.msgs.bytes) / 1e6,
+                  res.stats.finish_time / 1e6);
+    }
+    std::printf("\n(Munin-ERC pushes every release's diffs to all copyset members\n"
+                " and stalls for acknowledgements — the communication volume AEC's\n"
+                " update sets avoid.)\n");
+  });
 }

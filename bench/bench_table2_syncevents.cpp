@@ -4,23 +4,25 @@
 #include <iomanip>
 #include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  harness::print_header(std::cout,
-                        "Table 2: Synchronization events (16 procs, default scaled inputs)");
-  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
-            << "# locks" << std::setw(14) << "# acq events" << std::setw(18)
-            << "# barrier events" << "\n";
-  for (const std::string& app : apps::app_names()) {
-    const auto r = harness::run_experiment("AEC", app, apps::Scale::kDefault,
-                                           harness::paper_params());
-    std::cout << std::left << std::setw(12) << app << std::right << std::setw(10)
-              << r.stats.sync.distinct_locks << std::setw(14)
-              << r.stats.sync.lock_acquires << std::setw(18)
-              << r.stats.sync.barrier_events << "\n";
-  }
-  return 0;
+  harness::ExperimentPlan plan;
+  plan.name = "table2_syncevents";
+  for (const std::string& app : apps::app_names()) plan.add("AEC", app);
+  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
+    harness::print_header(
+        std::cout, "Table 2: Synchronization events (16 procs, default scaled inputs)");
+    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
+              << "# locks" << std::setw(14) << "# acq events" << std::setw(18)
+              << "# barrier events" << "\n";
+    for (const auto& res : r.results) {
+      std::cout << std::left << std::setw(12) << res.stats.app << std::right
+                << std::setw(10) << res.stats.sync.distinct_locks << std::setw(14)
+                << res.stats.sync.lock_acquires << std::setw(18)
+                << res.stats.sync.barrier_events << "\n";
+    }
+  });
 }

@@ -4,21 +4,25 @@
 // combinations (waitQ, waitQ+affinity, waitQ+virtualQ).
 #include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
 #include "harness/lap_report.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  harness::print_header(std::cout, "Table 3: LAP success rates for K = 2 (AEC, 16 procs)");
-  for (const std::string& app : apps::app_names()) {
-    const auto r = harness::run_experiment("AEC", app, apps::Scale::kDefault,
-                                           harness::paper_params());
-    const auto scores = harness::lap_scores_of(r);
-    const auto rows = harness::lap_rows(
-        scores, apps::lock_groups(app, apps::Scale::kDefault, r.stats.num_procs));
-    harness::print_lap_table(std::cout, app, rows);
-    std::cout << "\n";
-  }
-  return 0;
+  harness::ExperimentPlan plan;
+  plan.name = "table3_lap_success";
+  for (const std::string& app : apps::app_names()) plan.add("AEC", app);
+  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
+    harness::print_header(std::cout,
+                          "Table 3: LAP success rates for K = 2 (AEC, 16 procs)");
+    for (const auto& res : r.results) {
+      const auto scores = harness::lap_scores_of(res);
+      const auto rows = harness::lap_rows(
+          scores,
+          apps::lock_groups(res.stats.app, apps::Scale::kDefault, res.stats.num_procs));
+      harness::print_lap_table(std::cout, res.stats.app, rows);
+      std::cout << "\n";
+    }
+  });
 }

@@ -4,20 +4,22 @@
 // behind synchronization waits.
 #include <iostream>
 
+#include "harness/batch.hpp"
 #include "harness/format.hpp"
-#include "harness/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aecdsm;
-  harness::print_header(std::cout, "Table 4: Diff statistics in AEC (16 procs)");
-  std::vector<harness::DiffRow> rows;
-  for (const std::string& app : apps::app_names()) {
-    const auto r = harness::run_experiment("AEC", app, apps::Scale::kDefault,
-                                           harness::paper_params());
-    rows.push_back(harness::DiffRow{app, r.stats.diffs});
-  }
-  harness::print_diff_table(std::cout, rows);
-  std::cout << "\n(Size/MergedSize in bytes; Create in millions of cycles; "
-               "Hidden = share of diff-creation cycles overlapped with waits)\n";
-  return 0;
+  harness::ExperimentPlan plan;
+  plan.name = "table4_diff_stats";
+  for (const std::string& app : apps::app_names()) plan.add("AEC", app);
+  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
+    harness::print_header(std::cout, "Table 4: Diff statistics in AEC (16 procs)");
+    std::vector<harness::DiffRow> rows;
+    for (const auto& res : r.results) {
+      rows.push_back(harness::DiffRow{res.stats.app, res.stats.diffs});
+    }
+    harness::print_diff_table(std::cout, rows);
+    std::cout << "\n(Size/MergedSize in bytes; Create in millions of cycles; "
+                 "Hidden = share of diff-creation cycles overlapped with waits)\n";
+  });
 }

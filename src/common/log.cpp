@@ -1,33 +1,49 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 
 namespace aecdsm::logging {
 
 namespace {
-Level g_level = Level::kOff;
-bool g_env_done = false;
+// The level is the only cross-run mutable state in the logging layer. Batch
+// runs execute simulations on several threads, so it is an atomic read by
+// the hot-path macro and the env lookup happens exactly once per process.
+std::atomic<Level> g_level{Level::kOff};
+std::once_flag g_env_once;
+std::mutex g_emit_mu;
 }  // namespace
 
-Level level() { return g_level; }
+Level level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_level(Level lvl) { g_level = lvl; }
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
 void init_from_env() {
-  if (g_env_done) return;
-  g_env_done = true;
-  const char* v = std::getenv("AECDSM_LOG");
-  if (v == nullptr) return;
-  const std::string s(v);
-  if (s == "debug") g_level = Level::kDebug;
-  else if (s == "info") g_level = Level::kInfo;
-  else if (s == "warn") g_level = Level::kWarn;
+  std::call_once(g_env_once, [] {
+    const char* v = std::getenv("AECDSM_LOG");
+    if (v == nullptr) return;
+    const std::string s(v);
+    if (s == "debug") g_level.store(Level::kDebug, std::memory_order_relaxed);
+    else if (s == "info") g_level.store(Level::kInfo, std::memory_order_relaxed);
+    else if (s == "warn") g_level.store(Level::kWarn, std::memory_order_relaxed);
+  });
 }
 
 namespace detail {
 void emit(Level lvl, const std::string& msg) {
   const char* tag = lvl == Level::kDebug ? "D" : lvl == Level::kInfo ? "I" : "W";
-  std::cerr << "[" << tag << "] " << msg << "\n";
+  // Compose the whole line first and hold the sink mutex for the single
+  // write, so lines from concurrently running simulations never interleave.
+  std::string line;
+  line.reserve(msg.size() + 5);
+  line += '[';
+  line += tag;
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lk(g_emit_mu);
+  std::cerr << line;
 }
 }  // namespace detail
 

@@ -1,0 +1,195 @@
+#include "harness/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+
+#include "common/check.hpp"
+#include "harness/threadpool.hpp"
+
+namespace aecdsm::harness {
+
+ExperimentCell& ExperimentPlan::add(std::string protocol, std::string app,
+                                    apps::Scale scale, SystemParams params,
+                                    std::uint64_t seed) {
+  ExperimentCell cell;
+  cell.label = protocol + "/" + app;
+  cell.protocol = std::move(protocol);
+  cell.app = std::move(app);
+  cell.scale = scale;
+  cell.params = params;
+  cell.seed = seed;
+  cells.push_back(std::move(cell));
+  return cells.back();
+}
+
+namespace {
+
+[[noreturn]] void print_usage_and_exit(const char* argv0) {
+  std::printf(
+      "usage: %s [--jobs N] [--json PATH | --no-json]\n"
+      "  --jobs N     run up to N simulations concurrently\n"
+      "               (default: AECDSM_JOBS, then hardware_concurrency)\n"
+      "  --json PATH  write the batch JSON document to PATH ('-' = stdout;\n"
+      "               default: <plan>.json in the working directory)\n"
+      "  --no-json    skip the JSON artifact\n",
+      argv0);
+  std::exit(0);
+}
+
+/// Value of "--flag V" or "--flag=V"; advances i past a separate value.
+bool flag_value(int argc, char** argv, int& i, const char* flag, std::string& out) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, len) != 0) return false;
+  if (argv[i][len] == '=') {
+    out = argv[i] + len + 1;
+    return true;
+  }
+  if (argv[i][len] == '\0') {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BatchOptions parse_batch_cli(int& argc, char** argv) {
+  BatchOptions opts;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage_and_exit(argv[0]);
+    } else if (flag_value(argc, argv, i, "--jobs", value)) {
+      opts.jobs = std::atoi(value.c_str());
+      if (opts.jobs <= 0) {
+        std::fprintf(stderr, "%s: --jobs wants a positive integer, got '%s'\n",
+                     argv[0], value.c_str());
+        std::exit(2);
+      }
+    } else if (flag_value(argc, argv, i, "--json", value)) {
+      opts.json_path = value.empty() ? std::string("-") : value;
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      opts.json_path = "off";
+    } else {
+      argv[out++] = argv[i];  // leave for the caller (e.g. google-benchmark)
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return opts;
+}
+
+BatchRunner::BatchRunner(BatchOptions opts)
+    : opts_(std::move(opts)), jobs_(ThreadPool::resolve_jobs(opts_.jobs)) {}
+
+std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
+  std::vector<ExperimentResult> results(plan.cells.size());
+  std::vector<std::exception_ptr> errors(plan.cells.size());
+  {
+    // Never spin up more workers than cells; the pool joins in its
+    // destructor after wait_all() saw every cell finish.
+    const int cells = std::max(static_cast<int>(plan.cells.size()), 1);
+    ThreadPool pool(std::min(jobs_, cells));
+    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+      pool.submit([&plan, &results, &errors, i] {
+        const ExperimentCell& cell = plan.cells[i];
+        try {
+          results[i] = run_experiment(cell.protocol, cell.app, cell.scale,
+                                      cell.params, cell.seed);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_all();
+  }
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i]) {
+      std::fprintf(stderr, "batch '%s': cell %zu (%s) failed\n", plan.name.c_str(),
+                   i, plan.cells[i].label.c_str());
+      std::rethrow_exception(errors[i]);
+    }
+  }
+  return results;
+}
+
+json::Value BatchRunner::document(const ExperimentPlan& plan,
+                                  const std::vector<ExperimentResult>& results) {
+  AECDSM_CHECK(plan.cells.size() == results.size());
+  json::Value doc = json::Value::object();
+  doc["schema"] = json::Value("aecdsm-batch-v1");
+  doc["plan"] = json::Value(plan.name);
+  json::Value cells = json::Value::array();
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    const ExperimentCell& cell = plan.cells[i];
+    json::Value c = json::Value::object();
+    c["label"] = json::Value(cell.label);
+    c["protocol"] = json::Value(cell.protocol);
+    c["app"] = json::Value(cell.app);
+    c["scale"] = json::Value(cell.scale == apps::Scale::kSmall ? "small" : "default");
+    c["seed"] = json::Value(cell.seed);
+    c["params"] = to_json(cell.params);
+    c["stats"] = to_json(results[i].stats);
+    c["lap"] = lap_json(results[i]);
+    cells.append(std::move(c));
+  }
+  doc["cells"] = std::move(cells);
+  return doc;
+}
+
+void BatchRunner::write_json(const ExperimentPlan& plan, const json::Value& doc) const {
+  if (opts_.json_path == "off") return;
+  if (opts_.json_path == "-") {
+    doc.write(std::cout);
+    std::cout << "\n";
+    return;
+  }
+  const std::string path =
+      opts_.json_path.empty() ? plan.name + ".json" : opts_.json_path;
+  std::ofstream out(path);
+  AECDSM_CHECK_MSG(out.good(), "cannot open JSON output file: " << path);
+  doc.write(out);
+  out << "\n";
+  std::fprintf(stderr, "[batch] %s: %zu cells, jobs=%d, wrote %s\n",
+               plan.name.c_str(), plan.cells.size(), jobs_, path.c_str());
+}
+
+const ExperimentResult& BenchReport::result(const std::string& label) const {
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    if (plan.cells[i].label == label) return results[i];
+  }
+  AECDSM_CHECK_MSG(false, "no cell labelled '" << label << "' in plan " << plan.name);
+}
+
+int run_bench(int argc, char** argv, const ExperimentPlan& plan,
+              const std::function<void(BenchReport&)>& report) {
+  BatchOptions opts = parse_batch_cli(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0], argv[i]);
+    return 2;
+  }
+  try {
+    BatchRunner runner(std::move(opts));
+    const std::vector<ExperimentResult> results = runner.run(plan);
+    json::Value doc = BatchRunner::document(plan, results);
+    BenchReport rep{plan, results, doc};
+    report(rep);
+    runner.write_json(plan, doc);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace aecdsm::harness

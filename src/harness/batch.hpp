@@ -1,0 +1,101 @@
+// Batch experiment subsystem: a declarative ExperimentPlan over
+// (protocol, app, scale, params, seed) cells, executed concurrently on a
+// thread pool by BatchRunner. Cells are independent deterministic
+// simulations, so results are collected in plan order and the emitted JSON
+// document is identical for any --jobs setting.
+//
+// Every bench binary routes through run_bench(): it parses the shared CLI
+// (--jobs N / AECDSM_JOBS, --json PATH | - | --no-json), runs the plan,
+// writes one JSON artifact per batch, and hands the plan-ordered results to
+// the bench's report callback for the human-readable tables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/params.hpp"
+#include "harness/json_out.hpp"
+#include "harness/runner.hpp"
+
+namespace aecdsm::harness {
+
+/// One independent simulation in a batch.
+struct ExperimentCell {
+  std::string label;  ///< row key for reports and the JSON document
+  std::string protocol;
+  std::string app;
+  apps::Scale scale = apps::Scale::kDefault;
+  SystemParams params;
+  std::uint64_t seed = 42;
+};
+
+/// An ordered set of cells; the whole Figure/Table cross-product of a bench.
+struct ExperimentPlan {
+  std::string name;  ///< batch name; default JSON artifact is "<name>.json"
+  std::vector<ExperimentCell> cells;
+
+  /// Append a cell (label defaults to "protocol/app") and return it for
+  /// per-cell tweaks: plan.add("AEC", "IS").params.update_set_size = 3;
+  ExperimentCell& add(std::string protocol, std::string app,
+                      apps::Scale scale = apps::Scale::kDefault,
+                      SystemParams params = SystemParams{}, std::uint64_t seed = 42);
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 resolves via AECDSM_JOBS then hardware_concurrency.
+  int jobs = 0;
+  /// JSON artifact destination: "" = "<plan.name>.json", "-" = stdout,
+  /// "off" = disabled.
+  std::string json_path;
+};
+
+/// Strip the shared batch flags (--jobs, --json, --no-json) out of
+/// argc/argv, leaving unrecognized arguments in place for the caller.
+/// --help prints usage and exits.
+BatchOptions parse_batch_cli(int& argc, char** argv);
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions opts = {});
+
+  /// Execute every cell, up to jobs() concurrently. Results come back in
+  /// plan order regardless of completion order; the first cell failure is
+  /// rethrown after all in-flight cells finish.
+  std::vector<ExperimentResult> run(const ExperimentPlan& plan);
+
+  /// Deterministic JSON document for a finished batch (schema
+  /// "aecdsm-batch-v1"): plan metadata plus, per cell, the full RunStats
+  /// breakdown and LAP scores. Independent of the jobs setting.
+  static json::Value document(const ExperimentPlan& plan,
+                              const std::vector<ExperimentResult>& results);
+
+  /// Emit `doc` according to the options (file, stdout, or disabled).
+  void write_json(const ExperimentPlan& plan, const json::Value& doc) const;
+
+  int jobs() const { return jobs_; }
+
+ private:
+  BatchOptions opts_;
+  int jobs_;
+};
+
+/// Results of a batch, handed to a bench's report callback. `doc` is the
+/// JSON document about to be written; reports may attach derived sections.
+struct BenchReport {
+  const ExperimentPlan& plan;
+  const std::vector<ExperimentResult>& results;
+  json::Value& doc;
+
+  /// Result of the first cell whose label matches (checked).
+  const ExperimentResult& result(const std::string& label) const;
+};
+
+/// Shared main() body for the bench binaries: parse the batch CLI, run the
+/// plan, print tables via `report`, write the JSON artifact. Returns the
+/// process exit code.
+int run_bench(int argc, char** argv, const ExperimentPlan& plan,
+              const std::function<void(BenchReport&)>& report);
+
+}  // namespace aecdsm::harness

@@ -1,0 +1,274 @@
+#include "harness/json_out.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "harness/lap_report.hpp"
+
+namespace aecdsm::harness::json {
+
+namespace {
+
+void write_double(std::ostream& os, double d) {
+  // Shortest round-trip form, locale-independent: the document must be
+  // byte-stable for artifact diffing.
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  os.write(buf, res.ptr - buf);
+}
+
+void write_indent(std::ostream& os, int indent) {
+  os << '\n';
+  for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+}  // namespace
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  AECDSM_CHECK_MSG(kind_ == Kind::kObject, "json: operator[] on non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, Value());
+  return members_.back().second;
+}
+
+Value& Value::append(Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  AECDSM_CHECK_MSG(kind_ == Kind::kArray, "json: append on non-array");
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+void Value::write(std::ostream& os, int indent) const {
+  const bool pretty = indent >= 0;
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kInt: os << int_; break;
+    case Kind::kUint: os << uint_; break;
+    case Kind::kDouble: write_double(os, double_); break;
+    case Kind::kString: os << quote(string_); break;
+    case Kind::kArray: {
+      if (items_.empty()) { os << "[]"; break; }
+      os << '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) os << ',';
+        if (pretty) write_indent(os, indent + 1);
+        items_[i].write(os, pretty ? indent + 1 : -1);
+      }
+      if (pretty) write_indent(os, indent);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) { os << "{}"; break; }
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) os << ',';
+        if (pretty) write_indent(os, indent + 1);
+        os << quote(members_[i].first) << (pretty ? ": " : ":");
+        members_[i].second.write(os, pretty ? indent + 1 : -1);
+      }
+      if (pretty) write_indent(os, indent);
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+}  // namespace aecdsm::harness::json
+
+namespace aecdsm::harness {
+
+using json::Value;
+
+Value to_json(const TimeBreakdown& t) {
+  Value v = Value::object();
+  v["busy"] = Value(t.busy);
+  v["data"] = Value(t.data);
+  v["synch"] = Value(t.synch);
+  v["ipc"] = Value(t.ipc);
+  v["others_cache"] = Value(t.others_cache);
+  v["others_tlb"] = Value(t.others_tlb);
+  v["others_wb"] = Value(t.others_wb);
+  v["others_misc"] = Value(t.others_misc);
+  v["others"] = Value(t.others());
+  v["total"] = Value(t.total());
+  return v;
+}
+
+Value to_json(const DiffStats& d) {
+  Value v = Value::object();
+  v["diffs_created"] = Value(d.diffs_created);
+  v["diff_bytes"] = Value(d.diff_bytes);
+  v["merged_diffs"] = Value(d.merged_diffs);
+  v["merged_result_count"] = Value(d.merged_result_count);
+  v["merged_result_bytes"] = Value(d.merged_result_bytes);
+  v["create_cycles"] = Value(d.create_cycles);
+  v["create_hidden_cycles"] = Value(d.create_hidden_cycles);
+  v["apply_cycles"] = Value(d.apply_cycles);
+  v["apply_hidden_cycles"] = Value(d.apply_hidden_cycles);
+  v["diffs_applied"] = Value(d.diffs_applied);
+  return v;
+}
+
+Value to_json(const FaultStats& f) {
+  Value v = Value::object();
+  v["read_faults"] = Value(f.read_faults);
+  v["write_faults"] = Value(f.write_faults);
+  v["cold_faults"] = Value(f.cold_faults);
+  v["faults_inside_cs"] = Value(f.faults_inside_cs);
+  v["fault_cycles"] = Value(f.fault_cycles);
+  return v;
+}
+
+Value to_json(const MsgStats& m) {
+  Value v = Value::object();
+  v["messages"] = Value(m.messages);
+  v["bytes"] = Value(m.bytes);
+  return v;
+}
+
+Value to_json(const SyncStats& s) {
+  Value v = Value::object();
+  v["lock_acquires"] = Value(s.lock_acquires);
+  v["barrier_events"] = Value(s.barrier_events);
+  v["distinct_locks"] = Value(s.distinct_locks);
+  return v;
+}
+
+Value to_json(const RunStats& r) {
+  Value v = Value::object();
+  v["protocol"] = Value(r.protocol);
+  v["app"] = Value(r.app);
+  v["num_procs"] = Value(r.num_procs);
+  v["finish_time"] = Value(r.finish_time);
+  v["result_valid"] = Value(r.result_valid);
+  v["aggregate"] = to_json(r.aggregate());
+  Value per = Value::array();
+  for (const TimeBreakdown& t : r.per_proc) per.append(to_json(t));
+  v["per_proc"] = std::move(per);
+  v["diffs"] = to_json(r.diffs);
+  v["faults"] = to_json(r.faults);
+  v["msgs"] = to_json(r.msgs);
+  v["sync"] = to_json(r.sync);
+  return v;
+}
+
+Value to_json(const SystemParams& p) {
+  Value v = Value::object();
+  v["num_procs"] = Value(p.num_procs);
+  v["mesh_width"] = Value(p.mesh_width);
+  v["page_bytes"] = Value(static_cast<std::uint64_t>(p.page_bytes));
+  v["tlb_entries"] = Value(p.tlb_entries);
+  v["tlb_fill_cycles"] = Value(p.tlb_fill_cycles);
+  v["interrupt_cycles"] = Value(p.interrupt_cycles);
+  v["message_overhead"] = Value(p.message_overhead);
+  v["list_processing_per_elem"] = Value(p.list_processing_per_elem);
+  v["cache_bytes"] = Value(static_cast<std::uint64_t>(p.cache_bytes));
+  v["cache_line_bytes"] = Value(static_cast<std::uint64_t>(p.cache_line_bytes));
+  v["write_buffer_entries"] = Value(p.write_buffer_entries);
+  v["mem_setup_cycles"] = Value(p.mem_setup_cycles);
+  v["mem_quarter_cycles_per_word"] = Value(p.mem_quarter_cycles_per_word);
+  v["io_setup_cycles"] = Value(p.io_setup_cycles);
+  v["io_cycles_per_word"] = Value(p.io_cycles_per_word);
+  v["network_width_bits"] = Value(p.network_width_bits);
+  v["switch_cycles"] = Value(p.switch_cycles);
+  v["wire_cycles"] = Value(p.wire_cycles);
+  v["twin_cycles_per_word"] = Value(p.twin_cycles_per_word);
+  v["diff_cycles_per_word"] = Value(p.diff_cycles_per_word);
+  v["update_set_size"] = Value(p.update_set_size);
+  v["affinity_threshold"] = Value(p.affinity_threshold);
+  v["quantum_cycles"] = Value(p.quantum_cycles);
+  return v;
+}
+
+namespace {
+
+Value score_json(const aec::PredictorScore& s) {
+  Value v = Value::object();
+  v["predictions"] = Value(s.predictions);
+  v["hits"] = Value(s.hits);
+  v["rate"] = Value(s.rate());
+  return v;
+}
+
+}  // namespace
+
+Value lap_json(const ExperimentResult& r) {
+  const auto scores = lap_scores_of(r);
+  if (scores.empty()) return Value();
+  Value v = Value::object();
+  aec::LapScores total;
+  Value locks = Value::array();
+  for (const auto& [lock, s] : scores) {
+    Value row = Value::object();
+    row["lock"] = Value(static_cast<std::uint64_t>(lock));
+    row["acquires"] = Value(s.acquire_events);
+    row["lap"] = score_json(s.lap);
+    row["waitq"] = score_json(s.waitq);
+    row["waitq_affinity"] = score_json(s.waitq_affinity);
+    row["waitq_virtualq"] = score_json(s.waitq_virtualq);
+    locks.append(std::move(row));
+    total.acquire_events += s.acquire_events;
+    auto add = [](aec::PredictorScore& into, const aec::PredictorScore& from) {
+      into.predictions += from.predictions;
+      into.hits += from.hits;
+    };
+    add(total.lap, s.lap);
+    add(total.waitq, s.waitq);
+    add(total.waitq_affinity, s.waitq_affinity);
+    add(total.waitq_virtualq, s.waitq_virtualq);
+  }
+  v["acquires"] = Value(total.acquire_events);
+  v["lap"] = score_json(total.lap);
+  v["waitq"] = score_json(total.waitq);
+  v["waitq_affinity"] = score_json(total.waitq_affinity);
+  v["waitq_virtualq"] = score_json(total.waitq_virtualq);
+  v["locks"] = std::move(locks);
+  return v;
+}
+
+}  // namespace aecdsm::harness

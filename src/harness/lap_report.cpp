@@ -45,4 +45,13 @@ std::vector<LapRow> lap_rows(const std::map<LockId, aec::LapScores>& scores,
   return rows;
 }
 
+aec::PredictorScore total_lap_score(const ExperimentResult& r) {
+  aec::PredictorScore total;
+  for (const auto& [l, s] : lap_scores_of(r)) {
+    total.predictions += s.lap.predictions;
+    total.hits += s.lap.hits;
+  }
+  return total;
+}
+
 }  // namespace aecdsm::harness

@@ -21,4 +21,8 @@ std::map<LockId, aec::LapScores> lap_scores_of(const ExperimentResult& r);
 std::vector<LapRow> lap_rows(const std::map<LockId, aec::LapScores>& scores,
                              const std::vector<apps::LockGroup>& groups);
 
+/// Event-weighted total of the full-LAP predictor across every lock of a
+/// run — the single success-rate number the sweep benches report.
+aec::PredictorScore total_lap_score(const ExperimentResult& r);
+
 }  // namespace aecdsm::harness

@@ -1,0 +1,53 @@
+// Fixed-size worker pool behind the batch experiment runner. Tasks are
+// plain closures; wait_all() blocks the submitting thread until every task
+// submitted so far has finished. Nothing here knows about simulations —
+// BatchRunner layers plan ordering and error collection on top.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aecdsm::harness {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw — wrap fallible work and capture
+  /// the error (BatchRunner stores an exception_ptr per cell).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed.
+  void wait_all();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Resolve a --jobs request: `jobs` when > 0, else the AECDSM_JOBS
+  /// environment variable, else hardware_concurrency (at least 1).
+  static int resolve_jobs(int jobs);
+
+ private:
+  void worker_main();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signalled when a task arrives / shutdown
+  std::condition_variable idle_cv_;  ///< signalled when in-flight work drains
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aecdsm::harness

@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -26,7 +26,8 @@ class Engine {
   void schedule(Cycles t, EventFn fn) {
     AECDSM_CHECK_MSG(t >= now_, "event scheduled into the past: t=" << t
                                                                     << " now=" << now_);
-    queue_.push(Event{t, seq_++, std::move(fn)});
+    heap_.push_back(Event{t, seq_++, std::move(fn)});
+    sift_up(heap_.size() - 1);
   }
 
   /// Time of the event currently (or most recently) being processed.
@@ -36,18 +37,15 @@ class Engine {
   /// that every processor finished (an empty queue with blocked processors
   /// is a protocol deadlock).
   void run() {
-    while (!queue_.empty()) {
-      // priority_queue::top is const; the handler is moved out via const_cast,
-      // which is safe because the element is popped immediately after.
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
+    while (!heap_.empty()) {
+      Event ev = pop_min();
       AECDSM_CHECK(ev.t >= now_);
       now_ = ev.t;
       ev.fn();
     }
   }
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return heap_.empty(); }
 
   std::uint64_t events_processed() const { return seq_; }
 
@@ -56,14 +54,50 @@ class Engine {
     Cycles t;
     std::uint64_t seq;  ///< FIFO tie-break for equal-time events
     EventFn fn;
-
-    bool operator>(const Event& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
-    }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // The event queue is a hand-rolled binary min-heap rather than a
+  // std::priority_queue: top() of the standard adaptor is const, so moving
+  // the handler out would need a const_cast. Owning the vector lets pop_min
+  // move the element legitimately. Ordering is (t, seq): earliest time
+  // first, FIFO among equal times.
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!earlier(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && earlier(heap_[l], heap_[best])) best = l;
+      if (r < n && earlier(heap_[r], heap_[best])) best = r;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  Event pop_min() {
+    Event out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  std::vector<Event> heap_;
   std::uint64_t seq_ = 0;
   Cycles now_ = 0;
 };

@@ -1,0 +1,210 @@
+// Tests for the batch experiment subsystem: the thread pool, the JSON
+// document writer, the shared bench CLI, and BatchRunner's plan-ordered,
+// jobs-independent execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+#include "harness/json_out.hpp"
+#include "harness/threadpool.hpp"
+#include "tests/test_util.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+using harness::json::Value;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  harness::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_all();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitAllIsReusable) {
+  harness::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_all();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait_all();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    harness::ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ResolveJobsPrecedence) {
+  unsetenv("AECDSM_JOBS");
+  EXPECT_EQ(harness::ThreadPool::resolve_jobs(3), 3);
+  EXPECT_GE(harness::ThreadPool::resolve_jobs(0), 1);
+  setenv("AECDSM_JOBS", "7", 1);
+  EXPECT_EQ(harness::ThreadPool::resolve_jobs(0), 7);
+  EXPECT_EQ(harness::ThreadPool::resolve_jobs(2), 2);  // explicit beats env
+  setenv("AECDSM_JOBS", "bogus", 1);
+  EXPECT_GE(harness::ThreadPool::resolve_jobs(0), 1);
+  unsetenv("AECDSM_JOBS");
+}
+
+TEST(Json, ScalarsAndCompactForm) {
+  Value v = Value::object();
+  v["b"] = Value(true);
+  v["i"] = Value(-3);
+  v["u"] = Value(std::uint64_t{18446744073709551615ULL});
+  v["d"] = Value(0.6);
+  v["s"] = Value("hi");
+  v["n"];  // null member
+  EXPECT_EQ(v.dump(-1),
+            "{\"b\":true,\"i\":-3,\"u\":18446744073709551615,\"d\":0.6,"
+            "\"s\":\"hi\",\"n\":null}");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Value v = Value::object();
+  v["zebra"] = Value(1);
+  v["apple"] = Value(2);
+  v["zebra"] = Value(3);  // update in place, no reorder, no duplicate
+  EXPECT_EQ(v.dump(-1), "{\"zebra\":3,\"apple\":2}");
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(harness::json::quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(harness::json::quote(std::string("x\x01y")), "\"x\\u0001y\"");
+}
+
+TEST(Json, ArraysAndNesting) {
+  Value v = Value::array();
+  v.append(Value(1));
+  Value inner = Value::object();
+  inner["k"] = Value("v");
+  v.append(std::move(inner));
+  EXPECT_EQ(v.dump(-1), "[1,{\"k\":\"v\"}]");
+  // Pretty form round-trips the same content with indentation.
+  EXPECT_NE(v.dump(0).find("  \"k\": \"v\""), std::string::npos);
+}
+
+TEST(BatchCli, ParsesAndStripsKnownFlags) {
+  const char* raw[] = {"bench", "--jobs", "4", "--keepme", "--json=out.json", nullptr};
+  int argc = 5;
+  char** argv = const_cast<char**>(raw);
+  const harness::BatchOptions opts = harness::parse_batch_cli(argc, argv);
+  EXPECT_EQ(opts.jobs, 4);
+  EXPECT_EQ(opts.json_path, "out.json");
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--keepme");
+}
+
+TEST(BatchCli, NoJsonAndEqualsForms) {
+  const char* raw[] = {"bench", "--jobs=2", "--no-json", nullptr};
+  int argc = 3;
+  char** argv = const_cast<char**>(raw);
+  const harness::BatchOptions opts = harness::parse_batch_cli(argc, argv);
+  EXPECT_EQ(opts.jobs, 2);
+  EXPECT_EQ(opts.json_path, "off");
+  EXPECT_EQ(argc, 1);
+}
+
+TEST(Plan, AddDefaultsLabelAndReturnsCellForTweaks) {
+  harness::ExperimentPlan plan;
+  plan.add("AEC", "IS", apps::Scale::kSmall);
+  plan.add("AEC", "IS", apps::Scale::kSmall).label = "IS/K=3";
+  plan.cells.back().params.update_set_size = 3;
+  ASSERT_EQ(plan.cells.size(), 2u);
+  EXPECT_EQ(plan.cells[0].label, "AEC/IS");
+  EXPECT_EQ(plan.cells[1].label, "IS/K=3");
+  EXPECT_EQ(plan.cells[1].params.update_set_size, 3);
+}
+
+TEST(BatchRunner, ResultsComeBackInPlanOrder) {
+  harness::ExperimentPlan plan;
+  plan.name = "order";
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4));
+  plan.add("TreadMarks", "IS", apps::Scale::kSmall, small_params(4));
+  plan.add("Munin-ERC", "IS", apps::Scale::kSmall, small_params(4));
+  plan.add("AEC-noLAP", "FFT", apps::Scale::kSmall, small_params(4));
+  harness::BatchOptions opts;
+  opts.jobs = 4;
+  harness::BatchRunner runner(opts);
+  const auto results = runner.run(plan);
+  ASSERT_EQ(results.size(), plan.cells.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].stats.app, plan.cells[i].app) << i;
+    EXPECT_TRUE(results[i].stats.result_valid) << i;
+  }
+  EXPECT_EQ(results[0].stats.protocol, "AEC");
+  EXPECT_EQ(results[1].stats.protocol, "TreadMarks");
+  EXPECT_EQ(results[2].stats.protocol, "Munin-ERC");
+  EXPECT_EQ(results[3].stats.protocol, "AEC-noLAP");
+  EXPECT_NE(results[0].aec, nullptr);
+  EXPECT_NE(results[1].tm, nullptr);
+  EXPECT_NE(results[2].erc, nullptr);
+}
+
+TEST(BatchRunner, CellFailurePropagatesAfterBatchFinishes) {
+  harness::ExperimentPlan plan;
+  plan.name = "boom";
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4));
+  plan.add("NoSuchProtocol", "IS", apps::Scale::kSmall, small_params(4));
+  harness::BatchOptions opts;
+  opts.jobs = 2;
+  harness::BatchRunner runner(opts);
+  EXPECT_THROW(runner.run(plan), SimError);
+}
+
+TEST(BatchRunner, DocumentIsIdenticalAcrossJobCounts) {
+  harness::ExperimentPlan plan;
+  plan.name = "docdet";
+  for (const char* proto : {"AEC", "TreadMarks", "Munin-ERC", "AEC-noLAP"}) {
+    plan.add(proto, "IS", apps::Scale::kSmall, small_params(4));
+  }
+  auto doc_with_jobs = [&](int jobs) {
+    harness::BatchOptions opts;
+    opts.jobs = jobs;
+    harness::BatchRunner runner(opts);
+    return harness::BatchRunner::document(plan, runner.run(plan)).dump();
+  };
+  const std::string serial = doc_with_jobs(1);
+  EXPECT_EQ(serial, doc_with_jobs(4));
+  // The document carries the full breakdown and the LAP scores.
+  EXPECT_NE(serial.find("\"schema\": \"aecdsm-batch-v1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"busy\""), std::string::npos);
+  EXPECT_NE(serial.find("\"waitq_virtualq\""), std::string::npos);
+  EXPECT_NE(serial.find("\"affinity_threshold\""), std::string::npos);
+}
+
+TEST(BatchRunner, BenchReportLooksUpByLabel) {
+  harness::ExperimentPlan plan;
+  plan.name = "lookup";
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4));
+  plan.add("TreadMarks", "IS", apps::Scale::kSmall, small_params(4));
+  harness::BatchOptions opts;
+  opts.jobs = 2;
+  harness::BatchRunner runner(opts);
+  const auto results = runner.run(plan);
+  harness::json::Value doc =
+      harness::BatchRunner::document(plan, results);
+  harness::BenchReport rep{plan, results, doc};
+  EXPECT_EQ(rep.result("TreadMarks/IS").stats.protocol, "TreadMarks");
+  EXPECT_THROW(rep.result("nope"), SimError);
+}
+
+}  // namespace
+}  // namespace aecdsm::test

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "apps/registry.hpp"
+#include "harness/batch.hpp"
+#include "harness/json_out.hpp"
 #include "tests/test_util.hpp"
 
 namespace aecdsm::test {
@@ -52,6 +54,35 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return s;
     });
+
+TEST(Determinism, BatchRunnerMatchesSerialRunByteForByte) {
+  // The same (protocol, app, seed) cell run serially and through the batch
+  // runner with 4 workers must produce byte-identical RunStats — compared
+  // via the full JSON serialization, which covers every field including the
+  // per-processor breakdowns.
+  const SystemParams params = small_params(4);
+  const auto serial =
+      harness::run_experiment("AEC", "IS", apps::Scale::kSmall, params, 7);
+  const std::string want = harness::to_json(serial.stats).dump();
+
+  harness::ExperimentPlan plan;
+  plan.name = "det_batch";
+  // Four copies of the same cell plus other protocols in flight, so the
+  // workers genuinely run simulations concurrently.
+  for (int i = 0; i < 4; ++i) plan.add("AEC", "IS", apps::Scale::kSmall, params, 7);
+  plan.add("TreadMarks", "IS", apps::Scale::kSmall, params, 7);
+  plan.add("Munin-ERC", "IS", apps::Scale::kSmall, params, 7);
+
+  harness::BatchOptions opts;
+  opts.jobs = 4;
+  harness::BatchRunner runner(opts);
+  const auto results = runner.run(plan);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(harness::to_json(results[static_cast<std::size_t>(i)].stats).dump(),
+              want)
+        << "batch copy " << i;
+  }
+}
 
 TEST(Rng, DeterministicAndSplittable) {
   Rng a(42), b(42);
