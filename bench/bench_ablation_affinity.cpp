@@ -6,12 +6,14 @@
 #include <iostream>
 #include <sstream>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 #include "harness/lap_report.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "ablation_affinity";
   for (const std::string& app : {std::string("Raytrace"), std::string("Water-ns"),
@@ -24,21 +26,34 @@ int main(int argc, char** argv) {
       plan.add("AEC", app, apps::Scale::kDefault, params).label = label.str();
     }
   }
-  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
-    harness::print_header(std::cout,
-                          "Ablation: affinity-set threshold (AEC, 16 procs, K = 2)");
-    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(12)
-              << "threshold" << std::setw(10) << "LAP" << std::setw(14) << "finish(M)"
-              << "\n";
-    for (std::size_t i = 0; i < r.results.size(); ++i) {
-      const auto& res = r.results[i];
-      const double threshold = r.plan.cells[i].params.affinity_threshold;
-      const auto total = harness::total_lap_score(res);
-      std::cout << std::left << std::setw(12) << res.stats.app << std::right
-                << std::fixed << std::setw(11) << std::setprecision(0)
-                << threshold * 100.0 << "%" << std::setw(9) << std::setprecision(1)
-                << total.rate() * 100.0 << "%" << std::setw(14) << std::setprecision(2)
-                << res.stats.finish_time / 1e6 << "\n";
-    }
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  harness::print_header(std::cout,
+                        "Ablation: affinity-set threshold (AEC, 16 procs, K = 2)");
+  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(12)
+            << "threshold" << std::setw(10) << "LAP" << std::setw(14) << "finish(M)"
+            << "\n";
+  for (std::size_t i = 0; i < r.results.size(); ++i) {
+    const auto& res = r.results[i];
+    const double threshold = r.plan.cells[i].params.affinity_threshold;
+    const auto total = harness::total_lap_score(res);
+    std::cout << std::left << std::setw(12) << res.stats.app << std::right
+              << std::fixed << std::setw(11) << std::setprecision(0)
+              << threshold * 100.0 << "%" << std::setw(9) << std::setprecision(1)
+              << total.rate() * 100.0 << "%" << std::setw(14) << std::setprecision(2)
+              << res.stats.finish_time / 1e6 << "\n";
+  }
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"ablation_affinity", 9, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("ablation_affinity", argc, argv);
+}
+#endif

@@ -5,12 +5,14 @@
 #include <iomanip>
 #include <iostream>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 #include "harness/lap_report.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "ablation_updateset";
   for (const std::string& app : apps::app_names()) {
@@ -21,21 +23,34 @@ int main(int argc, char** argv) {
           app + "/K=" + std::to_string(k);
     }
   }
-  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
-    harness::print_header(std::cout, "Ablation: update-set size K (AEC, 16 procs)");
-    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(4)
-              << "K" << std::setw(10) << "LAP" << std::setw(14) << "finish(M)"
-              << std::setw(12) << "msgs" << std::setw(14) << "MB moved" << "\n";
-    for (std::size_t i = 0; i < r.results.size(); ++i) {
-      const auto& res = r.results[i];
-      const int k = r.plan.cells[i].params.update_set_size;
-      const auto total = harness::total_lap_score(res);
-      std::cout << std::left << std::setw(12) << res.stats.app << std::right
-                << std::setw(4) << k << std::setw(9) << std::fixed
-                << std::setprecision(1) << total.rate() * 100.0 << "%" << std::setw(14)
-                << std::setprecision(2) << res.stats.finish_time / 1e6 << std::setw(12)
-                << res.stats.msgs.messages << std::setw(14) << std::setprecision(2)
-                << static_cast<double>(res.stats.msgs.bytes) / 1e6 << "\n";
-    }
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  harness::print_header(std::cout, "Ablation: update-set size K (AEC, 16 procs)");
+  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(4)
+            << "K" << std::setw(10) << "LAP" << std::setw(14) << "finish(M)"
+            << std::setw(12) << "msgs" << std::setw(14) << "MB moved" << "\n";
+  for (std::size_t i = 0; i < r.results.size(); ++i) {
+    const auto& res = r.results[i];
+    const int k = r.plan.cells[i].params.update_set_size;
+    const auto total = harness::total_lap_score(res);
+    std::cout << std::left << std::setw(12) << res.stats.app << std::right
+              << std::setw(4) << k << std::setw(9) << std::fixed
+              << std::setprecision(1) << total.rate() * 100.0 << "%" << std::setw(14)
+              << std::setprecision(2) << res.stats.finish_time / 1e6 << std::setw(12)
+              << res.stats.msgs.messages << std::setw(14) << std::setprecision(2)
+              << static_cast<double>(res.stats.msgs.bytes) / 1e6 << "\n";
+  }
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"ablation_updateset", 8, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("ablation_updateset", argc, argv);
+}
+#endif

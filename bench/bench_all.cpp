@@ -1,0 +1,103 @@
+// bench_all: the whole evaluation in one batch. Unions the plans of every
+// registered table/figure bench, deduplicates identical cells by their
+// content hash (many figures share e.g. the default-parameter AEC runs),
+// simulates each unique cell exactly once — through the cell cache, so a
+// re-run with unchanged inputs simulates nothing — and fans the results
+// back out into every paper-style report, every per-bench JSON artifact,
+// and one combined "aecdsm-bench-all-v1" document.
+//
+// The shared batch CLI applies: --jobs, --json (the *combined* artifact;
+// per-bench artifacts keep their default <name>.json paths), --no-json,
+// --cache-dir, --no-cache, --refresh, --fail-fast.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/bench_registry.hpp"
+#include "harness/cellcache.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aecdsm;
+  harness::BatchOptions opts = harness::parse_batch_cli(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0], argv[i]);
+    return 2;
+  }
+
+  const std::vector<const harness::BenchDef*> benches = harness::registered_benches();
+
+  // Union of every bench's cells, first occurrence wins. Cells are
+  // identified by their content hash — the same key the cell cache uses —
+  // so two benches sweeping the same (protocol, app, scale, params, seed)
+  // share one simulation regardless of their row labels.
+  struct BenchInstance {
+    const harness::BenchDef* def;
+    harness::ExperimentPlan plan;
+    std::vector<std::size_t> cell_index;  ///< per plan cell: index into mega plan
+  };
+  std::vector<BenchInstance> instances;
+  harness::ExperimentPlan mega;
+  mega.name = "bench_all";
+  std::unordered_map<std::string, std::size_t> index_of_hash;
+  for (const harness::BenchDef* def : benches) {
+    BenchInstance inst{def, def->plan(), {}};
+    inst.cell_index.reserve(inst.plan.cells.size());
+    for (const harness::ExperimentCell& cell : inst.plan.cells) {
+      const std::string hash = harness::CellCache::cell_hash(cell);
+      auto [it, inserted] = index_of_hash.try_emplace(hash, mega.cells.size());
+      if (inserted) mega.cells.push_back(cell);
+      inst.cell_index.push_back(it->second);
+    }
+    instances.push_back(std::move(inst));
+  }
+
+  std::size_t unioned = 0;
+  for (const BenchInstance& inst : instances) unioned += inst.plan.cells.size();
+  std::fprintf(stderr, "[bench_all] %zu benches, %zu plan cells, %zu unique\n",
+               instances.size(), unioned, mega.cells.size());
+
+  try {
+    harness::BatchRunner runner(opts);
+    const std::vector<harness::ExperimentResult> mega_results = runner.run(mega);
+
+    harness::json::Value combined = harness::json::Value::object();
+    combined["schema"] = harness::json::Value("aecdsm-bench-all-v1");
+    combined["plan"] = harness::json::Value(mega.name);
+    combined["unique_cells"] =
+        harness::json::Value(static_cast<std::uint64_t>(mega.cells.size()));
+    combined["plan_cells"] = harness::json::Value(static_cast<std::uint64_t>(unioned));
+    harness::json::Value benches_doc = harness::json::Value::object();
+
+    // Per-bench artifacts go to their default <name>.json paths (suppressed
+    // by --no-json), exactly as the standalone drivers write them.
+    harness::BatchOptions per_bench_opts;
+    per_bench_opts.json_path = opts.json_path == "off" ? "off" : "";
+    const harness::BatchRunner per_bench_writer(per_bench_opts);
+
+    for (const BenchInstance& inst : instances) {
+      std::vector<harness::ExperimentResult> results;
+      results.reserve(inst.plan.cells.size());
+      for (const std::size_t idx : inst.cell_index) {
+        results.push_back(mega_results[idx]);
+      }
+      harness::json::Value doc = harness::BatchRunner::document(inst.plan, results);
+      harness::BenchReport rep{inst.plan, results, doc};
+      inst.def->report(rep);
+      per_bench_writer.write_json(inst.plan, doc);
+      benches_doc[inst.def->name] = std::move(doc);
+    }
+
+    combined["benches"] = std::move(benches_doc);
+    runner.write_json(mega, combined);
+
+    const harness::BatchRunInfo& info = runner.last_run_info();
+    std::fprintf(stderr,
+                 "[bench_all] done: %zu unique cells (%zu cache hits, %zu simulated)\n",
+                 info.cells, info.cache_hits, info.simulated);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+  return 0;
+}

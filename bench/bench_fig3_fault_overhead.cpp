@@ -2,35 +2,55 @@
 // LAP (normalized to 100) and AEC, for the lock-dominated applications.
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+const std::vector<std::string>& apps_list() {
+  static const std::vector<std::string> apps = {"IS", "Raytrace", "Water-ns"};
+  return apps;
+}
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "fig3_fault_overhead";
-  const std::vector<std::string> apps_list = {"IS", "Raytrace", "Water-ns"};
-  for (const std::string& app : apps_list) {
+  for (const std::string& app : apps_list()) {
     plan.add("AEC-noLAP", app);
     plan.add("AEC", app);
   }
-  return harness::run_bench(argc, argv, plan, [&](harness::BenchReport& r) {
-    harness::print_header(std::cout,
-                          "Figure 3: Access fault overhead, AEC-noLAP (=100) vs AEC");
-    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
-              << "noLAP" << std::setw(8) << "LAP" << std::setw(14) << "reduction"
-              << "\n";
-    for (const std::string& app : apps_list) {
-      const auto& nolap = r.result("AEC-noLAP/" + app);
-      const auto& lap = r.result("AEC/" + app);
-      const double base = static_cast<double>(nolap.stats.faults.fault_cycles);
-      const double with = static_cast<double>(lap.stats.faults.fault_cycles);
-      const double norm = base == 0.0 ? 0.0 : with / base * 100.0;
-      std::cout << std::left << std::setw(12) << app << std::right << std::fixed
-                << std::setprecision(0) << std::setw(10) << 100.0 << std::setw(8)
-                << norm << std::setw(13) << std::setprecision(1) << (100.0 - norm)
-                << "%" << "\n";
-    }
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  harness::print_header(std::cout,
+                        "Figure 3: Access fault overhead, AEC-noLAP (=100) vs AEC");
+  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
+            << "noLAP" << std::setw(8) << "LAP" << std::setw(14) << "reduction"
+            << "\n";
+  for (const std::string& app : apps_list()) {
+    const auto& nolap = r.result("AEC-noLAP/" + app);
+    const auto& lap = r.result("AEC/" + app);
+    const double base = static_cast<double>(nolap.stats.faults.fault_cycles);
+    const double with = static_cast<double>(lap.stats.faults.fault_cycles);
+    const double norm = base == 0.0 ? 0.0 : with / base * 100.0;
+    std::cout << std::left << std::setw(12) << app << std::right << std::fixed
+              << std::setprecision(0) << std::setw(10) << 100.0 << std::setw(8)
+              << norm << std::setw(13) << std::setprecision(1) << (100.0 - norm)
+              << "%" << "\n";
+  }
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"fig3_fault_overhead", 4, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("fig3_fault_overhead", argc, argv);
+}
+#endif

@@ -2,27 +2,47 @@
 // others) under AEC without LAP (=100) and AEC, for the lock-dominated
 // applications.
 #include <iostream>
+#include <vector>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+const std::vector<std::string>& apps_list() {
+  static const std::vector<std::string> apps = {"IS", "Raytrace", "Water-ns"};
+  return apps;
+}
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "fig4_runtime_lap";
-  const std::vector<std::string> apps_list = {"IS", "Raytrace", "Water-ns"};
-  for (const std::string& app : apps_list) {
+  for (const std::string& app : apps_list()) {
     plan.add("AEC-noLAP", app);
     plan.add("AEC", app);
   }
-  return harness::run_bench(argc, argv, plan, [&](harness::BenchReport& r) {
-    for (const std::string& app : apps_list) {
-      const auto& nolap = r.result("AEC-noLAP/" + app);
-      const auto& lap = r.result("AEC/" + app);
-      harness::print_breakdown_figure(
-          std::cout, "Figure 4: " + app + " running time, AEC-noLAP (=100) vs AEC",
-          {{"AEC-noLAP", nolap.stats.aggregate(), nolap.stats.finish_time},
-           {"AEC", lap.stats.aggregate(), lap.stats.finish_time}});
-    }
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  for (const std::string& app : apps_list()) {
+    const auto& nolap = r.result("AEC-noLAP/" + app);
+    const auto& lap = r.result("AEC/" + app);
+    harness::print_breakdown_figure(
+        std::cout, "Figure 4: " + app + " running time, AEC-noLAP (=100) vs AEC",
+        {{"AEC-noLAP", nolap.stats.aggregate(), nolap.stats.finish_time},
+         {"AEC", lap.stats.aggregate(), lap.stats.finish_time}});
+  }
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"fig4_runtime_lap", 5, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("fig4_runtime_lap", argc, argv);
+}
+#endif

@@ -3,34 +3,55 @@
 // Ocean, Water-sp); figure 6 the lock-dominated ones (IS, Raytrace,
 // Water-ns).
 #include <iostream>
+#include <utility>
+#include <vector>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
-  const std::vector<std::pair<std::string, std::vector<std::string>>> figures = {
+namespace {
+using namespace aecdsm;
+
+const std::vector<std::pair<std::string, std::vector<std::string>>>& figures() {
+  static const std::vector<std::pair<std::string, std::vector<std::string>>> figs = {
       {"Figure 5", {"FFT", "Ocean", "Water-sp"}},
       {"Figure 6", {"IS", "Raytrace", "Water-ns"}},
   };
+  return figs;
+}
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "fig5_fig6_tm_vs_aec";
-  for (const auto& [fig, apps_list] : figures) {
+  for (const auto& [fig, apps_list] : figures()) {
     for (const std::string& app : apps_list) {
       plan.add("TreadMarks", app);
       plan.add("AEC", app);
     }
   }
-  return harness::run_bench(argc, argv, plan, [&](harness::BenchReport& r) {
-    for (const auto& [fig, apps_list] : figures) {
-      for (const std::string& app : apps_list) {
-        const auto& tm = r.result("TreadMarks/" + app);
-        const auto& aec = r.result("AEC/" + app);
-        harness::print_breakdown_figure(
-            std::cout, fig + ": " + app + " execution time, TreadMarks (=100) vs AEC",
-            {{"TreadMarks", tm.stats.aggregate(), tm.stats.finish_time},
-             {"AEC", aec.stats.aggregate(), aec.stats.finish_time}});
-      }
-    }
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  for (const auto& [fig, apps_list] : figures()) {
+    for (const std::string& app : apps_list) {
+      const auto& tm = r.result("TreadMarks/" + app);
+      const auto& aec = r.result("AEC/" + app);
+      harness::print_breakdown_figure(
+          std::cout, fig + ": " + app + " execution time, TreadMarks (=100) vs AEC",
+          {{"TreadMarks", tm.stats.aggregate(), tm.stats.finish_time},
+           {"AEC", aec.stats.aggregate(), aec.stats.finish_time}});
+    }
+  }
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"fig5_fig6_tm_vs_aec", 7, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("fig5_fig6_tm_vs_aec", argc, argv);
+}
+#endif

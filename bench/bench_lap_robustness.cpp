@@ -7,12 +7,14 @@
 #include <iomanip>
 #include <iostream>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 #include "harness/lap_report.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "lap_robustness";
   for (const std::string& app : apps::app_names()) {
@@ -20,21 +22,34 @@ int main(int argc, char** argv) {
       plan.add(proto, app);
     }
   }
-  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
-    harness::print_header(
-        std::cout,
-        "LAP robustness: success rate under AEC / TreadMarks / ERC (16 procs)");
-    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(12)
-              << "AEC LAP" << std::setw(14) << "TM LAP" << std::setw(14) << "ERC LAP"
-              << "\n";
-    for (const std::string& app : apps::app_names()) {
-      auto rate_of = [&](const std::string& proto) {
-        return harness::total_lap_score(r.result(proto + "/" + app)).rate();
-      };
-      std::cout << std::left << std::setw(12) << app << std::right << std::fixed
-                << std::setw(11) << std::setprecision(1) << rate_of("AEC") * 100.0
-                << "%" << std::setw(13) << rate_of("TreadMarks") * 100.0 << "%"
-                << std::setw(13) << rate_of("Munin-ERC") * 100.0 << "%" << "\n";
-    }
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  harness::print_header(
+      std::cout,
+      "LAP robustness: success rate under AEC / TreadMarks / ERC (16 procs)");
+  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(12)
+            << "AEC LAP" << std::setw(14) << "TM LAP" << std::setw(14) << "ERC LAP"
+            << "\n";
+  for (const std::string& app : apps::app_names()) {
+    auto rate_of = [&](const std::string& proto) {
+      return harness::total_lap_score(r.result(proto + "/" + app)).rate();
+    };
+    std::cout << std::left << std::setw(12) << app << std::right << std::fixed
+              << std::setw(11) << std::setprecision(1) << rate_of("AEC") * 100.0
+              << "%" << std::setw(13) << rate_of("TreadMarks") * 100.0 << "%"
+              << std::setw(13) << rate_of("Munin-ERC") * 100.0 << "%" << "\n";
+  }
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"lap_robustness", 10, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("lap_robustness", argc, argv);
+}
+#endif

@@ -67,6 +67,30 @@ void BM_DiffMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffMerge);
 
+void BM_DiffMergeOverlap(benchmark::State& state) {
+  // Release-point merge shape: long overlapping dirty stretches where the
+  // newer diff must win word-by-word, the worst case for the two-pointer
+  // run merge. The argument is the length of each dirty stretch.
+  const std::size_t words = 1024;
+  const std::size_t stretch = static_cast<std::size_t>(state.range(0));
+  auto twin = make_page(words, 1);
+  auto a = twin;
+  auto b = twin;
+  for (std::size_t base = 0; base + stretch <= words; base += 2 * stretch) {
+    for (std::size_t k = 0; k < stretch; ++k) a[base + k] ^= 0x3333;
+    // Overlap the second half of each of a's stretches, plus fresh words.
+    for (std::size_t k = stretch / 2; k < stretch + stretch / 2 && base + k < words; ++k) {
+      b[base + k] ^= 0x4444;
+    }
+  }
+  const mem::Diff da = mem::Diff::create(twin, a);
+  const mem::Diff db = mem::Diff::create(twin, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::Diff::merge(da, db));
+  }
+}
+BENCHMARK(BM_DiffMergeOverlap)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_MeshSend(benchmark::State& state) {
   SystemParams params;
   for (auto _ : state) {

@@ -7,11 +7,13 @@
 #include <cstdio>
 #include <iostream>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "protocol_traffic";
   for (const std::string& app : apps::app_names()) {
@@ -19,20 +21,33 @@ int main(int argc, char** argv) {
       plan.add(proto, app);
     }
   }
-  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
-    harness::print_header(std::cout,
-                          "Protocol traffic: AEC vs TreadMarks vs Munin-ERC (16 procs)");
-    std::printf("%-12s %-12s %12s %12s %14s\n", "application", "protocol", "messages",
-                "MB moved", "finish (M)");
-    for (const auto& res : r.results) {
-      std::printf("%-12s %-12s %12llu %12.2f %14.2f\n", res.stats.app.c_str(),
-                  res.stats.protocol.c_str(),
-                  static_cast<unsigned long long>(res.stats.msgs.messages),
-                  static_cast<double>(res.stats.msgs.bytes) / 1e6,
-                  res.stats.finish_time / 1e6);
-    }
-    std::printf("\n(Munin-ERC pushes every release's diffs to all copyset members\n"
-                " and stalls for acknowledgements — the communication volume AEC's\n"
-                " update sets avoid.)\n");
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  harness::print_header(std::cout,
+                        "Protocol traffic: AEC vs TreadMarks vs Munin-ERC (16 procs)");
+  std::printf("%-12s %-12s %12s %12s %14s\n", "application", "protocol", "messages",
+              "MB moved", "finish (M)");
+  for (const auto& res : r.results) {
+    std::printf("%-12s %-12s %12llu %12.2f %14.2f\n", res.stats.app.c_str(),
+                res.stats.protocol.c_str(),
+                static_cast<unsigned long long>(res.stats.msgs.messages),
+                static_cast<double>(res.stats.msgs.bytes) / 1e6,
+                res.stats.finish_time / 1e6);
+  }
+  std::printf("\n(Munin-ERC pushes every release's diffs to all copyset members\n"
+              " and stalls for acknowledgements — the communication volume AEC's\n"
+              " update sets avoid.)\n");
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"protocol_traffic", 11, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("protocol_traffic", argc, argv);
+}
+#endif

@@ -6,41 +6,56 @@
 #include <iostream>
 
 #include "common/params.hpp"
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "table1_params";
-  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
-    const SystemParams p;
-    harness::print_header(std::cout,
-                          "Table 1: Defaults for System Parameters (1 cycle = 10ns)");
-    auto row = [](const std::string& name, const std::string& value) {
-      std::cout << "  " << std::left << std::setw(28) << name << value << "\n";
-    };
-    row("Number of procs", std::to_string(p.num_procs));
-    row("TLB size", std::to_string(p.tlb_entries) + " entries");
-    row("TLB fill service time", std::to_string(p.tlb_fill_cycles) + " cycles");
-    row("All interrupts", std::to_string(p.interrupt_cycles) + " cycles");
-    row("Page size", std::to_string(p.page_bytes) + " bytes");
-    row("Total cache", std::to_string(p.cache_bytes / 1024) + "K bytes");
-    row("Write buffer size", std::to_string(p.write_buffer_entries) + " entries");
-    row("Cache line size", std::to_string(p.cache_line_bytes) + " bytes");
-    row("Memory setup time", std::to_string(p.mem_setup_cycles) + " cycles");
-    row("Memory access time", "2.25 cycles/word");
-    row("I/O bus setup time", std::to_string(p.io_setup_cycles) + " cycles");
-    row("I/O bus access time", std::to_string(p.io_cycles_per_word) + " cycles/word");
-    row("Network path width", std::to_string(p.network_width_bits) + " bits (bidir)");
-    row("Messaging overhead", std::to_string(p.message_overhead) + " cycles");
-    row("Switch latency", std::to_string(p.switch_cycles) + " cycles");
-    row("Wire latency", std::to_string(p.wire_cycles) + " cycles");
-    row("List processing", std::to_string(p.list_processing_per_elem) + " cycles/element");
-    row("Page twinning", std::to_string(p.twin_cycles_per_word) + " cycles/word + mem");
-    row("Diff appl/creation", std::to_string(p.diff_cycles_per_word) + " cycles/word + mem");
-    row("Update set size (K)", std::to_string(p.update_set_size));
-    row("Affinity threshold", "60%");
-    r.doc["params"] = harness::to_json(p);
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  const SystemParams p;
+  harness::print_header(std::cout,
+                        "Table 1: Defaults for System Parameters (1 cycle = 10ns)");
+  auto row = [](const std::string& name, const std::string& value) {
+    std::cout << "  " << std::left << std::setw(28) << name << value << "\n";
+  };
+  row("Number of procs", std::to_string(p.num_procs));
+  row("TLB size", std::to_string(p.tlb_entries) + " entries");
+  row("TLB fill service time", std::to_string(p.tlb_fill_cycles) + " cycles");
+  row("All interrupts", std::to_string(p.interrupt_cycles) + " cycles");
+  row("Page size", std::to_string(p.page_bytes) + " bytes");
+  row("Total cache", std::to_string(p.cache_bytes / 1024) + "K bytes");
+  row("Write buffer size", std::to_string(p.write_buffer_entries) + " entries");
+  row("Cache line size", std::to_string(p.cache_line_bytes) + " bytes");
+  row("Memory setup time", std::to_string(p.mem_setup_cycles) + " cycles");
+  row("Memory access time", "2.25 cycles/word");
+  row("I/O bus setup time", std::to_string(p.io_setup_cycles) + " cycles");
+  row("I/O bus access time", std::to_string(p.io_cycles_per_word) + " cycles/word");
+  row("Network path width", std::to_string(p.network_width_bits) + " bits (bidir)");
+  row("Messaging overhead", std::to_string(p.message_overhead) + " cycles");
+  row("Switch latency", std::to_string(p.switch_cycles) + " cycles");
+  row("Wire latency", std::to_string(p.wire_cycles) + " cycles");
+  row("List processing", std::to_string(p.list_processing_per_elem) + " cycles/element");
+  row("Page twinning", std::to_string(p.twin_cycles_per_word) + " cycles/word + mem");
+  row("Diff appl/creation", std::to_string(p.diff_cycles_per_word) + " cycles/word + mem");
+  row("Update set size (K)", std::to_string(p.update_set_size));
+  row("Affinity threshold", "60%");
+  r.doc["params"] = harness::to_json(p);
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"table1_params", 1, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("table1_params", argc, argv);
+}
+#endif

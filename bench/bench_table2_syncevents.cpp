@@ -4,25 +4,40 @@
 #include <iomanip>
 #include <iostream>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "table2_syncevents";
   for (const std::string& app : apps::app_names()) plan.add("AEC", app);
-  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
-    harness::print_header(
-        std::cout, "Table 2: Synchronization events (16 procs, default scaled inputs)");
-    std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
-              << "# locks" << std::setw(14) << "# acq events" << std::setw(18)
-              << "# barrier events" << "\n";
-    for (const auto& res : r.results) {
-      std::cout << std::left << std::setw(12) << res.stats.app << std::right
-                << std::setw(10) << res.stats.sync.distinct_locks << std::setw(14)
-                << res.stats.sync.lock_acquires << std::setw(18)
-                << res.stats.sync.barrier_events << "\n";
-    }
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  harness::print_header(
+      std::cout, "Table 2: Synchronization events (16 procs, default scaled inputs)");
+  std::cout << std::left << std::setw(12) << "Appl" << std::right << std::setw(10)
+            << "# locks" << std::setw(14) << "# acq events" << std::setw(18)
+            << "# barrier events" << "\n";
+  for (const auto& res : r.results) {
+    std::cout << std::left << std::setw(12) << res.stats.app << std::right
+              << std::setw(10) << res.stats.sync.distinct_locks << std::setw(14)
+              << res.stats.sync.lock_acquires << std::setw(18)
+              << res.stats.sync.barrier_events << "\n";
+  }
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"table2_syncevents", 2, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("table2_syncevents", argc, argv);
+}
+#endif

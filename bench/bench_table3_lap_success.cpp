@@ -4,25 +4,40 @@
 // combinations (waitQ, waitQ+affinity, waitQ+virtualQ).
 #include <iostream>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 #include "harness/lap_report.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "table3_lap_success";
   for (const std::string& app : apps::app_names()) plan.add("AEC", app);
-  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
-    harness::print_header(std::cout,
-                          "Table 3: LAP success rates for K = 2 (AEC, 16 procs)");
-    for (const auto& res : r.results) {
-      const auto scores = harness::lap_scores_of(res);
-      const auto rows = harness::lap_rows(
-          scores,
-          apps::lock_groups(res.stats.app, apps::Scale::kDefault, res.stats.num_procs));
-      harness::print_lap_table(std::cout, res.stats.app, rows);
-      std::cout << "\n";
-    }
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  harness::print_header(std::cout,
+                        "Table 3: LAP success rates for K = 2 (AEC, 16 procs)");
+  for (const auto& res : r.results) {
+    const auto scores = harness::lap_scores_of(res);
+    const auto rows = harness::lap_rows(
+        scores,
+        apps::lock_groups(res.stats.app, apps::Scale::kDefault, res.stats.num_procs));
+    harness::print_lap_table(std::cout, res.stats.app, rows);
+    std::cout << "\n";
+  }
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"table3_lap_success", 3, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("table3_lap_success", argc, argv);
+}
+#endif

@@ -4,22 +4,37 @@
 // behind synchronization waits.
 #include <iostream>
 
-#include "harness/batch.hpp"
+#include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 
-int main(int argc, char** argv) {
-  using namespace aecdsm;
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "table4_diff_stats";
   for (const std::string& app : apps::app_names()) plan.add("AEC", app);
-  return harness::run_bench(argc, argv, plan, [](harness::BenchReport& r) {
-    harness::print_header(std::cout, "Table 4: Diff statistics in AEC (16 procs)");
-    std::vector<harness::DiffRow> rows;
-    for (const auto& res : r.results) {
-      rows.push_back(harness::DiffRow{res.stats.app, res.stats.diffs});
-    }
-    harness::print_diff_table(std::cout, rows);
-    std::cout << "\n(Size/MergedSize in bytes; Create in millions of cycles; "
-                 "Hidden = share of diff-creation cycles overlapped with waits)\n";
-  });
+  return plan;
 }
+
+void report(harness::BenchReport& r) {
+  harness::print_header(std::cout, "Table 4: Diff statistics in AEC (16 procs)");
+  std::vector<harness::DiffRow> rows;
+  for (const auto& res : r.results) {
+    rows.push_back(harness::DiffRow{res.stats.app, res.stats.diffs});
+  }
+  harness::print_diff_table(std::cout, rows);
+  std::cout << "\n(Size/MergedSize in bytes; Create in millions of cycles; "
+               "Hidden = share of diff-creation cycles overlapped with waits)\n";
+}
+
+[[maybe_unused]] const bool registered =
+    harness::register_bench({"table4_diff_stats", 6, build_plan, report});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("table4_diff_stats", argc, argv);
+}
+#endif

@@ -1,14 +1,19 @@
 #include "harness/batch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <mutex>
 
 #include "common/check.hpp"
+#include "harness/cellcache.hpp"
 #include "harness/threadpool.hpp"
 
 namespace aecdsm::harness {
@@ -31,12 +36,17 @@ namespace {
 
 [[noreturn]] void print_usage_and_exit(const char* argv0) {
   std::printf(
-      "usage: %s [--jobs N] [--json PATH | --no-json]\n"
-      "  --jobs N     run up to N simulations concurrently\n"
-      "               (default: AECDSM_JOBS, then hardware_concurrency)\n"
-      "  --json PATH  write the batch JSON document to PATH ('-' = stdout;\n"
-      "               default: <plan>.json in the working directory)\n"
-      "  --no-json    skip the JSON artifact\n",
+      "usage: %s [--jobs N] [--json PATH | --no-json] [cache flags]\n"
+      "  --jobs N        run up to N simulations concurrently\n"
+      "                  (default: AECDSM_JOBS, then hardware_concurrency)\n"
+      "  --json PATH     write the batch JSON document to PATH ('-' = stdout;\n"
+      "                  default: <plan>.json in the working directory)\n"
+      "  --no-json       skip the JSON artifact\n"
+      "  --cache-dir D   cell result cache location (default: AECDSM_CACHE_DIR,\n"
+      "                  then XDG_CACHE_HOME/aecdsm, then ~/.cache/aecdsm)\n"
+      "  --no-cache      disable the cell cache (always simulate, never store)\n"
+      "  --refresh       re-simulate every cell but refresh the cached copies\n"
+      "  --fail-fast     abort the batch on the first cell failure\n",
       argv0);
   std::exit(0);
 }
@@ -80,6 +90,14 @@ BatchOptions parse_batch_cli(int& argc, char** argv) {
       opts.json_path = value.empty() ? std::string("-") : value;
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
       opts.json_path = "off";
+    } else if (flag_value(argc, argv, i, "--cache-dir", value)) {
+      opts.cache_dir = value;
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      opts.no_cache = true;
+    } else if (std::strcmp(argv[i], "--refresh") == 0) {
+      opts.refresh = true;
+    } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
+      opts.fail_fast = true;
     } else {
       argv[out++] = argv[i];  // leave for the caller (e.g. google-benchmark)
     }
@@ -93,30 +111,102 @@ BatchRunner::BatchRunner(BatchOptions opts)
     : opts_(std::move(opts)), jobs_(ThreadPool::resolve_jobs(opts_.jobs)) {}
 
 std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
-  std::vector<ExperimentResult> results(plan.cells.size());
-  std::vector<std::exception_ptr> errors(plan.cells.size());
+  const std::size_t n = plan.cells.size();
+  std::vector<ExperimentResult> results(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<char> executed(n, 0);
+  info_ = BatchRunInfo{};
+  info_.cells = n;
+
+  std::unique_ptr<CellCache> cache;
+  if (!opts_.no_cache) {
+    cache = std::make_unique<CellCache>(CellCache::resolve_dir(opts_.cache_dir));
+  }
+
+  // Serve every memoized cell first; only the misses are simulated.
+  std::vector<std::string> hashes(n);
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cache != nullptr) hashes[i] = CellCache::cell_hash(plan.cells[i]);
+    if (cache != nullptr && !opts_.refresh) {
+      if (auto hit = cache->load(plan.cells[i])) {
+        results[i] = std::move(*hit);
+        executed[i] = 1;
+        ++info_.cache_hits;
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+
+  // Longest-processing-time-first over the telemetry of previous runs:
+  // cells with no recorded duration go first (they may be the heavy ones),
+  // then known cells in descending wall-clock order. Ties keep plan order,
+  // so the schedule is deterministic.
+  if (cache != nullptr && misses.size() > 1) {
+    const TelemetryMap telemetry = cache->load_telemetry();
+    if (!telemetry.empty()) {
+      auto duration_of = [&](std::size_t i) -> std::uint64_t {
+        const auto it = telemetry.find(hashes[i]);
+        return it == telemetry.end() ? std::numeric_limits<std::uint64_t>::max()
+                                     : it->second;
+      };
+      std::stable_sort(misses.begin(), misses.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return duration_of(a) > duration_of(b);
+                       });
+    }
+  }
+
+  TelemetryMap fresh_telemetry;
+  std::mutex telemetry_mu;
   {
     // Never spin up more workers than cells; the pool joins in its
     // destructor after wait_all() saw every cell finish.
-    const int cells = std::max(static_cast<int>(plan.cells.size()), 1);
-    ThreadPool pool(std::min(jobs_, cells));
-    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
-      pool.submit([&plan, &results, &errors, i] {
+    const int workers = std::max(static_cast<int>(misses.size()), 1);
+    ThreadPool pool(std::min(jobs_, workers));
+    for (const std::size_t i : misses) {
+      pool.submit([&, i] {
         const ExperimentCell& cell = plan.cells[i];
+        executed[i] = 1;
+        const auto start = std::chrono::steady_clock::now();
         try {
           results[i] = run_experiment(cell.protocol, cell.app, cell.scale,
                                       cell.params, cell.seed);
+          const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+          if (cache != nullptr) {
+            cache->store(cell, results[i]);
+            std::lock_guard<std::mutex> lk(telemetry_mu);
+            fresh_telemetry[hashes[i]] = static_cast<std::uint64_t>(micros);
+          }
         } catch (...) {
           errors[i] = std::current_exception();
+          if (opts_.fail_fast) pool.request_stop();
         }
       });
     }
     pool.wait_all();
   }
-  for (std::size_t i = 0; i < errors.size(); ++i) {
+  if (cache != nullptr) cache->merge_telemetry(fresh_telemetry);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (executed[i] && !errors[i]) continue;
+    if (!executed[i]) ++info_.skipped;
+  }
+  info_.simulated = n - info_.cache_hits - info_.skipped;
+  if (cache != nullptr) {
+    std::fprintf(stderr, "[cache] %s: hits=%zu simulated=%zu skipped=%zu dir=%s\n",
+                 plan.name.c_str(), info_.cache_hits, info_.simulated, info_.skipped,
+                 cache->dir().c_str());
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
     if (errors[i]) {
-      std::fprintf(stderr, "batch '%s': cell %zu (%s) failed\n", plan.name.c_str(),
-                   i, plan.cells[i].label.c_str());
+      std::fprintf(stderr, "batch '%s': cell %zu (%s) failed%s\n", plan.name.c_str(),
+                   i, plan.cells[i].label.c_str(),
+                   info_.skipped > 0 ? " (remaining cells cancelled)" : "");
       std::rethrow_exception(errors[i]);
     }
   }

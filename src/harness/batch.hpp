@@ -49,21 +49,47 @@ struct BatchOptions {
   /// JSON artifact destination: "" = "<plan.name>.json", "-" = stdout,
   /// "off" = disabled.
   std::string json_path;
+  /// Cell cache location; "" resolves via CellCache::resolve_dir.
+  std::string cache_dir;
+  /// Disable the cell cache entirely (no loads, no stores, no telemetry).
+  bool no_cache = false;
+  /// Ignore existing cached cells but overwrite them with fresh results.
+  bool refresh = false;
+  /// Abort the batch promptly on the first cell failure instead of letting
+  /// the remaining cells run.
+  bool fail_fast = false;
 };
 
-/// Strip the shared batch flags (--jobs, --json, --no-json) out of
-/// argc/argv, leaving unrecognized arguments in place for the caller.
-/// --help prints usage and exits.
+/// Strip the shared batch flags (--jobs, --json, --no-json, --cache-dir,
+/// --no-cache, --refresh, --fail-fast) out of argc/argv, leaving
+/// unrecognized arguments in place for the caller. --help prints usage and
+/// exits.
 BatchOptions parse_batch_cli(int& argc, char** argv);
+
+/// What one BatchRunner::run did, for cache-effectiveness checks: every
+/// cell is either served from cache or simulated (failed cells count as
+/// simulated; skipped ones — fail-fast cancellations — as neither).
+struct BatchRunInfo {
+  std::size_t cells = 0;
+  std::size_t cache_hits = 0;
+  std::size_t simulated = 0;
+  std::size_t skipped = 0;
+};
 
 class BatchRunner {
  public:
   explicit BatchRunner(BatchOptions opts = {});
 
-  /// Execute every cell, up to jobs() concurrently. Results come back in
-  /// plan order regardless of completion order; the first cell failure is
-  /// rethrown after all in-flight cells finish.
+  /// Execute every cell, up to jobs() concurrently. Cells whose inputs are
+  /// memoized in the cell cache are served without simulating; the misses
+  /// are scheduled longest-known-wall-clock-first (from the cache's
+  /// telemetry of previous runs) to cut tail latency. Results come back in
+  /// plan order regardless of completion order; the first cell failure (in
+  /// plan order) is rethrown after all in-flight cells finish.
   std::vector<ExperimentResult> run(const ExperimentPlan& plan);
+
+  /// Cache/simulation accounting of the most recent run().
+  const BatchRunInfo& last_run_info() const { return info_; }
 
   /// Deterministic JSON document for a finished batch (schema
   /// "aecdsm-batch-v1"): plan metadata plus, per cell, the full RunStats
@@ -79,6 +105,7 @@ class BatchRunner {
  private:
   BatchOptions opts_;
   int jobs_;
+  BatchRunInfo info_;
 };
 
 /// Results of a batch, handed to a bench's report callback. `doc` is the

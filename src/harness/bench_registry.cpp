@@ -1,0 +1,45 @@
+#include "harness/bench_registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace aecdsm::harness {
+
+namespace {
+
+std::vector<BenchDef>& registry() {
+  static std::vector<BenchDef> benches;
+  return benches;
+}
+
+}  // namespace
+
+bool register_bench(BenchDef def) {
+  AECDSM_CHECK_MSG(def.plan != nullptr && def.report != nullptr,
+                   "bench '" << def.name << "' registered without plan/report");
+  registry().push_back(std::move(def));
+  return true;
+}
+
+std::vector<const BenchDef*> registered_benches() {
+  std::vector<const BenchDef*> out;
+  out.reserve(registry().size());
+  for (const BenchDef& def : registry()) out.push_back(&def);
+  std::sort(out.begin(), out.end(), [](const BenchDef* a, const BenchDef* b) {
+    return a->order != b->order ? a->order < b->order : a->name < b->name;
+  });
+  return out;
+}
+
+int bench_main(const std::string& name, int argc, char** argv) {
+  for (const BenchDef* def : registered_benches()) {
+    if (def->name == name) return run_bench(argc, argv, def->plan(), def->report);
+  }
+  std::fprintf(stderr, "%s: bench '%s' is not registered in this binary\n", argv[0],
+               name.c_str());
+  return 2;
+}
+
+}  // namespace aecdsm::harness

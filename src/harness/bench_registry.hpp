@@ -1,0 +1,38 @@
+// Registry of the reproduced tables/figures. Every bench driver file
+// defines its plan builder and report callback, registers them under the
+// binary's name, and (when compiled standalone) delegates main() to
+// bench_main(). The bench_all mega-sweep binary compiles all driver files
+// with AECDSM_BENCH_ALL defined — which strips their main()s — and runs the
+// union of every registered plan in one deduplicated batch.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+
+namespace aecdsm::harness {
+
+/// One reproduced table/figure: the declarative plan plus the report that
+/// prints the paper-style rows from the finished cells.
+struct BenchDef {
+  std::string name;  ///< binary name and default "<name>.json" artifact
+  int order = 0;     ///< presentation order in bench_all (paper order)
+  std::function<ExperimentPlan()> plan;
+  std::function<void(BenchReport&)> report;
+};
+
+/// Called by each driver file's namespace-scope registrar; returns true so
+/// registration can initialize a constant.
+bool register_bench(BenchDef def);
+
+/// Every bench compiled into this binary, sorted by (order, name) so the
+/// sequence is independent of link order.
+std::vector<const BenchDef*> registered_benches();
+
+/// main() body for a standalone driver: run the registered bench `name`
+/// through run_bench (shared CLI, batch execution, report, JSON artifact).
+int bench_main(const std::string& name, int argc, char** argv);
+
+}  // namespace aecdsm::harness

@@ -1,0 +1,153 @@
+#include "harness/cellcache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "harness/batch.hpp"
+#include "harness/json_out.hpp"
+
+namespace aecdsm::harness {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kCellSchema = "aecdsm-cell-v1";
+constexpr const char* kTelemetrySchema = "aecdsm-telemetry-v1";
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Write via a process-unique temp file and rename, so concurrent bench
+/// processes sharing a cache directory never observe a torn blob.
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    AECDSM_CHECK_MSG(out.good(), "cellcache: cannot open " << tmp);
+    out << contents;
+    AECDSM_CHECK_MSG(out.good(), "cellcache: short write to " << tmp);
+  }
+  fs::rename(tmp, path);
+}
+
+}  // namespace
+
+std::string CellCache::resolve_dir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  if (const char* env = std::getenv("AECDSM_CACHE_DIR"); env != nullptr && *env) {
+    return env;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg != nullptr && *xdg) {
+    return std::string(xdg) + "/aecdsm";
+  }
+  if (const char* home = std::getenv("HOME"); home != nullptr && *home) {
+    return std::string(home) + "/.cache/aecdsm";
+  }
+  return ".aecdsm-cache";  // last resort: relative to the working directory
+}
+
+std::string CellCache::cell_key(const ExperimentCell& cell) {
+  // The params block is folded in via its canonical compact JSON form, so
+  // any SystemParams field added later automatically perturbs the key.
+  std::ostringstream os;
+  os << kSimVersionSalt << '|' << cell.protocol << '|' << cell.app << '|'
+     << (cell.scale == apps::Scale::kSmall ? "small" : "default") << '|' << cell.seed
+     << '|' << to_json(cell.params).dump(-1);
+  return os.str();
+}
+
+std::string CellCache::cell_hash(const ExperimentCell& cell) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(cell_key(cell))));
+  return buf;
+}
+
+CellCache::CellCache(std::string dir) : dir_(std::move(dir)) {
+  fs::create_directories(fs::path(dir_) / "cells");
+}
+
+std::string CellCache::blob_path(const std::string& hash) const {
+  return (fs::path(dir_) / "cells" / (hash + ".json")).string();
+}
+
+std::string CellCache::telemetry_path() const {
+  return (fs::path(dir_) / "telemetry.json").string();
+}
+
+std::optional<ExperimentResult> CellCache::load(const ExperimentCell& cell) const {
+  const std::string text = read_file(blob_path(cell_hash(cell)));
+  if (text.empty()) return std::nullopt;
+  try {
+    const json::Value blob = json::Value::parse(text);
+    if (blob.at("schema").as_string() != kCellSchema) return std::nullopt;
+    if (blob.at("key").as_string() != cell_key(cell)) return std::nullopt;
+    ExperimentResult result;
+    result.stats = run_stats_from_json(blob.at("stats"));
+    result.lap_scores = lap_scores_from_json(blob.at("lap"));
+    result.from_cache = true;
+    return result;
+  } catch (const SimError&) {
+    return std::nullopt;  // corrupt or truncated blob: treat as a miss
+  }
+}
+
+void CellCache::store(const ExperimentCell& cell, const ExperimentResult& result) const {
+  json::Value blob = json::Value::object();
+  blob["schema"] = json::Value(kCellSchema);
+  blob["key"] = json::Value(cell_key(cell));
+  blob["stats"] = to_json(result.stats);
+  blob["lap"] = lap_json(result);
+  write_file_atomic(blob_path(cell_hash(cell)), blob.dump() + "\n");
+}
+
+TelemetryMap CellCache::load_telemetry() const {
+  TelemetryMap out;
+  const std::string text = read_file(telemetry_path());
+  if (text.empty()) return out;
+  try {
+    const json::Value doc = json::Value::parse(text);
+    if (doc.at("schema").as_string() != kTelemetrySchema) return out;
+    for (const auto& [hash, micros] : doc.at("cells").entries()) {
+      out[hash] = micros.as_uint();
+    }
+  } catch (const SimError&) {
+    out.clear();  // corrupt telemetry only costs scheduling quality
+  }
+  return out;
+}
+
+void CellCache::merge_telemetry(const TelemetryMap& updates) const {
+  if (updates.empty()) return;
+  TelemetryMap merged = load_telemetry();
+  for (const auto& [hash, micros] : updates) merged[hash] = micros;
+  json::Value doc = json::Value::object();
+  doc["schema"] = json::Value(kTelemetrySchema);
+  json::Value cells = json::Value::object();
+  for (const auto& [hash, micros] : merged) cells[hash] = json::Value(micros);
+  doc["cells"] = std::move(cells);
+  write_file_atomic(telemetry_path(), doc.dump() + "\n");
+}
+
+}  // namespace aecdsm::harness

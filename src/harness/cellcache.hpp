@@ -1,0 +1,78 @@
+// Content-addressed cell result cache for the batch experiment runner.
+//
+// A plan cell is a pure function of its inputs: (protocol, app, scale, the
+// full SystemParams block, seed) plus the simulator version. CellCache
+// hashes those inputs into a stable key and memoizes the finished cell's
+// JSON blob (RunStats + per-lock LAP scores) on disk, so re-running a sweep
+// only simulates cells whose inputs actually changed. A cache hit rebuilds
+// an ExperimentResult that serializes byte-identically to the fresh run —
+// the determinism tests assert this — which keeps warm artifacts diffable
+// against cold ones.
+//
+// The cache directory also holds per-cell host wall-clock telemetry
+// (outside the deterministic JSON documents), which BatchRunner feeds back
+// as a longest-processing-time-first schedule on subsequent runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "harness/runner.hpp"
+
+namespace aecdsm::harness {
+
+struct ExperimentCell;  // defined in harness/batch.hpp
+
+/// Salt folded into every cell hash. Bump whenever a change alters simulated
+/// behavior (protocol logic, cost model, app traces); cached blobs from the
+/// previous version then miss instead of serving stale results.
+inline constexpr const char* kSimVersionSalt = "aecdsm-sim-1";
+
+/// Host wall-clock observations per cell hash, in microseconds.
+using TelemetryMap = std::map<std::string, std::uint64_t>;
+
+class CellCache {
+ public:
+  /// Resolve the cache location: an explicit `dir` wins, then the
+  /// AECDSM_CACHE_DIR environment variable, then XDG_CACHE_HOME/aecdsm,
+  /// then ~/.cache/aecdsm.
+  static std::string resolve_dir(const std::string& dir);
+
+  /// Canonical key string of a cell: every input that determines the
+  /// simulation outcome plus kSimVersionSalt. Stored verbatim in the blob
+  /// and re-checked on load, so a hash collision degrades to a miss.
+  static std::string cell_key(const ExperimentCell& cell);
+
+  /// 16-hex-digit FNV-1a 64 of cell_key(); the blob's file name.
+  static std::string cell_hash(const ExperimentCell& cell);
+
+  /// Opens (and creates if needed) the cache at `dir`.
+  explicit CellCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Fetch a finished cell. nullopt on miss, on a key mismatch, or on any
+  /// unreadable/corrupt blob (the cache never fails a run — worst case the
+  /// cell is simulated again).
+  std::optional<ExperimentResult> load(const ExperimentCell& cell) const;
+
+  /// Memoize a finished cell (atomic write-then-rename).
+  void store(const ExperimentCell& cell, const ExperimentResult& result) const;
+
+  /// Wall-clock telemetry of previous runs; empty when none recorded.
+  TelemetryMap load_telemetry() const;
+
+  /// Fold fresh per-cell durations into the telemetry file (last
+  /// observation wins per cell).
+  void merge_telemetry(const TelemetryMap& updates) const;
+
+ private:
+  std::string blob_path(const std::string& hash) const;
+  std::string telemetry_path() const;
+
+  std::string dir_;
+};
+
+}  // namespace aecdsm::harness

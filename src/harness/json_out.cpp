@@ -2,6 +2,8 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -117,6 +119,244 @@ std::string Value::dump(int indent) const {
   write(os, indent);
   return os.str();
 }
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  AECDSM_CHECK_MSG(v != nullptr, "json: missing member '" << key << "'");
+  return *v;
+}
+
+bool Value::as_bool() const {
+  AECDSM_CHECK_MSG(kind_ == Kind::kBool, "json: as_bool on non-bool");
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kUint) {
+    AECDSM_CHECK_MSG(uint_ <= static_cast<std::uint64_t>(
+                                  std::numeric_limits<std::int64_t>::max()),
+                     "json: as_int overflow on " << uint_);
+    return static_cast<std::int64_t>(uint_);
+  }
+  AECDSM_CHECK_MSG(false, "json: as_int on non-integer");
+}
+
+std::uint64_t Value::as_uint() const {
+  if (kind_ == Kind::kUint) return uint_;
+  if (kind_ == Kind::kInt) {
+    AECDSM_CHECK_MSG(int_ >= 0, "json: as_uint on negative " << int_);
+    return static_cast<std::uint64_t>(int_);
+  }
+  AECDSM_CHECK_MSG(false, "json: as_uint on non-integer");
+}
+
+double Value::as_double() const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ == Kind::kUint) return static_cast<double>(uint_);
+  AECDSM_CHECK_MSG(false, "json: as_double on non-number");
+}
+
+const std::string& Value::as_string() const {
+  AECDSM_CHECK_MSG(kind_ == Kind::kString, "json: as_string on non-string");
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  static const std::vector<Value> kEmpty;
+  return kind_ == Kind::kArray ? items_ : kEmpty;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::entries() const {
+  static const std::vector<std::pair<std::string, Value>> kEmpty;
+  return kind_ == Kind::kObject ? members_ : kEmpty;
+}
+
+namespace {
+
+/// Recursive-descent parser over the subset json::Value emits (which is the
+/// full JSON grammar minus exotic number forms the simulator never writes).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    AECDSM_CHECK_MSG(pos_ == text_.size(),
+                     "json: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    AECDSM_CHECK_MSG(false, "json: " << what << " at offset " << pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v = Value::object();
+    if (peek() == '}') { ++pos_; return v; }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      v[key] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v = Value::array();
+    if (peek() == ']') { ++pos_; return v; }
+    for (;;) {
+      v.append(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') { out += c; continue; }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          const auto res =
+              std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+          }
+          pos_ += 4;
+          // The writer only emits \u00XX control escapes; reject the rest
+          // rather than half-implement UTF-16 surrogates.
+          if (code > 0x7F) fail("unsupported \\u escape beyond ASCII");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') { ++pos_; continue; }
+      if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ == start) fail("expected a value");
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (is_double) {
+      double d = 0.0;
+      const auto res = std::from_chars(first, last, d);
+      if (res.ec != std::errc{} || res.ptr != last) fail("bad number");
+      return Value(d);
+    }
+    if (*first == '-') {
+      std::int64_t i = 0;
+      const auto res = std::from_chars(first, last, i);
+      if (res.ec != std::errc{} || res.ptr != last) fail("bad number");
+      return Value(i);
+    }
+    std::uint64_t u = 0;
+    const auto res = std::from_chars(first, last, u);
+    if (res.ec != std::errc{} || res.ptr != last) fail("bad number");
+    return Value(u);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(const std::string& text) { return Parser(text).parse_document(); }
 
 }  // namespace aecdsm::harness::json
 
@@ -269,6 +509,82 @@ Value lap_json(const ExperimentResult& r) {
   v["waitq_virtualq"] = score_json(total.waitq_virtualq);
   v["locks"] = std::move(locks);
   return v;
+}
+
+namespace {
+
+TimeBreakdown breakdown_from_json(const Value& v) {
+  TimeBreakdown t;
+  t.busy = v.at("busy").as_uint();
+  t.data = v.at("data").as_uint();
+  t.synch = v.at("synch").as_uint();
+  t.ipc = v.at("ipc").as_uint();
+  t.others_cache = v.at("others_cache").as_uint();
+  t.others_tlb = v.at("others_tlb").as_uint();
+  t.others_wb = v.at("others_wb").as_uint();
+  t.others_misc = v.at("others_misc").as_uint();
+  return t;
+}
+
+aec::PredictorScore score_from_json(const Value& v) {
+  aec::PredictorScore s;
+  s.predictions = v.at("predictions").as_uint();
+  s.hits = v.at("hits").as_uint();
+  return s;
+}
+
+}  // namespace
+
+RunStats run_stats_from_json(const Value& v) {
+  RunStats r;
+  r.protocol = v.at("protocol").as_string();
+  r.app = v.at("app").as_string();
+  r.num_procs = static_cast<int>(v.at("num_procs").as_int());
+  r.finish_time = v.at("finish_time").as_uint();
+  r.result_valid = v.at("result_valid").as_bool();
+  for (const Value& t : v.at("per_proc").items()) {
+    r.per_proc.push_back(breakdown_from_json(t));
+  }
+  const Value& d = v.at("diffs");
+  r.diffs.diffs_created = d.at("diffs_created").as_uint();
+  r.diffs.diff_bytes = d.at("diff_bytes").as_uint();
+  r.diffs.merged_diffs = d.at("merged_diffs").as_uint();
+  r.diffs.merged_result_count = d.at("merged_result_count").as_uint();
+  r.diffs.merged_result_bytes = d.at("merged_result_bytes").as_uint();
+  r.diffs.create_cycles = d.at("create_cycles").as_uint();
+  r.diffs.create_hidden_cycles = d.at("create_hidden_cycles").as_uint();
+  r.diffs.apply_cycles = d.at("apply_cycles").as_uint();
+  r.diffs.apply_hidden_cycles = d.at("apply_hidden_cycles").as_uint();
+  r.diffs.diffs_applied = d.at("diffs_applied").as_uint();
+  const Value& f = v.at("faults");
+  r.faults.read_faults = f.at("read_faults").as_uint();
+  r.faults.write_faults = f.at("write_faults").as_uint();
+  r.faults.cold_faults = f.at("cold_faults").as_uint();
+  r.faults.faults_inside_cs = f.at("faults_inside_cs").as_uint();
+  r.faults.fault_cycles = f.at("fault_cycles").as_uint();
+  const Value& m = v.at("msgs");
+  r.msgs.messages = m.at("messages").as_uint();
+  r.msgs.bytes = m.at("bytes").as_uint();
+  const Value& s = v.at("sync");
+  r.sync.lock_acquires = s.at("lock_acquires").as_uint();
+  r.sync.barrier_events = s.at("barrier_events").as_uint();
+  r.sync.distinct_locks = s.at("distinct_locks").as_uint();
+  return r;
+}
+
+std::map<LockId, aec::LapScores> lap_scores_from_json(const Value& v) {
+  std::map<LockId, aec::LapScores> out;
+  if (v.kind() == Value::Kind::kNull) return out;
+  for (const Value& row : v.at("locks").items()) {
+    aec::LapScores s;
+    s.acquire_events = row.at("acquires").as_uint();
+    s.lap = score_from_json(row.at("lap"));
+    s.waitq = score_from_json(row.at("waitq"));
+    s.waitq_affinity = score_from_json(row.at("waitq_affinity"));
+    s.waitq_virtualq = score_from_json(row.at("waitq_virtualq"));
+    out[static_cast<LockId>(row.at("lock").as_uint())] = s;
+  }
+  return out;
 }
 
 }  // namespace aecdsm::harness

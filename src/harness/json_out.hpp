@@ -1,17 +1,22 @@
-// Structured results output for the batch experiment runner.
+// Structured results input/output for the batch experiment runner.
 //
 // json::Value is a minimal ordered JSON document tree — objects preserve
 // insertion order and doubles print in shortest round-trip form, so a batch
 // document is byte-identical across runs and across --jobs settings (the
 // determinism tests rely on this). The to_json overloads serialize the full
-// RunStats breakdown plus per-lock LAP scores.
+// RunStats breakdown plus per-lock LAP scores; the from_json counterparts
+// reconstruct them from a parsed document, which is how the cell result
+// cache (harness/cellcache) serves finished cells without re-simulating.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "aec/lap.hpp"
 
 #include "common/params.hpp"
 #include "common/stats.hpp"
@@ -35,6 +40,12 @@ class Value {
   static Value array() { Value v; v.kind_ = Kind::kArray; return v; }
   static Value object() { Value v; v.kind_ = Kind::kObject; return v; }
 
+  /// Parse a JSON document. Numbers keep their lexical class: an integer
+  /// literal parses as kInt/kUint, anything with '.', 'e' or 'E' as kDouble,
+  /// so parse → dump round-trips a document byte-identically. Malformed
+  /// input raises SimError with the byte offset of the failure.
+  static Value parse(const std::string& text);
+
   Kind kind() const { return kind_; }
 
   /// Object member access: inserts a null member on first use (a null Value
@@ -45,6 +56,30 @@ class Value {
   Value& append(Value v);
 
   std::size_t size() const;
+
+  // --- Read access (for parsed documents) ----------------------------------
+
+  /// Object member lookup without insertion; nullptr when absent or when
+  /// this value is not an object.
+  const Value* find(const std::string& key) const;
+
+  /// Checked member access: SimError when the key is missing.
+  const Value& at(const std::string& key) const;
+
+  /// Typed scalar access; SimError on a kind mismatch. as_uint accepts a
+  /// non-negative kInt and as_int a kUint within range, since the parser
+  /// classifies by lexical form only.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Array elements (empty for non-arrays).
+  const std::vector<Value>& items() const;
+
+  /// Object members in insertion order (empty for non-objects).
+  const std::vector<std::pair<std::string, Value>>& entries() const;
 
   /// Serialize with 2-space indentation per level; `indent < 0` gives the
   /// compact single-line form.
@@ -80,5 +115,14 @@ json::Value to_json(const SystemParams& p);
 /// Per-lock LAP scores of a finished run plus the event-weighted total;
 /// a null Value when the run's protocol records no scores.
 json::Value lap_json(const ExperimentResult& r);
+
+/// Rebuild a RunStats from its to_json form. Derived members ("aggregate",
+/// "others", "total") are ignored — they are recomputed on the next
+/// serialization, so to_json(from_json(x)) == x byte-for-byte.
+RunStats run_stats_from_json(const json::Value& v);
+
+/// Rebuild the per-lock LAP score map from a lap_json value (the "locks"
+/// array); a null value yields an empty map.
+std::map<LockId, aec::LapScores> lap_scores_from_json(const json::Value& v);
 
 }  // namespace aecdsm::harness

@@ -10,6 +10,10 @@ std::map<LockId, aec::LapScores> lap_scores_of(const ExperimentResult& r) {
     for (const auto& [l, lap] : r.tm->lap) out[l] = lap.scores();
   } else if (r.erc != nullptr) {
     for (const auto& [l, lap] : r.erc->lap) out[l] = lap.scores();
+  } else {
+    // No live protocol handle: the result came from the cell cache, which
+    // materialized the scores when the cell was first simulated.
+    out = r.lap_scores;
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "dsm/system.hpp"
+#include "harness/lap_report.hpp"
 
 namespace aecdsm::harness {
 
@@ -37,6 +38,7 @@ ExperimentResult run_experiment(const std::string& protocol, const std::string& 
   }
   AECDSM_CHECK_MSG(out.stats.result_valid,
                    app_name << " under " << protocol << " failed its oracle check");
+  out.lap_scores = lap_scores_of(out);
   return out;
 }
 

@@ -4,6 +4,7 @@
 // need them.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -18,6 +19,13 @@ namespace aecdsm::harness {
 
 struct ExperimentResult {
   RunStats stats;
+  /// Per-lock LAP scores, materialized at the end of the run (or rebuilt
+  /// from the cell cache). Everything a bench report needs beyond RunStats
+  /// lives here, so a cache hit is indistinguishable from a fresh run.
+  std::map<LockId, aec::LapScores> lap_scores;
+  /// True when this result was served from the cell cache instead of being
+  /// simulated; the protocol handles below are then null.
+  bool from_cache = false;
   /// Set when the run used AEC (either variant): LAP scores & lock records.
   std::shared_ptr<const aec::AecShared> aec;
   /// Set when the run used TreadMarks: scoring-only LAP instances.

@@ -25,6 +25,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;  // cancelled pool: drop instead of queueing
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -34,6 +35,24 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_all() {
   std::unique_lock<std::mutex> lk(mu_);
   idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::request_stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    // Queued tasks are counted in in_flight_; cancelling them must release
+    // wait_all() once the currently executing tasks finish.
+    in_flight_ -= queue_.size();
+    queue_.clear();
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+  work_cv_.notify_all();
+}
+
+bool ThreadPool::stop_requested() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stop_;
 }
 
 void ThreadPool::worker_main() {

@@ -26,11 +26,21 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Tasks must not throw — wrap fallible work and capture
-  /// the error (BatchRunner stores an exception_ptr per cell).
+  /// the error (BatchRunner stores an exception_ptr per cell). After
+  /// request_stop() the task is silently dropped instead.
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has completed.
   void wait_all();
+
+  /// Cancel all queued-but-not-started tasks and drop any submitted later;
+  /// tasks already executing run to completion. Callable from inside a task
+  /// (BatchRunner's --fail-fast calls it on the first cell failure), after
+  /// which wait_all() returns as soon as the in-flight tasks drain.
+  void request_stop();
+
+  /// True once request_stop() has been called.
+  bool stop_requested() const;
 
   int size() const { return static_cast<int>(workers_.size()); }
 
@@ -41,12 +51,13 @@ class ThreadPool {
  private:
   void worker_main();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< signalled when a task arrives / shutdown
   std::condition_variable idle_cv_;  ///< signalled when in-flight work drains
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  ///< queued + currently executing tasks
   bool shutdown_ = false;
+  bool stop_ = false;  ///< cancel queued tasks, reject new submissions
   std::vector<std::thread> workers_;
 };
 

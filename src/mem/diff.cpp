@@ -1,6 +1,8 @@
 #include "mem/diff.hpp"
 
-#include <map>
+#include <algorithm>
+#include <functional>
+#include <tuple>
 
 #include "common/check.hpp"
 
@@ -10,20 +12,24 @@ Diff Diff::create(std::span<const Word> twin, std::span<const Word> current) {
   AECDSM_CHECK_MSG(twin.size() == current.size(),
                    "twin/page size mismatch: " << twin.size() << " vs " << current.size());
   Diff d;
-  std::size_t i = 0;
-  const std::size_t n = twin.size();
-  while (i < n) {
-    if (twin[i] == current[i]) {
-      ++i;
-      continue;
-    }
+  const Word* const tbegin = twin.data();
+  const Word* const tend = tbegin + twin.size();
+  const Word* t = tbegin;
+  const Word* c = current.data();
+  while (t != tend) {
+    // Skip the unchanged region in one std::mismatch pass (pages are mostly
+    // clean in practice, and the equality scan vectorizes).
+    std::tie(t, c) = std::mismatch(t, tend, c);
+    if (t == tend) break;
+    // The run ends at the next equal word pair: mismatch again, with the
+    // predicate inverted.
+    const auto [rt, rc] = std::mismatch(t, tend, c, std::not_equal_to<Word>{});
     Run run;
-    run.word_offset = static_cast<std::uint32_t>(i);
-    while (i < n && twin[i] != current[i]) {
-      run.words.push_back(current[i]);
-      ++i;
-    }
+    run.word_offset = static_cast<std::uint32_t>(t - tbegin);
+    run.words.assign(c, rc);
     d.runs_.push_back(std::move(run));
+    t = rt;
+    c = rc;
   }
   return d;
 }
@@ -39,36 +45,49 @@ void Diff::apply_to(std::span<Word> page) const {
 }
 
 Diff Diff::merge(const Diff& older, const Diff& newer) {
-  // Materialize into a sparse word map; newer overwrites older. Page sizes
-  // in this simulator are small (1K words) and merge frequency is modest,
-  // so clarity beats micro-optimization here.
-  std::map<std::uint32_t, Word> words;
-  for (const Run& run : older.runs_) {
-    for (std::size_t k = 0; k < run.words.size(); ++k) {
-      words[run.word_offset + static_cast<std::uint32_t>(k)] = run.words[k];
-    }
-  }
-  for (const Run& run : newer.runs_) {
-    for (std::size_t k = 0; k < run.words.size(); ++k) {
-      words[run.word_offset + static_cast<std::uint32_t>(k)] = run.words[k];
-    }
-  }
+  // Linear two-pointer merge over the sorted run lists: both sides are
+  // walked word-position by word-position, newer winning where the
+  // footprints overlap. O(changed words) with no intermediate
+  // materialization — this sits on the lock-release hot path.
   Diff out;
   Run current;
   bool open = false;
   std::uint32_t expected = 0;
-  for (const auto& [off, w] : words) {
+  auto emit = [&](std::uint32_t off, Word w) {
     if (open && off == expected) {
       current.words.push_back(w);
-      ++expected;
-      continue;
+    } else {
+      if (open) out.runs_.push_back(std::move(current));
+      current = Run{};
+      current.word_offset = off;
+      current.words.push_back(w);
+      open = true;
     }
-    if (open) out.runs_.push_back(std::move(current));
-    current = Run{};
-    current.word_offset = off;
-    current.words.push_back(w);
     expected = off + 1;
-    open = true;
+  };
+
+  const std::vector<Run>& a = older.runs_;
+  const std::vector<Run>& b = newer.runs_;
+  std::size_t ai = 0, aw = 0;  // run index / word index within the run
+  std::size_t bi = 0, bw = 0;
+  while (ai < a.size() || bi < b.size()) {
+    const bool has_a = ai < a.size();
+    const bool has_b = bi < b.size();
+    const std::uint32_t pa =
+        has_a ? a[ai].word_offset + static_cast<std::uint32_t>(aw) : 0;
+    const std::uint32_t pb =
+        has_b ? b[bi].word_offset + static_cast<std::uint32_t>(bw) : 0;
+    const bool take_a = has_a && (!has_b || pa <= pb);
+    const bool take_b = has_b && (!has_a || pb <= pa);
+    if (take_b) {
+      emit(pb, b[bi].words[bw]);  // where both cover a word, newer wins
+      if (++bw == b[bi].words.size()) { ++bi; bw = 0; }
+    } else {
+      emit(pa, a[ai].words[aw]);
+    }
+    if (take_a) {
+      if (++aw == a[ai].words.size()) { ++ai; aw = 0; }
+    }
   }
   if (open) out.runs_.push_back(std::move(current));
   return out;

@@ -142,6 +142,7 @@ TEST(BatchRunner, ResultsComeBackInPlanOrder) {
   plan.add("AEC-noLAP", "FFT", apps::Scale::kSmall, small_params(4));
   harness::BatchOptions opts;
   opts.jobs = 4;
+  opts.no_cache = true;  // exercise real simulations, not the cell cache
   harness::BatchRunner runner(opts);
   const auto results = runner.run(plan);
   ASSERT_EQ(results.size(), plan.cells.size());
@@ -165,6 +166,7 @@ TEST(BatchRunner, CellFailurePropagatesAfterBatchFinishes) {
   plan.add("NoSuchProtocol", "IS", apps::Scale::kSmall, small_params(4));
   harness::BatchOptions opts;
   opts.jobs = 2;
+  opts.no_cache = true;
   harness::BatchRunner runner(opts);
   EXPECT_THROW(runner.run(plan), SimError);
 }
@@ -178,6 +180,7 @@ TEST(BatchRunner, DocumentIsIdenticalAcrossJobCounts) {
   auto doc_with_jobs = [&](int jobs) {
     harness::BatchOptions opts;
     opts.jobs = jobs;
+    opts.no_cache = true;
     harness::BatchRunner runner(opts);
     return harness::BatchRunner::document(plan, runner.run(plan)).dump();
   };
@@ -197,6 +200,7 @@ TEST(BatchRunner, BenchReportLooksUpByLabel) {
   plan.add("TreadMarks", "IS", apps::Scale::kSmall, small_params(4));
   harness::BatchOptions opts;
   opts.jobs = 2;
+  opts.no_cache = true;
   harness::BatchRunner runner(opts);
   const auto results = runner.run(plan);
   harness::json::Value doc =

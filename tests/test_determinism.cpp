@@ -75,6 +75,7 @@ TEST(Determinism, BatchRunnerMatchesSerialRunByteForByte) {
 
   harness::BatchOptions opts;
   opts.jobs = 4;
+  opts.no_cache = true;  // every copy must genuinely simulate
   harness::BatchRunner runner(opts);
   const auto results = runner.run(plan);
   for (int i = 0; i < 4; ++i) {

@@ -101,6 +101,25 @@ TEST(Diff, MergeWithEmpty) {
   EXPECT_EQ(Diff::merge(da, empty), da);
 }
 
+TEST(Diff, MergeCoalescesOverlappingAndAdjacentRuns) {
+  // Regression for the two-pointer merge: overlapping and touching runs
+  // from the two sides must come back as one maximal run, with the newer
+  // diff's words winning across the overlap.
+  std::vector<Word> base(16, 0);
+  std::vector<Word> a = base;
+  for (std::size_t i = 2; i <= 6; ++i) a[i] = 10 + static_cast<Word>(i);
+  std::vector<Word> b = base;
+  for (std::size_t i = 5; i <= 9; ++i) b[i] = 20 + static_cast<Word>(i);
+  const Diff m = Diff::merge(Diff::create(base, a), Diff::create(base, b));
+  ASSERT_EQ(m.runs().size(), 1u);
+  EXPECT_EQ(m.runs()[0].word_offset, 2u);
+  ASSERT_EQ(m.runs()[0].words.size(), 8u);  // words 2..9 as one run
+  EXPECT_EQ(m.runs()[0].words[0], 12u);     // older-only prefix
+  EXPECT_EQ(m.runs()[0].words[3], 25u);     // overlap: newer wins
+  EXPECT_EQ(m.runs()[0].words[7], 29u);     // newer-only suffix
+  EXPECT_EQ(m.changed_words(), 8u);
+}
+
 TEST(Diff, ApplyOutOfBoundsThrows) {
   std::vector<Word> twin(8, 0);
   std::vector<Word> cur = twin;
