@@ -1,0 +1,160 @@
+// bench_diff: the cross-run regression gate. Compares two batch/bench_all
+// JSON artifacts cell-by-cell (content-hash alignment with an identity
+// fallback) and exits nonzero when any metric moved beyond its tolerance —
+// which, with a deterministic simulator, defaults to "moved at all".
+//
+//   bench_diff OLD.json NEW.json
+//   bench_diff --baseline bench/baselines/bench_all.json NEW.json
+//   bench_diff --baseline ... --update-baseline NEW.json   # accept NEW
+//
+// Exit codes: 0 = within tolerance, 1 = regression gate failed,
+// 2 = usage / unreadable artifact / unknown schema.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/artifact_diff.hpp"
+
+namespace {
+
+using namespace aecdsm::harness;
+
+[[noreturn]] void print_usage_and_exit(const char* argv0, int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: %s [options] OLD.json NEW.json\n"
+      "       %s [options] --baseline FILE NEW.json\n"
+      "Compare two aecdsm-batch-v1 / aecdsm-bench-all-v1 artifacts and gate\n"
+      "on per-metric tolerances (default: exact match).\n"
+      "  --baseline FILE     diff NEW against FILE (instead of a positional OLD)\n"
+      "  --update-baseline   rewrite the baseline file with NEW's bytes after\n"
+      "                      reporting, and exit 0 (accept the new numbers)\n"
+      "  --tol METRIC=VAL    relative tolerance, e.g. finish_time=0.5%% or\n"
+      "                      messages=0.02; METRIC '*' sets the default\n"
+      "                      (repeatable)\n"
+      "  --tol-file FILE     aecdsm-tolerances-v1 JSON defaults file\n"
+      "  --json PATH         write the aecdsm-bench-diff-v1 document to PATH\n"
+      "                      ('-' = stdout; suppresses the human report on '-')\n"
+      "  -q, --quiet         suppress the human report\n",
+      argv0, argv0);
+  std::exit(code);
+}
+
+/// Value of "--flag V" or "--flag=V"; advances i past a separate value.
+bool flag_value(int argc, char** argv, int& i, const char* flag, std::string& out) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, len) != 0) return false;
+  if (argv[i][len] == '=') {
+    out = argv[i] + len + 1;
+    return true;
+  }
+  if (argv[i][len] == '\0') {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline;
+  bool update_baseline = false;
+  std::string json_path;
+  bool quiet = false;
+  artifact_diff::Tolerances tol;
+  std::vector<std::string> files;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string value;
+      if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+        print_usage_and_exit(argv[0], 0);
+      } else if (flag_value(argc, argv, i, "--baseline", value)) {
+        baseline = value;
+      } else if (std::strcmp(argv[i], "--update-baseline") == 0) {
+        update_baseline = true;
+      } else if (flag_value(argc, argv, i, "--tol-file", value)) {
+        tol.load_file(value);
+      } else if (flag_value(argc, argv, i, "--tol", value)) {
+        tol.add_spec(value);
+      } else if (flag_value(argc, argv, i, "--json", value)) {
+        json_path = value;
+      } else if (std::strcmp(argv[i], "--quiet") == 0 ||
+                 std::strcmp(argv[i], "-q") == 0) {
+        quiet = true;
+      } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
+        std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], argv[i]);
+        print_usage_and_exit(argv[0], 2);
+      } else {
+        files.push_back(argv[i]);
+      }
+    }
+
+    std::string old_path;
+    std::string new_path;
+    if (!baseline.empty() && files.size() == 1) {
+      old_path = baseline;
+      new_path = files[0];
+    } else if (baseline.empty() && files.size() == 2) {
+      old_path = files[0];
+      new_path = files[1];
+    } else {
+      std::fprintf(stderr, "%s: want OLD.json NEW.json, or --baseline FILE NEW.json\n",
+                   argv[0]);
+      print_usage_and_exit(argv[0], 2);
+    }
+    if (update_baseline && baseline.empty()) {
+      std::fprintf(stderr, "%s: --update-baseline needs --baseline FILE\n", argv[0]);
+      print_usage_and_exit(argv[0], 2);
+    }
+
+    const artifact_diff::Document before = artifact_diff::load_file(old_path);
+    const artifact_diff::Document after = artifact_diff::load_file(new_path);
+    const artifact_diff::DiffResult result = artifact_diff::diff(before, after, tol);
+
+    if (json_path == "-") {
+      artifact_diff::to_json(result).write(std::cout);
+      std::cout << "\n";
+    } else if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out.good()) {
+        std::fprintf(stderr, "%s: cannot open %s\n", argv[0], json_path.c_str());
+        return 2;
+      }
+      artifact_diff::to_json(result).write(out);
+      out << "\n";
+    }
+    if (!quiet && json_path != "-") artifact_diff::print_human(std::cout, result);
+
+    if (update_baseline) {
+      // Copy NEW's exact bytes so a follow-up diff against the refreshed
+      // baseline is byte-level (and therefore metric-level) clean.
+      std::ifstream in(new_path, std::ios::binary);
+      std::ostringstream body;
+      body << in.rdbuf();
+      std::ofstream out(baseline, std::ios::binary | std::ios::trunc);
+      if (!in.good() || !out.good()) {
+        std::fprintf(stderr, "%s: cannot update baseline %s\n", argv[0],
+                     baseline.c_str());
+        return 2;
+      }
+      out << body.str();
+      std::fprintf(stderr, "[bench_diff] baseline %s updated from %s\n",
+                   baseline.c_str(), new_path.c_str());
+      return 0;
+    }
+    return artifact_diff::gate_exit_code(result);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+}

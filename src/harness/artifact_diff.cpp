@@ -1,0 +1,496 @@
+#include "harness/artifact_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace aecdsm::harness::artifact_diff {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[noreturn]] void bad_artifact(const std::string& what, const std::string& why) {
+  throw ArtifactError(what + ": " + why);
+}
+
+/// Checked member access that reports which artifact is broken instead of
+/// the parser-internal CHECK message.
+const json::Value& member(const json::Value& v, const char* key,
+                          const std::string& what) {
+  const json::Value* m = v.find(key);
+  if (m == nullptr) bad_artifact(what, std::string("missing member '") + key + "'");
+  return *m;
+}
+
+double number_of(const json::Value& v, const char* key, const std::string& what) {
+  const json::Value& m = member(v, key, what);
+  switch (m.kind()) {
+    case json::Value::Kind::kInt:
+    case json::Value::Kind::kUint:
+    case json::Value::Kind::kDouble: return m.as_double();
+    default: bad_artifact(what, std::string("member '") + key + "' is not a number");
+  }
+}
+
+/// Extract one comparable cell from a batch-document cell object.
+Cell load_cell(const json::Value& c, const std::string& scope,
+               const std::string& what) {
+  Cell cell;
+  cell.scope = scope;
+  cell.label = member(c, "label", what).as_string();
+  cell.protocol = member(c, "protocol", what).as_string();
+  cell.app = member(c, "app", what).as_string();
+  cell.scale = member(c, "scale", what).as_string();
+  cell.seed = member(c, "seed", what).as_uint();
+
+  // Content hash over the simulation inputs only — outputs must not feed
+  // the alignment key, or a changed result would read as an added cell.
+  std::ostringstream key;
+  key << cell.protocol << '|' << cell.app << '|' << cell.scale << '|' << cell.seed
+      << '|' << member(c, "params", what).dump(-1);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key.str())));
+  cell.content_hash = buf;
+
+  const json::Value& stats = member(c, "stats", what);
+  cell.metrics.emplace_back("finish_time", number_of(stats, "finish_time", what));
+  cell.metrics.emplace_back("result_valid",
+                            member(stats, "result_valid", what).as_bool() ? 1.0 : 0.0);
+  const json::Value& msgs = member(stats, "msgs", what);
+  cell.metrics.emplace_back("messages", number_of(msgs, "messages", what));
+  cell.metrics.emplace_back("message_bytes", number_of(msgs, "bytes", what));
+  const json::Value& diffs = member(stats, "diffs", what);
+  cell.metrics.emplace_back("diffs_created", number_of(diffs, "diffs_created", what));
+  cell.metrics.emplace_back("diff_bytes", number_of(diffs, "diff_bytes", what));
+  cell.metrics.emplace_back("diffs_applied", number_of(diffs, "diffs_applied", what));
+  const json::Value& lap = member(c, "lap", what);
+  if (lap.kind() == json::Value::Kind::kObject) {
+    cell.metrics.emplace_back("lap_rate",
+                              number_of(member(lap, "lap", what), "rate", what));
+    cell.metrics.emplace_back("waitq_rate",
+                              number_of(member(lap, "waitq", what), "rate", what));
+  }
+  return cell;
+}
+
+}  // namespace
+
+std::string Cell::display() const {
+  return scope.empty() ? label : scope + ":" + label;
+}
+
+std::string Cell::identity() const {
+  std::ostringstream os;
+  os << scope << '|' << label << '|' << protocol << '|' << app << '|' << scale
+     << '|' << seed;
+  return os.str();
+}
+
+std::string schema_of(const json::Value& doc, const std::string& what) {
+  if (doc.kind() != json::Value::Kind::kObject) {
+    bad_artifact(what, "top level is not a JSON object");
+  }
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr) bad_artifact(what, "missing top-level 'schema' field");
+  if (schema->kind() != json::Value::Kind::kString) {
+    bad_artifact(what, "top-level 'schema' field is not a string");
+  }
+  return schema->as_string();
+}
+
+Document load(const json::Value& doc, const std::string& what) {
+  Document out;
+  out.schema = schema_of(doc, what);
+  if (out.schema == kBatchSchema) {
+    for (const json::Value& c : member(doc, "cells", what).items()) {
+      out.cells.push_back(load_cell(c, "", what));
+    }
+    return out;
+  }
+  if (out.schema == kBenchAllSchema) {
+    for (const auto& [bench, bench_doc] : member(doc, "benches", what).entries()) {
+      const std::string bench_what = what + " (bench '" + bench + "')";
+      const std::string nested = schema_of(bench_doc, bench_what);
+      if (nested != kBatchSchema) {
+        bad_artifact(bench_what, "unsupported nested schema '" + nested + "'");
+      }
+      for (const json::Value& c : member(bench_doc, "cells", bench_what).items()) {
+        out.cells.push_back(load_cell(c, bench, bench_what));
+      }
+    }
+    return out;
+  }
+  bad_artifact(what, "unsupported schema '" + out.schema + "' (expected '" +
+                         kBatchSchema + "' or '" + kBenchAllSchema + "')");
+}
+
+Document load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) bad_artifact(path, "cannot read file");
+  std::ostringstream os;
+  os << in.rdbuf();
+  try {
+    return load(json::Value::parse(os.str()), path);
+  } catch (const ArtifactError&) {
+    throw;
+  } catch (const std::exception& e) {
+    bad_artifact(path, e.what());
+  }
+}
+
+double Tolerances::parse_value(const std::string& text) {
+  std::string body = text;
+  double scale = 1.0;
+  if (!body.empty() && body.back() == '%') {
+    body.pop_back();
+    scale = 0.01;
+  }
+  double value = 0.0;
+  std::size_t used = 0;
+  try {
+    value = std::stod(body, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;  // unify the error path below
+  }
+  if (used != body.size() || body.empty() || !(value >= 0.0)) {
+    throw ArtifactError("bad tolerance value '" + text +
+                        "' (want e.g. '0.5%' or '0.005')");
+  }
+  return value * scale;
+}
+
+void Tolerances::add_spec(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw ArtifactError("bad tolerance spec '" + spec + "' (want METRIC=VALUE)");
+  }
+  set(spec.substr(0, eq), parse_value(spec.substr(eq + 1)));
+}
+
+void Tolerances::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw ArtifactError(path + ": cannot read tolerance file");
+  std::ostringstream os;
+  os << in.rdbuf();
+  json::Value doc;
+  try {
+    doc = json::Value::parse(os.str());
+  } catch (const std::exception& e) {
+    throw ArtifactError(path + ": " + e.what());
+  }
+  if (schema_of(doc, path) != "aecdsm-tolerances-v1") {
+    throw ArtifactError(path + ": unsupported schema (expected aecdsm-tolerances-v1)");
+  }
+  const json::Value* tols = doc.find("tolerances");
+  if (tols == nullptr) throw ArtifactError(path + ": missing 'tolerances' object");
+  for (const auto& [metric, value] : tols->entries()) {
+    if (value.kind() == json::Value::Kind::kString) {
+      set(metric, parse_value(value.as_string()));
+    } else {
+      set(metric, value.as_double());
+    }
+  }
+}
+
+void Tolerances::set(const std::string& metric, double ratio) {
+  if (metric == "*") {
+    default_ = ratio;
+  } else {
+    per_metric_[metric] = ratio;
+  }
+}
+
+double Tolerances::for_metric(const std::string& metric) const {
+  const auto it = per_metric_.find(metric);
+  return it == per_metric_.end() ? default_ : it->second;
+}
+
+double MetricDelta::rel() const {
+  if (before == after) return 0.0;
+  if (before == 0.0) {
+    return after > 0.0 ? std::numeric_limits<double>::infinity()
+                       : -std::numeric_limits<double>::infinity();
+  }
+  return (after - before) / std::abs(before);
+}
+
+bool CellDiff::exceeds() const {
+  for (const MetricDelta& d : deltas) {
+    if (d.exceeds) return true;
+  }
+  return false;
+}
+
+bool DiffResult::gate_failed() const {
+  if (!added.empty() || !removed.empty()) return true;
+  for (const CellDiff& c : changed) {
+    if (c.exceeds()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+MetricDelta make_delta(const std::string& metric, double before, double after,
+                       const Tolerances& tol) {
+  MetricDelta d;
+  d.metric = metric;
+  d.before = before;
+  d.after = after;
+  d.tolerance = tol.for_metric(metric);
+  d.exceeds = std::abs(after - before) > d.tolerance * std::abs(before);
+  return d;
+}
+
+/// Metric value by name; nullptr when the cell lacks it (e.g. lap_rate on
+/// a protocol without LAP scores).
+const double* metric_of(const Cell& c, const std::string& name) {
+  for (const auto& [metric, value] : c.metrics) {
+    if (metric == name) return &value;
+  }
+  return nullptr;
+}
+
+/// Compare two aligned cells; returns the changed metrics only. A metric
+/// present on one side only always exceeds (there is no tolerance that
+/// excuses a LAP table appearing or vanishing).
+std::vector<MetricDelta> compare_cells(const Cell& before, const Cell& after,
+                                       const Tolerances& tol) {
+  std::vector<MetricDelta> out;
+  for (const auto& [metric, b] : before.metrics) {
+    const double* a = metric_of(after, metric);
+    if (a == nullptr) {
+      MetricDelta d = make_delta(metric, b, 0.0, tol);
+      d.exceeds = true;
+      out.push_back(d);
+      continue;
+    }
+    if (*a == b) continue;
+    out.push_back(make_delta(metric, b, *a, tol));
+  }
+  for (const auto& [metric, a] : after.metrics) {
+    if (metric_of(before, metric) != nullptr) continue;
+    MetricDelta d = make_delta(metric, 0.0, a, tol);
+    d.exceeds = true;
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+DiffResult diff(const Document& before, const Document& after,
+                const Tolerances& tol) {
+  DiffResult r;
+  r.cells_before = before.cells.size();
+  r.cells_after = after.cells.size();
+
+  // Queues of old-document cell indices per alignment key, consumed
+  // first-come first-served so duplicate cells pair up in document order.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_hash;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_identity;
+  for (std::size_t i = 0; i < before.cells.size(); ++i) {
+    const Cell& c = before.cells[i];
+    by_hash[c.scope + '|' + c.content_hash].push_back(i);
+    by_identity[c.identity()].push_back(i);
+  }
+  auto take = [](std::unordered_map<std::string, std::vector<std::size_t>>& m,
+                 const std::string& key, const std::vector<char>& used) {
+    const auto it = m.find(key);
+    if (it == m.end()) return static_cast<std::ptrdiff_t>(-1);
+    for (std::size_t& i : it->second) {
+      if (i != static_cast<std::size_t>(-1) && !used[i]) {
+        const std::size_t got = i;
+        i = static_cast<std::size_t>(-1);
+        return static_cast<std::ptrdiff_t>(got);
+      }
+    }
+    return static_cast<std::ptrdiff_t>(-1);
+  };
+
+  std::vector<char> used(before.cells.size(), 0);
+  std::map<std::string, std::pair<double, double>> totals;  // metric -> (before, after)
+  for (const Cell& cell : after.cells) {
+    bool by_content = true;
+    std::ptrdiff_t idx = take(by_hash, cell.scope + '|' + cell.content_hash, used);
+    if (idx < 0) {
+      by_content = false;
+      idx = take(by_identity, cell.identity(), used);
+    }
+    if (idx < 0) {
+      r.added.push_back(cell);
+      continue;
+    }
+    used[static_cast<std::size_t>(idx)] = 1;
+    const Cell& old = before.cells[static_cast<std::size_t>(idx)];
+    ++r.compared;
+    for (const auto& [metric, value] : old.metrics) {
+      totals[metric].first += value;
+    }
+    for (const auto& [metric, value] : cell.metrics) {
+      totals[metric].second += value;
+    }
+    std::vector<MetricDelta> deltas = compare_cells(old, cell, tol);
+    if (deltas.empty()) {
+      ++r.identical;
+      continue;
+    }
+    CellDiff cd;
+    cd.cell = cell;
+    cd.matched_by_hash = by_content;
+    cd.deltas = std::move(deltas);
+    r.changed.push_back(std::move(cd));
+  }
+  for (std::size_t i = 0; i < before.cells.size(); ++i) {
+    if (!used[i]) r.removed.push_back(before.cells[i]);
+  }
+
+  // Aggregates keep the per-cell reporting order where possible; totals is
+  // keyed alphabetically, so rebuild from a reference metric order.
+  static const char* kMetricOrder[] = {"finish_time", "result_valid",  "messages",
+                                       "message_bytes", "diffs_created", "diff_bytes",
+                                       "diffs_applied", "lap_rate",      "waitq_rate"};
+  for (const char* metric : kMetricOrder) {
+    const auto it = totals.find(metric);
+    if (it == totals.end()) continue;
+    r.aggregate.push_back(make_delta(metric, it->second.first, it->second.second, tol));
+    totals.erase(it);
+  }
+  for (const auto& [metric, t] : totals) {
+    r.aggregate.push_back(make_delta(metric, t.first, t.second, tol));
+  }
+  return r;
+}
+
+namespace {
+
+json::Value cell_id_json(const Cell& c) {
+  json::Value v = json::Value::object();
+  if (!c.scope.empty()) v["bench"] = json::Value(c.scope);
+  v["label"] = json::Value(c.label);
+  v["protocol"] = json::Value(c.protocol);
+  v["app"] = json::Value(c.app);
+  v["scale"] = json::Value(c.scale);
+  v["seed"] = json::Value(c.seed);
+  v["content_hash"] = json::Value(c.content_hash);
+  return v;
+}
+
+json::Value delta_json(const MetricDelta& d) {
+  json::Value v = json::Value::object();
+  v["metric"] = json::Value(d.metric);
+  v["before"] = json::Value(d.before);
+  v["after"] = json::Value(d.after);
+  v["delta"] = json::Value(d.delta());
+  // rel() can be infinite (a metric growing from an exact 0), which JSON
+  // cannot carry as a number.
+  const double rel = d.rel();
+  v["rel"] = std::isfinite(rel) ? json::Value(rel) : json::Value();
+  v["tolerance"] = json::Value(d.tolerance);
+  v["exceeds"] = json::Value(d.exceeds);
+  return v;
+}
+
+std::string fmt_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+std::string fmt_rel(const MetricDelta& d) {
+  const double rel = d.rel();
+  if (!std::isfinite(rel)) return d.after > d.before ? "+inf%" : "-inf%";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.3f%%", rel * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+json::Value to_json(const DiffResult& r) {
+  json::Value doc = json::Value::object();
+  doc["schema"] = json::Value(kDiffSchema);
+  doc["version"] = json::Value(std::uint64_t{1});
+  doc["gate_failed"] = json::Value(r.gate_failed());
+  doc["cells_before"] = json::Value(static_cast<std::uint64_t>(r.cells_before));
+  doc["cells_after"] = json::Value(static_cast<std::uint64_t>(r.cells_after));
+  doc["compared"] = json::Value(static_cast<std::uint64_t>(r.compared));
+  doc["identical"] = json::Value(static_cast<std::uint64_t>(r.identical));
+  json::Value changed = json::Value::array();
+  for (const CellDiff& c : r.changed) {
+    json::Value v = json::Value::object();
+    v["cell"] = cell_id_json(c.cell);
+    v["matched_by"] = json::Value(c.matched_by_hash ? "content_hash" : "identity");
+    v["exceeds"] = json::Value(c.exceeds());
+    json::Value deltas = json::Value::array();
+    for (const MetricDelta& d : c.deltas) deltas.append(delta_json(d));
+    v["deltas"] = std::move(deltas);
+    changed.append(std::move(v));
+  }
+  doc["changed"] = std::move(changed);
+  json::Value added = json::Value::array();
+  for (const Cell& c : r.added) added.append(cell_id_json(c));
+  doc["added"] = std::move(added);
+  json::Value removed = json::Value::array();
+  for (const Cell& c : r.removed) removed.append(cell_id_json(c));
+  doc["removed"] = std::move(removed);
+  json::Value aggregate = json::Value::array();
+  for (const MetricDelta& d : r.aggregate) aggregate.append(delta_json(d));
+  doc["aggregate"] = std::move(aggregate);
+  return doc;
+}
+
+void print_human(std::ostream& os, const DiffResult& r) {
+  for (const CellDiff& c : r.changed) {
+    os << (c.exceeds() ? "FAIL " : "ok   ") << c.cell.display() << " ["
+       << c.cell.protocol << "/" << c.cell.app << "]"
+       << (c.matched_by_hash ? "" : " (matched by identity)") << "\n";
+    for (const MetricDelta& d : c.deltas) {
+      os << "       " << d.metric << ": " << fmt_value(d.before) << " -> "
+         << fmt_value(d.after) << "  (" << fmt_rel(d) << ", tol "
+         << fmt_value(d.tolerance * 100.0) << "%"
+         << (d.exceeds ? ", EXCEEDS" : "") << ")\n";
+    }
+  }
+  for (const Cell& c : r.added) {
+    os << "ADDED   " << c.display() << " [" << c.protocol << "/" << c.app << "]\n";
+  }
+  for (const Cell& c : r.removed) {
+    os << "REMOVED " << c.display() << " [" << c.protocol << "/" << c.app << "]\n";
+  }
+  if (!r.changed.empty() || !r.added.empty() || !r.removed.empty()) os << "\n";
+  os << "aggregate over " << r.compared << " aligned cells:\n";
+  for (const MetricDelta& d : r.aggregate) {
+    os << "  " << d.metric << ": " << fmt_value(d.before) << " -> "
+       << fmt_value(d.after);
+    if (d.before != d.after) os << "  (" << fmt_rel(d) << ")";
+    os << "\n";
+  }
+  os << "bench_diff: " << r.compared << " compared, " << r.identical
+     << " identical, " << r.changed.size() << " changed, " << r.added.size()
+     << " added, " << r.removed.size() << " removed -> "
+     << (r.gate_failed() ? "GATE FAILED" : "clean") << "\n";
+}
+
+int gate_exit_code(const DiffResult& r) { return r.gate_failed() ? 1 : 0; }
+
+}  // namespace aecdsm::harness::artifact_diff

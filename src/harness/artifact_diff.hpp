@@ -1,0 +1,164 @@
+// Cross-run diffing of benchmark JSON artifacts — the regression gate.
+//
+// Loads two documents written by the batch runner ("aecdsm-batch-v1") or
+// the bench_all mega-sweep ("aecdsm-bench-all-v1"), aligns their cells by
+// content hash over the cell's simulation inputs (protocol, app, scale,
+// seed, the full params block) and falls back to (label, protocol, app,
+// scale, seed) identity when the hashes differ — e.g. when a SystemParams
+// field was added between the runs — then reports per-cell and aggregate
+// deltas for finish time, message/data traffic, diff counts and LAP
+// success rates against per-metric relative tolerances. The simulator is
+// deterministic, so the default tolerance is exact (0).
+//
+// bench/bench_diff.cpp wraps this into the CLI that CI runs against the
+// committed baseline in bench/baselines/.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/json_out.hpp"
+
+namespace aecdsm::harness::artifact_diff {
+
+/// Malformed or unsupported artifact input: missing/unknown schema,
+/// unreadable file, structurally broken cell. Distinct from SimError so
+/// the CLI can report it as a usage/input failure (exit 2) rather than a
+/// regression (exit 1).
+class ArtifactError : public std::runtime_error {
+ public:
+  explicit ArtifactError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Document schemas bench_diff understands.
+inline constexpr const char* kBatchSchema = "aecdsm-batch-v1";
+inline constexpr const char* kBenchAllSchema = "aecdsm-bench-all-v1";
+/// Schema of the machine-readable diff document bench_diff --json emits.
+inline constexpr const char* kDiffSchema = "aecdsm-bench-diff-v1";
+
+/// Top-level "schema" member of a parsed document. ArtifactError (with
+/// `what` naming the artifact) when the member is missing or not a string.
+std::string schema_of(const json::Value& doc, const std::string& what);
+
+/// One comparable cell extracted from an artifact.
+struct Cell {
+  /// Bench name for cells of a bench-all document (alignment never crosses
+  /// scopes); empty for a plain batch document.
+  std::string scope;
+  std::string label;
+  std::string protocol;
+  std::string app;
+  std::string scale;
+  std::uint64_t seed = 0;
+  /// FNV-1a 64 over the simulation inputs (protocol, app, scale, seed,
+  /// compact params JSON) — the primary alignment key, same spirit as
+  /// CellCache::cell_hash but computable from the artifact alone.
+  std::string content_hash;
+  /// Metric name -> value, in reporting order. LAP metrics are absent for
+  /// runs whose protocol records no scores.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// "scope:label" (or just label), the row name in reports.
+  std::string display() const;
+  /// (scope, label, protocol, app, scale, seed) fallback alignment key.
+  std::string identity() const;
+};
+
+/// A flattened, comparable view of one artifact.
+struct Document {
+  std::string schema;
+  std::vector<Cell> cells;
+};
+
+/// Flatten a parsed artifact. A bench-all document contributes every
+/// nested bench's cells with the bench name as their scope. ArtifactError
+/// on a missing/unknown schema or a structurally broken cell; `what` names
+/// the artifact in error messages (typically the file path).
+Document load(const json::Value& doc, const std::string& what);
+
+/// Read + parse + flatten a file. ArtifactError on any failure.
+Document load_file(const std::string& path);
+
+/// Per-metric relative tolerance rules. Unlisted metrics use the default,
+/// which is 0 (exact) unless overridden via the "*" metric.
+class Tolerances {
+ public:
+  /// Parse "0.5%" (percentage) or "0.005" (ratio) into a ratio.
+  /// ArtifactError on a malformed or negative value.
+  static double parse_value(const std::string& text);
+
+  /// Parse a "metric=value" CLI spec; metric "*" sets the default.
+  void add_spec(const std::string& spec);
+
+  /// Load an "aecdsm-tolerances-v1" defaults file: an object member
+  /// "tolerances" mapping metric names to "0.5%"-style strings or ratios.
+  void load_file(const std::string& path);
+
+  void set(const std::string& metric, double ratio);
+  double for_metric(const std::string& metric) const;
+
+ private:
+  std::map<std::string, double> per_metric_;
+  double default_ = 0.0;
+};
+
+/// One metric compared between two aligned cells (or two aggregates).
+struct MetricDelta {
+  std::string metric;
+  double before = 0.0;
+  double after = 0.0;
+  double tolerance = 0.0;  ///< relative, from the Tolerances rules
+  bool exceeds = false;    ///< |after-before| > tolerance * |before|
+
+  double delta() const { return after - before; }
+  /// Relative delta; +/-inf when before == 0 and after != 0.
+  double rel() const;
+};
+
+/// A cell present in both documents with at least one metric changed.
+struct CellDiff {
+  Cell cell;                  ///< identity fields from the *new* document
+  bool matched_by_hash = false;  ///< false: aligned by the identity fallback
+  std::vector<MetricDelta> deltas;  ///< changed metrics only
+
+  bool exceeds() const;
+};
+
+/// Full result of diffing two documents.
+struct DiffResult {
+  std::size_t cells_before = 0;
+  std::size_t cells_after = 0;
+  std::size_t compared = 0;   ///< aligned pairs
+  std::size_t identical = 0;  ///< aligned pairs with every metric equal
+  std::vector<CellDiff> changed;
+  std::vector<Cell> added;    ///< only in the new document
+  std::vector<Cell> removed;  ///< only in the old document
+  /// Each metric summed over the aligned pairs, gated by the same rules.
+  std::vector<MetricDelta> aggregate;
+
+  /// True when any per-cell metric exceeds its tolerance or any cell was
+  /// added or removed — the regression-gate verdict.
+  bool gate_failed() const;
+};
+
+/// Align and compare. Cells are matched within their scope, first by
+/// content hash, then by identity, each consumed first-come first-served
+/// so duplicate cells pair up in document order.
+DiffResult diff(const Document& before, const Document& after,
+                const Tolerances& tol);
+
+/// Machine-readable diff document (schema kDiffSchema, "version" 1).
+json::Value to_json(const DiffResult& r);
+
+/// Human-readable report: changed cells, added/removed, aggregate table,
+/// one-line summary.
+void print_human(std::ostream& os, const DiffResult& r);
+
+/// Process exit code for a finished diff: 0 clean, 1 gate failed.
+int gate_exit_code(const DiffResult& r);
+
+}  // namespace aecdsm::harness::artifact_diff

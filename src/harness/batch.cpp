@@ -107,6 +107,22 @@ BatchOptions parse_batch_cli(int& argc, char** argv) {
   return opts;
 }
 
+std::vector<std::size_t> lpt_schedule(std::vector<std::size_t> misses,
+                                      const std::vector<std::string>& hashes,
+                                      const TelemetryMap& telemetry) {
+  if (telemetry.empty()) return misses;
+  auto duration_of = [&](std::size_t i) -> std::uint64_t {
+    const auto it = telemetry.find(hashes[i]);
+    return it == telemetry.end() ? std::numeric_limits<std::uint64_t>::max()
+                                 : it->second;
+  };
+  std::stable_sort(misses.begin(), misses.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return duration_of(a) > duration_of(b);
+                   });
+  return misses;
+}
+
 BatchRunner::BatchRunner(BatchOptions opts)
     : opts_(std::move(opts)), jobs_(ThreadPool::resolve_jobs(opts_.jobs)) {}
 
@@ -139,23 +155,8 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
     misses.push_back(i);
   }
 
-  // Longest-processing-time-first over the telemetry of previous runs:
-  // cells with no recorded duration go first (they may be the heavy ones),
-  // then known cells in descending wall-clock order. Ties keep plan order,
-  // so the schedule is deterministic.
   if (cache != nullptr && misses.size() > 1) {
-    const TelemetryMap telemetry = cache->load_telemetry();
-    if (!telemetry.empty()) {
-      auto duration_of = [&](std::size_t i) -> std::uint64_t {
-        const auto it = telemetry.find(hashes[i]);
-        return it == telemetry.end() ? std::numeric_limits<std::uint64_t>::max()
-                                     : it->second;
-      };
-      std::stable_sort(misses.begin(), misses.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         return duration_of(a) > duration_of(b);
-                       });
-    }
+    misses = lpt_schedule(std::move(misses), hashes, cache->load_telemetry());
   }
 
   TelemetryMap fresh_telemetry;

@@ -16,6 +16,7 @@
 
 #include "apps/registry.hpp"
 #include "common/params.hpp"
+#include "harness/cellcache.hpp"
 #include "harness/json_out.hpp"
 #include "harness/runner.hpp"
 
@@ -75,6 +76,16 @@ struct BatchRunInfo {
   std::size_t simulated = 0;
   std::size_t skipped = 0;
 };
+
+/// Longest-processing-time-first dispatch order of the cache misses, from
+/// the per-cell wall-clock telemetry of previous runs: cells with no
+/// recorded duration go first (they may be the heavy ones), then known
+/// cells in descending duration; ties keep their incoming relative order,
+/// so the schedule is deterministic. Empty telemetry leaves the order
+/// untouched. `hashes[i]` is the telemetry key of cell index `misses[j]==i`.
+std::vector<std::size_t> lpt_schedule(std::vector<std::size_t> misses,
+                                      const std::vector<std::string>& hashes,
+                                      const TelemetryMap& telemetry);
 
 class BatchRunner {
  public:

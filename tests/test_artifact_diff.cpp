@@ -1,0 +1,340 @@
+// Golden-file tests for the bench_diff regression gate: identical
+// documents diff clean (exit 0), a perturbed finish_time flags the cell
+// with the correct relative delta and fails the gate, missing/extra cells
+// report as removed/added, tolerance rules and files parse, and malformed
+// or unknown-schema artifacts raise a clear ArtifactError instead of
+// crashing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "harness/artifact_diff.hpp"
+#include "harness/batch.hpp"
+#include "tests/test_util.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+namespace ad = harness::artifact_diff;
+using harness::json::Value;
+
+/// Hand-built batch-v1 cell with only the members the differ reads.
+Value make_cell(const std::string& label, const std::string& protocol,
+                const std::string& app, std::uint64_t finish_time,
+                std::uint64_t messages = 1000, int num_procs = 4,
+                bool with_lap = false) {
+  Value c = Value::object();
+  c["label"] = Value(label);
+  c["protocol"] = Value(protocol);
+  c["app"] = Value(app);
+  c["scale"] = Value("small");
+  c["seed"] = Value(std::uint64_t{42});
+  Value params = Value::object();
+  params["num_procs"] = Value(num_procs);
+  params["page_bytes"] = Value(std::uint64_t{256});
+  c["params"] = std::move(params);
+  Value stats = Value::object();
+  stats["finish_time"] = Value(finish_time);
+  stats["result_valid"] = Value(true);
+  Value msgs = Value::object();
+  msgs["messages"] = Value(messages);
+  msgs["bytes"] = Value(messages * 64);
+  stats["msgs"] = std::move(msgs);
+  Value diffs = Value::object();
+  diffs["diffs_created"] = Value(std::uint64_t{50});
+  diffs["diff_bytes"] = Value(std::uint64_t{12800});
+  diffs["diffs_applied"] = Value(std::uint64_t{90});
+  stats["diffs"] = std::move(diffs);
+  c["stats"] = std::move(stats);
+  if (with_lap) {
+    Value lap = Value::object();
+    Value score = Value::object();
+    score["predictions"] = Value(std::uint64_t{100});
+    score["hits"] = Value(std::uint64_t{90});
+    score["rate"] = Value(0.9);
+    lap["lap"] = score;
+    lap["waitq"] = score;
+    c["lap"] = std::move(lap);
+  } else {
+    c["lap"] = Value();
+  }
+  return c;
+}
+
+Value make_doc(std::initializer_list<Value> cells) {
+  Value doc = Value::object();
+  doc["schema"] = Value(ad::kBatchSchema);
+  doc["plan"] = Value("golden");
+  Value arr = Value::array();
+  for (const Value& c : cells) arr.append(c);
+  doc["cells"] = std::move(arr);
+  return doc;
+}
+
+TEST(ArtifactDiff, IdenticalDocumentsDiffCleanAndExitZero) {
+  const Value doc = make_doc({make_cell("AEC/IS", "AEC", "IS", 100000, 500, 4, true),
+                              make_cell("TreadMarks/IS", "TreadMarks", "IS", 120000)});
+  const ad::Document a = ad::load(doc, "a");
+  const ad::Document b = ad::load(doc, "b");
+  const ad::DiffResult r = ad::diff(a, b, {});
+  EXPECT_EQ(r.compared, 2u);
+  EXPECT_EQ(r.identical, 2u);
+  EXPECT_TRUE(r.changed.empty());
+  EXPECT_TRUE(r.added.empty());
+  EXPECT_TRUE(r.removed.empty());
+  EXPECT_FALSE(r.gate_failed());
+  EXPECT_EQ(ad::gate_exit_code(r), 0);
+}
+
+TEST(ArtifactDiff, PerturbedFinishTimeFlagsCellWithRelativeDelta) {
+  const Value before = make_doc({make_cell("AEC/IS", "AEC", "IS", 200000),
+                                 make_cell("AEC/FFT", "AEC", "FFT", 300000)});
+  const Value after = make_doc({make_cell("AEC/IS", "AEC", "IS", 210000),
+                                make_cell("AEC/FFT", "AEC", "FFT", 300000)});
+  const ad::DiffResult r =
+      ad::diff(ad::load(before, "a"), ad::load(after, "b"), {});
+  EXPECT_EQ(r.compared, 2u);
+  EXPECT_EQ(r.identical, 1u);
+  ASSERT_EQ(r.changed.size(), 1u);
+  const ad::CellDiff& c = r.changed[0];
+  // The report names the cell, protocol, app, and metric.
+  EXPECT_EQ(c.cell.label, "AEC/IS");
+  EXPECT_EQ(c.cell.protocol, "AEC");
+  EXPECT_EQ(c.cell.app, "IS");
+  EXPECT_TRUE(c.matched_by_hash);
+  ASSERT_EQ(c.deltas.size(), 1u);
+  EXPECT_EQ(c.deltas[0].metric, "finish_time");
+  EXPECT_DOUBLE_EQ(c.deltas[0].before, 200000.0);
+  EXPECT_DOUBLE_EQ(c.deltas[0].after, 210000.0);
+  EXPECT_DOUBLE_EQ(c.deltas[0].rel(), 0.05);  // +5%
+  EXPECT_TRUE(c.deltas[0].exceeds);           // default tolerance is exact
+  EXPECT_TRUE(r.gate_failed());
+  EXPECT_EQ(ad::gate_exit_code(r), 1);
+}
+
+TEST(ArtifactDiff, ToleranceExcusesSmallDeltasButNotLargeOnes) {
+  const Value before = make_doc({make_cell("AEC/IS", "AEC", "IS", 200000)});
+  const Value after = make_doc({make_cell("AEC/IS", "AEC", "IS", 210000)});
+  ad::Tolerances loose;
+  loose.add_spec("finish_time=10%");
+  const ad::DiffResult ok =
+      ad::diff(ad::load(before, "a"), ad::load(after, "b"), loose);
+  ASSERT_EQ(ok.changed.size(), 1u);  // still reported as changed...
+  EXPECT_FALSE(ok.changed[0].exceeds());  // ...but inside the tolerance
+  EXPECT_FALSE(ok.gate_failed());
+
+  ad::Tolerances tight;
+  tight.add_spec("finish_time=1%");
+  const ad::DiffResult bad =
+      ad::diff(ad::load(before, "a"), ad::load(after, "b"), tight);
+  EXPECT_TRUE(bad.gate_failed());
+
+  // A wildcard default applies to every metric without its own rule.
+  ad::Tolerances wild;
+  wild.add_spec("*=10%");
+  EXPECT_FALSE(ad::diff(ad::load(before, "a"), ad::load(after, "b"), wild)
+                   .gate_failed());
+}
+
+TEST(ArtifactDiff, MissingAndExtraCellsReportAsRemovedAndAdded) {
+  const Value before = make_doc({make_cell("AEC/IS", "AEC", "IS", 100),
+                                 make_cell("AEC/FFT", "AEC", "FFT", 200)});
+  const Value after = make_doc({make_cell("AEC/IS", "AEC", "IS", 100),
+                                make_cell("AEC/Ocean", "AEC", "Ocean", 300)});
+  const ad::DiffResult r =
+      ad::diff(ad::load(before, "a"), ad::load(after, "b"), {});
+  EXPECT_EQ(r.compared, 1u);
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_EQ(r.added[0].label, "AEC/Ocean");
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(r.removed[0].label, "AEC/FFT");
+  EXPECT_TRUE(r.gate_failed());
+  EXPECT_EQ(ad::gate_exit_code(r), 1);
+}
+
+TEST(ArtifactDiff, IdentityFallbackAlignsWhenParamsChanged) {
+  // Same cell identity, different params block (e.g. a SystemParams field
+  // added between PRs): the content hashes differ, the identity fallback
+  // still pairs the cells instead of reporting added+removed.
+  const Value before = make_doc({make_cell("AEC/IS", "AEC", "IS", 100000, 500, 4)});
+  const Value after = make_doc({make_cell("AEC/IS", "AEC", "IS", 100000, 500, 8)});
+  const ad::DiffResult r =
+      ad::diff(ad::load(before, "a"), ad::load(after, "b"), {});
+  EXPECT_TRUE(r.added.empty());
+  EXPECT_TRUE(r.removed.empty());
+  EXPECT_EQ(r.compared, 1u);
+  EXPECT_EQ(r.identical, 1u);  // metrics equal, only the inputs moved
+  EXPECT_FALSE(r.gate_failed());
+}
+
+TEST(ArtifactDiff, LapTableAppearingOrVanishingAlwaysExceeds) {
+  const Value before = make_doc({make_cell("AEC/IS", "AEC", "IS", 100, 500, 4, true)});
+  const Value after = make_doc({make_cell("AEC/IS", "AEC", "IS", 100, 500, 4, false)});
+  ad::Tolerances loose;
+  loose.add_spec("*=1000%");
+  const ad::DiffResult r =
+      ad::diff(ad::load(before, "a"), ad::load(after, "b"), loose);
+  ASSERT_EQ(r.changed.size(), 1u);
+  EXPECT_TRUE(r.changed[0].exceeds());
+  EXPECT_TRUE(r.gate_failed());
+}
+
+TEST(ArtifactDiff, BenchAllDocumentsFlattenPerBenchScopes) {
+  Value combined = Value::object();
+  combined["schema"] = Value(ad::kBenchAllSchema);
+  combined["plan"] = Value("bench_all");
+  Value benches = Value::object();
+  benches["fig3"] = make_doc({make_cell("AEC/IS", "AEC", "IS", 100)});
+  benches["table4"] = make_doc({make_cell("AEC/IS", "AEC", "IS", 100)});
+  combined["benches"] = std::move(benches);
+  const ad::Document doc = ad::load(combined, "combined");
+  EXPECT_EQ(doc.schema, ad::kBenchAllSchema);
+  ASSERT_EQ(doc.cells.size(), 2u);
+  EXPECT_EQ(doc.cells[0].scope, "fig3");
+  EXPECT_EQ(doc.cells[1].scope, "table4");
+  EXPECT_EQ(doc.cells[0].display(), "fig3:AEC/IS");
+  // Identical duplicate cells in different scopes never cross-match.
+  const ad::DiffResult r = ad::diff(doc, doc, {});
+  EXPECT_EQ(r.compared, 2u);
+  EXPECT_FALSE(r.gate_failed());
+}
+
+TEST(ArtifactDiff, SchemaErrorsAreClearNotCrashes) {
+  // Missing schema.
+  Value no_schema = Value::object();
+  no_schema["cells"] = Value::array();
+  EXPECT_THROW(ad::load(no_schema, "x.json"), ad::ArtifactError);
+  try {
+    ad::load(no_schema, "x.json");
+  } catch (const ad::ArtifactError& e) {
+    EXPECT_NE(std::string(e.what()).find("x.json"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("schema"), std::string::npos);
+  }
+  // Unknown schema names itself in the error.
+  Value unknown = Value::object();
+  unknown["schema"] = Value("aecdsm-batch-v999");
+  try {
+    ad::load(unknown, "y.json");
+    FAIL() << "unknown schema accepted";
+  } catch (const ad::ArtifactError& e) {
+    EXPECT_NE(std::string(e.what()).find("aecdsm-batch-v999"), std::string::npos);
+  }
+  // Non-object documents and non-string schemas are rejected too.
+  EXPECT_THROW(ad::load(Value::array(), "z.json"), ad::ArtifactError);
+  Value bad_kind = Value::object();
+  bad_kind["schema"] = Value(std::uint64_t{1});
+  EXPECT_THROW(ad::load(bad_kind, "w.json"), ad::ArtifactError);
+  // A structurally broken cell reports which artifact it came from.
+  Value broken = Value::object();
+  broken["schema"] = Value(ad::kBatchSchema);
+  Value cells = Value::array();
+  cells.append(Value::object());  // cell with no members at all
+  broken["cells"] = std::move(cells);
+  EXPECT_THROW(ad::load(broken, "b.json"), ad::ArtifactError);
+  // Unreadable file.
+  EXPECT_THROW(ad::load_file("/nonexistent/never/there.json"), ad::ArtifactError);
+}
+
+TEST(ArtifactDiff, ToleranceValueParsing) {
+  EXPECT_DOUBLE_EQ(ad::Tolerances::parse_value("0.5%"), 0.005);
+  EXPECT_DOUBLE_EQ(ad::Tolerances::parse_value("2%"), 0.02);
+  EXPECT_DOUBLE_EQ(ad::Tolerances::parse_value("0.005"), 0.005);
+  EXPECT_DOUBLE_EQ(ad::Tolerances::parse_value("0"), 0.0);
+  for (const char* bad : {"", "%", "x", "-1%", "1%%", "5px"}) {
+    EXPECT_THROW(ad::Tolerances::parse_value(bad), ad::ArtifactError) << bad;
+  }
+  ad::Tolerances t;
+  t.add_spec("finish_time=0.5%");
+  t.add_spec("*=2%");
+  EXPECT_DOUBLE_EQ(t.for_metric("finish_time"), 0.005);
+  EXPECT_DOUBLE_EQ(t.for_metric("messages"), 0.02);  // wildcard default
+  EXPECT_THROW(t.add_spec("finish_time"), ad::ArtifactError);
+  EXPECT_THROW(t.add_spec("=1%"), ad::ArtifactError);
+}
+
+TEST(ArtifactDiff, ToleranceFileRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "aecdsm_tol_test.json";
+  std::ofstream(path) << "{\"schema\":\"aecdsm-tolerances-v1\","
+                         "\"tolerances\":{\"finish_time\":\"0.5%\","
+                         "\"messages\":0.02,\"*\":0}}";
+  ad::Tolerances t;
+  t.load_file(path.string());
+  EXPECT_DOUBLE_EQ(t.for_metric("finish_time"), 0.005);
+  EXPECT_DOUBLE_EQ(t.for_metric("messages"), 0.02);
+  EXPECT_DOUBLE_EQ(t.for_metric("anything_else"), 0.0);
+
+  std::ofstream(path) << "{\"schema\":\"wrong-v1\",\"tolerances\":{}}";
+  ad::Tolerances bad;
+  EXPECT_THROW(bad.load_file(path.string()), ad::ArtifactError);
+  fs::remove(path);
+  EXPECT_THROW(bad.load_file(path.string()), ad::ArtifactError);
+}
+
+TEST(ArtifactDiff, DiffJsonCarriesSchemaVersionAndVerdict) {
+  const Value doc = make_doc({make_cell("AEC/IS", "AEC", "IS", 100)});
+  Value bumped = make_doc({make_cell("AEC/IS", "AEC", "IS", 150)});
+  const ad::DiffResult r =
+      ad::diff(ad::load(doc, "a"), ad::load(bumped, "b"), {});
+  const Value out = ad::to_json(r);
+  EXPECT_EQ(out.at("schema").as_string(), ad::kDiffSchema);
+  EXPECT_EQ(out.at("version").as_uint(), 1u);
+  EXPECT_TRUE(out.at("gate_failed").as_bool());
+  EXPECT_EQ(out.at("changed").size(), 1u);
+  const Value& delta = out.at("changed").items()[0].at("deltas").items()[0];
+  EXPECT_EQ(delta.at("metric").as_string(), "finish_time");
+  EXPECT_DOUBLE_EQ(delta.at("rel").as_double(), 0.5);
+  // The emitted diff document round-trips through the parser.
+  EXPECT_EQ(Value::parse(out.dump()).dump(), out.dump());
+}
+
+TEST(ArtifactDiff, GrowthFromZeroReportsInfiniteRelAsNullInJson) {
+  const Value before = make_doc({make_cell("AEC/IS", "AEC", "IS", 100, 1000)});
+  Value after = make_doc({make_cell("AEC/IS", "AEC", "IS", 100, 1000)});
+  // Zero the old messages so the new value grows from an exact 0.
+  const Value zeroed = Value::parse([&] {
+    std::string s = before.dump();
+    const std::string from = "\"messages\": 1000";
+    s.replace(s.find(from), from.size(), "\"messages\": 0");
+    return s;
+  }());
+  const ad::DiffResult r =
+      ad::diff(ad::load(zeroed, "a"), ad::load(after, "b"), {});
+  ASSERT_EQ(r.changed.size(), 1u);
+  const Value out = ad::to_json(r);
+  bool saw_messages = false;
+  for (const Value& d : out.at("changed").items()[0].at("deltas").items()) {
+    if (d.at("metric").as_string() != "messages") continue;
+    saw_messages = true;
+    EXPECT_EQ(d.at("rel").kind(), Value::Kind::kNull);  // inf has no JSON form
+    EXPECT_TRUE(d.at("exceeds").as_bool());
+  }
+  EXPECT_TRUE(saw_messages);
+}
+
+TEST(ArtifactDiff, RealBatchDocumentLoadsAndDiffsClean) {
+  harness::ExperimentPlan plan;
+  plan.name = "golden_real";
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4));
+  plan.add("TreadMarks", "IS", apps::Scale::kSmall, small_params(4));
+  harness::BatchOptions opts;
+  opts.jobs = 2;
+  opts.no_cache = true;
+  harness::BatchRunner runner(opts);
+  const Value doc = harness::BatchRunner::document(plan, runner.run(plan));
+  const ad::Document loaded = ad::load(doc, "real");
+  ASSERT_EQ(loaded.cells.size(), 2u);
+  EXPECT_EQ(loaded.cells[0].protocol, "AEC");
+  // The AEC cell carries LAP metrics, the TreadMarks scoring ones too.
+  EXPECT_NE(loaded.cells[0].metrics.size(), 0u);
+  const ad::DiffResult r = ad::diff(loaded, loaded, {});
+  EXPECT_EQ(r.identical, 2u);
+  EXPECT_FALSE(r.gate_failed());
+  EXPECT_EQ(ad::gate_exit_code(r), 0);
+}
+
+}  // namespace
+}  // namespace aecdsm::test

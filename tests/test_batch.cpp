@@ -5,10 +5,12 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "harness/batch.hpp"
+#include "harness/cellcache.hpp"
 #include "harness/json_out.hpp"
 #include "harness/threadpool.hpp"
 #include "tests/test_util.hpp"
@@ -191,6 +193,74 @@ TEST(BatchRunner, DocumentIsIdenticalAcrossJobCounts) {
   EXPECT_NE(serial.find("\"busy\""), std::string::npos);
   EXPECT_NE(serial.find("\"waitq_virtualq\""), std::string::npos);
   EXPECT_NE(serial.find("\"affinity_threshold\""), std::string::npos);
+}
+
+TEST(LptSchedule, KnownDurationsDispatchLongestFirstUnknownAheadOfAll) {
+  // Cells 0..3 with telemetry for a, b, d; c has no recorded duration.
+  const std::vector<std::string> hashes = {"a", "b", "c", "d"};
+  const harness::TelemetryMap telemetry = {{"a", 10}, {"b", 500}, {"d", 50}};
+  const std::vector<std::size_t> order =
+      harness::lpt_schedule({0, 1, 2, 3}, hashes, telemetry);
+  // Unknown first (it may be the heavy one), then descending duration.
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 1, 3, 0}));
+}
+
+TEST(LptSchedule, EmptyTelemetryKeepsPlanOrder) {
+  const std::vector<std::string> hashes = {"a", "b", "c"};
+  EXPECT_EQ(harness::lpt_schedule({0, 1, 2}, hashes, {}),
+            (std::vector<std::size_t>{0, 1, 2}));
+  // A subset of misses is preserved as given, too.
+  EXPECT_EQ(harness::lpt_schedule({2, 0}, hashes, {}),
+            (std::vector<std::size_t>{2, 0}));
+}
+
+TEST(LptSchedule, TiesAndUnknownsAreStableInIncomingOrder) {
+  const std::vector<std::string> hashes = {"a", "b", "c", "d"};
+  const harness::TelemetryMap telemetry = {{"a", 100}, {"b", 100}};
+  // Equal durations keep incoming order; so do multiple unknowns.
+  EXPECT_EQ(harness::lpt_schedule({0, 1, 2, 3}, hashes, telemetry),
+            (std::vector<std::size_t>{2, 3, 0, 1}));
+  EXPECT_EQ(harness::lpt_schedule({3, 2, 1, 0}, hashes, telemetry),
+            (std::vector<std::size_t>{3, 2, 1, 0}));
+}
+
+TEST(LptSchedule, SeededTelemetryChangesDispatchNotResults) {
+  // Seed the cache with reversed durations (claim the first plan cell is
+  // by far the fastest): the document must come out identical anyway,
+  // because scheduling only reorders dispatch, never results.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "aecdsm_test_lpt";
+  fs::remove_all(dir);
+  harness::ExperimentPlan plan;
+  plan.name = "lpt";
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4), 1);
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4), 2);
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4), 3);
+
+  harness::BatchOptions no_cache;
+  no_cache.jobs = 1;
+  no_cache.no_cache = true;
+  harness::BatchRunner plain(no_cache);
+  const std::string expected =
+      harness::BatchRunner::document(plan, plain.run(plan)).dump();
+
+  harness::CellCache cache(dir.string());
+  harness::TelemetryMap seeded;
+  std::uint64_t fake = 10;
+  for (const harness::ExperimentCell& cell : plan.cells) {
+    seeded[harness::CellCache::cell_hash(cell)] = fake;
+    fake *= 100;
+  }
+  cache.merge_telemetry(seeded);
+
+  harness::BatchOptions with_cache;
+  with_cache.jobs = 2;
+  with_cache.cache_dir = dir.string();
+  harness::BatchRunner scheduled(with_cache);
+  EXPECT_EQ(harness::BatchRunner::document(plan, scheduled.run(plan)).dump(),
+            expected);
+  EXPECT_EQ(scheduled.last_run_info().simulated, plan.cells.size());
+  fs::remove_all(dir);
 }
 
 TEST(BatchRunner, BenchReportLooksUpByLabel) {

@@ -1,0 +1,163 @@
+// Property/fuzz tests for the JSON layer bench_diff and the cell cache
+// depend on: parse → dump must round-trip randomly generated documents
+// byte-identically (nesting, escapes, every numeric lexical class), numbers
+// must keep their lexical class, and malformed input must be rejected with
+// a SimError, never accepted or crashed on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "harness/json_out.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+using harness::json::Value;
+
+/// Random string over the full byte alphabet the writer handles: printable
+/// ASCII, the escaped specials, control characters (emitted as \u00XX) and
+/// raw high bytes (UTF-8 fragments pass through untouched).
+std::string random_string(Rng& rng) {
+  static const char* kSpecials = "\"\\\n\t\r\b\f";
+  std::string s;
+  const std::size_t len = rng.next_below(12);
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (rng.next_below(4)) {
+      case 0: s += static_cast<char>(' ' + rng.next_below(95)); break;
+      case 1: s += kSpecials[rng.next_below(std::strlen(kSpecials))]; break;
+      case 2: s += static_cast<char>(1 + rng.next_below(0x1F)); break;
+      default: s += static_cast<char>(0x80 + rng.next_below(0x80)); break;
+    }
+  }
+  return s;
+}
+
+double random_double(Rng& rng) {
+  for (;;) {
+    double d;
+    const std::uint64_t bits = rng.next_u64();
+    static_assert(sizeof(d) == sizeof(bits));
+    std::memcpy(&d, &bits, sizeof(d));
+    // Finite and nonzero: NaN/inf have no JSON form, and -0.0 prints as
+    // "-0", which re-parses as the integer 0 by design (lexical classes).
+    if (std::isfinite(d) && d != 0.0) return d;
+  }
+}
+
+Value random_value(Rng& rng, int depth) {
+  const std::uint64_t pick = rng.next_below(depth > 0 ? 8 : 6);
+  switch (pick) {
+    case 0: return Value();
+    case 1: return Value(rng.next_below(2) == 0);
+    case 2: return Value(static_cast<std::int64_t>(rng.next_u64()));
+    case 3: return Value(rng.next_u64());
+    case 4: return Value(random_double(rng));
+    case 5: return Value(random_string(rng));
+    case 6: {
+      Value arr = Value::array();
+      const std::size_t n = rng.next_below(5);
+      for (std::size_t i = 0; i < n; ++i) arr.append(random_value(rng, depth - 1));
+      return arr;
+    }
+    default: {
+      Value obj = Value::object();
+      const std::size_t n = rng.next_below(5);
+      for (std::size_t i = 0; i < n; ++i) {
+        obj[random_string(rng)] = random_value(rng, depth - 1);
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(JsonRoundTrip, RandomDocumentsSurviveParseDumpByteIdentically) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const Value v = random_value(rng, 4);
+    const std::string compact = v.dump(-1);
+    const std::string pretty = v.dump(0);
+    EXPECT_EQ(Value::parse(compact).dump(-1), compact) << "seed " << seed;
+    EXPECT_EQ(Value::parse(pretty).dump(0), pretty) << "seed " << seed;
+    // Whitespace is the only difference between the two forms.
+    EXPECT_EQ(Value::parse(pretty).dump(-1), compact) << "seed " << seed;
+  }
+}
+
+TEST(JsonRoundTrip, NumbersKeepTheirLexicalClass) {
+  EXPECT_EQ(Value::parse("7").kind(), Value::Kind::kUint);
+  EXPECT_EQ(Value::parse("-2").kind(), Value::Kind::kInt);
+  EXPECT_EQ(Value::parse("1.5").kind(), Value::Kind::kDouble);
+  EXPECT_EQ(Value::parse("1e3").kind(), Value::Kind::kDouble);
+  EXPECT_EQ(Value::parse("-0.125E-2").kind(), Value::Kind::kDouble);
+  // The full uint64 range survives (doubles could not carry this exactly).
+  EXPECT_EQ(Value::parse("18446744073709551615").as_uint(),
+            18446744073709551615ULL);
+  EXPECT_EQ(Value::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  // Lexical stability of the text itself.
+  for (const char* text : {"7", "-2", "1.5", "0.6", "1e+300", "-0.125"}) {
+    EXPECT_EQ(Value::parse(text).dump(-1), text);
+  }
+}
+
+TEST(JsonRoundTrip, EscapesRoundTrip) {
+  EXPECT_EQ(Value::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Value::parse("\"\\u0009\"").as_string(), "\t");
+  EXPECT_EQ(Value::parse("\"\\b\\f\\/\"").as_string(), "\b\f/");
+  Value v(std::string("ctrl:\x01\x02 tab:\t nl:\n quote:\" back:\\"));
+  EXPECT_EQ(Value::parse(v.dump(-1)).as_string(), v.as_string());
+}
+
+TEST(JsonRoundTrip, MalformedInputIsRejectedNotAccepted) {
+  const char* kBad[] = {
+      "",                      // empty input
+      "{",                     // unterminated object
+      "[1,]",                  // trailing comma
+      "{\"a\":1,}",            // trailing comma in object
+      "{\"a\" 1}",             // missing colon
+      "[1 2]",                 // missing comma
+      "tru",                   // truncated literal
+      "truex",                 // literal with trailing garbage
+      "\"abc",                 // unterminated string
+      "\"\\x\"",               // unknown escape
+      "\"\\u12\"",             // truncated \u escape
+      "\"\\uZZZZ\"",           // non-hex \u escape
+      "\"\\u0080\"",           // beyond the writer's ASCII escape range
+      "1.2.3",                 // malformed number
+      "1e",                    // dangling exponent
+      "--1",                   // double sign
+      "{} x",                  // trailing garbage
+      "[1] 2",                 // trailing garbage after array
+      "{\"a\":}",              // missing value
+      "[,1]",                  // leading comma
+  };
+  for (const char* text : kBad) {
+    EXPECT_THROW(Value::parse(text), SimError) << "accepted: " << text;
+  }
+}
+
+TEST(JsonRoundTrip, DeepNestingRoundTrips) {
+  std::string text = "1";
+  for (int i = 0; i < 64; ++i) text = "[" + text + "]";
+  EXPECT_EQ(Value::parse(text).dump(-1), text);
+  std::string obj = "0";
+  for (int i = 0; i < 32; ++i) obj = "{\"k\":" + obj + "}";
+  EXPECT_EQ(Value::parse(obj).dump(-1), obj);
+}
+
+TEST(JsonRoundTrip, DuplicateKeysCollapseToTheLastValue) {
+  // The writer never emits duplicates; on input, last one wins (same as
+  // building the Value through operator[]).
+  const Value v = Value::parse("{\"a\":1,\"a\":2}");
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.at("a").as_uint(), 2u);
+}
+
+}  // namespace
+}  // namespace aecdsm::test
