@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   mega.name = "bench_all";
   std::unordered_map<std::string, std::size_t> index_of_hash;
   for (const harness::BenchDef* def : benches) {
+    if (!def->in_bench_all) continue;  // e.g. the fault injection sweep
     BenchInstance inst{def, def->plan(), {}};
     inst.cell_index.reserve(inst.plan.cells.size());
     for (const harness::ExperimentCell& cell : inst.plan.cells) {

@@ -1,0 +1,117 @@
+// Fault tolerance sweep: graceful degradation of AEC vs TreadMarks under an
+// unreliable mesh. Sweeps message loss {0%, 0.1%, 1%, 5%} across all six
+// applications at small scale with a fixed fault seed, and reports the
+// finish-time inflation relative to the loss-free run together with the
+// transport's recovery counters (retransmits, LAP push fallbacks).
+//
+// Deliberately NOT part of bench_all: its cells diverge from the paper
+// testbed, and the committed bench_all baseline must stay byte-identical.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_registry.hpp"
+#include "harness/format.hpp"
+
+namespace {
+using namespace aecdsm;
+
+struct LossPoint {
+  double rate;
+  const char* label;
+};
+
+const std::vector<LossPoint>& losses() {
+  static const std::vector<LossPoint> pts = {
+      {0.0, "0%"}, {0.001, "0.1%"}, {0.01, "1%"}, {0.05, "5%"}};
+  return pts;
+}
+
+const std::vector<std::string>& protocols() {
+  static const std::vector<std::string> protos = {"AEC", "TreadMarks"};
+  return protos;
+}
+
+/// Apps in the sweep; AECDSM_FAULT_APPS="IS,FFT" restricts the list (the CI
+/// smoke uses this to keep the job fast).
+std::vector<std::string> apps_list() {
+  const char* env = std::getenv("AECDSM_FAULT_APPS");
+  if (env == nullptr || *env == '\0') return apps::app_names();
+  std::vector<std::string> picked;
+  std::stringstream ss{std::string(env)};
+  for (std::string name; std::getline(ss, name, ',');) {
+    if (!name.empty()) picked.push_back(name);
+  }
+  return picked;
+}
+
+harness::ExperimentPlan build_plan() {
+  harness::ExperimentPlan plan;
+  plan.name = "fault_tolerance";
+  for (const std::string& proto : protocols()) {
+    for (const std::string& app : apps_list()) {
+      for (const LossPoint& loss : losses()) {
+        auto& cell = plan.add(proto, app, apps::Scale::kSmall);
+        cell.label = proto + "/" + app + "@" + loss.label;
+        if (loss.rate > 0) {
+          // loss.rate == 0 keeps FaultParams at its all-zero default, so the
+          // fault-free column shares cells (and cache slots) with the rest
+          // of the suite at small scale.
+          cell.params.faults.drop_rate = loss.rate;
+          cell.params.faults.seed = 7;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+void report(harness::BenchReport& r) {
+  harness::print_header(
+      std::cout, "Fault tolerance: finish-time inflation vs message loss (small scale)");
+  std::cout << std::left << std::setw(12) << "Appl" << std::setw(12) << "Protocol"
+            << std::right << std::setw(12) << "0% cycles";
+  for (std::size_t li = 1; li < losses().size(); ++li) {
+    std::cout << std::setw(9) << losses()[li].label;
+  }
+  std::cout << std::setw(10) << "retx@5%" << std::setw(10) << "fallb@5%" << "\n";
+  for (const std::string& app : apps_list()) {
+    for (const std::string& proto : protocols()) {
+      const auto& base = r.result(proto + "/" + app + "@0%");
+      std::cout << std::left << std::setw(12) << app << std::setw(12) << proto
+                << std::right << std::setw(12) << base.stats.finish_time;
+      for (std::size_t li = 1; li < losses().size(); ++li) {
+        const auto& cell = r.result(proto + "/" + app + "@" + losses()[li].label);
+        if (cell.status != "ok" || base.stats.finish_time == 0) {
+          std::cout << std::setw(9) << cell.status;
+          continue;
+        }
+        const double ratio = static_cast<double>(cell.stats.finish_time) /
+                             static_cast<double>(base.stats.finish_time);
+        std::ostringstream cellText;
+        cellText << std::fixed << std::setprecision(2) << ratio << "x";
+        std::cout << std::setw(9) << cellText.str();
+      }
+      const auto& worst = r.result(proto + "/" + app + "@5%");
+      if (worst.status == "ok") {
+        std::cout << std::setw(10) << worst.stats.transport.retransmits
+                  << std::setw(10) << worst.stats.transport.push_fallbacks;
+      }
+      std::cout << "\n";
+    }
+  }
+}
+
+[[maybe_unused]] const bool registered = harness::register_bench(
+    {"fault_tolerance", 12, build_plan, report, /*in_bench_all=*/false});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("fault_tolerance", argc, argv);
+}
+#endif

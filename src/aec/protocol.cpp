@@ -71,10 +71,40 @@ void AecProtocol::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
   m_.post(self_, to, bytes, svc_cost, std::move(handler));
 }
 
+void AecProtocol::push_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
+                                std::function<void()> handler, sim::Bucket bucket) {
+  proc().advance(m_.params().message_overhead, bucket);
+  proc().sync();
+  m_.post_best_effort(self_, to, bytes, svc_cost, std::move(handler));
+}
+
+bool AecProtocol::wait_for_push_or_timeout(LockLocal& ll, sim::Bucket bucket) {
+  // The deadline flag is shared-owned: the timer may fire long after this
+  // frame returned (there is no event cancellation).
+  auto deadline_hit = std::make_shared<bool>(false);
+  m_.engine().schedule(m_.engine().now() + m_.params().faults.push_timeout_cycles,
+                       [this, deadline_hit] {
+                         *deadline_hit = true;
+                         proc().poke();
+                       });
+  proc().wait(bucket,
+              [&ll, deadline_hit] { return !ll.expect_push || *deadline_hit; });
+  if (!ll.expect_push) return true;
+  // The push was lost (or is extremely late): stop waiting and degrade to
+  // the noLAP lazy-fetch path. The abandoned push now counts as seen, so a
+  // late copy landing after we fetched the diffs ourselves — and possibly
+  // wrote over them in the critical section — is discarded as stale instead
+  // of resurrecting the old chain state.
+  ll.expect_push = false;
+  ll.max_counter_seen = std::max(ll.max_counter_seen, ll.grant_release_counter);
+  ++m_.transport().stats().push_timeouts;
+  return false;
+}
+
 void AecProtocol::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
                                std::function<Cycles()> cost,
                                std::function<void()> handler) {
-  m_.network().send(from, to, bytes,
+  m_.transport().send(from, to, bytes,
                     [this, to, c = std::move(cost), h = std::move(handler)]() mutable {
                       const Cycles done = m_.node(to).proc->service(c());
                       m_.engine().schedule(done, std::move(h));
@@ -91,7 +121,7 @@ mem::Diff AecProtocol::create_diff_charged(PageId pg, bool hidden, sim::Bucket b
     for (const auto& r : d.runs()) {
       if (r.word_offset <= 10 && 8 < r.word_offset + r.words.size()) {
         for (std::size_t k = 0; k < r.words.size(); ++k) {
-          if (r.word_offset + k >= 8 && r.word_offset + k <= 10) {
+          if (r.word_offset + k == trace_word()) {
             os << " w" << r.word_offset + k << "=" << r.words[k];
           }
         }
@@ -377,7 +407,12 @@ void AecProtocol::apply_cs_diff_if_needed(PageId pg) {
         ll.merged.count(pg) == 0) {
       // The grant announced a push covering the releaser's pages; it is in
       // flight, and waiting for it is cheaper than re-fetching the diffs.
-      proc().wait(sim::Bucket::kData, [&ll] { return !ll.expect_push; });
+      if (!m_.transport().enabled()) {
+        proc().wait(sim::Bucket::kData, [&ll] { return !ll.expect_push; });
+      } else if (!wait_for_push_or_timeout(ll, sim::Bucket::kData)) {
+        // Best-effort push lost: degrade to the noLAP lazy holder fetch.
+        ++m_.transport().stats().push_fallbacks;
+      }
     }
     if (auto mt = ll.merged.find(pg); mt != ll.merged.end()) {
       // The chain diff is already in local custody (push fold, fetch, or an
@@ -580,9 +615,19 @@ void AecProtocol::acquire(LockId l) {
           ll.chain_applied.insert(pg);
         }
         // Invalid pages keep the diff pending in ll.merged for fault time.
-      } else if (store().frame(pg).valid) {
-        invalidate_page(pg);
-        proc().advance(params.list_processing_per_elem, sim::Bucket::kSynch);
+      } else {
+        if (store().frame(pg).valid) {
+          invalidate_page(pg);
+          proc().advance(params.list_processing_per_elem, sim::Bucket::kSynch);
+        }
+        // An unconfirmed (late or lost) push may have been applied
+        // speculatively before this grant; its chain_applied entry is stale
+        // now that the page left local custody, and keeping it would make
+        // the in-CS fault path skip the lazy holder fetch and read pre-chain
+        // data. No-op on a lossless mesh: the announced push always lands
+        // before the grant there, so unconfirmed grants arrive with an empty
+        // chain_applied set.
+        ll.chain_applied.erase(pg);
       }
     }
     ll.push_valid = false;
@@ -606,9 +651,16 @@ void AecProtocol::release(LockId l) {
 
   // An announced push that has not landed yet carries chain diffs this
   // release must merge and hand on; it is already in flight, so the wait is
-  // short and bounded.
+  // short and bounded. Under fault injection the push may never arrive: give
+  // up after the push timeout and release without the predecessor's diffs —
+  // the manager still records the predecessor as their holder, so later
+  // acquirers fetch them lazily.
   if (ll.expect_push) {
-    proc().wait(sim::Bucket::kSynch, [&ll] { return !ll.expect_push; });
+    if (!m_.transport().enabled()) {
+      proc().wait(sim::Bucket::kSynch, [&ll] { return !ll.expect_push; });
+    } else {
+      wait_for_push_or_timeout(ll, sim::Bucket::kSynch);
+    }
   }
 
   // 1. Diffs of pages modified inside the critical section. The paper notes
@@ -658,7 +710,9 @@ void AecProtocol::release(LockId l) {
 
   // 3. Push the merged diffs to the update set (LAP channel). The push is
   //    sent even when empty: a grant may have announced it, and the member
-  //    blocks faults until it arrives.
+  //    blocks faults until it arrives (bounded by the push timeout under
+  //    fault injection — pushes ride the best-effort channel and may be
+  //    lost, in which case the member degrades to lazy fetching).
   if (sh_->config.lap_enabled && !ll.my_update_set.empty()) {
     auto payload = std::make_shared<std::map<PageId, mem::Diff>>(ll.merged);
     std::size_t bytes = kCtl;
@@ -666,9 +720,9 @@ void AecProtocol::release(LockId l) {
     for (const ProcId q : ll.my_update_set) {
       if (q == self_) continue;
       const std::uint32_t counter = ll.grant_counter;
-      send_from_app(q, bytes, params.list_processing_per_elem * payload->size(),
-                    [this, q, l, counter, payload] {
-                      peer(q).recv_push(l, self_, counter, payload);
+      push_from_app(q, bytes, params.list_processing_per_elem * payload->size(),
+                    [this, q, l, counter, ep = episode_, payload] {
+                      peer(q).recv_push(l, self_, counter, ep, payload);
                     },
                     sim::Bucket::kSynch);
     }
@@ -723,10 +777,16 @@ void AecProtocol::fold_push(LockLocal& ll) {
 }
 
 void AecProtocol::recv_push(LockId l, ProcId from, std::uint32_t counter,
+                            std::uint32_t episode,
                             std::shared_ptr<const std::map<PageId, mem::Diff>> diffs) {
   LockLocal& ll = llocal(l);
   AECDSM_DEBUG("p" << self_ << " recv push l" << l << " from p" << from
                    << " counter=" << counter << " max_seen=" << ll.max_counter_seen);
+  // Fault injection can hold a best-effort copy across a barrier; its diffs
+  // are then stale against post-barrier frames and must not be applied. A
+  // lossless mesh never does this, so the guard stays off to keep fault-free
+  // runs bit-identical.
+  if (m_.transport().enabled() && episode != episode_) return;
   if (counter <= ll.max_counter_seen) return;  // stale prediction, discard
   if (trace_page() != kNoPage) {
     auto it = diffs->find(trace_page());
@@ -734,7 +794,7 @@ void AecProtocol::recv_push(LockId l, ProcId from, std::uint32_t counter,
       std::ostringstream os;
       for (const auto& r : it->second.runs()) {
         for (std::size_t k = 0; k < r.words.size(); ++k) {
-          if (r.word_offset + k >= 8 && r.word_offset + k <= 10) {
+          if (r.word_offset + k == trace_word()) {
             os << " w" << r.word_offset + k << "=" << r.words[k];
           }
         }

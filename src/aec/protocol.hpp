@@ -162,6 +162,19 @@ class AecProtocol : public dsm::Protocol {
   void send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
                      std::function<void()> handler, sim::Bucket bucket);
 
+  /// Best-effort variant of send_from_app, used only for LAP update pushes:
+  /// under fault injection the push may be dropped, duplicated or delayed
+  /// and the receiver recovers through the lazy-fetch path (§3.4).
+  void push_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
+                     std::function<void()> handler, sim::Bucket bucket);
+
+  /// Wait for an announced push, but give up after
+  /// faults.push_timeout_cycles (fault injection only — a lossless mesh
+  /// guarantees delivery). Returns true when the push landed; on false the
+  /// wait cleared expect_push and counted a push timeout, and the caller
+  /// falls back to lazy fetching.
+  bool wait_for_push_or_timeout(LockLocal& ll, sim::Bucket bucket);
+
   /// Engine-side post with delivery-time-computed service cost.
   void post_dynamic(ProcId from, ProcId to, std::size_t bytes,
                     std::function<Cycles()> cost, std::function<void()> handler);
@@ -196,6 +209,7 @@ class AecProtocol : public dsm::Protocol {
                   std::uint32_t release_counter, std::map<PageId, ProcId> cs_holders,
                   std::vector<ProcId> update_set, bool in_update_set);
   void recv_push(LockId l, ProcId from, std::uint32_t counter,
+                 std::uint32_t episode,
                  std::shared_ptr<const std::map<PageId, mem::Diff>> diffs);
   void recv_barrier_diff(PageId pg, mem::Diff d);
   void recv_barrier_notice(PageId pg, ProcId writer);

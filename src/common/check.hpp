@@ -17,6 +17,14 @@ class SimError : public std::runtime_error {
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a run exceeds its wall-clock budget (BatchRunner
+/// --cell-timeout). A distinct type so the batch runner can record the cell
+/// as "timeout" instead of treating it as a simulator bug.
+class TimeoutError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* cond, const char* file, int line,

@@ -25,6 +25,26 @@ std::string SystemParams::validate() const {
   if (update_set_size <= 0) err << "update_set_size must be positive; ";
   if (affinity_threshold < 0.0) err << "affinity_threshold must be non-negative; ";
   if (quantum_cycles == 0) err << "quantum_cycles must be positive; ";
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  if (!rate_ok(faults.drop_rate) || !rate_ok(faults.dup_rate) ||
+      !rate_ok(faults.delay_rate) || !rate_ok(faults.reorder_rate))
+    err << "fault rates must lie in [0, 1]; ";
+  // drop_rate == 1 would retransmit forever; anything below one terminates
+  // almost surely.
+  if (faults.drop_rate >= 1.0) err << "drop_rate must be below 1; ";
+  if (faults.delay_rate > 0.0 && faults.delay_jitter_cycles == 0)
+    err << "delay_jitter_cycles must be positive when delay_rate > 0; ";
+  if (faults.reorder_rate > 0.0 && faults.reorder_window_cycles == 0)
+    err << "reorder_window_cycles must be positive when reorder_rate > 0; ";
+  if (faults.pause_node != kNoProc &&
+      (faults.pause_node < 0 || faults.pause_node >= num_procs))
+    err << "pause_node must name an existing processor; ";
+  if (faults.any() && faults.retransmit_timeout_cycles == 0)
+    err << "retransmit_timeout_cycles must be positive under faults; ";
+  if (faults.any() && faults.retransmit_backoff_cap < 0)
+    err << "retransmit_backoff_cap must be non-negative; ";
+  if (faults.any() && faults.push_timeout_cycles == 0)
+    err << "push_timeout_cycles must be positive under faults; ";
   return err.str();
 }
 

@@ -11,6 +11,47 @@
 
 namespace aecdsm {
 
+/// Deterministic fault-injection knobs for the interconnect (net::FaultPlane).
+///
+/// All rates are per message copy in [0, 1]; every fault decision is drawn
+/// from per-link SplitMix64 streams derived from `seed`, so identical seeds
+/// replay identical fault schedules regardless of host scheduling. The
+/// default-constructed value means "no faults": the transport then becomes a
+/// strict pass-through and simulated behaviour is bit-identical to a build
+/// without the fault plane.
+struct FaultParams {
+  double drop_rate = 0.0;     ///< P(message copy is lost in the mesh)
+  double dup_rate = 0.0;      ///< P(message copy is delivered twice)
+  double delay_rate = 0.0;    ///< P(message copy is delay-jittered)
+  Cycles delay_jitter_cycles = 2000;  ///< max extra latency of a delayed copy
+  double reorder_rate = 0.0;  ///< P(copy is held so later sends overtake it)
+  Cycles reorder_window_cycles = 1000;  ///< hold time of a reordered copy
+
+  /// Stall one node's inbound message processing for a cycle window
+  /// (deliveries arriving inside the window complete at its end).
+  int pause_node = kNoProc;
+  Cycles pause_at_cycle = 0;
+  Cycles pause_cycles = 0;
+
+  std::uint64_t seed = 1;  ///< fault-schedule seed (independent of app seed)
+
+  // Reliable-transport tuning (net::Transport).
+  Cycles retransmit_timeout_cycles = 20000;  ///< base RTO before 1st retransmit
+  int retransmit_backoff_cap = 6;            ///< max exponential RTO doublings
+  /// AEC graceful degradation: how long an acquirer waits for a promised
+  /// best-effort LAP push before falling back to the noLAP lazy-fetch path.
+  Cycles push_timeout_cycles = 60000;
+
+  /// Any fault source active? When false the whole fault/transport stack is
+  /// bypassed (send == MeshNetwork::send).
+  bool any() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || delay_rate > 0.0 ||
+           reorder_rate > 0.0 || (pause_node != kNoProc && pause_cycles > 0);
+  }
+
+  friend bool operator==(const FaultParams&, const FaultParams&) = default;
+};
+
 /// Defaults for system parameters (paper Table 1; 1 cycle = 10 ns).
 ///
 /// The structure is a plain aggregate: experiments copy it, tweak fields and
@@ -64,6 +105,9 @@ struct SystemParams {
   /// every `quantum_cycles` of locally accumulated work, so that incoming
   /// protocol requests are serviced with bounded skew.
   Cycles quantum_cycles = 20000;
+
+  // --- Fault injection (off by default) ---------------------------------------
+  FaultParams faults;
 
   // Derived helpers -----------------------------------------------------------
 

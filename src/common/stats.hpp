@@ -99,6 +99,40 @@ struct MsgStats {
   }
 };
 
+/// Reliable-transport and fault-injection counters (net::Transport over
+/// net::FaultPlane). All zero — and omitted from the JSON artifacts — when
+/// fault injection is disabled, which keeps fault-free documents
+/// byte-identical to pre-fault-plane baselines.
+struct TransportStats {
+  std::uint64_t data_sends = 0;    ///< reliable payload sends entering the transport
+  std::uint64_t retransmits = 0;   ///< payload copies re-sent after an RTO expiry
+  std::uint64_t timeouts = 0;      ///< retransmit timer expiries
+  std::uint64_t acks = 0;          ///< acknowledgement copies injected
+  std::uint64_t dup_dropped = 0;   ///< receiver-side dedup discards
+  std::uint64_t held_ooo = 0;      ///< arrivals held for in-order release
+
+  std::uint64_t drops_injected = 0;    ///< copies lost by the fault plane
+  std::uint64_t dups_injected = 0;     ///< copies duplicated by the fault plane
+  std::uint64_t delays_injected = 0;   ///< copies delay-jittered
+  std::uint64_t reorders_injected = 0; ///< copies held past later traffic
+  std::uint64_t paused_deliveries = 0; ///< deliveries stalled by a node pause
+
+  std::uint64_t push_sends = 0;     ///< best-effort sends (AEC LAP pushes)
+  std::uint64_t push_drops = 0;     ///< best-effort copies lost (no retransmit)
+  std::uint64_t push_timeouts = 0;  ///< AEC waits that gave up on a promised push
+  std::uint64_t push_fallbacks = 0; ///< noLAP lazy fetches taken after a timeout
+
+  bool any() const {
+    return data_sends != 0 || retransmits != 0 || timeouts != 0 || acks != 0 ||
+           dup_dropped != 0 || held_ooo != 0 || drops_injected != 0 ||
+           dups_injected != 0 || delays_injected != 0 || reorders_injected != 0 ||
+           paused_deliveries != 0 || push_sends != 0 || push_drops != 0 ||
+           push_timeouts != 0 || push_fallbacks != 0;
+  }
+
+  friend bool operator==(const TransportStats&, const TransportStats&) = default;
+};
+
 /// Synchronization-event counts (paper Table 2).
 struct SyncStats {
   std::uint64_t lock_acquires = 0;
@@ -126,6 +160,7 @@ struct RunStats {
   FaultStats faults;
   MsgStats msgs;
   SyncStats sync;
+  TransportStats transport;  ///< all-zero when fault injection is disabled
 
   bool result_valid = false;  ///< did the app's output match its sequential oracle?
 

@@ -83,11 +83,23 @@ void Context::access(GAddr addr, std::size_t size, bool is_write) {
     node.protocol->on_page_access(pg);
   }
 
-  if (pg == ctx_trace_page() && is_write) {
+  if (pg == ctx_trace_page()) {
     const std::size_t off_word = (addr % params.page_bytes) / kWordBytes;
-    if (off_word <= ctx_trace_word() && ctx_trace_word() < off_word + size / kWordBytes + 1) {
-      AECDSM_DEBUG("ctx p" << self_ << " WRITE pg" << pg << " word" << off_word
-                           << " size" << size);
+    const std::size_t nwords = size >= kWordBytes ? size / kWordBytes : 1;
+    // AECDSM_TRACE_WORD=-1 traces every word of the page; otherwise only
+    // accesses covering the named word are logged.
+    const bool all = ctx_trace_word() == static_cast<std::size_t>(-1);
+    if (all || (off_word <= ctx_trace_word() &&
+                ctx_trace_word() < off_word + nwords)) {
+      std::int64_t v = static_cast<std::int32_t>(f.data[off_word]);
+      if (size == 8 && off_word + 1 < f.data.size()) {
+        v = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(f.data[off_word + 1]) << 32) |
+            f.data[off_word]);
+      }
+      AECDSM_DEBUG("ctx p" << self_ << (is_write ? " WRITE" : " READ") << " pg"
+                           << pg << " w" << off_word << " step" << step_
+                           << " frame=" << v);
     }
   }
 

@@ -10,6 +10,7 @@ namespace aecdsm::dsm {
 Machine::Machine(const SystemParams& params, std::size_t max_shared_bytes)
     : params_(params),
       net_(engine_, params_),
+      transport_(engine_, net_, params_),
       num_pages_((max_shared_bytes + params.page_bytes - 1) / params.page_bytes) {
   logging::init_from_env();
   const std::string err = params_.validate();
@@ -42,11 +43,22 @@ GAddr Machine::alloc_shared(std::size_t bytes) {
 
 void Machine::post(ProcId from, ProcId to, std::size_t bytes, Cycles service_cost,
                    std::function<void()> handler) {
-  net_.send(from, to, bytes,
-            [this, to, service_cost, h = std::move(handler)]() mutable {
-              const Cycles done = node(to).proc->service(service_cost);
-              engine_.schedule(done, std::move(h));
-            });
+  transport_.send(from, to, bytes,
+                  [this, to, service_cost, h = std::move(handler)]() mutable {
+                    const Cycles done = node(to).proc->service(service_cost);
+                    engine_.schedule(done, std::move(h));
+                  });
+}
+
+void Machine::post_best_effort(ProcId from, ProcId to, std::size_t bytes,
+                               Cycles service_cost, std::function<void()> handler) {
+  // The handler is copied, not moved, into the engine: a duplicated copy
+  // delivers (and services) twice, and the receiver must be idempotent.
+  transport_.send_best_effort(
+      from, to, bytes, [this, to, service_cost, h = std::move(handler)]() {
+        const Cycles done = node(to).proc->service(service_cost);
+        engine_.schedule(done, h);
+      });
 }
 
 }  // namespace aecdsm::dsm

@@ -16,6 +16,7 @@
 #include "mem/cache.hpp"
 #include "mem/pagestore.hpp"
 #include "net/mesh.hpp"
+#include "net/transport.hpp"
 #include "sim/engine.hpp"
 #include "sim/processor.hpp"
 
@@ -44,6 +45,8 @@ class Machine {
   const SystemParams& params() const { return params_; }
   sim::Engine& engine() { return engine_; }
   net::MeshNetwork& network() { return net_; }
+  net::Transport& transport() { return transport_; }
+  const net::Transport& transport() const { return transport_; }
 
   int nprocs() const { return params_.num_procs; }
   Node& node(ProcId p) { return nodes_[static_cast<std::size_t>(p)]; }
@@ -62,12 +65,21 @@ class Machine {
   //
   // Send a protocol message. At arrival the destination node is occupied for
   // `service_cost` cycles (plus an interrupt), accounted to its ipc bucket;
-  // `handler` then runs engine-side at the service completion time.
+  // `handler` then runs engine-side at the service completion time. Rides
+  // the reliable transport: under fault injection the message is delivered
+  // exactly once, in per-channel order, via retransmission if needed.
   // The *sender-side* software overhead (params.message_overhead) must be
   // charged by the caller: application threads charge it via advance();
   // engine-side handlers fold it into their own service_cost.
   void post(ProcId from, ProcId to, std::size_t bytes, Cycles service_cost,
             std::function<void()> handler);
+
+  /// Like post(), but best-effort: under fault injection the message may be
+  /// dropped, duplicated, delayed or reordered, and is neither acknowledged
+  /// nor retransmitted. Used for AEC's LAP update pushes, which the protocol
+  /// can recover from lazily (section 3.4).
+  void post_best_effort(ProcId from, ProcId to, std::size_t bytes,
+                        Cycles service_cost, std::function<void()> handler);
 
   /// Home node of a lock's manager (static distribution, as in TreadMarks).
   ProcId lock_manager(LockId lock) const {
@@ -91,6 +103,7 @@ class Machine {
   SystemParams params_;
   sim::Engine engine_;
   net::MeshNetwork net_;
+  net::Transport transport_;
   std::vector<Node> nodes_;
   std::size_t num_pages_;
   std::size_t alloc_cursor_ = 0;

@@ -1,5 +1,6 @@
 #include "dsm/system.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -30,6 +31,12 @@ RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) 
     node.proc->start([&app, &node] { app.body(*node.ctx); });
   }
 
+  if (config.wall_timeout_sec > 0.0) {
+    m.engine().set_wall_deadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(
+            static_cast<std::int64_t>(config.wall_timeout_sec * 1e6)));
+  }
   m.engine().run();
 
   // An empty event queue with unfinished processors is a protocol deadlock.
@@ -57,6 +64,7 @@ RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) 
     out.diffs += node.protocol->diff_stats();
   }
   out.msgs = m.network().stats();
+  out.transport = m.transport().stats();
   out.sync.lock_acquires = m.lock_acquires();
   out.sync.distinct_locks = m.distinct_locks();
   out.sync.barrier_events = m.barrier_episodes();

@@ -25,6 +25,9 @@ struct ProtocolSuite {
 struct RunConfig {
   SystemParams params;
   std::uint64_t seed = 42;
+  /// Abort the simulation with TimeoutError once this much host wall-clock
+  /// time has elapsed (0 = no limit). Used by BatchRunner --cell-timeout.
+  double wall_timeout_sec = 0.0;
 };
 
 /// Execute `app` under `suite`; throws SimError on deadlock or invariant

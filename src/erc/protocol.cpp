@@ -50,7 +50,7 @@ void ErcProtocol::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
 void ErcProtocol::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
                                std::function<Cycles()> cost,
                                std::function<void()> handler) {
-  m_.network().send(from, to, bytes,
+  m_.transport().send(from, to, bytes,
                     [this, to, c = std::move(cost), h = std::move(handler)]() mutable {
                       const Cycles done = m_.node(to).proc->service(c());
                       m_.engine().schedule(done, std::move(h));

@@ -46,7 +46,11 @@ namespace {
       "                  then XDG_CACHE_HOME/aecdsm, then ~/.cache/aecdsm)\n"
       "  --no-cache      disable the cell cache (always simulate, never store)\n"
       "  --refresh       re-simulate every cell but refresh the cached copies\n"
-      "  --fail-fast     abort the batch on the first cell failure\n",
+      "  --fail-fast     abort the batch on the first cell failure\n"
+      "  --max-mem M     cap the estimated memory of concurrently running\n"
+      "                  cells at M MiB (default: AECDSM_MAX_MEM; 0 = off)\n"
+      "  --cell-timeout S  mark a cell as \"timeout\" in the artifact after S\n"
+      "                  seconds of wall clock instead of letting it hang\n",
       argv0);
   std::exit(0);
 }
@@ -74,6 +78,10 @@ bool flag_value(int argc, char** argv, int& i, const char* flag, std::string& ou
 
 BatchOptions parse_batch_cli(int& argc, char** argv) {
   BatchOptions opts;
+  if (const char* env = std::getenv("AECDSM_MAX_MEM")) {
+    const long mb = std::atol(env);
+    if (mb > 0) opts.max_mem_mb = static_cast<std::size_t>(mb);
+  }
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -98,6 +106,21 @@ BatchOptions parse_batch_cli(int& argc, char** argv) {
       opts.refresh = true;
     } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
       opts.fail_fast = true;
+    } else if (flag_value(argc, argv, i, "--max-mem", value)) {
+      const long mb = std::atol(value.c_str());
+      if (mb < 0) {
+        std::fprintf(stderr, "%s: --max-mem wants a size in MiB >= 0, got '%s'\n",
+                     argv[0], value.c_str());
+        std::exit(2);
+      }
+      opts.max_mem_mb = static_cast<std::size_t>(mb);
+    } else if (flag_value(argc, argv, i, "--cell-timeout", value)) {
+      opts.cell_timeout_sec = std::atof(value.c_str());
+      if (opts.cell_timeout_sec <= 0) {
+        std::fprintf(stderr, "%s: --cell-timeout wants seconds > 0, got '%s'\n",
+                     argv[0], value.c_str());
+        std::exit(2);
+      }
     } else {
       argv[out++] = argv[i];  // leave for the caller (e.g. google-benchmark)
     }
@@ -105,6 +128,49 @@ BatchOptions parse_batch_cli(int& argc, char** argv) {
   argc = out;
   argv[argc] = nullptr;
   return opts;
+}
+
+std::size_t cell_mem_weight(const ExperimentCell& cell) {
+  // App construction is cheap (the working set is allocated in setup(),
+  // inside the simulation), so building one just to read shared_bytes() is
+  // fine even for a scheduling heuristic.
+  const std::size_t shared = apps::make_app(cell.app, cell.scale)->shared_bytes();
+  constexpr std::size_t kFixedOverhead = 64u * 1024 * 1024;
+  return shared * static_cast<std::size_t>(cell.params.num_procs + 1) +
+         kFixedOverhead;
+}
+
+std::size_t MemGate::acquire(std::size_t weight) {
+  if (!enabled()) return 0;
+  const std::size_t w = std::min(weight, cap_);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return used_ + w <= cap_; });
+  used_ += w;
+  return w;
+}
+
+std::size_t MemGate::try_acquire(std::size_t weight) {
+  if (!enabled()) return 0;
+  const std::size_t w = std::min(weight, cap_);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (used_ + w > cap_) return 0;
+  used_ += w;
+  return w;
+}
+
+void MemGate::release(std::size_t reserved) {
+  if (reserved == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    AECDSM_CHECK(reserved <= used_);
+    used_ -= reserved;
+  }
+  cv_.notify_all();
+}
+
+std::size_t MemGate::used() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return used_;
 }
 
 std::vector<std::size_t> lpt_schedule(std::vector<std::size_t> misses,
@@ -161,6 +227,7 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
 
   TelemetryMap fresh_telemetry;
   std::mutex telemetry_mu;
+  MemGate mem_gate(opts_.max_mem_mb * 1024 * 1024);
   {
     // Never spin up more workers than cells; the pool joins in its
     // destructor after wait_all() saw every cell finish.
@@ -170,10 +237,13 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
       pool.submit([&, i] {
         const ExperimentCell& cell = plan.cells[i];
         executed[i] = 1;
+        const std::size_t reserved =
+            mem_gate.enabled() ? mem_gate.acquire(cell_mem_weight(cell)) : 0;
         const auto start = std::chrono::steady_clock::now();
         try {
           results[i] = run_experiment(cell.protocol, cell.app, cell.scale,
-                                      cell.params, cell.seed);
+                                      cell.params, cell.seed,
+                                      opts_.cell_timeout_sec);
           const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                                   std::chrono::steady_clock::now() - start)
                                   .count();
@@ -182,10 +252,19 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
             std::lock_guard<std::mutex> lk(telemetry_mu);
             fresh_telemetry[hashes[i]] = static_cast<std::uint64_t>(micros);
           }
+        } catch (const TimeoutError& e) {
+          // A stuck cell is a recorded outcome, not a batch failure: mark it
+          // and move on (or cancel the rest under --fail-fast).
+          results[i] = ExperimentResult{};
+          results[i].status = "timeout";
+          std::fprintf(stderr, "batch '%s': cell %zu (%s) %s\n",
+                       plan.name.c_str(), i, cell.label.c_str(), e.what());
+          if (opts_.fail_fast) pool.request_stop();
         } catch (...) {
           errors[i] = std::current_exception();
           if (opts_.fail_fast) pool.request_stop();
         }
+        mem_gate.release(reserved);
       });
     }
     pool.wait_all();
@@ -193,8 +272,12 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
   if (cache != nullptr) cache->merge_telemetry(fresh_telemetry);
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (executed[i] && !errors[i]) continue;
-    if (!executed[i]) ++info_.skipped;
+    if (!executed[i]) {
+      results[i].status = "skipped";
+      ++info_.skipped;
+    } else if (results[i].status == "timeout") {
+      ++info_.timeouts;
+    }
   }
   info_.simulated = n - info_.cache_hits - info_.skipped;
   if (cache != nullptr) {
@@ -230,8 +313,15 @@ json::Value BatchRunner::document(const ExperimentPlan& plan,
     c["scale"] = json::Value(cell.scale == apps::Scale::kSmall ? "small" : "default");
     c["seed"] = json::Value(cell.seed);
     c["params"] = to_json(cell.params);
-    c["stats"] = to_json(results[i].stats);
-    c["lap"] = lap_json(results[i]);
+    if (results[i].status != "ok") {
+      // Timed-out / cancelled cells carry no meaningful measurements.
+      c["status"] = json::Value(results[i].status);
+      c["stats"] = json::Value();
+      c["lap"] = json::Value();
+    } else {
+      c["stats"] = to_json(results[i].stats);
+      c["lap"] = lap_json(results[i]);
+    }
     cells.append(std::move(c));
   }
   doc["cells"] = std::move(cells);

@@ -10,7 +10,10 @@
 // the bench's report callback for the human-readable tables.
 #pragma once
 
+#include <condition_variable>
+#include <cstddef>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,6 +62,15 @@ struct BatchOptions {
   /// Abort the batch promptly on the first cell failure instead of letting
   /// the remaining cells run.
   bool fail_fast = false;
+  /// Memory budget in MiB for concurrently running cells (0 = unbounded).
+  /// Workers reserve each cell's estimated footprint (cell_mem_weight)
+  /// before simulating and block while the reservation would overflow the
+  /// budget. Default comes from AECDSM_MAX_MEM; --max-mem overrides it.
+  std::size_t max_mem_mb = 0;
+  /// Per-cell wall-clock limit in seconds (0 = none). A cell that exceeds
+  /// it is marked with status "timeout" in the results/artifact instead of
+  /// hanging the batch; with --fail-fast the remaining cells are cancelled.
+  double cell_timeout_sec = 0.0;
 };
 
 /// Strip the shared batch flags (--jobs, --json, --no-json, --cache-dir,
@@ -75,6 +87,44 @@ struct BatchRunInfo {
   std::size_t cache_hits = 0;
   std::size_t simulated = 0;
   std::size_t skipped = 0;
+  /// Cells aborted by --cell-timeout (they count as simulated as well).
+  std::size_t timeouts = 0;
+};
+
+/// Estimated peak host-memory footprint of one cell in bytes: the shared
+/// image plus one private copy per processor (twins, caches, diff logs all
+/// scale with it), plus a flat allowance for simulator bookkeeping. Only an
+/// ordering heuristic for --max-mem — not a guarantee.
+std::size_t cell_mem_weight(const ExperimentCell& cell);
+
+/// Counting gate that bounds the summed weight of concurrently admitted
+/// cells. A cap of zero disables the gate entirely. Weights above the cap
+/// are clamped to it, so an oversized cell still runs — alone.
+class MemGate {
+ public:
+  explicit MemGate(std::size_t cap_bytes) : cap_(cap_bytes) {}
+
+  bool enabled() const { return cap_ != 0; }
+
+  /// Block until `weight` (clamped to the cap) fits, reserve it, and return
+  /// the amount actually reserved — pass that to release() when done.
+  std::size_t acquire(std::size_t weight);
+
+  /// Non-blocking acquire; returns the reserved amount, or 0 with no
+  /// reservation made when the gate is full. (A disabled gate returns 0
+  /// too: there is nothing to release either way.)
+  std::size_t try_acquire(std::size_t weight);
+
+  void release(std::size_t reserved);
+
+  /// Currently reserved bytes (for tests).
+  std::size_t used() const;
+
+ private:
+  std::size_t cap_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t used_ = 0;
 };
 
 /// Longest-processing-time-first dispatch order of the cache misses, from

@@ -21,6 +21,11 @@ struct BenchDef {
   int order = 0;     ///< presentation order in bench_all (paper order)
   std::function<ExperimentPlan()> plan;
   std::function<void(BenchReport&)> report;
+  /// Whether bench_all folds this bench into its mega-sweep. Benches whose
+  /// cells deliberately diverge from the paper testbed (e.g. the fault
+  /// injection sweep) opt out so the committed bench_all baseline — and its
+  /// byte-identity gate — is unaffected by their presence.
+  bool in_bench_all = true;
 };
 
 /// Called by each driver file's namespace-scope registrar; returns true so

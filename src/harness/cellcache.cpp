@@ -97,8 +97,15 @@ std::string CellCache::telemetry_path() const {
 }
 
 std::optional<ExperimentResult> CellCache::load(const ExperimentCell& cell) const {
-  const std::string text = read_file(blob_path(cell_hash(cell)));
-  if (text.empty()) return std::nullopt;
+  const std::string path = blob_path(cell_hash(cell));
+  const std::string text = read_file(path);
+  if (text.empty()) {
+    // read_file returns "" both for a missing blob (plain miss) and for an
+    // existing-but-empty one (a corrupt artifact of a killed writer).
+    std::error_code ec;
+    if (fs::exists(path, ec)) drop_corrupt(path, "empty blob");
+    return std::nullopt;
+  }
   try {
     const json::Value blob = json::Value::parse(text);
     if (blob.at("schema").as_string() != kCellSchema) return std::nullopt;
@@ -108,9 +115,20 @@ std::optional<ExperimentResult> CellCache::load(const ExperimentCell& cell) cons
     result.lap_scores = lap_scores_from_json(blob.at("lap"));
     result.from_cache = true;
     return result;
-  } catch (const SimError&) {
-    return std::nullopt;  // corrupt or truncated blob: treat as a miss
+  } catch (const SimError& e) {
+    // Corrupt or truncated blob: warn once, delete it so the fresh result
+    // can take its place, and treat the lookup as a miss. (A schema or key
+    // mismatch above is a valid blob from another version — left alone.)
+    drop_corrupt(path, e.what());
+    return std::nullopt;
   }
+}
+
+void CellCache::drop_corrupt(const std::string& path, const std::string& why) {
+  std::fprintf(stderr, "[cache] dropping corrupt blob %s (%s)\n", path.c_str(),
+               why.c_str());
+  std::error_code ec;
+  fs::remove(path, ec);  // best effort; store() will overwrite anyway
 }
 
 void CellCache::store(const ExperimentCell& cell, const ExperimentResult& result) const {

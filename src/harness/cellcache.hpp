@@ -55,7 +55,8 @@ class CellCache {
 
   /// Fetch a finished cell. nullopt on miss, on a key mismatch, or on any
   /// unreadable/corrupt blob (the cache never fails a run — worst case the
-  /// cell is simulated again).
+  /// cell is simulated again). A corrupt or truncated blob is additionally
+  /// warned about on stderr and deleted, so it cannot shadow the slot.
   std::optional<ExperimentResult> load(const ExperimentCell& cell) const;
 
   /// Memoize a finished cell (atomic write-then-rename).
@@ -71,6 +72,7 @@ class CellCache {
  private:
   std::string blob_path(const std::string& hash) const;
   std::string telemetry_path() const;
+  static void drop_corrupt(const std::string& path, const std::string& why);
 
   std::string dir_;
 };

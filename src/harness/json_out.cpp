@@ -419,6 +419,26 @@ Value to_json(const SyncStats& s) {
   return v;
 }
 
+Value to_json(const TransportStats& t) {
+  Value v = Value::object();
+  v["data_sends"] = Value(t.data_sends);
+  v["retransmits"] = Value(t.retransmits);
+  v["timeouts"] = Value(t.timeouts);
+  v["acks"] = Value(t.acks);
+  v["dup_dropped"] = Value(t.dup_dropped);
+  v["held_ooo"] = Value(t.held_ooo);
+  v["drops_injected"] = Value(t.drops_injected);
+  v["dups_injected"] = Value(t.dups_injected);
+  v["delays_injected"] = Value(t.delays_injected);
+  v["reorders_injected"] = Value(t.reorders_injected);
+  v["paused_deliveries"] = Value(t.paused_deliveries);
+  v["push_sends"] = Value(t.push_sends);
+  v["push_drops"] = Value(t.push_drops);
+  v["push_timeouts"] = Value(t.push_timeouts);
+  v["push_fallbacks"] = Value(t.push_fallbacks);
+  return v;
+}
+
 Value to_json(const RunStats& r) {
   Value v = Value::object();
   v["protocol"] = Value(r.protocol);
@@ -434,6 +454,9 @@ Value to_json(const RunStats& r) {
   v["faults"] = to_json(r.faults);
   v["msgs"] = to_json(r.msgs);
   v["sync"] = to_json(r.sync);
+  // Emitted only when fault injection actually ran, so fault-free documents
+  // stay byte-identical to pre-fault-plane baselines.
+  if (r.transport.any()) v["transport"] = to_json(r.transport);
   return v;
 }
 
@@ -462,6 +485,27 @@ Value to_json(const SystemParams& p) {
   v["update_set_size"] = Value(p.update_set_size);
   v["affinity_threshold"] = Value(p.affinity_threshold);
   v["quantum_cycles"] = Value(p.quantum_cycles);
+  // The faults block appears only when fault injection is on. Default
+  // (fault-free) params therefore serialize exactly as before the fault
+  // plane existed: cellcache keys and committed baselines are unaffected,
+  // while any active fault knob perturbs the content hash.
+  if (p.faults.any()) {
+    Value f = Value::object();
+    f["drop_rate"] = Value(p.faults.drop_rate);
+    f["dup_rate"] = Value(p.faults.dup_rate);
+    f["delay_rate"] = Value(p.faults.delay_rate);
+    f["delay_jitter_cycles"] = Value(p.faults.delay_jitter_cycles);
+    f["reorder_rate"] = Value(p.faults.reorder_rate);
+    f["reorder_window_cycles"] = Value(p.faults.reorder_window_cycles);
+    f["pause_node"] = Value(p.faults.pause_node);
+    f["pause_at_cycle"] = Value(p.faults.pause_at_cycle);
+    f["pause_cycles"] = Value(p.faults.pause_cycles);
+    f["seed"] = Value(p.faults.seed);
+    f["retransmit_timeout_cycles"] = Value(p.faults.retransmit_timeout_cycles);
+    f["retransmit_backoff_cap"] = Value(p.faults.retransmit_backoff_cap);
+    f["push_timeout_cycles"] = Value(p.faults.push_timeout_cycles);
+    v["faults"] = std::move(f);
+  }
   return v;
 }
 
@@ -569,6 +613,24 @@ RunStats run_stats_from_json(const Value& v) {
   r.sync.lock_acquires = s.at("lock_acquires").as_uint();
   r.sync.barrier_events = s.at("barrier_events").as_uint();
   r.sync.distinct_locks = s.at("distinct_locks").as_uint();
+  // Optional: present only for runs that executed under fault injection.
+  if (const Value* t = v.find("transport"); t != nullptr) {
+    r.transport.data_sends = t->at("data_sends").as_uint();
+    r.transport.retransmits = t->at("retransmits").as_uint();
+    r.transport.timeouts = t->at("timeouts").as_uint();
+    r.transport.acks = t->at("acks").as_uint();
+    r.transport.dup_dropped = t->at("dup_dropped").as_uint();
+    r.transport.held_ooo = t->at("held_ooo").as_uint();
+    r.transport.drops_injected = t->at("drops_injected").as_uint();
+    r.transport.dups_injected = t->at("dups_injected").as_uint();
+    r.transport.delays_injected = t->at("delays_injected").as_uint();
+    r.transport.reorders_injected = t->at("reorders_injected").as_uint();
+    r.transport.paused_deliveries = t->at("paused_deliveries").as_uint();
+    r.transport.push_sends = t->at("push_sends").as_uint();
+    r.transport.push_drops = t->at("push_drops").as_uint();
+    r.transport.push_timeouts = t->at("push_timeouts").as_uint();
+    r.transport.push_fallbacks = t->at("push_fallbacks").as_uint();
+  }
   return r;
 }
 

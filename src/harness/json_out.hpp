@@ -109,6 +109,7 @@ json::Value to_json(const DiffStats& d);
 json::Value to_json(const FaultStats& f);
 json::Value to_json(const MsgStats& m);
 json::Value to_json(const SyncStats& s);
+json::Value to_json(const TransportStats& t);
 json::Value to_json(const RunStats& r);
 json::Value to_json(const SystemParams& p);
 

@@ -12,11 +12,12 @@ SystemParams paper_params() {
 
 ExperimentResult run_experiment(const std::string& protocol, const std::string& app_name,
                                 apps::Scale scale, const SystemParams& params,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, double wall_timeout_sec) {
   auto app = apps::make_app(app_name, scale);
   dsm::RunConfig cfg;
   cfg.params = params;
   cfg.seed = seed;
+  cfg.wall_timeout_sec = wall_timeout_sec;
 
   ExperimentResult out;
   if (protocol == "AEC" || protocol == "AEC-noLAP") {

@@ -19,6 +19,10 @@ namespace aecdsm::harness {
 
 struct ExperimentResult {
   RunStats stats;
+  /// "ok" for a completed cell; BatchRunner marks cells that exceeded
+  /// --cell-timeout as "timeout" and fail-fast-cancelled ones as "skipped"
+  /// (their stats/lap are then meaningless and serialize as null).
+  std::string status = "ok";
   /// Per-lock LAP scores, materialized at the end of the run (or rebuilt
   /// from the cell cache). Everything a bench report needs beyond RunStats
   /// lives here, so a cache hit is indistinguishable from a fresh run.
@@ -35,9 +39,12 @@ struct ExperimentResult {
 };
 
 /// Protocol names accepted: "AEC", "AEC-noLAP", "TreadMarks", "Munin-ERC".
+/// A positive `wall_timeout_sec` aborts the simulation with TimeoutError
+/// once that much host time has elapsed.
 ExperimentResult run_experiment(const std::string& protocol, const std::string& app,
                                 apps::Scale scale, const SystemParams& params,
-                                std::uint64_t seed = 42);
+                                std::uint64_t seed = 42,
+                                double wall_timeout_sec = 0.0);
 
 /// The paper's simulated testbed: Table 1 defaults, 16 processors.
 SystemParams paper_params();

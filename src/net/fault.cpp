@@ -1,0 +1,46 @@
+#include "net/fault.hpp"
+
+#include "common/check.hpp"
+
+namespace aecdsm::net {
+
+FaultPlane::FaultPlane(const SystemParams& params)
+    : fp_(params.faults), nprocs_(params.num_procs) {
+  Rng master(fp_.seed ^ 0xFA017F1A7EULL);
+  const std::size_t links = static_cast<std::size_t>(nprocs_) *
+                            static_cast<std::size_t>(nprocs_);
+  link_rng_.reserve(links);
+  for (std::size_t l = 0; l < links; ++l) link_rng_.push_back(master.split(l));
+}
+
+FaultPlane::Decision FaultPlane::decide(ProcId src, ProcId dst) {
+  AECDSM_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  Rng& rng = link_rng_[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(nprocs_) +
+                       static_cast<std::size_t>(dst)];
+  // Fixed draw count per decision: four uniforms for the outcome rolls plus
+  // one for the jitter magnitude, consumed even when unused.
+  const double roll_drop = rng.next_double();
+  const double roll_dup = rng.next_double();
+  const double roll_delay = rng.next_double();
+  const double roll_reorder = rng.next_double();
+  const std::uint64_t magnitude = rng.next_u64();
+
+  Decision d;
+  if (roll_drop < fp_.drop_rate) {
+    d.drop = true;
+    return d;
+  }
+  d.duplicate = roll_dup < fp_.dup_rate;
+  if (roll_delay < fp_.delay_rate) {
+    d.delayed = true;
+    d.extra_delay += 1 + magnitude % fp_.delay_jitter_cycles;
+  }
+  if (roll_reorder < fp_.reorder_rate) {
+    d.reordered = true;
+    d.extra_delay += fp_.reorder_window_cycles;
+  }
+  return d;
+}
+
+}  // namespace aecdsm::net

@@ -1,0 +1,61 @@
+// Deterministic fault injection for the interconnect.
+//
+// The fault plane sits between the reliable transport and the mesh: every
+// message *copy* handed to the mesh first receives a fault decision — drop,
+// duplicate, delay-jitter, or reorder-hold — drawn from a per-directed-link
+// SplitMix64 stream seeded from FaultParams::seed. Decisions depend only on
+// the sequence of copies sent over that link, never on host scheduling or
+// traffic on other links, so identical seeds replay identical fault
+// schedules. A node pause window additionally stalls inbound deliveries at
+// the destination. With default FaultParams the plane reports disabled and
+// is never consulted.
+#pragma once
+
+#include <vector>
+
+#include "common/params.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace aecdsm::net {
+
+class FaultPlane {
+ public:
+  FaultPlane(const SystemParams& params);
+
+  /// Any fault source configured? When false, decide() must not be called
+  /// (the transport bypasses the plane entirely).
+  bool enabled() const { return fp_.any(); }
+
+  const FaultParams& params() const { return fp_; }
+
+  /// Outcome for one message copy on the directed link src -> dst.
+  struct Decision {
+    bool drop = false;       ///< copy never arrives
+    bool duplicate = false;  ///< a second copy is injected
+    Cycles extra_delay = 0;  ///< injection held back by this many cycles
+    bool delayed = false;    ///< extra_delay includes delay jitter
+    bool reordered = false;  ///< extra_delay includes a reorder hold
+  };
+
+  /// Draw the fault decision for the next copy on src -> dst. Consumes a
+  /// fixed number of draws from that link's stream regardless of outcome,
+  /// so one knob never perturbs another knob's schedule.
+  Decision decide(ProcId src, ProcId dst);
+
+  /// Is `dst` inside its pause window at time `t`?
+  bool paused(ProcId dst, Cycles t) const {
+    return dst == fp_.pause_node && fp_.pause_cycles > 0 &&
+           t >= fp_.pause_at_cycle && t < pause_end();
+  }
+
+  /// First cycle after the pause window (deliveries resume here).
+  Cycles pause_end() const { return fp_.pause_at_cycle + fp_.pause_cycles; }
+
+ private:
+  FaultParams fp_;
+  int nprocs_;
+  std::vector<Rng> link_rng_;  ///< one stream per directed (src, dst) pair
+};
+
+}  // namespace aecdsm::net

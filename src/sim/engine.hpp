@@ -7,8 +7,10 @@
 // single logical thread and therefore deterministic.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -33,11 +35,28 @@ class Engine {
   /// Time of the event currently (or most recently) being processed.
   Cycles now() const { return now_; }
 
+  /// Abort run() with TimeoutError once the host wall clock passes
+  /// `deadline` (BatchRunner --cell-timeout). Polled between events, so a
+  /// single stuck event is not interruptible — good enough for runaway
+  /// simulations, which are event-loop-bound.
+  void set_wall_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
   /// Process events until the queue drains. The caller checks afterwards
   /// that every processor finished (an empty queue with blocked processors
   /// is a protocol deadlock).
   void run() {
+    std::uint64_t polled = 0;
     while (!heap_.empty()) {
+      if (has_deadline_ && (++polled & 0x3FFu) == 0 &&
+          std::chrono::steady_clock::now() >= deadline_) {
+        std::ostringstream os;
+        os << "wall-clock timeout after " << seq_ << " events at simulated time "
+           << now_;
+        throw TimeoutError(os.str());
+      }
       Event ev = pop_min();
       AECDSM_CHECK(ev.t >= now_);
       now_ = ev.t;
@@ -100,6 +119,8 @@ class Engine {
   std::vector<Event> heap_;
   std::uint64_t seq_ = 0;
   Cycles now_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
 };
 
 }  // namespace aecdsm::sim

@@ -72,7 +72,7 @@ void TmProtocol::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
 void TmProtocol::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
                               std::function<Cycles()> cost,
                               std::function<void()> handler) {
-  m_.network().send(from, to, bytes,
+  m_.transport().send(from, to, bytes,
                     [this, to, c = std::move(cost), h = std::move(handler)]() mutable {
                       const Cycles done = m_.node(to).proc->service(c());
                       m_.engine().schedule(done, std::move(h));
@@ -464,7 +464,7 @@ void TmProtocol::serve_grant(LockId l, ProcId requester, const VectorTime& req_v
   if (engine_side) {
     const Cycles done = proc().service(work + m_.params().message_overhead);
     m_.engine().schedule(done, [this, requester, bytes, d = std::move(deliver)]() mutable {
-      m_.network().send(self_, requester, bytes,
+      m_.transport().send(self_, requester, bytes,
                         [this, requester, d = std::move(d)]() mutable {
                           const Cycles fin = m_.node(requester).proc->service(
                               m_.params().list_processing_per_elem * 2);
@@ -523,7 +523,7 @@ void TmProtocol::release(LockId l) {
       sh_->lap_of(l).dequeue_waiter();
       proc().advance(m_.params().message_overhead, sim::Bucket::kSynch);
       proc().sync();
-      m_.network().send(self_, q, kCtl + rvt.size() * 4,
+      m_.transport().send(self_, q, kCtl + rvt.size() * 4,
                         [this, l, q, r, rv = std::move(rvt)]() mutable {
                           const Cycles done = m_.node(q).proc->service(
                               m_.params().list_processing_per_elem * 2);

@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/batch.hpp"
@@ -261,6 +264,175 @@ TEST(LptSchedule, SeededTelemetryChangesDispatchNotResults) {
             expected);
   EXPECT_EQ(scheduled.last_run_info().simulated, plan.cells.size());
   fs::remove_all(dir);
+}
+
+TEST(MemGate, ZeroCapIsDisabledAndFree) {
+  harness::MemGate gate(0);
+  EXPECT_FALSE(gate.enabled());
+  EXPECT_EQ(gate.acquire(1 << 30), 0u);  // no reservation, no blocking
+  EXPECT_EQ(gate.used(), 0u);
+  gate.release(0);  // releasing a disabled acquisition is a no-op
+}
+
+TEST(MemGate, ReservesReleasesAndClampsOversizedCells) {
+  harness::MemGate gate(100);
+  EXPECT_TRUE(gate.enabled());
+  const std::size_t a = gate.acquire(60);
+  EXPECT_EQ(a, 60u);
+  EXPECT_EQ(gate.used(), 60u);
+  EXPECT_EQ(gate.try_acquire(60), 0u);  // would overflow the cap
+  EXPECT_EQ(gate.used(), 60u);
+  const std::size_t b = gate.try_acquire(40);
+  EXPECT_EQ(b, 40u);
+  EXPECT_EQ(gate.used(), 100u);
+  gate.release(a);
+  gate.release(b);
+  EXPECT_EQ(gate.used(), 0u);
+  // A cell heavier than the whole budget is clamped so it can still run.
+  EXPECT_EQ(gate.acquire(1000), 100u);
+  gate.release(100);
+}
+
+TEST(MemGate, BoundsConcurrentReservations) {
+  harness::MemGate gate(2);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  harness::ThreadPool pool(8);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] {
+      const std::size_t r = gate.acquire(1);
+      const int now = ++running;
+      int seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      --running;
+      gate.release(r);
+    });
+  }
+  pool.wait_all();
+  EXPECT_EQ(gate.used(), 0u);
+  EXPECT_LE(peak.load(), 2);  // never more than cap/weight cells at once
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(MemGate, CellWeightTracksAppFootprintAndProcs) {
+  harness::ExperimentCell small_is;
+  small_is.app = "IS";
+  small_is.scale = apps::Scale::kSmall;
+  small_is.params = small_params(4);
+  harness::ExperimentCell default_is = small_is;
+  default_is.scale = apps::Scale::kDefault;
+  harness::ExperimentCell wide_is = small_is;
+  wide_is.params.num_procs = 16;
+
+  const std::size_t w_small = harness::cell_mem_weight(small_is);
+  const std::size_t w_default = harness::cell_mem_weight(default_is);
+  const std::size_t w_wide = harness::cell_mem_weight(wide_is);
+  EXPECT_GT(w_small, 0u);
+  // Bigger inputs and more processors both mean a bigger footprint.
+  EXPECT_GT(w_default, w_small);
+  EXPECT_GT(w_wide, w_small);
+}
+
+TEST(BatchRunner, MaxMemBoundedDispatchMatchesUnboundedResults) {
+  harness::ExperimentPlan plan;
+  plan.name = "memcap";
+  for (const char* proto : {"AEC", "TreadMarks", "Munin-ERC", "AEC-noLAP"}) {
+    plan.add(proto, "IS", apps::Scale::kSmall, small_params(4));
+  }
+  auto doc_with = [&](std::size_t max_mem_mb) {
+    harness::BatchOptions opts;
+    opts.jobs = 4;
+    opts.no_cache = true;
+    opts.max_mem_mb = max_mem_mb;
+    harness::BatchRunner runner(opts);
+    return harness::BatchRunner::document(plan, runner.run(plan)).dump();
+  };
+  // A 1 MiB budget is below any single cell's weight, so every cell clamps
+  // to the whole budget and the batch serializes — same document anyway.
+  EXPECT_EQ(doc_with(0), doc_with(1));
+}
+
+TEST(BatchCli, MaxMemAndCellTimeoutFlags) {
+  unsetenv("AECDSM_MAX_MEM");
+  {
+    const char* raw[] = {"bench", "--max-mem", "2048", "--cell-timeout=1.5",
+                         nullptr};
+    int argc = 4;
+    char** argv = const_cast<char**>(raw);
+    const harness::BatchOptions opts = harness::parse_batch_cli(argc, argv);
+    EXPECT_EQ(opts.max_mem_mb, 2048u);
+    EXPECT_DOUBLE_EQ(opts.cell_timeout_sec, 1.5);
+    EXPECT_EQ(argc, 1);
+  }
+  setenv("AECDSM_MAX_MEM", "512", 1);
+  {
+    const char* raw[] = {"bench", nullptr};
+    int argc = 1;
+    char** argv = const_cast<char**>(raw);
+    EXPECT_EQ(harness::parse_batch_cli(argc, argv).max_mem_mb, 512u);
+  }
+  {  // the flag overrides the environment default
+    const char* raw[] = {"bench", "--max-mem=64", nullptr};
+    int argc = 2;
+    char** argv = const_cast<char**>(raw);
+    EXPECT_EQ(harness::parse_batch_cli(argc, argv).max_mem_mb, 64u);
+  }
+  unsetenv("AECDSM_MAX_MEM");
+}
+
+TEST(BatchRunner, CellTimeoutMarksCellsInsteadOfHanging) {
+  harness::ExperimentPlan plan;
+  plan.name = "stuck";
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4));
+  plan.add("TreadMarks", "IS", apps::Scale::kSmall, small_params(4));
+  harness::BatchOptions opts;
+  opts.jobs = 2;
+  opts.no_cache = true;
+  // A nanosecond deadline trips on the engine's first wall-clock poll, so
+  // every cell reports "timeout" — the batch itself must NOT throw.
+  opts.cell_timeout_sec = 1e-9;
+  harness::BatchRunner runner(opts);
+  const auto results = runner.run(plan);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, "timeout");
+  EXPECT_EQ(results[1].status, "timeout");
+  EXPECT_EQ(runner.last_run_info().timeouts, 2u);
+
+  // The artifact records the status and nulls the measurements.
+  const std::string doc = harness::BatchRunner::document(plan, results).dump();
+  EXPECT_NE(doc.find("\"status\": \"timeout\""), std::string::npos);
+  EXPECT_NE(doc.find("\"stats\": null"), std::string::npos);
+
+  // A generous timeout lets the same plan complete normally.
+  opts.cell_timeout_sec = 300.0;
+  harness::BatchRunner patient(opts);
+  const auto ok = patient.run(plan);
+  EXPECT_EQ(ok[0].status, "ok");
+  EXPECT_EQ(patient.last_run_info().timeouts, 0u);
+}
+
+TEST(BatchRunner, CellTimeoutComposesWithFailFast) {
+  harness::ExperimentPlan plan;
+  plan.name = "stuck_ff";
+  for (int i = 0; i < 4; ++i) {
+    plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4), 100 + i);
+  }
+  harness::BatchOptions opts;
+  opts.jobs = 1;
+  opts.no_cache = true;
+  opts.cell_timeout_sec = 1e-9;
+  opts.fail_fast = true;
+  harness::BatchRunner runner(opts);
+  const auto results = runner.run(plan);  // still no throw
+  EXPECT_EQ(results[0].status, "timeout");
+  // With one worker the first timeout cancels everything queued behind it.
+  EXPECT_EQ(runner.last_run_info().timeouts, 1u);
+  EXPECT_EQ(runner.last_run_info().skipped, 3u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status, "skipped");
+  }
 }
 
 TEST(BatchRunner, BenchReportLooksUpByLabel) {

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -92,12 +93,39 @@ TEST(CellCache, StoreLoadRoundTripsAndSurvivesCorruptBlobs) {
   EXPECT_EQ(harness::to_json(hit->stats).dump(),
             harness::to_json(fresh.stats).dump());
 
-  // A truncated/garbage blob degrades to a miss, never an error.
+  // A garbage blob degrades to a miss, never an error — and the corrupt
+  // file is deleted so it cannot shadow the slot forever.
   const fs::path blob =
       fs::path(dir) / "cells" / (harness::CellCache::cell_hash(cell) + ".json");
   ASSERT_TRUE(fs::exists(blob));
   std::ofstream(blob) << "{not json";
   EXPECT_FALSE(cache.load(cell).has_value());
+  EXPECT_FALSE(fs::exists(blob));
+
+  // Same for a truncated blob (a valid prefix of the real document)...
+  cache.store(cell, fresh);
+  {
+    const std::string full = [&] {
+      std::ifstream in(blob, std::ios::binary);
+      return std::string((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    }();
+    ASSERT_GT(full.size(), 64u);
+    std::ofstream(blob, std::ios::binary | std::ios::trunc)
+        << full.substr(0, full.size() / 2);
+  }
+  EXPECT_FALSE(cache.load(cell).has_value());
+  EXPECT_FALSE(fs::exists(blob));
+
+  // ...and for an existing-but-empty one (a killed writer's leftovers).
+  std::ofstream(blob, std::ios::trunc);
+  ASSERT_TRUE(fs::exists(blob));
+  EXPECT_FALSE(cache.load(cell).has_value());
+  EXPECT_FALSE(fs::exists(blob));
+
+  // After the cleanup a fresh store serves hits again.
+  cache.store(cell, fresh);
+  EXPECT_TRUE(cache.load(cell).has_value());
   fs::remove_all(dir);
 }
 
