@@ -7,6 +7,7 @@
 // Deliberately NOT part of bench_all: its cells diverge from the paper
 // testbed, and the committed bench_all baseline must stay byte-identical.
 #include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -35,6 +36,16 @@ const std::vector<std::string>& protocols() {
   return protos;
 }
 
+/// --full-scale (standalone binary only) runs the sweep at the paper's
+/// default problem sizes instead of small scale. Default-scale cells are
+/// memory-hungry, so pair it with --max-mem (or AECDSM_MAX_MEM) to bound
+/// how many simulate concurrently.
+bool full_scale = false;
+
+apps::Scale sweep_scale() {
+  return full_scale ? apps::Scale::kDefault : apps::Scale::kSmall;
+}
+
 /// Apps in the sweep; AECDSM_FAULT_APPS="IS,FFT" restricts the list (the CI
 /// smoke uses this to keep the job fast).
 std::vector<std::string> apps_list() {
@@ -54,7 +65,7 @@ harness::ExperimentPlan build_plan() {
   for (const std::string& proto : protocols()) {
     for (const std::string& app : apps_list()) {
       for (const LossPoint& loss : losses()) {
-        auto& cell = plan.add(proto, app, apps::Scale::kSmall);
+        auto& cell = plan.add(proto, app, sweep_scale());
         cell.label = proto + "/" + app + "@" + loss.label;
         if (loss.rate > 0) {
           // loss.rate == 0 keeps FaultParams at its all-zero default, so the
@@ -71,7 +82,8 @@ harness::ExperimentPlan build_plan() {
 
 void report(harness::BenchReport& r) {
   harness::print_header(
-      std::cout, "Fault tolerance: finish-time inflation vs message loss (small scale)");
+      std::cout, std::string("Fault tolerance: finish-time inflation vs message loss (") +
+                     (full_scale ? "default scale)" : "small scale)"));
   std::cout << std::left << std::setw(12) << "Appl" << std::setw(12) << "Protocol"
             << std::right << std::setw(12) << "0% cycles";
   for (std::size_t li = 1; li < losses().size(); ++li) {
@@ -112,6 +124,17 @@ void report(harness::BenchReport& r) {
 
 #ifndef AECDSM_BENCH_ALL
 int main(int argc, char** argv) {
+  // Strip --full-scale before the shared batch CLI sees it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full-scale") == 0) {
+      full_scale = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
   return aecdsm::harness::bench_main("fault_tolerance", argc, argv);
 }
 #endif

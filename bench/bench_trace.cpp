@@ -1,0 +1,131 @@
+// Tracing showcase: one traced cell per application x protocol at small
+// scale, exporting both trace formats (aecdsm-trace-v1 + Chrome
+// trace_event) and tabulating the OverlapAnalyzer's verdict — how many
+// diff-work cycles each protocol hides behind synchronization delay the
+// processor suffers anyway. This is the paper's central claim made visible:
+// AEC's rows should show a high hidden fraction, TreadMarks' lazy diffs and
+// Munin-ERC's eager flushes a low one.
+//
+// Deliberately NOT part of bench_all: tracing bypasses the cell cache, and
+// the committed bench_all baseline must stay byte-identical.
+//
+// Unless the caller picks a sink (--trace / --trace-dir), per-cell trace
+// files default to ./traces. AECDSM_TRACE_APPS="Water-SP" and
+// AECDSM_TRACE_PROTOCOLS="AEC,TreadMarks" restrict the sweep (the CI smoke
+// uses both to trace a single cell).
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_registry.hpp"
+#include "harness/format.hpp"
+
+namespace {
+using namespace aecdsm;
+
+std::vector<std::string> split_env_list(const char* env,
+                                        std::vector<std::string> fallback) {
+  if (env == nullptr || *env == '\0') return fallback;
+  std::vector<std::string> picked;
+  std::stringstream ss{std::string(env)};
+  for (std::string name; std::getline(ss, name, ',');) {
+    if (!name.empty()) picked.push_back(name);
+  }
+  return picked;
+}
+
+std::vector<std::string> protocols() {
+  return split_env_list(std::getenv("AECDSM_TRACE_PROTOCOLS"),
+                        {"AEC", "AEC-noLAP", "TreadMarks", "Munin-ERC"});
+}
+
+std::vector<std::string> apps_list() {
+  return split_env_list(std::getenv("AECDSM_TRACE_APPS"), apps::app_names());
+}
+
+harness::ExperimentPlan build_plan() {
+  harness::ExperimentPlan plan;
+  plan.name = "trace";
+  for (const std::string& app : apps_list()) {
+    for (const std::string& proto : protocols()) {
+      plan.add(proto, app, apps::Scale::kSmall);
+    }
+  }
+  return plan;
+}
+
+std::string kcycles(Cycles c) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1)
+     << static_cast<double>(c) / 1000.0 << "K";
+  return os.str();
+}
+
+void report(harness::BenchReport& r) {
+  harness::print_header(
+      std::cout,
+      "Diff-work overlap with synchronization delay (small scale, traced)");
+  bool traced = false;
+  for (const auto& res : r.results) traced |= res.stats.overlap.any();
+  if (!traced) {
+    std::cout << "(no overlap data - run with --trace PATH or --trace-dir DIR"
+              << " to record timelines)\n";
+    return;
+  }
+  std::cout << std::left << std::setw(12) << "Appl" << std::setw(12) << "Protocol"
+            << std::right << std::setw(10) << "diff" << std::setw(10) << "lockhid"
+            << std::setw(10) << "barrhid" << std::setw(10) << "svchid"
+            << std::setw(9) << "hidden" << std::setw(10) << "episodes" << "\n";
+  for (const std::string& app : apps_list()) {
+    for (const std::string& proto : protocols()) {
+      const auto& cell = r.result(proto + "/" + app);
+      if (cell.status != "ok") {
+        std::cout << std::left << std::setw(12) << app << std::setw(12) << proto
+                  << std::right << std::setw(10) << cell.status << "\n";
+        continue;
+      }
+      const OverlapStats& o = cell.stats.overlap;
+      std::cout << std::left << std::setw(12) << app << std::setw(12) << proto
+                << std::right << std::setw(10) << kcycles(o.diff_cycles)
+                << std::setw(10) << kcycles(o.overlap_lock_wait)
+                << std::setw(10) << kcycles(o.overlap_barrier_wait)
+                << std::setw(10) << kcycles(o.overlap_service)
+                << std::setw(9) << harness::pct(o.ratio())
+                << std::setw(10) << o.episodes << "\n";
+    }
+  }
+  std::cout << "\nhidden = diff cycles overlapped with lock waiting, barrier\n"
+               "imbalance, or message service on the same node (union, counted\n"
+               "once); engine-side diff work serving a remote request is never\n"
+               "counted as hidden - it sits on the requester's critical path.\n";
+}
+
+[[maybe_unused]] const bool registered = harness::register_bench(
+    {"trace", 13, build_plan, report, /*in_bench_all=*/false});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  // Tracing is this driver's whole point: when the caller did not pick a
+  // sink, default to per-cell files under ./traces.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_sink = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace", 7) == 0) has_sink = true;
+  }
+  static char kFlag[] = "--trace-dir";
+  static char kDir[] = "traces";
+  if (!has_sink) {
+    args.push_back(kFlag);
+    args.push_back(kDir);
+  }
+  args.push_back(nullptr);
+  return aecdsm::harness::bench_main("trace", static_cast<int>(args.size()) - 1,
+                                     args.data());
+}
+#endif

@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "dsm/system.hpp"
+#include "trace/recorder.hpp"
 
 namespace aecdsm::aec {
 
@@ -75,6 +76,11 @@ void AecProtocol::push_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
                                 std::function<void()> handler, sim::Bucket bucket) {
   proc().advance(m_.params().message_overhead, bucket);
   proc().sync();
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->instant(self_, trace::Category::kLap, trace::names::kLapPush,
+                proc().now(), "dst", static_cast<std::uint64_t>(to), "bytes",
+                bytes);
+  }
   m_.post_best_effort(self_, to, bytes, svc_cost, std::move(handler));
 }
 
@@ -113,8 +119,13 @@ void AecProtocol::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
 
 mem::Diff AecProtocol::create_diff_charged(PageId pg, bool hidden, sim::Bucket bucket) {
   const Cycles c = m_.params().diff_create_cycles();
+  const Cycles trace_t0 = proc().now();
   proc().advance(c, bucket);
   proc().sync();
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate, trace_t0,
+             proc().now(), "page", pg, "hidden", hidden ? 1 : 0);
+  }
   mem::Diff d = store().diff_against_twin(pg);
   if (pg == trace_page()) {
     std::ostringstream os;
@@ -158,8 +169,13 @@ void AecProtocol::apply_diff_charged(PageId pg, const mem::Diff& d, bool hidden,
                      << store().frame(pg).data[trace_word()] << runs.str());
   }
   const Cycles c = m_.params().diff_apply_cycles(d.changed_words());
+  const Cycles trace_t0 = proc().now();
   proc().advance(c, bucket);
   proc().sync();
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->span(self_, trace::Category::kDiff, trace::names::kDiffApply, trace_t0,
+             proc().now(), "page", pg, "hidden", hidden ? 1 : 0);
+  }
   mem::PageFrame& f = store().frame(pg);
   d.apply_to(std::span<Word>(f.data));
   // A live twin must see remote modifications too, or later twin-diffs of
@@ -360,6 +376,10 @@ mem::Diff AecProtocol::serve_published(PageId pg, std::uint32_t episode, Cycles&
   }
   // Deferred publication: diff on demand against the live twin (server pays).
   cost = m_.params().diff_create_cycles();
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate,
+             m_.engine().now(), m_.engine().now() + cost, "page", pg, "svc", 1);
+  }
   ++dstats_.diffs_created;
   dstats_.create_cycles += cost;
   mem::Diff live = store().diff_against_twin(pg);
@@ -681,6 +701,10 @@ void AecProtocol::release(LockId l) {
       ++dstats_.merged_result_count;
       dstats_.merged_result_bytes += it->second.encoded_bytes();
       proc().advance(params.list_processing_per_elem, sim::Bucket::kSynch);
+      if (trace::Recorder* tr = m_.recorder()) {
+        tr->instant(self_, trace::Category::kDiff, trace::names::kDiffMerge,
+                    proc().now(), "page", pg, "lock", l);
+      }
     }
     PageMeta& pm = meta(pg);
     pm.dirty_in = false;
@@ -841,6 +865,11 @@ void AecProtocol::mgr_grant(LockId l, ProcId to) {
   rec.lap.consume_notice(to);
   std::vector<ProcId> u = rec.lap.compute_update_set(to);
   rec.update_set[static_cast<std::size_t>(to)] = u;
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->instant(m_.lock_manager(l), trace::Category::kLap,
+                trace::names::kLapPredict, m_.engine().now(), "lock", l,
+                "update_set", u.size());
+  }
 
   // Is the acquirer in the last releaser's update set (i.e., is a push of
   // the merged diffs on its way)?

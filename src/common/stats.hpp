@@ -133,6 +133,38 @@ struct TransportStats {
   friend bool operator==(const TransportStats&, const TransportStats&) = default;
 };
 
+/// Diff-work / synchronization-delay overlap summary, produced by the
+/// trace::OverlapAnalyzer from a recorded timeline (trace/overlap.hpp).
+/// All zero — and omitted from the JSON artifacts — when the run was not
+/// traced, which keeps untraced documents byte-identical to pre-trace
+/// baselines.
+struct OverlapStats {
+  std::uint64_t episodes = 0;          ///< lock.wait + barrier.wait spans seen
+  Cycles diff_cycles = 0;              ///< total diff.create + diff.apply span cycles
+  Cycles overlap_lock_wait = 0;        ///< diff cycles hidden under lock waiting
+  Cycles overlap_barrier_wait = 0;     ///< diff cycles hidden under barrier imbalance
+  Cycles overlap_service = 0;          ///< diff cycles hidden under message service
+  Cycles overlap_any = 0;              ///< diff cycles hidden under the union of the three
+  Cycles lock_wait_cycles = 0;         ///< total lock.wait cycles (merged per node)
+  Cycles barrier_wait_cycles = 0;      ///< total barrier.wait cycles (merged per node)
+  Cycles service_cycles = 0;           ///< total svc cycles (merged per node)
+
+  /// Fraction of diff work overlapped with some synchronization delay.
+  double ratio() const {
+    return diff_cycles > 0
+               ? static_cast<double>(overlap_any) / static_cast<double>(diff_cycles)
+               : 0.0;
+  }
+
+  bool any() const {
+    return episodes != 0 || diff_cycles != 0 || overlap_any != 0 ||
+           lock_wait_cycles != 0 || barrier_wait_cycles != 0 ||
+           service_cycles != 0;
+  }
+
+  friend bool operator==(const OverlapStats&, const OverlapStats&) = default;
+};
+
 /// Synchronization-event counts (paper Table 2).
 struct SyncStats {
   std::uint64_t lock_acquires = 0;
@@ -161,6 +193,7 @@ struct RunStats {
   MsgStats msgs;
   SyncStats sync;
   TransportStats transport;  ///< all-zero when fault injection is disabled
+  OverlapStats overlap;      ///< all-zero unless the run was traced + analyzed
 
   bool result_valid = false;  ///< did the app's output match its sequential oracle?
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace aecdsm::dsm {
 
@@ -75,6 +76,11 @@ void Context::access(GAddr addr, std::size_t size, bool is_write) {
       AECDSM_CHECK_MSG(f.valid, "protocol left page " << pg << " invalid after read fault");
     }
     node.faults.fault_cycles += p.now() - t0;
+    if (trace::Recorder* rec = machine_.recorder()) {
+      rec->span(self_, trace::Category::kMem,
+                is_write ? trace::names::kFaultWrite : trace::names::kFaultRead,
+                t0, p.now(), "page", pg);
+    }
   }
 
   // Once-per-step access metadata for the protocol's barrier lists.
@@ -115,20 +121,51 @@ void Context::access(GAddr addr, std::size_t size, bool is_write) {
 void Context::lock(LockId l) {
   AECDSM_CHECK_MSG(locks_held_.count(l) == 0, "recursive lock " << l);
   machine_.note_lock_acquire(l);
+  trace::Recorder* rec = machine_.recorder();
+  sim::Processor& p = *machine_.node(self_).proc;
+  const Cycles t0 = p.now();
+  if (rec != nullptr) {
+    rec->instant(self_, trace::Category::kLock, trace::names::kLockRequest, t0,
+                 "lock", l);
+  }
   machine_.node(self_).protocol->acquire(l);
+  if (rec != nullptr) {
+    rec->span(self_, trace::Category::kLock, trace::names::kLockWait, t0,
+              p.now(), "lock", l);
+  }
   locks_held_.insert(l);
 }
 
 void Context::unlock(LockId l) {
   AECDSM_CHECK_MSG(locks_held_.count(l) == 1, "unlock of unheld lock " << l);
   locks_held_.erase(l);
+  trace::Recorder* rec = machine_.recorder();
+  sim::Processor& p = *machine_.node(self_).proc;
+  const Cycles t0 = p.now();
   machine_.node(self_).protocol->release(l);
+  if (rec != nullptr) {
+    rec->span(self_, trace::Category::kLock, trace::names::kLockRelease, t0,
+              p.now(), "lock", l);
+  }
 }
 
 void Context::barrier() {
   AECDSM_CHECK_MSG(locks_held_.empty(), "barrier entered while holding a lock");
   if (self_ == 0) machine_.note_barrier_episode();
+  trace::Recorder* rec = machine_.recorder();
+  sim::Processor& p = *machine_.node(self_).proc;
+  const Cycles t0 = p.now();
+  if (rec != nullptr) {
+    rec->instant(self_, trace::Category::kBarrier, trace::names::kBarrierArrive,
+                 t0, "episode", machine_.barrier_episodes());
+  }
   machine_.node(self_).protocol->barrier();
+  if (rec != nullptr) {
+    rec->span(self_, trace::Category::kBarrier, trace::names::kBarrierWait, t0,
+              p.now(), "episode", machine_.barrier_episodes());
+    rec->instant(self_, trace::Category::kBarrier, trace::names::kBarrierDepart,
+                 p.now(), "episode", machine_.barrier_episodes());
+  }
   ++step_;
 }
 

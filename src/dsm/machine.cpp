@@ -28,6 +28,12 @@ Machine::Machine(const SystemParams& params, std::size_t max_shared_bytes)
 
 Machine::~Machine() = default;
 
+void Machine::set_recorder(trace::Recorder* rec) {
+  recorder_ = rec;
+  transport_.set_recorder(rec);
+  for (Node& n : nodes_) n.proc->set_recorder(rec);
+}
+
 GAddr Machine::alloc_shared(std::size_t bytes) {
   AECDSM_CHECK(bytes > 0);
   // Every allocation starts on a fresh page so distinct arrays never share

@@ -20,6 +20,10 @@
 #include "sim/engine.hpp"
 #include "sim/processor.hpp"
 
+namespace aecdsm::trace {
+class Recorder;
+}
+
 namespace aecdsm::dsm {
 
 class Protocol;
@@ -89,6 +93,15 @@ class Machine {
   /// Node hosting the barrier manager.
   ProcId barrier_manager() const { return 0; }
 
+  // --- Tracing --------------------------------------------------------------
+
+  /// Attach (or detach, with nullptr) a trace sink for the whole machine:
+  /// every processor, the transport, and all protocol/context hook points
+  /// observe through this pointer. Purely observational — attaching a
+  /// recorder never perturbs simulated timing.
+  void set_recorder(trace::Recorder* rec);
+  trace::Recorder* recorder() const { return recorder_; }
+
   // --- Run-wide synchronization accounting (fed by Context) ----------------
   void note_lock_acquire(LockId lock) {
     ++lock_acquires_;
@@ -107,6 +120,8 @@ class Machine {
   std::vector<Node> nodes_;
   std::size_t num_pages_;
   std::size_t alloc_cursor_ = 0;
+
+  trace::Recorder* recorder_ = nullptr;
 
   std::set<LockId> locks_seen_;
   std::uint64_t lock_acquires_ = 0;

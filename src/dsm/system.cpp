@@ -19,6 +19,7 @@ void init_round_robin_validity(Machine& m, ProcId self) {
 
 RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) {
   Machine m(config.params, app.shared_bytes());
+  if (config.recorder != nullptr) m.set_recorder(config.recorder);
   app.setup(m);
 
   for (int p = 0; p < m.nprocs(); ++p) {

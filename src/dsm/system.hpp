@@ -28,6 +28,11 @@ struct RunConfig {
   /// Abort the simulation with TimeoutError once this much host wall-clock
   /// time has elapsed (0 = no limit). Used by BatchRunner --cell-timeout.
   double wall_timeout_sec = 0.0;
+  /// Optional trace sink (trace/recorder.hpp); installed on the machine
+  /// before the run. Purely observational — a traced run is cycle-identical
+  /// to an untraced one. Not part of SystemParams on purpose: trace state
+  /// must never fold into cell content hashes or cached artifacts.
+  trace::Recorder* recorder = nullptr;
 };
 
 /// Execute `app` under `suite`; throws SimError on deadlock or invariant

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace aecdsm::erc {
 
@@ -135,8 +136,13 @@ void ErcProtocol::flush_updates(sim::Bucket bucket) {
   const std::vector<PageId> dirty(dirty_set_.begin(), dirty_set_.end());
   for (const PageId pg : dirty) {
     const Cycles c = params.diff_create_cycles();
+    const Cycles trace_t0 = proc().now();
     proc().advance(c, bucket);
     proc().sync();
+    if (trace::Recorder* tr = m_.recorder()) {
+      tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate,
+               trace_t0, proc().now(), "page", pg);
+    }
     mem::Diff d = store().diff_against_twin(pg);
     ++dstats_.diffs_created;
     dstats_.diff_bytes += d.encoded_bytes();
@@ -233,7 +239,15 @@ void ErcProtocol::apply_update(PageId pg, const mem::Diff& diff) {
   if (f.has_twin()) diff.apply_to(std::span<Word>(*f.twin));
   ctx().invalidate_cache_page(pg);
   ++dstats_.diffs_applied;
-  dstats_.apply_cycles += m_.params().diff_apply_cycles(diff.changed_words());
+  const Cycles c = m_.params().diff_apply_cycles(diff.changed_words());
+  dstats_.apply_cycles += c;
+  // Updates are applied engine-side while servicing the home/member message;
+  // the apply cost is part of that service, i.e. on the update's critical
+  // path, so the span is svc-flagged (never counted as hidden).
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->span(self_, trace::Category::kDiff, trace::names::kDiffApply,
+             m_.engine().now(), m_.engine().now() + c, "page", pg, "svc", 1);
+  }
 }
 
 // --------------------------------------------------------------------------

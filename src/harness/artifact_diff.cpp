@@ -77,6 +77,12 @@ Cell load_cell(const json::Value& c, const std::string& scope,
   cell.metrics.emplace_back("diffs_created", number_of(diffs, "diffs_created", what));
   cell.metrics.emplace_back("diff_bytes", number_of(diffs, "diff_bytes", what));
   cell.metrics.emplace_back("diffs_applied", number_of(diffs, "diffs_applied", what));
+  // Traced artifacts only; absent on both sides compares clean, appearing or
+  // vanishing is flagged by the one-sided-metric rule below.
+  if (const json::Value* overlap = stats.find("overlap"); overlap != nullptr) {
+    cell.metrics.emplace_back("overlap_ratio",
+                              number_of(*overlap, "overlap_ratio", what));
+  }
   const json::Value& lap = member(c, "lap", what);
   if (lap.kind() == json::Value::Kind::kObject) {
     cell.metrics.emplace_back("lap_rate",
@@ -361,9 +367,10 @@ DiffResult diff(const Document& before, const Document& after,
 
   // Aggregates keep the per-cell reporting order where possible; totals is
   // keyed alphabetically, so rebuild from a reference metric order.
-  static const char* kMetricOrder[] = {"finish_time", "result_valid",  "messages",
+  static const char* kMetricOrder[] = {"finish_time",   "result_valid",  "messages",
                                        "message_bytes", "diffs_created", "diff_bytes",
-                                       "diffs_applied", "lap_rate",      "waitq_rate"};
+                                       "diffs_applied", "overlap_ratio", "lap_rate",
+                                       "waitq_rate"};
   for (const char* metric : kMetricOrder) {
     const auto it = totals.find(metric);
     if (it == totals.end()) continue;

@@ -1,11 +1,13 @@
 #include "harness/batch.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -15,6 +17,9 @@
 #include "common/check.hpp"
 #include "harness/cellcache.hpp"
 #include "harness/threadpool.hpp"
+#include "trace/export.hpp"
+#include "trace/overlap.hpp"
+#include "trace/recorder.hpp"
 
 namespace aecdsm::harness {
 
@@ -50,7 +55,12 @@ namespace {
       "  --max-mem M     cap the estimated memory of concurrently running\n"
       "                  cells at M MiB (default: AECDSM_MAX_MEM; 0 = off)\n"
       "  --cell-timeout S  mark a cell as \"timeout\" in the artifact after S\n"
-      "                  seconds of wall clock instead of letting it hang\n",
+      "                  seconds of wall clock instead of letting it hang\n"
+      "  --trace PATH    record every cell and write one combined Chrome\n"
+      "                  trace_event file (load in Perfetto / chrome://tracing)\n"
+      "  --trace-dir D   record every cell and write per-cell trace files\n"
+      "                  (<label>.trace.json + <label>.perfetto.json) into D\n"
+      "                  (tracing bypasses the cell cache: every cell simulates)\n",
       argv0);
   std::exit(0);
 }
@@ -114,6 +124,10 @@ BatchOptions parse_batch_cli(int& argc, char** argv) {
         std::exit(2);
       }
       opts.max_mem_mb = static_cast<std::size_t>(mb);
+    } else if (flag_value(argc, argv, i, "--trace", value)) {
+      opts.trace_path = value;
+    } else if (flag_value(argc, argv, i, "--trace-dir", value)) {
+      opts.trace_dir = value;
     } else if (flag_value(argc, argv, i, "--cell-timeout", value)) {
       opts.cell_timeout_sec = std::atof(value.c_str());
       if (opts.cell_timeout_sec <= 0) {
@@ -189,6 +203,81 @@ std::vector<std::size_t> lpt_schedule(std::vector<std::size_t> misses,
   return misses;
 }
 
+namespace {
+
+/// Cell label as a filename: anything outside [A-Za-z0-9.-] becomes '_'
+/// ("AEC/Water-SP" -> "AEC_Water-SP").
+std::string sanitize_label(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' && c != '.') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+trace::TraceMeta trace_meta_of(const ExperimentCell& cell) {
+  trace::TraceMeta meta;
+  meta.protocol = cell.protocol;
+  meta.app = cell.app;
+  meta.num_procs = cell.params.num_procs;
+  meta.seed = static_cast<std::uint32_t>(cell.seed);
+  meta.label = cell.label;
+  return meta;
+}
+
+void write_json_file(const std::string& path, const json::Value& doc) {
+  std::ofstream out(path);
+  AECDSM_CHECK_MSG(out.good(), "cannot open trace output file: " << path);
+  doc.write(out);
+  out << "\n";
+}
+
+/// Emit the requested trace artifacts for every successfully traced cell:
+/// one combined Chrome trace_event file (--trace, one Perfetto process per
+/// cell) and/or per-cell aecdsm-trace-v1 + Chrome files (--trace-dir).
+/// Timed-out / cancelled cells have no coherent timeline and are skipped.
+void write_trace_files(const BatchOptions& opts, const ExperimentPlan& plan,
+                       const std::vector<ExperimentResult>& results,
+                       const std::vector<std::unique_ptr<trace::Recorder>>& recorders) {
+  if (!opts.trace_dir.empty()) std::filesystem::create_directories(opts.trace_dir);
+  json::Value combined_events = json::Value::array();
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    if (recorders[i] == nullptr || results[i].status != "ok") continue;
+    const trace::Recorder& rec = *recorders[i];
+    const trace::TraceMeta meta = trace_meta_of(plan.cells[i]);
+    const int pid = static_cast<int>(i);
+    if (!opts.trace_path.empty()) {
+      trace::append_perfetto_events(combined_events, rec, meta, pid);
+    }
+    if (!opts.trace_dir.empty()) {
+      const std::string base =
+          (std::filesystem::path(opts.trace_dir) / sanitize_label(plan.cells[i].label))
+              .string();
+      json::Value doc = trace::trace_json(rec, meta);
+      doc["overlap"] =
+          trace::overlap_json(trace::analyze_overlap(rec), /*include_episodes=*/true);
+      write_json_file(base + ".trace.json", doc);
+      write_json_file(base + ".perfetto.json", trace::perfetto_json(rec, meta, pid));
+    }
+  }
+  if (!opts.trace_path.empty()) {
+    json::Value doc = json::Value::object();
+    doc["displayTimeUnit"] = json::Value("ms");
+    doc["traceEvents"] = std::move(combined_events);
+    write_json_file(opts.trace_path, doc);
+    std::fprintf(stderr, "[trace] %s: wrote combined Chrome trace %s\n",
+                 plan.name.c_str(), opts.trace_path.c_str());
+  }
+  if (!opts.trace_dir.empty()) {
+    std::fprintf(stderr, "[trace] %s: wrote per-cell traces under %s\n",
+                 plan.name.c_str(), opts.trace_dir.c_str());
+  }
+}
+
+}  // namespace
+
 BatchRunner::BatchRunner(BatchOptions opts)
     : opts_(std::move(opts)), jobs_(ThreadPool::resolve_jobs(opts_.jobs)) {}
 
@@ -200,10 +289,14 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
   info_ = BatchRunInfo{};
   info_.cells = n;
 
+  // Tracing wants a timeline for every cell, which only a fresh simulation
+  // produces — the cache is bypassed outright (no loads, no stores, no
+  // telemetry) so trace runs can never pollute cached artifacts either.
   std::unique_ptr<CellCache> cache;
-  if (!opts_.no_cache) {
+  if (!opts_.no_cache && !opts_.tracing()) {
     cache = std::make_unique<CellCache>(CellCache::resolve_dir(opts_.cache_dir));
   }
+  std::vector<std::unique_ptr<trace::Recorder>> recorders(n);
 
   // Serve every memoized cell first; only the misses are simulated.
   std::vector<std::string> hashes(n);
@@ -239,11 +332,20 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
         executed[i] = 1;
         const std::size_t reserved =
             mem_gate.enabled() ? mem_gate.acquire(cell_mem_weight(cell)) : 0;
+        trace::Recorder* rec = nullptr;
+        if (opts_.tracing()) {
+          recorders[i] = std::make_unique<trace::Recorder>();
+          rec = recorders[i].get();
+        }
         const auto start = std::chrono::steady_clock::now();
         try {
           results[i] = run_experiment(cell.protocol, cell.app, cell.scale,
                                       cell.params, cell.seed,
-                                      opts_.cell_timeout_sec);
+                                      opts_.cell_timeout_sec, rec);
+          if (rec != nullptr) {
+            results[i].stats.overlap =
+                trace::to_overlap_stats(trace::analyze_overlap(*rec));
+          }
           const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                                   std::chrono::steady_clock::now() - start)
                                   .count();
@@ -262,6 +364,9 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
           if (opts_.fail_fast) pool.request_stop();
         } catch (...) {
           errors[i] = std::current_exception();
+          // The exception is rethrown after the pool drains; until then the
+          // status keeps trace export from treating this cell as finished.
+          results[i].status = "failed";
           if (opts_.fail_fast) pool.request_stop();
         }
         mem_gate.release(reserved);
@@ -270,6 +375,7 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
     pool.wait_all();
   }
   if (cache != nullptr) cache->merge_telemetry(fresh_telemetry);
+  if (opts_.tracing()) write_trace_files(opts_, plan, results, recorders);
 
   for (std::size_t i = 0; i < n; ++i) {
     if (!executed[i]) {

@@ -71,6 +71,18 @@ struct BatchOptions {
   /// it is marked with status "timeout" in the results/artifact instead of
   /// hanging the batch; with --fail-fast the remaining cells are cancelled.
   double cell_timeout_sec = 0.0;
+  /// Write one combined Chrome trace_event file here covering every cell
+  /// (one Perfetto process per cell, one track per node). "" = off.
+  std::string trace_path;
+  /// Write per-cell trace files (<label>.trace.json in the aecdsm-trace-v1
+  /// schema plus <label>.perfetto.json) into this directory. "" = off.
+  std::string trace_dir;
+
+  /// Either trace sink requested. Tracing forces every cell to simulate —
+  /// the cell cache is bypassed entirely (no loads, no stores, no
+  /// telemetry), because a cached result has no timeline to replay and
+  /// trace state must never leak into cached artifacts.
+  bool tracing() const { return !trace_path.empty() || !trace_dir.empty(); }
 };
 
 /// Strip the shared batch flags (--jobs, --json, --no-json, --cache-dir,

@@ -1,7 +1,10 @@
 #include "harness/cellcache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -38,10 +41,14 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-/// Write via a process-unique temp file and rename, so concurrent bench
-/// processes sharing a cache directory never observe a torn blob.
+/// Write via a temp file and rename, so readers sharing a cache directory
+/// never observe a torn blob. The temp name is unique per process AND per
+/// call: two threads of one process (e.g. concurrent BatchRunners in the
+/// tests) storing the same blob must not scribble into one temp file.
 void write_file_atomic(const std::string& path, const std::string& contents) {
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary);
     AECDSM_CHECK_MSG(out.good(), "cellcache: cannot open " << tmp);
@@ -50,6 +57,29 @@ void write_file_atomic(const std::string& path, const std::string& contents) {
   }
   fs::rename(tmp, path);
 }
+
+/// Advisory exclusive lock on `path` (created if missing) held for the
+/// object's lifetime. Serializes the telemetry read-modify-write across
+/// processes and threads; a failed open degrades to lockless operation (the
+/// rename-based writes are still torn-free, merges may merely lose races).
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path)
+      : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644)) {
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_;
+};
 
 }  // namespace
 
@@ -158,6 +188,10 @@ TelemetryMap CellCache::load_telemetry() const {
 
 void CellCache::merge_telemetry(const TelemetryMap& updates) const {
   if (updates.empty()) return;
+  // Concurrent batch runs merge into the same telemetry.json; without the
+  // lock two read-modify-write cycles could interleave and silently drop
+  // one run's durations.
+  FileLock lock((fs::path(dir_) / "telemetry.lock").string());
   TelemetryMap merged = load_telemetry();
   for (const auto& [hash, micros] : updates) merged[hash] = micros;
   json::Value doc = json::Value::object();

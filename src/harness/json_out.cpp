@@ -1,364 +1,7 @@
 #include "harness/json_out.hpp"
 
-#include <charconv>
-#include <cstdio>
-#include <cstring>
-#include <limits>
-#include <ostream>
-#include <sstream>
-
 #include "common/check.hpp"
 #include "harness/lap_report.hpp"
-
-namespace aecdsm::harness::json {
-
-namespace {
-
-void write_double(std::ostream& os, double d) {
-  // Shortest round-trip form, locale-independent: the document must be
-  // byte-stable for artifact diffing.
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
-  os.write(buf, res.ptr - buf);
-}
-
-void write_indent(std::ostream& os, int indent) {
-  os << '\n';
-  for (int i = 0; i < indent; ++i) os << "  ";
-}
-
-}  // namespace
-
-std::string quote(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-Value& Value::operator[](const std::string& key) {
-  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
-  AECDSM_CHECK_MSG(kind_ == Kind::kObject, "json: operator[] on non-object");
-  for (auto& [k, v] : members_) {
-    if (k == key) return v;
-  }
-  members_.emplace_back(key, Value());
-  return members_.back().second;
-}
-
-Value& Value::append(Value v) {
-  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
-  AECDSM_CHECK_MSG(kind_ == Kind::kArray, "json: append on non-array");
-  items_.push_back(std::move(v));
-  return items_.back();
-}
-
-std::size_t Value::size() const {
-  if (kind_ == Kind::kArray) return items_.size();
-  if (kind_ == Kind::kObject) return members_.size();
-  return 0;
-}
-
-void Value::write(std::ostream& os, int indent) const {
-  const bool pretty = indent >= 0;
-  switch (kind_) {
-    case Kind::kNull: os << "null"; break;
-    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
-    case Kind::kInt: os << int_; break;
-    case Kind::kUint: os << uint_; break;
-    case Kind::kDouble: write_double(os, double_); break;
-    case Kind::kString: os << quote(string_); break;
-    case Kind::kArray: {
-      if (items_.empty()) { os << "[]"; break; }
-      os << '[';
-      for (std::size_t i = 0; i < items_.size(); ++i) {
-        if (i > 0) os << ',';
-        if (pretty) write_indent(os, indent + 1);
-        items_[i].write(os, pretty ? indent + 1 : -1);
-      }
-      if (pretty) write_indent(os, indent);
-      os << ']';
-      break;
-    }
-    case Kind::kObject: {
-      if (members_.empty()) { os << "{}"; break; }
-      os << '{';
-      for (std::size_t i = 0; i < members_.size(); ++i) {
-        if (i > 0) os << ',';
-        if (pretty) write_indent(os, indent + 1);
-        os << quote(members_[i].first) << (pretty ? ": " : ":");
-        members_[i].second.write(os, pretty ? indent + 1 : -1);
-      }
-      if (pretty) write_indent(os, indent);
-      os << '}';
-      break;
-    }
-  }
-}
-
-std::string Value::dump(int indent) const {
-  std::ostringstream os;
-  write(os, indent);
-  return os.str();
-}
-
-const Value* Value::find(const std::string& key) const {
-  if (kind_ != Kind::kObject) return nullptr;
-  for (const auto& [k, v] : members_) {
-    if (k == key) return &v;
-  }
-  return nullptr;
-}
-
-const Value& Value::at(const std::string& key) const {
-  const Value* v = find(key);
-  AECDSM_CHECK_MSG(v != nullptr, "json: missing member '" << key << "'");
-  return *v;
-}
-
-bool Value::as_bool() const {
-  AECDSM_CHECK_MSG(kind_ == Kind::kBool, "json: as_bool on non-bool");
-  return bool_;
-}
-
-std::int64_t Value::as_int() const {
-  if (kind_ == Kind::kInt) return int_;
-  if (kind_ == Kind::kUint) {
-    AECDSM_CHECK_MSG(uint_ <= static_cast<std::uint64_t>(
-                                  std::numeric_limits<std::int64_t>::max()),
-                     "json: as_int overflow on " << uint_);
-    return static_cast<std::int64_t>(uint_);
-  }
-  AECDSM_CHECK_MSG(false, "json: as_int on non-integer");
-}
-
-std::uint64_t Value::as_uint() const {
-  if (kind_ == Kind::kUint) return uint_;
-  if (kind_ == Kind::kInt) {
-    AECDSM_CHECK_MSG(int_ >= 0, "json: as_uint on negative " << int_);
-    return static_cast<std::uint64_t>(int_);
-  }
-  AECDSM_CHECK_MSG(false, "json: as_uint on non-integer");
-}
-
-double Value::as_double() const {
-  if (kind_ == Kind::kDouble) return double_;
-  if (kind_ == Kind::kInt) return static_cast<double>(int_);
-  if (kind_ == Kind::kUint) return static_cast<double>(uint_);
-  AECDSM_CHECK_MSG(false, "json: as_double on non-number");
-}
-
-const std::string& Value::as_string() const {
-  AECDSM_CHECK_MSG(kind_ == Kind::kString, "json: as_string on non-string");
-  return string_;
-}
-
-const std::vector<Value>& Value::items() const {
-  static const std::vector<Value> kEmpty;
-  return kind_ == Kind::kArray ? items_ : kEmpty;
-}
-
-const std::vector<std::pair<std::string, Value>>& Value::entries() const {
-  static const std::vector<std::pair<std::string, Value>> kEmpty;
-  return kind_ == Kind::kObject ? members_ : kEmpty;
-}
-
-namespace {
-
-/// Recursive-descent parser over the subset json::Value emits (which is the
-/// full JSON grammar minus exotic number forms the simulator never writes).
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  Value parse_document() {
-    Value v = parse_value();
-    skip_ws();
-    AECDSM_CHECK_MSG(pos_ == text_.size(),
-                     "json: trailing garbage at offset " << pos_);
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const char* what) {
-    AECDSM_CHECK_MSG(false, "json: " << what << " at offset " << pos_);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail("unexpected character");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t len = std::strlen(lit);
-    if (text_.compare(pos_, len, lit) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  Value parse_value() {
-    const char c = peek();
-    switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return Value(parse_string());
-      case 't':
-        if (consume_literal("true")) return Value(true);
-        fail("bad literal");
-      case 'f':
-        if (consume_literal("false")) return Value(false);
-        fail("bad literal");
-      case 'n':
-        if (consume_literal("null")) return Value();
-        fail("bad literal");
-      default: return parse_number();
-    }
-  }
-
-  Value parse_object() {
-    expect('{');
-    Value v = Value::object();
-    if (peek() == '}') { ++pos_; return v; }
-    for (;;) {
-      std::string key = parse_string();
-      expect(':');
-      v[key] = parse_value();
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}'");
-    }
-  }
-
-  Value parse_array() {
-    expect('[');
-    Value v = Value::array();
-    if (peek() == ']') { ++pos_; return v; }
-    for (;;) {
-      v.append(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']'");
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') { out += c; continue; }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      c = text_[pos_++];
-      switch (c) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          const auto res =
-              std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
-          if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ + 4) {
-            fail("bad \\u escape");
-          }
-          pos_ += 4;
-          // The writer only emits \u00XX control escapes; reject the rest
-          // rather than half-implement UTF-16 surrogates.
-          if (code > 0x7F) fail("unsupported \\u escape beyond ASCII");
-          out += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  Value parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    bool is_double = false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c >= '0' && c <= '9') { ++pos_; continue; }
-      if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        is_double = true;
-        ++pos_;
-        continue;
-      }
-      break;
-    }
-    if (pos_ == start) fail("expected a value");
-    const char* first = text_.data() + start;
-    const char* last = text_.data() + pos_;
-    if (is_double) {
-      double d = 0.0;
-      const auto res = std::from_chars(first, last, d);
-      if (res.ec != std::errc{} || res.ptr != last) fail("bad number");
-      return Value(d);
-    }
-    if (*first == '-') {
-      std::int64_t i = 0;
-      const auto res = std::from_chars(first, last, i);
-      if (res.ec != std::errc{} || res.ptr != last) fail("bad number");
-      return Value(i);
-    }
-    std::uint64_t u = 0;
-    const auto res = std::from_chars(first, last, u);
-    if (res.ec != std::errc{} || res.ptr != last) fail("bad number");
-    return Value(u);
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
-Value Value::parse(const std::string& text) { return Parser(text).parse_document(); }
-
-}  // namespace aecdsm::harness::json
 
 namespace aecdsm::harness {
 
@@ -439,6 +82,21 @@ Value to_json(const TransportStats& t) {
   return v;
 }
 
+Value to_json(const OverlapStats& o) {
+  Value v = Value::object();
+  v["episodes"] = Value(o.episodes);
+  v["diff_cycles"] = Value(o.diff_cycles);
+  v["overlap_lock_wait"] = Value(o.overlap_lock_wait);
+  v["overlap_barrier_wait"] = Value(o.overlap_barrier_wait);
+  v["overlap_service"] = Value(o.overlap_service);
+  v["overlap_any"] = Value(o.overlap_any);
+  v["lock_wait_cycles"] = Value(o.lock_wait_cycles);
+  v["barrier_wait_cycles"] = Value(o.barrier_wait_cycles);
+  v["service_cycles"] = Value(o.service_cycles);
+  v["overlap_ratio"] = Value(o.ratio());
+  return v;
+}
+
 Value to_json(const RunStats& r) {
   Value v = Value::object();
   v["protocol"] = Value(r.protocol);
@@ -457,6 +115,9 @@ Value to_json(const RunStats& r) {
   // Emitted only when fault injection actually ran, so fault-free documents
   // stay byte-identical to pre-fault-plane baselines.
   if (r.transport.any()) v["transport"] = to_json(r.transport);
+  // Emitted only for traced + analyzed runs; untraced documents (and every
+  // committed baseline) therefore never carry an "overlap" member.
+  if (r.overlap.any()) v["overlap"] = to_json(r.overlap);
   return v;
 }
 
@@ -630,6 +291,19 @@ RunStats run_stats_from_json(const Value& v) {
     r.transport.push_drops = t->at("push_drops").as_uint();
     r.transport.push_timeouts = t->at("push_timeouts").as_uint();
     r.transport.push_fallbacks = t->at("push_fallbacks").as_uint();
+  }
+  // Optional: present only for traced runs ("overlap_ratio" is derived and
+  // recomputed on the next serialization).
+  if (const Value* o = v.find("overlap"); o != nullptr) {
+    r.overlap.episodes = o->at("episodes").as_uint();
+    r.overlap.diff_cycles = o->at("diff_cycles").as_uint();
+    r.overlap.overlap_lock_wait = o->at("overlap_lock_wait").as_uint();
+    r.overlap.overlap_barrier_wait = o->at("overlap_barrier_wait").as_uint();
+    r.overlap.overlap_service = o->at("overlap_service").as_uint();
+    r.overlap.overlap_any = o->at("overlap_any").as_uint();
+    r.overlap.lock_wait_cycles = o->at("lock_wait_cycles").as_uint();
+    r.overlap.barrier_wait_cycles = o->at("barrier_wait_cycles").as_uint();
+    r.overlap.service_cycles = o->at("service_cycles").as_uint();
   }
   return r;
 }

@@ -1,108 +1,29 @@
 // Structured results input/output for the batch experiment runner.
 //
-// json::Value is a minimal ordered JSON document tree — objects preserve
-// insertion order and doubles print in shortest round-trip form, so a batch
-// document is byte-identical across runs and across --jobs settings (the
-// determinism tests rely on this). The to_json overloads serialize the full
-// RunStats breakdown plus per-lock LAP scores; the from_json counterparts
-// reconstruct them from a parsed document, which is how the cell result
-// cache (harness/cellcache) serves finished cells without re-simulating.
+// json::Value (common/json.hpp, aliased here as harness::json) is a minimal
+// ordered JSON document tree — objects preserve insertion order and doubles
+// print in shortest round-trip form, so a batch document is byte-identical
+// across runs and across --jobs settings (the determinism tests rely on
+// this). The to_json overloads serialize the full RunStats breakdown plus
+// per-lock LAP scores; the from_json counterparts reconstruct them from a
+// parsed document, which is how the cell result cache (harness/cellcache)
+// serves finished cells without re-simulating.
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
 #include <map>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "aec/lap.hpp"
 
+#include "common/json.hpp"
 #include "common/params.hpp"
 #include "common/stats.hpp"
 #include "harness/runner.hpp"
 
-namespace aecdsm::harness::json {
-
-class Value {
- public:
-  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
-
-  Value() : kind_(Kind::kNull) {}
-  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
-  Value(int i) : kind_(Kind::kInt), int_(i) {}
-  Value(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
-  Value(std::uint64_t u) : kind_(Kind::kUint), uint_(u) {}
-  Value(double d) : kind_(Kind::kDouble), double_(d) {}
-  Value(const char* s) : kind_(Kind::kString), string_(s) {}
-  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
-
-  static Value array() { Value v; v.kind_ = Kind::kArray; return v; }
-  static Value object() { Value v; v.kind_ = Kind::kObject; return v; }
-
-  /// Parse a JSON document. Numbers keep their lexical class: an integer
-  /// literal parses as kInt/kUint, anything with '.', 'e' or 'E' as kDouble,
-  /// so parse → dump round-trips a document byte-identically. Malformed
-  /// input raises SimError with the byte offset of the failure.
-  static Value parse(const std::string& text);
-
-  Kind kind() const { return kind_; }
-
-  /// Object member access: inserts a null member on first use (a null Value
-  /// silently becomes an object, so `doc["a"]["b"] = 1` works).
-  Value& operator[](const std::string& key);
-
-  /// Array append; a null Value silently becomes an array.
-  Value& append(Value v);
-
-  std::size_t size() const;
-
-  // --- Read access (for parsed documents) ----------------------------------
-
-  /// Object member lookup without insertion; nullptr when absent or when
-  /// this value is not an object.
-  const Value* find(const std::string& key) const;
-
-  /// Checked member access: SimError when the key is missing.
-  const Value& at(const std::string& key) const;
-
-  /// Typed scalar access; SimError on a kind mismatch. as_uint accepts a
-  /// non-negative kInt and as_int a kUint within range, since the parser
-  /// classifies by lexical form only.
-  bool as_bool() const;
-  std::int64_t as_int() const;
-  std::uint64_t as_uint() const;
-  double as_double() const;
-  const std::string& as_string() const;
-
-  /// Array elements (empty for non-arrays).
-  const std::vector<Value>& items() const;
-
-  /// Object members in insertion order (empty for non-objects).
-  const std::vector<std::pair<std::string, Value>>& entries() const;
-
-  /// Serialize with 2-space indentation per level; `indent < 0` gives the
-  /// compact single-line form.
-  void write(std::ostream& os, int indent = 0) const;
-  std::string dump(int indent = 0) const;
-
- private:
-  Kind kind_;
-  bool bool_ = false;
-  std::int64_t int_ = 0;
-  std::uint64_t uint_ = 0;
-  double double_ = 0.0;
-  std::string string_;
-  std::vector<Value> items_;
-  std::vector<std::pair<std::string, Value>> members_;
-};
-
-/// JSON string escaping (quotes included in the output).
-std::string quote(const std::string& s);
-
-}  // namespace aecdsm::harness::json
-
 namespace aecdsm::harness {
+
+namespace json = ::aecdsm::json;
 
 json::Value to_json(const TimeBreakdown& t);
 json::Value to_json(const DiffStats& d);
@@ -110,6 +31,7 @@ json::Value to_json(const FaultStats& f);
 json::Value to_json(const MsgStats& m);
 json::Value to_json(const SyncStats& s);
 json::Value to_json(const TransportStats& t);
+json::Value to_json(const OverlapStats& o);
 json::Value to_json(const RunStats& r);
 json::Value to_json(const SystemParams& p);
 

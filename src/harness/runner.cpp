@@ -12,12 +12,14 @@ SystemParams paper_params() {
 
 ExperimentResult run_experiment(const std::string& protocol, const std::string& app_name,
                                 apps::Scale scale, const SystemParams& params,
-                                std::uint64_t seed, double wall_timeout_sec) {
+                                std::uint64_t seed, double wall_timeout_sec,
+                                trace::Recorder* recorder) {
   auto app = apps::make_app(app_name, scale);
   dsm::RunConfig cfg;
   cfg.params = params;
   cfg.seed = seed;
   cfg.wall_timeout_sec = wall_timeout_sec;
+  cfg.recorder = recorder;
 
   ExperimentResult out;
   if (protocol == "AEC" || protocol == "AEC-noLAP") {

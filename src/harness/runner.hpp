@@ -15,6 +15,10 @@
 #include "erc/protocol.hpp"
 #include "tmk/protocol.hpp"
 
+namespace aecdsm::trace {
+class Recorder;
+}
+
 namespace aecdsm::harness {
 
 struct ExperimentResult {
@@ -40,11 +44,13 @@ struct ExperimentResult {
 
 /// Protocol names accepted: "AEC", "AEC-noLAP", "TreadMarks", "Munin-ERC".
 /// A positive `wall_timeout_sec` aborts the simulation with TimeoutError
-/// once that much host time has elapsed.
+/// once that much host time has elapsed. A non-null `recorder` captures the
+/// run's event timeline (trace/recorder.hpp) without perturbing it.
 ExperimentResult run_experiment(const std::string& protocol, const std::string& app,
                                 apps::Scale scale, const SystemParams& params,
                                 std::uint64_t seed = 42,
-                                double wall_timeout_sec = 0.0);
+                                double wall_timeout_sec = 0.0,
+                                trace::Recorder* recorder = nullptr);
 
 /// The paper's simulated testbed: Table 1 defaults, 16 processors.
 SystemParams paper_params();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "trace/recorder.hpp"
 
 namespace aecdsm::net {
 
@@ -62,6 +63,11 @@ void Transport::inject_copy(ProcId src, ProcId dst, std::size_t bytes,
 
 void Transport::send(ProcId src, ProcId dst, std::size_t bytes,
                      sim::Engine::EventFn deliver) {
+  if (recorder_ != nullptr) {
+    recorder_->instant(src, trace::Category::kNet, trace::names::kNetSend,
+                       engine_.now(), "dst", static_cast<std::uint64_t>(dst),
+                       "bytes", bytes);
+  }
   if (!plane_.enabled() || src == dst) {
     mesh_.send(src, dst, bytes, std::move(deliver));
     return;
@@ -95,6 +101,12 @@ void Transport::arm_timer(std::uint64_t key, int attempt) {
     ++stats_.timeouts;
     ++stats_.retransmits;
     Pending& p = it->second;
+    if (recorder_ != nullptr) {
+      recorder_->instant(p.src, trace::Category::kNet, trace::names::kNetRetx,
+                         engine_.now(), "dst",
+                         static_cast<std::uint64_t>(p.dst), "attempt",
+                         static_cast<std::uint64_t>(attempt + 1));
+    }
     p.attempt = attempt + 1;
     const ProcId src = p.src;
     const ProcId dst = p.dst;
@@ -142,6 +154,10 @@ void Transport::on_data_arrival(ProcId src, ProcId dst, std::uint32_t seq,
 
 void Transport::send_ack(ProcId from, ProcId to, std::uint64_t key) {
   ++stats_.acks;
+  if (recorder_ != nullptr) {
+    recorder_->instant(from, trace::Category::kNet, trace::names::kNetAck,
+                       engine_.now(), "dst", static_cast<std::uint64_t>(to));
+  }
   const FaultPlane::Decision d = plane_.decide(from, to);
   if (d.delayed) ++stats_.delays_injected;
   if (d.reordered) ++stats_.reorders_injected;
@@ -169,6 +185,11 @@ void Transport::send_ack(ProcId from, ProcId to, std::uint64_t key) {
 
 void Transport::send_best_effort(ProcId src, ProcId dst, std::size_t bytes,
                                  sim::Engine::EventFn deliver) {
+  if (recorder_ != nullptr) {
+    recorder_->instant(src, trace::Category::kNet, trace::names::kNetPush,
+                       engine_.now(), "dst", static_cast<std::uint64_t>(dst),
+                       "bytes", bytes);
+  }
   if (!plane_.enabled() || src == dst) {
     mesh_.send(src, dst, bytes, std::move(deliver));
     return;

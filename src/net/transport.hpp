@@ -29,6 +29,10 @@
 #include "net/mesh.hpp"
 #include "sim/engine.hpp"
 
+namespace aecdsm::trace {
+class Recorder;
+}
+
 namespace aecdsm::net {
 
 class Transport {
@@ -53,6 +57,10 @@ class Transport {
 
   TransportStats& stats() { return stats_; }
   const TransportStats& stats() const { return stats_; }
+
+  /// Attach (or detach, with nullptr) a trace sink recording send /
+  /// retransmit / ack instants; purely observational.
+  void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
 
  private:
   struct SendChannel {
@@ -101,6 +109,7 @@ class Transport {
   std::vector<RecvChannel> recv_ch_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   TransportStats stats_;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace aecdsm::net

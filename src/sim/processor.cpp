@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/recorder.hpp"
+
 namespace aecdsm::sim {
 
 Processor::Processor(Engine& engine, ProcId id, const SystemParams& params)
@@ -107,6 +109,10 @@ Cycles Processor::service(Cycles handler_cost) {
   const Cycles start = std::max(arrive, svc_free_);
   const Cycles dur = params_.interrupt_cycles + handler_cost;
   svc_free_ = start + dur;
+  if (recorder_ != nullptr) {
+    recorder_->span(id_, trace::Category::kSvc, trace::names::kService, start,
+                    svc_free_, "cost", handler_cost);
+  }
   if (done_) {
     // The application is gone; serving still occupies the node.
     charge(dur, Bucket::kIpc);

@@ -22,6 +22,10 @@
 #include "sim/cothread.hpp"
 #include "sim/engine.hpp"
 
+namespace aecdsm::trace {
+class Recorder;
+}
+
 namespace aecdsm::sim {
 
 /// Accounting bucket for every simulated cycle (paper figures 4-6).
@@ -94,6 +98,11 @@ class Processor {
   const SystemParams& params() const { return params_; }
   Engine& engine() { return engine_; }
 
+  /// Attach (or detach, with nullptr) a trace sink. Service occupancy spans
+  /// are recorded into it; purely observational.
+  void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
+  trace::Recorder* recorder() const { return recorder_; }
+
  private:
   void charge(Cycles c, Bucket b);
   void absorb_stolen();
@@ -124,6 +133,8 @@ class Processor {
   bool running_app_ = false;
   bool done_ = false;
   Cycles finish_time_ = 0;
+
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace aecdsm::sim

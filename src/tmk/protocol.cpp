@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "dsm/system.hpp"
+#include "trace/recorder.hpp"
 
 namespace aecdsm::tmk {
 
@@ -279,7 +280,12 @@ void TmProtocol::fetch_pending_diffs(PageId pg, sim::Bucket bucket) {
                        << " w16=" << w16 << runs.str());
     }
     const Cycles c = params.diff_apply_cycles(d->diff.changed_words());
+    const Cycles trace_t0 = proc().now();
     proc().advance(c, bucket);
+    if (trace::Recorder* tr = m_.recorder()) {
+      tr->span(self_, trace::Category::kDiff, trace::names::kDiffApply,
+               trace_t0, proc().now(), "page", pg);
+    }
     mem::PageFrame& f = store().frame(pg);
     // Word-wise application: never let an older diff revert a word a newer
     // one already wrote (see PageState::word_tag). The twin mirrors the
@@ -314,6 +320,12 @@ std::vector<TmProtocol::StoredDiff> TmProtocol::serve_diffs(PageId pg, std::size
   if (ps.dirty) {
     // Lazy diff creation, on the server's critical path (TreadMarks).
     cost += m_.params().diff_create_cycles();
+    if (trace::Recorder* tr = m_.recorder()) {
+      tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate,
+               m_.engine().now(),
+               m_.engine().now() + m_.params().diff_create_cycles(), "page",
+               pg, "svc", 1);
+    }
     mem::Diff d = store().diff_against_twin(pg);
     ++dstats_.diffs_created;
     dstats_.diff_bytes += d.encoded_bytes();

@@ -1,0 +1,119 @@
+#include "trace/export.hpp"
+
+namespace aecdsm::trace {
+
+namespace {
+
+using json::Value;
+
+Value event_args(const Event& e) {
+  Value args = Value::object();
+  if (e.k0 != nullptr) args[e.k0] = Value(e.a0);
+  if (e.k1 != nullptr) args[e.k1] = Value(e.a1);
+  return args;
+}
+
+}  // namespace
+
+Value trace_json(const Recorder& rec, const TraceMeta& meta) {
+  Value doc = Value::object();
+  doc["schema"] = Value("aecdsm-trace-v1");
+  doc["protocol"] = Value(meta.protocol);
+  doc["app"] = Value(meta.app);
+  doc["num_procs"] = Value(meta.num_procs);
+  doc["seed"] = Value(static_cast<std::uint64_t>(meta.seed));
+  doc["capacity"] = Value(static_cast<std::uint64_t>(rec.capacity()));
+  doc["recorded"] = Value(rec.recorded());
+  doc["dropped"] = Value(rec.dropped());
+  Value events = Value::array();
+  for (const Event& e : rec.events()) {
+    Value row = Value::object();
+    row["node"] = Value(e.node);
+    row["cat"] = Value(category_name(e.cat));
+    row["name"] = Value(e.name);
+    row["ts"] = Value(e.t_start);
+    if (e.is_span()) row["dur"] = Value(e.duration());
+    if (e.k0 != nullptr || e.k1 != nullptr) row["args"] = event_args(e);
+    events.append(std::move(row));
+  }
+  doc["events"] = std::move(events);
+  return doc;
+}
+
+void append_perfetto_events(Value& trace_events, const Recorder& rec,
+                            const TraceMeta& meta, int pid) {
+  {
+    Value m = Value::object();
+    m["ph"] = Value("M");
+    m["pid"] = Value(pid);
+    m["name"] = Value("process_name");
+    m["args"]["name"] = Value(meta.label.empty()
+                                  ? meta.protocol + "/" + meta.app
+                                  : meta.label);
+    trace_events.append(std::move(m));
+  }
+  for (int node = 0; node < meta.num_procs; ++node) {
+    Value m = Value::object();
+    m["ph"] = Value("M");
+    m["pid"] = Value(pid);
+    m["tid"] = Value(node);
+    m["name"] = Value("thread_name");
+    m["args"]["name"] = Value("node " + std::to_string(node));
+    trace_events.append(std::move(m));
+  }
+  for (const Event& e : rec.events()) {
+    Value row = Value::object();
+    row["ph"] = Value(e.is_span() ? "X" : "i");
+    row["pid"] = Value(pid);
+    row["tid"] = Value(e.node);
+    row["cat"] = Value(category_name(e.cat));
+    row["name"] = Value(e.name);
+    row["ts"] = Value(e.t_start);
+    if (e.is_span()) {
+      row["dur"] = Value(e.duration());
+    } else {
+      row["s"] = Value("t");  // instant scoped to its thread (track)
+    }
+    if (e.k0 != nullptr || e.k1 != nullptr) row["args"] = event_args(e);
+    trace_events.append(std::move(row));
+  }
+}
+
+Value perfetto_json(const Recorder& rec, const TraceMeta& meta, int pid) {
+  Value doc = Value::object();
+  doc["displayTimeUnit"] = Value("ms");
+  Value events = Value::array();
+  append_perfetto_events(events, rec, meta, pid);
+  doc["traceEvents"] = std::move(events);
+  return doc;
+}
+
+Value overlap_json(const OverlapReport& report, bool include_episodes) {
+  Value v = Value::object();
+  v["episodes"] = Value(static_cast<std::uint64_t>(report.episodes.size()));
+  v["diff_cycles"] = Value(report.diff_cycles);
+  v["overlap_lock_wait"] = Value(report.overlap_lock_wait);
+  v["overlap_barrier_wait"] = Value(report.overlap_barrier_wait);
+  v["overlap_service"] = Value(report.overlap_service);
+  v["overlap_any"] = Value(report.overlap_any);
+  v["lock_wait_cycles"] = Value(report.lock_wait_cycles);
+  v["barrier_wait_cycles"] = Value(report.barrier_wait_cycles);
+  v["service_cycles"] = Value(report.service_cycles);
+  v["overlap_ratio"] = Value(report.overlap_ratio());
+  if (include_episodes) {
+    Value rows = Value::array();
+    for (const SyncEpisode& ep : report.episodes) {
+      Value row = Value::object();
+      row["node"] = Value(ep.node);
+      row["kind"] = Value(ep.kind);
+      row["ts"] = Value(ep.t_start);
+      row["dur"] = Value(ep.duration());
+      row["diff_overlap"] = Value(ep.diff_overlap);
+      rows.append(std::move(row));
+    }
+    v["episode_rows"] = std::move(rows);
+  }
+  return v;
+}
+
+}  // namespace aecdsm::trace

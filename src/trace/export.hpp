@@ -1,0 +1,55 @@
+// Trace exporters: Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing, one track per simulated node) and the compact
+// aecdsm-trace-v1 schema, both built on the shared json::Value layer so the
+// output is byte-stable across runs — the determinism test diffs two traced
+// same-seed runs byte-for-byte.
+//
+// Timestamps are simulated Cycles written verbatim. Chrome's UI labels the
+// axis in microseconds; read "1 us" as "1 cycle" (10 ns of simulated time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "trace/overlap.hpp"
+#include "trace/recorder.hpp"
+
+namespace aecdsm::trace {
+
+/// Run identity stamped into every export.
+struct TraceMeta {
+  std::string protocol;
+  std::string app;
+  int num_procs = 0;
+  std::uint32_t seed = 0;
+  std::string label;  ///< cell label, e.g. "AEC/Water-SP"; Perfetto process name
+};
+
+/// Compact structured export:
+///   { "schema": "aecdsm-trace-v1", "protocol": ..., "app": ...,
+///     "num_procs": N, "seed": S, "capacity": C, "recorded": R,
+///     "dropped": D, "events": [ { "node", "cat", "name", "ts", "dur",
+///     "args": {...} } ... ] }
+/// Events are sorted by (t_start, record order); "dur" and "args" are
+/// omitted for instants / argument-free events.
+json::Value trace_json(const Recorder& rec, const TraceMeta& meta);
+
+/// Chrome trace_event document: { "displayTimeUnit": "ms",
+/// "traceEvents": [...] } with one process per cell and one thread (track)
+/// per node. Spans become "X" complete events, instants "i" events.
+json::Value perfetto_json(const Recorder& rec, const TraceMeta& meta,
+                          int pid = 0);
+
+/// Append one cell's events (metadata + timeline) to an existing
+/// "traceEvents" array under process id `pid` — how --trace merges every
+/// cell of a batch into a single Perfetto-loadable file.
+void append_perfetto_events(json::Value& trace_events, const Recorder& rec,
+                            const TraceMeta& meta, int pid);
+
+/// Overlap summary (and optionally per-episode rows) in JSON form, embedded
+/// by the batch layer under "overlap" in aecdsm-trace-v1 documents.
+json::Value overlap_json(const OverlapReport& report,
+                         bool include_episodes = false);
+
+}  // namespace aecdsm::trace

@@ -1,0 +1,160 @@
+#include "trace/overlap.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace aecdsm::trace {
+
+namespace {
+
+struct Interval {
+  Cycles lo = 0;
+  Cycles hi = 0;
+};
+
+/// Sort and merge overlapping/adjacent intervals in place.
+void normalize(std::vector<Interval>& v) {
+  std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) {
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.hi < b.hi;
+  });
+  std::size_t out = 0;
+  for (const Interval& iv : v) {
+    if (out > 0 && iv.lo <= v[out - 1].hi) {
+      v[out - 1].hi = std::max(v[out - 1].hi, iv.hi);
+    } else {
+      v[out++] = iv;
+    }
+  }
+  v.resize(out);
+}
+
+Cycles total_length(const std::vector<Interval>& v) {
+  Cycles sum = 0;
+  for (const Interval& iv : v) sum += iv.hi - iv.lo;
+  return sum;
+}
+
+/// Cycles of [lo, hi) covered by the normalized interval set.
+Cycles covered(const std::vector<Interval>& set, Cycles lo, Cycles hi) {
+  Cycles sum = 0;
+  // First interval whose hi exceeds lo; set is sorted and disjoint.
+  auto it = std::lower_bound(
+      set.begin(), set.end(), lo,
+      [](const Interval& iv, Cycles t) { return iv.hi <= t; });
+  for (; it != set.end() && it->lo < hi; ++it) {
+    sum += std::min(hi, it->hi) - std::max(lo, it->lo);
+  }
+  return sum;
+}
+
+bool name_is(const Event& e, const char* name) {
+  return std::strcmp(e.name, name) == 0;
+}
+
+/// True for diff work executed inside a message service (arg "svc" = 1):
+/// it sits on the *requester's* critical path — TreadMarks' lazy server-side
+/// diffs, AEC's deferred-publication serves — so it can never count as
+/// hidden, even though a svc span covers it on the serving node.
+bool is_service_side(const Event& e) {
+  return (e.k0 != nullptr && std::strcmp(e.k0, "svc") == 0 && e.a0 != 0) ||
+         (e.k1 != nullptr && std::strcmp(e.k1, "svc") == 0 && e.a1 != 0);
+}
+
+struct NodeTimeline {
+  std::vector<Interval> diffs;      // raw diff-work spans (not merged: work sums)
+  std::vector<Interval> lock_wait;
+  std::vector<Interval> barrier_wait;
+  std::vector<Interval> service;
+  Cycles service_side_diff = 0;     // svc-flagged diff cycles (always exposed)
+};
+
+}  // namespace
+
+OverlapReport analyze_overlap(std::vector<Event> events) {
+  OverlapReport report;
+  std::map<ProcId, NodeTimeline> nodes;
+
+  for (const Event& e : events) {
+    if (!e.is_span()) continue;
+    NodeTimeline& nt = nodes[e.node];
+    const Interval iv{e.t_start, e.t_end};
+    if (e.cat == Category::kDiff &&
+        (name_is(e, names::kDiffCreate) || name_is(e, names::kDiffApply))) {
+      if (is_service_side(e)) {
+        nt.service_side_diff += iv.hi - iv.lo;
+      } else {
+        nt.diffs.push_back(iv);
+      }
+    } else if (e.cat == Category::kLock && name_is(e, names::kLockWait)) {
+      nt.lock_wait.push_back(iv);
+      report.episodes.push_back(
+          {e.node, names::kLockWait, e.t_start, e.t_end, 0});
+    } else if (e.cat == Category::kBarrier && name_is(e, names::kBarrierWait)) {
+      nt.barrier_wait.push_back(iv);
+      report.episodes.push_back(
+          {e.node, names::kBarrierWait, e.t_start, e.t_end, 0});
+    } else if (e.cat == Category::kSvc && name_is(e, names::kService)) {
+      nt.service.push_back(iv);
+    }
+  }
+
+  for (auto& [node, nt] : nodes) {
+    normalize(nt.lock_wait);
+    normalize(nt.barrier_wait);
+    normalize(nt.service);
+    report.lock_wait_cycles += total_length(nt.lock_wait);
+    report.barrier_wait_cycles += total_length(nt.barrier_wait);
+    report.service_cycles += total_length(nt.service);
+
+    std::vector<Interval> any;
+    any.reserve(nt.lock_wait.size() + nt.barrier_wait.size() + nt.service.size());
+    any.insert(any.end(), nt.lock_wait.begin(), nt.lock_wait.end());
+    any.insert(any.end(), nt.barrier_wait.begin(), nt.barrier_wait.end());
+    any.insert(any.end(), nt.service.begin(), nt.service.end());
+    normalize(any);
+
+    report.diff_cycles += nt.service_side_diff;
+    for (const Interval& d : nt.diffs) {
+      report.diff_cycles += d.hi - d.lo;
+      report.overlap_lock_wait += covered(nt.lock_wait, d.lo, d.hi);
+      report.overlap_barrier_wait += covered(nt.barrier_wait, d.lo, d.hi);
+      report.overlap_service += covered(nt.service, d.lo, d.hi);
+      report.overlap_any += covered(any, d.lo, d.hi);
+    }
+  }
+
+  for (SyncEpisode& ep : report.episodes) {
+    const NodeTimeline& nt = nodes[ep.node];
+    for (const Interval& d : nt.diffs) {
+      if (d.hi > ep.t_start && d.lo < ep.t_end) {
+        ep.diff_overlap +=
+            std::min(d.hi, ep.t_end) - std::max(d.lo, ep.t_start);
+      }
+    }
+  }
+  std::sort(report.episodes.begin(), report.episodes.end(),
+            [](const SyncEpisode& a, const SyncEpisode& b) {
+              if (a.t_start != b.t_start) return a.t_start < b.t_start;
+              if (a.node != b.node) return a.node < b.node;
+              return a.t_end < b.t_end;
+            });
+  return report;
+}
+
+OverlapStats to_overlap_stats(const OverlapReport& report) {
+  OverlapStats s;
+  s.episodes = report.episodes.size();
+  s.diff_cycles = report.diff_cycles;
+  s.overlap_lock_wait = report.overlap_lock_wait;
+  s.overlap_barrier_wait = report.overlap_barrier_wait;
+  s.overlap_service = report.overlap_service;
+  s.overlap_any = report.overlap_any;
+  s.lock_wait_cycles = report.lock_wait_cycles;
+  s.barrier_wait_cycles = report.barrier_wait_cycles;
+  s.service_cycles = report.service_cycles;
+  return s;
+}
+
+}  // namespace aecdsm::trace

@@ -1,0 +1,75 @@
+// Sync-delay critical-path analysis over a recorded timeline.
+//
+// The paper's central claim is that AEC hides diff creation/application
+// behind synchronization delay the processor would suffer anyway. The
+// OverlapAnalyzer measures that directly: it walks a Recorder timeline and
+// intersects, per node, every diff-work span (diff.create / diff.apply)
+// with the union of each of the three delay kinds the paper names —
+//
+//   lock waiting          lock.wait spans (Context::lock),
+//   barrier imbalance     barrier.wait spans (Context::barrier),
+//   manager processing    svc spans (Processor::service occupancy),
+//
+// all on the same node, since only co-located delay can hide that node's
+// work. `overlap_any` intersects against the merged union of all three, so
+// a diff span sitting under both a lock wait and a service span is counted
+// once. overlap_ratio() = overlap_any / diff_cycles is the headline number:
+// ~1 means diff work is fully hidden (AEC's goal), ~0 means it is fully
+// exposed on the critical path (TreadMarks' lazy diffs, ERC's eager flush).
+//
+// Each lock.wait / barrier.wait span is also reported as one sync episode
+// with the diff cycles hidden inside it, which is what bench_trace tabulates
+// and the unit tests pin down on hand-built timelines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "trace/recorder.hpp"
+
+namespace aecdsm::trace {
+
+/// One synchronization episode: a single lock.wait or barrier.wait span and
+/// the diff-work cycles that executed inside it on the same node.
+struct SyncEpisode {
+  ProcId node = 0;
+  const char* kind = "";  // names::kLockWait or names::kBarrierWait
+  Cycles t_start = 0;
+  Cycles t_end = 0;
+  Cycles diff_overlap = 0;
+
+  Cycles duration() const { return t_end - t_start; }
+};
+
+struct OverlapReport {
+  Cycles diff_cycles = 0;          // total diff.create + diff.apply span cycles
+  Cycles overlap_lock_wait = 0;    // diff cycles under lock.wait spans
+  Cycles overlap_barrier_wait = 0; // diff cycles under barrier.wait spans
+  Cycles overlap_service = 0;      // diff cycles under svc spans
+  Cycles overlap_any = 0;          // diff cycles under the union of all three
+  Cycles lock_wait_cycles = 0;     // total lock.wait span cycles (merged per node)
+  Cycles barrier_wait_cycles = 0;  // total barrier.wait span cycles (merged)
+  Cycles service_cycles = 0;       // total svc span cycles (merged)
+  std::vector<SyncEpisode> episodes;  // chronological (t_start, node)
+
+  double overlap_ratio() const {
+    return diff_cycles > 0
+               ? static_cast<double>(overlap_any) / static_cast<double>(diff_cycles)
+               : 0.0;
+  }
+};
+
+/// Analyze an event list (as returned by Recorder::events(); any order is
+/// accepted — the analyzer sorts internally).
+OverlapReport analyze_overlap(std::vector<Event> events);
+
+inline OverlapReport analyze_overlap(const Recorder& rec) {
+  return analyze_overlap(rec.events());
+}
+
+/// Condense a report into the RunStats-resident summary (drops episodes).
+OverlapStats to_overlap_stats(const OverlapReport& report);
+
+}  // namespace aecdsm::trace

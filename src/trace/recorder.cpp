@@ -1,0 +1,64 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace aecdsm::trace {
+
+const char* category_name(Category cat) {
+  switch (cat) {
+    case Category::kLock: return "lock";
+    case Category::kBarrier: return "barrier";
+    case Category::kDiff: return "diff";
+    case Category::kMem: return "mem";
+    case Category::kLap: return "lap";
+    case Category::kNet: return "net";
+    case Category::kSvc: return "svc";
+  }
+  return "?";
+}
+
+Recorder::Recorder(std::size_t capacity) {
+  AECDSM_CHECK_MSG(capacity > 0, "trace: recorder capacity must be positive");
+  ring_.resize(capacity);
+}
+
+#if !defined(AECDSM_DISABLE_TRACING)
+void Recorder::span(ProcId node, Category cat, const char* name, Cycles t0,
+                    Cycles t1, const char* k0, std::uint64_t a0,
+                    const char* k1, std::uint64_t a1) {
+  Event& e = ring_[next_];
+  e.t_start = t0;
+  e.t_end = t1 > t0 ? t1 : t0;
+  e.seq = recorded_;
+  e.node = node;
+  e.cat = cat;
+  e.name = name;
+  e.k0 = k0;
+  e.a0 = a0;
+  e.k1 = k1;
+  e.a1 = a1;
+  next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+  ++recorded_;
+}
+#endif
+
+std::vector<Event> Recorder::events() const {
+  std::vector<Event> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest retained event sits at next_ once the ring has wrapped, at 0
+  // before that; copying in ring order keeps seq monotone before the sort.
+  const std::size_t first = recorded_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.t_start != b.t_start) return a.t_start < b.t_start;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+}  // namespace aecdsm::trace

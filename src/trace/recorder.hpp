@@ -1,0 +1,150 @@
+// Structured event tracing for the deterministic simulator.
+//
+// trace::Recorder is a ring-buffered event sink the DSM machine, protocols
+// and transport write into while a run executes. Every event carries the
+// simulated-cycle interval it covers, the node it happened on, a category,
+// a static name and up to two named integer arguments — enough to rebuild a
+// per-node timeline of lock/barrier/diff/fault/LAP/transport activity that
+// the exporters (trace/export.hpp) turn into Perfetto or aecdsm-trace-v1
+// JSON and the OverlapAnalyzer (trace/overlap.hpp) mines for hidden-work
+// ratios.
+//
+// Tracing is strictly observational: recording never advances simulated
+// time, schedules events or touches protocol state, so a traced run is
+// cycle-identical to an untraced one. Call sites hold a `Recorder*` that is
+// nullptr when tracing is off (the common case) and guard each record with
+// a single branch; compiling with -DAECDSM_DISABLE_TRACING=ON turns every
+// record call into an empty inline so even that branch vanishes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aecdsm::trace {
+
+#if defined(AECDSM_DISABLE_TRACING)
+inline constexpr bool kTracingCompiled = false;
+#else
+inline constexpr bool kTracingCompiled = true;
+#endif
+
+enum class Category : std::uint8_t {
+  kLock,     // lock.request / lock.wait / lock.release
+  kBarrier,  // barrier.arrive / barrier.wait / barrier.depart
+  kDiff,     // diff.create / diff.apply / diff.merge
+  kMem,      // fault.read / fault.write / page.fetch
+  kLap,      // lap.predict / lap.push
+  kNet,      // net.send / net.retx / net.ack / net.push
+  kSvc,      // svc — engine-side message service occupancy on a node
+};
+
+const char* category_name(Category cat);
+
+/// Well-known event names. Producers and consumers (the OverlapAnalyzer,
+/// tests, golden files) share these constants; comparison is by content, not
+/// pointer, so hand-built timelines may also use string literals.
+namespace names {
+inline constexpr const char* kLockRequest = "lock.request";
+inline constexpr const char* kLockWait = "lock.wait";
+inline constexpr const char* kLockRelease = "lock.release";
+inline constexpr const char* kBarrierArrive = "barrier.arrive";
+inline constexpr const char* kBarrierWait = "barrier.wait";
+inline constexpr const char* kBarrierDepart = "barrier.depart";
+inline constexpr const char* kDiffCreate = "diff.create";
+inline constexpr const char* kDiffApply = "diff.apply";
+inline constexpr const char* kDiffMerge = "diff.merge";
+inline constexpr const char* kFaultRead = "fault.read";
+inline constexpr const char* kFaultWrite = "fault.write";
+inline constexpr const char* kLapPredict = "lap.predict";
+inline constexpr const char* kLapPush = "lap.push";
+inline constexpr const char* kNetSend = "net.send";
+inline constexpr const char* kNetRetx = "net.retx";
+inline constexpr const char* kNetAck = "net.ack";
+inline constexpr const char* kNetPush = "net.push";
+inline constexpr const char* kService = "svc";
+}  // namespace names
+
+/// One recorded event. `t_start == t_end` marks an instant, otherwise the
+/// event is a span covering [t_start, t_end). Up to two named integer
+/// arguments ride along (k0/k1 are nullptr when unused); names must point
+/// at static-lifetime strings — every call site passes literals or the
+/// names:: constants.
+struct Event {
+  Cycles t_start = 0;
+  Cycles t_end = 0;
+  std::uint64_t seq = 0;  // global record order; tie-break for stable export
+  ProcId node = 0;
+  Category cat = Category::kLock;
+  const char* name = "";
+  const char* k0 = nullptr;
+  std::uint64_t a0 = 0;
+  const char* k1 = nullptr;
+  std::uint64_t a1 = 0;
+
+  bool is_span() const { return t_end > t_start; }
+  Cycles duration() const { return t_end - t_start; }
+};
+
+/// Fixed-capacity ring of Events. When the ring is full the oldest events
+/// are overwritten (and counted in dropped()) — a bounded-memory tracer can
+/// then run under any workload and still keep the tail of the timeline,
+/// which is what the overlap analysis and a human in Perfetto care about.
+class Recorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;  // ~20 MiB
+
+  explicit Recorder(std::size_t capacity = kDefaultCapacity);
+
+#if defined(AECDSM_DISABLE_TRACING)
+  void span(ProcId, Category, const char*, Cycles, Cycles,
+            const char* = nullptr, std::uint64_t = 0,
+            const char* = nullptr, std::uint64_t = 0) {}
+  void instant(ProcId, Category, const char*, Cycles,
+               const char* = nullptr, std::uint64_t = 0,
+               const char* = nullptr, std::uint64_t = 0) {}
+#else
+  /// Record a span covering [t0, t1). A span with t1 <= t0 degrades to an
+  /// instant at t0 (zero-cost diff work, e.g. an empty page list).
+  void span(ProcId node, Category cat, const char* name, Cycles t0, Cycles t1,
+            const char* k0 = nullptr, std::uint64_t a0 = 0,
+            const char* k1 = nullptr, std::uint64_t a1 = 0);
+
+  /// Record an instantaneous event at time t.
+  void instant(ProcId node, Category cat, const char* name, Cycles t,
+               const char* k0 = nullptr, std::uint64_t a0 = 0,
+               const char* k1 = nullptr, std::uint64_t a1 = 0) {
+    span(node, cat, name, t, t, k0, a0, k1, a1);
+  }
+#endif
+
+  /// Retained events sorted by (t_start, seq) — record order within a
+  /// timestamp, so the output is identical run-to-run.
+  std::vector<Event> events() const;
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Total events recorded, including those the ring has since overwritten.
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wrap-around.
+  std::uint64_t dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  std::size_t size() const {
+    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                    : ring_.size();
+  }
+
+  void clear() {
+    recorded_ = 0;
+    next_ = 0;
+  }
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t next_ = 0;       // slot the next event lands in
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace aecdsm::trace

@@ -1,0 +1,297 @@
+// Tests for the src/trace observability subsystem: the ring-buffered
+// Recorder (wrap/overflow semantics), the exporters (Perfetto golden file,
+// byte-determinism across same-seed runs), the OverlapAnalyzer on
+// hand-built timelines, and the no-perturbation guarantee — a traced run's
+// RunStats are identical to an untraced run's.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/json_out.hpp"
+#include "harness/runner.hpp"
+#include "tests/test_util.hpp"
+#include "trace/export.hpp"
+#include "trace/overlap.hpp"
+#include "trace/recorder.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+using trace::Category;
+using trace::Event;
+using trace::Recorder;
+namespace names = trace::names;
+
+// ---------------------------------------------------------------- Recorder
+
+TEST(TraceRecorder, KeepsEventsInTimestampOrder) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec(16);
+  rec.span(0, Category::kDiff, names::kDiffCreate, 50, 60);
+  rec.instant(1, Category::kNet, names::kNetSend, 10);
+  rec.span(0, Category::kLock, names::kLockWait, 10, 40);
+  const std::vector<Event> events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Same timestamp: record order (seq) breaks the tie.
+  EXPECT_STREQ(events[0].name, names::kNetSend);
+  EXPECT_STREQ(events[1].name, names::kLockWait);
+  EXPECT_STREQ(events[2].name, names::kDiffCreate);
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, RingWrapKeepsNewestAndCountsDropped) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    rec.instant(0, Category::kNet, names::kNetSend, 100 + i, "dst", i);
+  }
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.recorded(), 6u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  EXPECT_EQ(rec.size(), 4u);
+  const std::vector<Event> events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The two oldest events (a0 = 0, 1) were overwritten.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a0, i + 2);
+    EXPECT_EQ(events[i].t_start, 102 + i);
+  }
+}
+
+TEST(TraceRecorder, ClearResetsTheRing) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec(4);
+  for (int i = 0; i < 6; ++i) rec.instant(0, Category::kNet, names::kNetSend, 1);
+  rec.clear();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+  rec.instant(0, Category::kNet, names::kNetAck, 7);
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_STREQ(rec.events()[0].name, names::kNetAck);
+}
+
+TEST(TraceRecorder, BackwardsSpanDegradesToInstant) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec(4);
+  rec.span(0, Category::kDiff, names::kDiffApply, 100, 90);
+  const std::vector<Event> events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].is_span());
+  EXPECT_EQ(events[0].t_start, 100u);
+  EXPECT_EQ(events[0].t_end, 100u);
+}
+
+// --------------------------------------------------------------- Exporters
+
+trace::TraceMeta toy_meta() {
+  trace::TraceMeta meta;
+  meta.protocol = "AEC";
+  meta.app = "toy";
+  meta.num_procs = 2;
+  meta.seed = 42;
+  meta.label = "AEC/toy";
+  return meta;
+}
+
+Recorder toy_recorder() {
+  Recorder rec(8);
+  rec.span(0, Category::kLock, names::kLockWait, 100, 250, "lock", 3);
+  rec.span(0, Category::kDiff, names::kDiffCreate, 120, 180, "page", 7);
+  rec.instant(1, Category::kNet, names::kNetSend, 140, "dst", 0, "bytes", 64);
+  return rec;
+}
+
+TEST(TraceExport, PerfettoGolden) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  const std::string got = trace::perfetto_json(toy_recorder(), toy_meta()).dump(-1);
+  EXPECT_EQ(
+      got,
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"ph":"M","pid":0,"name":"process_name","args":{"name":"AEC/toy"}},)"
+      R"({"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"node 0"}},)"
+      R"({"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"node 1"}},)"
+      R"({"ph":"X","pid":0,"tid":0,"cat":"lock","name":"lock.wait","ts":100,"dur":150,"args":{"lock":3}},)"
+      R"({"ph":"X","pid":0,"tid":0,"cat":"diff","name":"diff.create","ts":120,"dur":60,"args":{"page":7}},)"
+      R"({"ph":"i","pid":0,"tid":1,"cat":"net","name":"net.send","ts":140,"s":"t","args":{"dst":0,"bytes":64}}]})");
+}
+
+TEST(TraceExport, TraceV1Golden) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  const std::string got = trace::trace_json(toy_recorder(), toy_meta()).dump(-1);
+  EXPECT_EQ(
+      got,
+      R"({"schema":"aecdsm-trace-v1","protocol":"AEC","app":"toy","num_procs":2,)"
+      R"("seed":42,"capacity":8,"recorded":3,"dropped":0,"events":[)"
+      R"({"node":0,"cat":"lock","name":"lock.wait","ts":100,"dur":150,"args":{"lock":3}},)"
+      R"({"node":0,"cat":"diff","name":"diff.create","ts":120,"dur":60,"args":{"page":7}},)"
+      R"({"node":1,"cat":"net","name":"net.send","ts":140,"args":{"dst":0,"bytes":64}}]})");
+}
+
+// --------------------------------------------------------- OverlapAnalyzer
+
+std::vector<Event> timeline(std::vector<Event> events) {
+  std::uint64_t seq = 0;
+  for (Event& e : events) e.seq = seq++;
+  return events;
+}
+
+Event span_of(ProcId node, Category cat, const char* name, Cycles t0, Cycles t1) {
+  Event e;
+  e.node = node;
+  e.cat = cat;
+  e.name = name;
+  e.t_start = t0;
+  e.t_end = t1;
+  return e;
+}
+
+TEST(OverlapAnalyzer, FullyHiddenDiffWork) {
+  // diff.create [10,20) entirely inside lock.wait [0,100) on the same node.
+  auto report = trace::analyze_overlap(timeline({
+      span_of(0, Category::kLock, names::kLockWait, 0, 100),
+      span_of(0, Category::kDiff, names::kDiffCreate, 10, 20),
+  }));
+  EXPECT_EQ(report.diff_cycles, 10u);
+  EXPECT_EQ(report.overlap_lock_wait, 10u);
+  EXPECT_EQ(report.overlap_any, 10u);
+  EXPECT_EQ(report.lock_wait_cycles, 100u);
+  EXPECT_DOUBLE_EQ(report.overlap_ratio(), 1.0);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_EQ(report.episodes[0].diff_overlap, 10u);
+  EXPECT_STREQ(report.episodes[0].kind, names::kLockWait);
+}
+
+TEST(OverlapAnalyzer, FullyExposedDiffWork) {
+  // Delay on node 1 cannot hide diff work on node 0.
+  auto report = trace::analyze_overlap(timeline({
+      span_of(1, Category::kLock, names::kLockWait, 0, 100),
+      span_of(0, Category::kDiff, names::kDiffApply, 10, 60),
+  }));
+  EXPECT_EQ(report.diff_cycles, 50u);
+  EXPECT_EQ(report.overlap_any, 0u);
+  EXPECT_DOUBLE_EQ(report.overlap_ratio(), 0.0);
+}
+
+TEST(OverlapAnalyzer, PartialOverlapCountsTheIntersection) {
+  auto report = trace::analyze_overlap(timeline({
+      span_of(0, Category::kBarrier, names::kBarrierWait, 0, 100),
+      span_of(0, Category::kDiff, names::kDiffCreate, 50, 150),
+  }));
+  EXPECT_EQ(report.diff_cycles, 100u);
+  EXPECT_EQ(report.overlap_barrier_wait, 50u);
+  EXPECT_EQ(report.overlap_any, 50u);
+  EXPECT_DOUBLE_EQ(report.overlap_ratio(), 0.5);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_EQ(report.episodes[0].diff_overlap, 50u);
+  EXPECT_STREQ(report.episodes[0].kind, names::kBarrierWait);
+}
+
+TEST(OverlapAnalyzer, UnionNeverDoubleCounts) {
+  // diff [0,100) under lock.wait [0,60) and svc [40,100): per-kind overlaps
+  // sum to 120 but the union covers the span exactly once.
+  auto report = trace::analyze_overlap(timeline({
+      span_of(0, Category::kLock, names::kLockWait, 0, 60),
+      span_of(0, Category::kSvc, names::kService, 40, 100),
+      span_of(0, Category::kDiff, names::kDiffCreate, 0, 100),
+  }));
+  EXPECT_EQ(report.diff_cycles, 100u);
+  EXPECT_EQ(report.overlap_lock_wait, 60u);
+  EXPECT_EQ(report.overlap_service, 60u);
+  EXPECT_EQ(report.overlap_any, 100u);
+  EXPECT_DOUBLE_EQ(report.overlap_ratio(), 1.0);
+}
+
+TEST(OverlapAnalyzer, ServiceSideDiffWorkIsNeverHidden) {
+  // A diff span flagged "svc"=1 ran inside a message service handler — it
+  // sits on a remote requester's critical path, so even though it lies
+  // entirely under this node's svc span it must not count as overlapped.
+  Event served = span_of(0, Category::kDiff, names::kDiffCreate, 10, 30);
+  served.k0 = "svc";
+  served.a0 = 1;
+  auto report = trace::analyze_overlap(timeline({
+      span_of(0, Category::kSvc, names::kService, 0, 50),
+      served,
+  }));
+  EXPECT_EQ(report.diff_cycles, 20u);
+  EXPECT_EQ(report.overlap_service, 0u);
+  EXPECT_EQ(report.overlap_any, 0u);
+  EXPECT_DOUBLE_EQ(report.overlap_ratio(), 0.0);
+  EXPECT_EQ(report.service_cycles, 50u);
+}
+
+// --------------------------------------------- traced runs, end to end
+
+harness::ExperimentResult traced_run(const std::string& protocol,
+                                     Recorder& rec) {
+  return harness::run_experiment(protocol, "IS", apps::Scale::kSmall,
+                                 harness::paper_params(), 42, 0.0, &rec);
+}
+
+TEST(TraceEndToEnd, TracedRunStatsIdenticalToUntraced) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec;
+  const harness::ExperimentResult traced = traced_run("AEC", rec);
+  const harness::ExperimentResult plain = harness::run_experiment(
+      "AEC", "IS", apps::Scale::kSmall, harness::paper_params(), 42);
+  EXPECT_GT(rec.recorded(), 0u);
+  // Tracing is observational: the serialized stats must match byte-for-byte.
+  EXPECT_EQ(harness::to_json(traced.stats).dump(), harness::to_json(plain.stats).dump());
+}
+
+TEST(TraceEndToEnd, SameSeedRunsProduceByteIdenticalTraces) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  trace::TraceMeta meta;
+  meta.protocol = "AEC";
+  meta.app = "IS";
+  meta.num_procs = harness::paper_params().num_procs;
+  meta.seed = 42;
+  meta.label = "AEC/IS";
+
+  Recorder rec_a;
+  traced_run("AEC", rec_a);
+  Recorder rec_b;
+  traced_run("AEC", rec_b);
+  EXPECT_EQ(rec_a.recorded(), rec_b.recorded());
+  EXPECT_EQ(trace::trace_json(rec_a, meta).dump(),
+            trace::trace_json(rec_b, meta).dump());
+  EXPECT_EQ(trace::perfetto_json(rec_a, meta).dump(),
+            trace::perfetto_json(rec_b, meta).dump());
+}
+
+TEST(TraceEndToEnd, AecHidesMoreDiffWorkThanTreadMarks) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  // The paper's claim, measured: on a lock-heavy app AEC overlaps a larger
+  // fraction of its diff work with synchronization delay than TreadMarks,
+  // whose lazy diffs are created while a requester waits.
+  Recorder aec_rec;
+  harness::run_experiment("AEC", "Water-sp", apps::Scale::kSmall,
+                          harness::paper_params(), 42, 0.0, &aec_rec);
+  Recorder tmk_rec;
+  harness::run_experiment("TreadMarks", "Water-sp", apps::Scale::kSmall,
+                          harness::paper_params(), 42, 0.0, &tmk_rec);
+  const auto aec = trace::analyze_overlap(aec_rec);
+  const auto tmk = trace::analyze_overlap(tmk_rec);
+  EXPECT_GT(aec.diff_cycles, 0u);
+  EXPECT_GT(tmk.diff_cycles, 0u);
+  EXPECT_GT(aec.overlap_ratio(), tmk.overlap_ratio());
+}
+
+TEST(TraceEndToEnd, OverlapStatsRoundTripThroughJson) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec;
+  traced_run("AEC", rec);
+  RunStats stats;
+  stats.protocol = "AEC";
+  stats.app = "IS";
+  stats.overlap = trace::to_overlap_stats(trace::analyze_overlap(rec));
+  ASSERT_TRUE(stats.overlap.any());
+  const RunStats back = harness::run_stats_from_json(harness::to_json(stats));
+  EXPECT_EQ(back.overlap, stats.overlap);
+  EXPECT_EQ(harness::to_json(back).dump(), harness::to_json(stats).dump());
+}
+
+}  // namespace
+}  // namespace aecdsm::test
