@@ -36,6 +36,10 @@ using namespace aecdsm::harness;
       "  --tol METRIC=VAL    relative tolerance, e.g. finish_time=0.5%% or\n"
       "                      messages=0.02; METRIC '*' sets the default\n"
       "                      (repeatable)\n"
+      "  --subset            gate only on cells present in BOTH documents:\n"
+      "                      align by content hash alone (across bench scopes)\n"
+      "                      and ignore one-sided cells instead of failing —\n"
+      "                      holds a partial sweep against a full baseline\n"
       "  --tol-file FILE     aecdsm-tolerances-v1 JSON defaults file\n"
       "  --json PATH         write the aecdsm-bench-diff-v1 document to PATH\n"
       "                      ('-' = stdout; suppresses the human report on '-')\n"
@@ -68,6 +72,7 @@ bool flag_value(int argc, char** argv, int& i, const char* flag, std::string& ou
 int main(int argc, char** argv) {
   std::string baseline;
   bool update_baseline = false;
+  bool subset = false;
   std::string json_path;
   bool quiet = false;
   artifact_diff::Tolerances tol;
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
         baseline = value;
       } else if (std::strcmp(argv[i], "--update-baseline") == 0) {
         update_baseline = true;
+      } else if (std::strcmp(argv[i], "--subset") == 0) {
+        subset = true;
       } else if (flag_value(argc, argv, i, "--tol-file", value)) {
         tol.load_file(value);
       } else if (flag_value(argc, argv, i, "--tol", value)) {
@@ -116,10 +123,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: --update-baseline needs --baseline FILE\n", argv[0]);
       print_usage_and_exit(argv[0], 2);
     }
+    if (update_baseline && subset) {
+      // A partial sweep must never overwrite the full baseline.
+      std::fprintf(stderr, "%s: --subset and --update-baseline conflict\n", argv[0]);
+      print_usage_and_exit(argv[0], 2);
+    }
 
     const artifact_diff::Document before = artifact_diff::load_file(old_path);
     const artifact_diff::Document after = artifact_diff::load_file(new_path);
-    const artifact_diff::DiffResult result = artifact_diff::diff(before, after, tol);
+    const artifact_diff::DiffResult result =
+        artifact_diff::diff(before, after, tol, subset);
 
     if (json_path == "-") {
       artifact_diff::to_json(result).write(std::cout);

@@ -1,0 +1,61 @@
+// The policy engine's acceptance matrix: every registered consistency
+// policy — the three legacy protocol presets, the AEC-noLAP ablation and
+// the hybrid AEC-TmkBarrier — across all six applications on the paper
+// testbed. Legacy cells carry the same content hash as their bench_all
+// twins, so CI holds this artifact against the committed baseline with
+// `bench_diff --subset`: the cells both documents share must be
+// byte-identical, while the hybrid-only cells (absent from the baseline by
+// design) pass through. Opted out of bench_all for the same reason the
+// fault sweep is: the hybrid cells must not perturb the committed baseline.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/bench_registry.hpp"
+#include "harness/format.hpp"
+#include "policy/policy.hpp"
+
+namespace {
+using namespace aecdsm;
+
+harness::ExperimentPlan build_plan() {
+  harness::ExperimentPlan plan;
+  plan.name = "policy_matrix";
+  for (const std::string& app : apps::app_names()) {
+    for (const std::string& pol : policy::registered_names()) {
+      plan.add(pol, app);
+    }
+  }
+  return plan;
+}
+
+void report(harness::BenchReport& r) {
+  harness::print_header(
+      std::cout, "Policy matrix: every registered preset x every application");
+  std::printf("%-12s %-16s %12s %12s %9s %6s\n", "application", "policy",
+              "finish (M)", "messages", "vs AEC", "valid");
+  for (const auto& res : r.results) {
+    const auto& aec = r.result("AEC/" + res.stats.app);
+    std::printf("%-12s %-16s %12.2f %12llu %8.2fx %6s\n", res.stats.app.c_str(),
+                res.stats.protocol.c_str(), res.stats.finish_time / 1e6,
+                static_cast<unsigned long long>(res.stats.msgs.messages),
+                static_cast<double>(res.stats.finish_time) /
+                    static_cast<double>(aec.stats.finish_time),
+                res.stats.result_valid ? "yes" : "NO");
+  }
+  std::printf(
+      "\n(Every preset must finish every app with a valid result. The hybrid\n"
+      " AEC-TmkBarrier keeps AEC's lock handling but flips the barrier action\n"
+      " to invalidation: sharers drop their copies and refetch on demand\n"
+      " instead of receiving routed diffs.)\n");
+}
+
+[[maybe_unused]] const bool registered = harness::register_bench(
+    {"policy_matrix", 14, build_plan, report, /*in_bench_all=*/false});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("policy_matrix", argc, argv);
+}
+#endif

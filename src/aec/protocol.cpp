@@ -12,28 +12,8 @@
 
 namespace aecdsm::aec {
 
-namespace {
-/// Fixed size of small control messages (requests, grants sans lists, acks).
-constexpr std::size_t kCtl = 32;
-
-/// Page singled out for verbose tracing via AECDSM_TRACE_PAGE (debugging).
-PageId trace_page() {
-  static const PageId pg = [] {
-    const char* v = std::getenv("AECDSM_TRACE_PAGE");
-    return v == nullptr ? kNoPage : static_cast<PageId>(std::atoi(v));
-  }();
-  return pg;
-}
-
-/// Word within the traced page reported by value traces (AECDSM_TRACE_WORD).
-std::size_t trace_word() {
-  static const std::size_t w = [] {
-    const char* v = std::getenv("AECDSM_TRACE_WORD");
-    return v == nullptr ? std::size_t{0} : static_cast<std::size_t>(std::atoi(v));
-  }();
-  return w;
-}
-}  // namespace
+// kCtl, trace_page() and trace_word() are inherited from the policy engine
+// (policy/engine.hpp), which hoisted them out of the three protocols.
 
 #define AECDSM_TRACE(pg, stream_expr)                       \
   do {                                                      \
@@ -41,7 +21,9 @@ std::size_t trace_word() {
   } while (0)
 
 AecProtocol::AecProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<AecShared> shared)
-    : m_(m), self_(self), sh_(std::move(shared)), pages_(m.num_pages()) {
+    : policy::PolicyEngine(m, self, shared->policy),
+      sh_(std::move(shared)),
+      pages_(m.num_pages()) {
   interest_.assign((m.num_pages() + 7) / 8, 0);
   if (sh_->home.empty()) {
     sh_->home.resize(m.num_pages());
@@ -57,20 +39,11 @@ AecProtocol::AecProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<AecShared
 
 AecProtocol::~AecProtocol() = default;
 
-std::string AecProtocol::name() const {
-  return sh_->config.lap_enabled ? "AEC" : "AEC-noLAP";
-}
+std::string AecProtocol::name() const { return pol_.name; }
 
 // --------------------------------------------------------------------------
 // Low-level helpers
 // --------------------------------------------------------------------------
-
-void AecProtocol::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
-                                std::function<void()> handler, sim::Bucket bucket) {
-  proc().advance(m_.params().message_overhead, bucket);
-  proc().sync();
-  m_.post(self_, to, bytes, svc_cost, std::move(handler));
-}
 
 void AecProtocol::push_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
                                 std::function<void()> handler, sim::Bucket bucket) {
@@ -107,91 +80,6 @@ bool AecProtocol::wait_for_push_or_timeout(LockLocal& ll, sim::Bucket bucket) {
   return false;
 }
 
-void AecProtocol::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
-                               std::function<Cycles()> cost,
-                               std::function<void()> handler) {
-  m_.transport().send(from, to, bytes,
-                    [this, to, c = std::move(cost), h = std::move(handler)]() mutable {
-                      const Cycles done = m_.node(to).proc->service(c());
-                      m_.engine().schedule(done, std::move(h));
-                    });
-}
-
-mem::Diff AecProtocol::create_diff_charged(PageId pg, bool hidden, sim::Bucket bucket) {
-  const Cycles c = m_.params().diff_create_cycles();
-  const Cycles trace_t0 = proc().now();
-  proc().advance(c, bucket);
-  proc().sync();
-  if (trace::Recorder* tr = m_.recorder()) {
-    tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate, trace_t0,
-             proc().now(), "page", pg, "hidden", hidden ? 1 : 0);
-  }
-  mem::Diff d = store().diff_against_twin(pg);
-  if (pg == trace_page()) {
-    std::ostringstream os;
-    for (const auto& r : d.runs()) {
-      if (r.word_offset <= 10 && 8 < r.word_offset + r.words.size()) {
-        for (std::size_t k = 0; k < r.words.size(); ++k) {
-          if (r.word_offset + k == trace_word()) {
-            os << " w" << r.word_offset + k << "=" << r.words[k];
-          }
-        }
-      }
-    }
-    AECDSM_DEBUG("p" << self_ << " create_diff pg" << pg << " twin[8..10]="
-                     << (*store().frame(pg).twin)[8] << ","
-                     << (*store().frame(pg).twin)[9] << ","
-                     << (*store().frame(pg).twin)[10] << " frame[8..10]="
-                     << store().frame(pg).data[8] << "," << store().frame(pg).data[9]
-                     << "," << store().frame(pg).data[10] << " diff:" << os.str());
-  }
-  ++dstats_.diffs_created;
-  dstats_.diff_bytes += d.encoded_bytes();
-  dstats_.create_cycles += c;
-  if (hidden) dstats_.create_hidden_cycles += c;
-  return d;
-}
-
-void AecProtocol::apply_diff_charged(PageId pg, const mem::Diff& d, bool hidden,
-                                     sim::Bucket bucket) {
-  if (pg == trace_page()) {
-    std::ostringstream runs;
-    long tw = -1;
-    for (const auto& r : d.runs()) {
-      runs << " @" << r.word_offset << "+" << r.words.size();
-      if (r.word_offset <= trace_word() &&
-          trace_word() < r.word_offset + r.words.size()) {
-        tw = static_cast<long>(r.words[trace_word() - r.word_offset]);
-      }
-    }
-    AECDSM_DEBUG("p" << self_ << " apply pg" << pg << " diff[w" << trace_word()
-                     << "]=" << tw << " frame_before="
-                     << store().frame(pg).data[trace_word()] << runs.str());
-  }
-  const Cycles c = m_.params().diff_apply_cycles(d.changed_words());
-  const Cycles trace_t0 = proc().now();
-  proc().advance(c, bucket);
-  proc().sync();
-  if (trace::Recorder* tr = m_.recorder()) {
-    tr->span(self_, trace::Category::kDiff, trace::names::kDiffApply, trace_t0,
-             proc().now(), "page", pg, "hidden", hidden ? 1 : 0);
-  }
-  mem::PageFrame& f = store().frame(pg);
-  d.apply_to(std::span<Word>(f.data));
-  // A live twin must see remote modifications too, or later twin-diffs of
-  // this page would encode the remote words as if they were local writes.
-  if (f.has_twin()) d.apply_to(std::span<Word>(*f.twin));
-  ctx().invalidate_cache_page(pg);
-  ++dstats_.diffs_applied;
-  dstats_.apply_cycles += c;
-  if (hidden) dstats_.apply_hidden_cycles += c;
-}
-
-void AecProtocol::make_twin_charged(PageId pg, sim::Bucket bucket) {
-  proc().advance(m_.params().twin_create_cycles(), bucket);
-  store().make_twin(pg);
-}
-
 void AecProtocol::flush_outside_page(PageId pg, bool hidden, sim::Bucket bucket) {
   PageMeta& pm = meta(pg);
   AECDSM_CHECK(pm.dirty_out);
@@ -222,6 +110,8 @@ void AecProtocol::flush_outside_page(PageId pg, bool hidden, sim::Bucket bucket)
   pm.dirty_out = false;
   pm.reprotected_out = false;
   dirty_out_set_.erase(pg);
+  trace_counter(trace::names::kDiffOutstanding, proc().now(),
+                dirty_out_set_.size() + dirty_in_set_.size());
 }
 
 void AecProtocol::invalidate_page(PageId pg) {
@@ -258,7 +148,6 @@ void AecProtocol::resolve_base(PageId pg) {
                        << " nep=" << pm.notices_episode << " ep=" << episode_
                        << " home=p" << sh_->home[pg]);
 
-  const auto& params = m_.params();
   if (!pm.reconstructible) {
     // Cold or stale copy: fetch the page from its home (§3.4 "ask home").
     AECDSM_CHECK_MSG(pm.notices.empty() || pm.notices_episode != episode_,
@@ -268,40 +157,24 @@ void AecProtocol::resolve_base(PageId pg) {
     const ProcId h = sh_->home[pg];
     AECDSM_CHECK_MSG(h != self_, "home fetch from self for page " << pg);
 
-    proc().advance(params.message_overhead, sim::Bucket::kData);
-    proc().sync();
-    bool done = false;
-    auto buf = std::make_shared<std::vector<Word>>();
-    const std::size_t page_words = params.words_per_page();
-    post_dynamic(
-        self_, h, kCtl,
-        [this, h, pg, buf, page_words] {
+    fetch_page_from_home(
+        pg, h, sim::Bucket::kData,
+        [this, h, pg](std::vector<Word>& buf) {
           AecProtocol& home = peer(h);
           home.meta(pg).request_seen = true;
-          *buf = std::vector<Word>(home.store().page_span(pg).begin(),
-                                   home.store().page_span(pg).end());
-          return m_.params().memory_access_cycles(page_words);
+          buf.assign(home.store().page_span(pg).begin(),
+                     home.store().page_span(pg).end());
         },
-        [this, h, pg, buf, page_words, &done] {
-          // Reply carries the page contents back.
-          post_dynamic(
-              h, self_, m_.params().page_bytes + kCtl,
-              [this, page_words] { return m_.params().memory_access_cycles(page_words); },
-              [this, pg, buf, &done] {
-                AECDSM_TRACE(pg, "p" << self_ << " home-fetch pg" << pg << " buf[w"
-                                     << trace_word() << "]=" << (*buf)[trace_word()]);
-                auto span = store().page_span(pg);
-                std::copy(buf->begin(), buf->end(), span.begin());
-                // The home's copy already includes this node's published
-                // modifications; restart the twin from the fetched state so
-                // future diffs cover only genuinely new local writes.
-                mem::PageFrame& f = store().frame(pg);
-                if (f.has_twin()) *f.twin = f.data;
-                done = true;
-                proc().poke();
-              });
+        [this, pg] {
+          AECDSM_TRACE(pg, "p" << self_ << " home-fetch pg" << pg << " frame[w"
+                               << trace_word() << "]="
+                               << store().frame(pg).data[trace_word()]);
+          // The home's copy already includes this node's published
+          // modifications; restart the twin from the fetched state so
+          // future diffs cover only genuinely new local writes.
+          mem::PageFrame& f = store().frame(pg);
+          if (f.has_twin()) *f.twin = f.data;
         });
-    proc().wait(sim::Bucket::kData, [&done] { return done; });
     pm.reconstructible = true;
     ctx().invalidate_cache_page(pg);
   }
@@ -375,15 +248,7 @@ mem::Diff AecProtocol::serve_published(PageId pg, std::uint32_t episode, Cycles&
     return g->diff;
   }
   // Deferred publication: diff on demand against the live twin (server pays).
-  cost = m_.params().diff_create_cycles();
-  if (trace::Recorder* tr = m_.recorder()) {
-    tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate,
-             m_.engine().now(), m_.engine().now() + cost, "page", pg, "svc", 1);
-  }
-  ++dstats_.diffs_created;
-  dstats_.create_cycles += cost;
-  mem::Diff live = store().diff_against_twin(pg);
-  dstats_.diff_bytes += live.encoded_bytes();
+  mem::Diff live = service_diff_create(pg, cost);
   return g->diff.empty() ? live : mem::Diff::merge(g->diff, live);
 }
 
@@ -522,6 +387,8 @@ void AecProtocol::write_twin_discipline(PageId pg) {
     dirty_out_set_.insert(pg);
     outside_mod_pages_.insert(pg);
   }
+  trace_counter(trace::names::kDiffOutstanding, proc().now(),
+                dirty_out_set_.size() + dirty_in_set_.size());
   f.write_protected = false;
 }
 
@@ -595,7 +462,7 @@ void AecProtocol::acquire(LockId l) {
                    << " push_from=" << llocal(l).push_from
                    << " holders=" << ll.cs_holders.size());
   if (last != self_ && last != kNoProc) {
-    const bool confirmed = sh_->config.lap_enabled && ll.push_valid &&
+    const bool confirmed = pol_.lap_pushes() && ll.push_valid &&
                            ll.push_from == last &&
                            ll.push_counter == ll.grant_release_counter;
     if (confirmed) ll.expect_push = false;  // the push arrived before processing
@@ -737,7 +604,7 @@ void AecProtocol::release(LockId l) {
   //    blocks faults until it arrives (bounded by the push timeout under
   //    fault injection — pushes ride the best-effort channel and may be
   //    lost, in which case the member degrades to lazy fetching).
-  if (sh_->config.lap_enabled && !ll.my_update_set.empty()) {
+  if (pol_.lap_pushes() && !ll.my_update_set.empty()) {
     auto payload = std::make_shared<std::map<PageId, mem::Diff>>(ll.merged);
     std::size_t bytes = kCtl;
     for (const auto& [pg, d] : *payload) bytes += 8 + d.encoded_bytes();
@@ -854,6 +721,8 @@ void AecProtocol::mgr_handle_request(LockId l, ProcId requester) {
   } else {
     mgr_grant(l, requester);
   }
+  trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                rec.lap.waiting_count());
 }
 
 void AecProtocol::mgr_grant(LockId l, ProcId to) {
@@ -861,9 +730,7 @@ void AecProtocol::mgr_grant(LockId l, ProcId to) {
   rec.taken = true;
   rec.owner = to;
   ++rec.counter;
-  if (rec.last_releaser != kNoProc) rec.lap.record_transfer(rec.last_releaser, to);
-  rec.lap.consume_notice(to);
-  std::vector<ProcId> u = rec.lap.compute_update_set(to);
+  std::vector<ProcId> u = policy::lap_score_grant(rec.lap, rec.last_releaser, to);
   rec.update_set[static_cast<std::size_t>(to)] = u;
   if (trace::Recorder* tr = m_.recorder()) {
     tr->instant(m_.lock_manager(l), trace::Category::kLap,
@@ -874,7 +741,7 @@ void AecProtocol::mgr_grant(LockId l, ProcId to) {
   // Is the acquirer in the last releaser's update set (i.e., is a push of
   // the merged diffs on its way)?
   bool in_update_set = false;
-  if (sh_->config.lap_enabled && rec.last_releaser != kNoProc &&
+  if (pol_.lap_pushes() && rec.last_releaser != kNoProc &&
       rec.last_releaser != to) {
     const auto& lu = rec.update_set[static_cast<std::size_t>(rec.last_releaser)];
     in_update_set = std::find(lu.begin(), lu.end(), to) != lu.end();
@@ -911,10 +778,12 @@ void AecProtocol::mgr_handle_release(LockId l, ProcId releaser,
   if (rec.lap.has_waiters()) {
     mgr_grant(l, rec.lap.dequeue_waiter());
   }
+  trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                rec.lap.waiting_count());
 }
 
 void AecProtocol::mgr_handle_notice(LockId l, ProcId p) {
-  if (!sh_->config.use_virtual_queue) return;
+  if (!pol_.lap_virtual_queue) return;
   sh_->lock(l).lap.add_notice(p);
 }
 
@@ -957,6 +826,7 @@ void AecProtocol::barrier() {
   inbound_notices_.clear();
   dir_sends_.clear();
   home_gained_.clear();
+  drops_.clear();
 
   const std::size_t arrival_bytes =
       kCtl + 8 * (lock_info_elems + outside.size()) + vmap.size();
@@ -1079,11 +949,13 @@ void AecProtocol::recv_barrier_notice(PageId pg, ProcId writer) {
 
 void AecProtocol::recv_directive(std::vector<DirSend> sends, int expected,
                                  std::vector<std::uint8_t> interest,
-                                 std::vector<PageId> gained) {
+                                 std::vector<PageId> gained,
+                                 std::vector<PageId> drops) {
   dir_sends_ = std::move(sends);
   expected_recv_ = expected;
   interest_ = std::move(interest);
   home_gained_ = std::move(gained);
+  drops_ = std::move(drops);
   directive_ready_ = true;
   proc().poke();
 }
@@ -1111,6 +983,26 @@ void AecProtocol::barrier_apply_inbound() {
     if (store().frame(pg).valid) invalidate_page(pg);
     proc().advance(m_.params().list_processing_per_elem, sim::Bucket::kSynch);
   }
+  // Drop entries last (invalidate propagation, hybrid policies): the local
+  // copy leaves the sharing set entirely — no notices, no reconstructible
+  // base — and the next access refetches from the page's (new) home, which
+  // the diff routing kept current.
+  for (const PageId pg : drops_) {
+    AECDSM_TRACE(pg, "p" << self_ << " barrier drop pg" << pg);
+    PageMeta& pm = meta(pg);
+    // A still-lazy published generation is anchored by this page's twin,
+    // and the home refetch that follows a drop restarts the twin from the
+    // fetched frame; materialize the generations first or later
+    // serve_published() calls would diff against the wrong base.
+    if (pm.dirty_out) {
+      flush_outside_page(pg, /*hidden=*/false, sim::Bucket::kSynch);
+    }
+    if (store().frame(pg).valid) invalidate_page(pg);
+    pm.reconstructible = false;
+    pm.notices.clear();
+    proc().advance(m_.params().list_processing_per_elem, sim::Bucket::kSynch);
+  }
+  drops_.clear();
   inbound_diffs_.clear();
   inbound_notices_.clear();
 }
@@ -1213,12 +1105,17 @@ void AecProtocol::mgr_barrier_compute() {
 
   std::vector<std::vector<DirSend>> sends(static_cast<std::size_t>(n));
   std::vector<int> recv_count(static_cast<std::size_t>(n), 0);
+  /// Invalidate-propagation entries per processor (hybrid policies): pages
+  /// to drop instead of receiving a routed diff. They ride the directive,
+  /// so they never count toward expected_recv_.
+  std::vector<std::vector<PageId>> drops(static_cast<std::size_t>(n));
   std::size_t elements = npages / 16;
 
-  // Inside-CS diffs: the freshest holder per (lock, page) — highest acquire
-  // counter among the arrival reports — sends to every other valid copy.
-  // Routing from arrival reports (not lock-manager records) keeps the
-  // barrier correct even when release messages are still in flight.
+  // Pass 1: collect the routing inputs — the freshest (lock, page) holder
+  // per the arrival reports, this step's outside writers, and the home each
+  // touched page will move to. All of it is needed up front because the
+  // invalidate axis routes diffs by *new* home while update routing reads
+  // the old one; sh_->home is only written after routing.
   std::map<std::pair<LockId, PageId>, std::pair<std::uint32_t, ProcId>> freshest;
   for (int p = 0; p < n; ++p) {
     for (const ArrivalLockInfo& info : b.arrival[static_cast<std::size_t>(p)].lock_info) {
@@ -1231,50 +1128,22 @@ void AecProtocol::mgr_barrier_compute() {
     }
   }
   std::vector<ProcId> cs_modifier(npages, kNoProc);
-  for (const auto& [key, val] : freshest) {
-    const auto [l, pg] = key;
-    const ProcId holder = val.second;
-    AECDSM_DEBUG("barrier compute: l" << l << " pg" << pg << " holder=p" << holder
-                                      << " counter=" << val.first
-                                      << " holders_mask=" << holders[pg]);
-    cs_modifier[pg] = holder;
-    // The home always receives the chain diff — even with an invalid copy —
-    // so its frame stays an authoritative base across episodes where no
-    // processor holds the page valid.
-    std::uint64_t mask = (holders[pg] | (1ULL << sh_->home[pg])) & ~(1ULL << holder);
-    for (int q = 0; q < n; ++q) {
-      if ((mask >> q) & 1ULL) {
-        sends[static_cast<std::size_t>(holder)].push_back(
-            DirSend{pg, q, l, /*is_diff=*/true});
-        ++recv_count[static_cast<std::size_t>(q)];
-        ++elements;
-      }
-    }
-  }
+  for (const auto& [key, val] : freshest) cs_modifier[key.second] = val.second;
 
-  // Outside writes: write notices to every other valid copy; the first
-  // writer becomes the page's home.
   std::vector<ProcId> first_writer(npages, kNoProc);
+  std::vector<std::uint64_t> outside_writers(npages, 0);
   for (int p = 0; p < n; ++p) {
     for (const PageId pg : b.arrival[static_cast<std::size_t>(p)].outside_pages) {
       if (first_writer[pg] == kNoProc) first_writer[pg] = p;
-      std::uint64_t mask = holders[pg] & ~(1ULL << p);
-      for (int q = 0; q < n; ++q) {
-        if ((mask >> q) & 1ULL) {
-          sends[static_cast<std::size_t>(p)].push_back(
-              DirSend{pg, q, 0, /*is_diff=*/false});
-          ++recv_count[static_cast<std::size_t>(q)];
-          ++elements;
-        }
-      }
+      outside_writers[pg] |= (1ULL << p);
     }
   }
 
-  // Home reassignment for every touched page. The new home must hold a
-  // valid copy at arrival (a stale-invalid holder would serve a bad base),
-  // so fall back along: first outside writer -> freshest CS holder if
-  // valid -> any valid holder -> keep the current home.
-  std::vector<std::vector<PageId>> gained(static_cast<std::size_t>(n));
+  // The new home must hold a valid copy at arrival (a stale-invalid holder
+  // would serve a bad base), so fall back along: first outside writer ->
+  // freshest CS holder if valid -> any valid holder -> keep the current
+  // home (kNoProc here = keep).
+  std::vector<ProcId> new_home(npages, kNoProc);
   for (PageId pg = 0; pg < npages; ++pg) {
     if (first_writer[pg] == kNoProc && cs_modifier[pg] == kNoProc) continue;
     ProcId h = kNoProc;
@@ -1290,7 +1159,74 @@ void AecProtocol::mgr_barrier_compute() {
         }
       }
     }
-    if (h == kNoProc) continue;  // nobody valid: the old home stays
+    new_home[pg] = h;
+  }
+
+  // Pass 2 — inside-CS diffs: the freshest holder per (lock, page) —
+  // highest acquire counter among the arrival reports — propagates to the
+  // other sharers. Routing from arrival reports (not lock-manager records)
+  // keeps the barrier correct even when release messages are still in
+  // flight. The propagation axis decides who gets the diff:
+  //   * update (AEC): every other valid copy, plus the home — even with an
+  //     invalid copy — so its frame stays an authoritative base across
+  //     episodes where no processor holds the page valid;
+  //   * invalidate (hybrid): only the copies that must stay current — old
+  //     home, new home, and valid outside writers (their twins anchor the
+  //     published generations) — while every other valid copy is dropped
+  //     and refetches from the home on demand, TreadMarks-style.
+  for (const auto& [key, val] : freshest) {
+    const auto [l, pg] = key;
+    const ProcId holder = val.second;
+    AECDSM_DEBUG("barrier compute: l" << l << " pg" << pg << " holder=p" << holder
+                                      << " counter=" << val.first
+                                      << " holders_mask=" << holders[pg]);
+    const ProcId old_home = sh_->home[pg];
+    std::uint64_t diff_mask;
+    std::uint64_t drop_mask = 0;
+    if (sh_->policy.propagation_for(pg) == policy::Propagation::kUpdate) {
+      diff_mask = (holders[pg] | (1ULL << old_home)) & ~(1ULL << holder);
+    } else {
+      const ProcId nh = new_home[pg] == kNoProc ? old_home : new_home[pg];
+      diff_mask = ((1ULL << old_home) | (1ULL << nh) |
+                   (outside_writers[pg] & holders[pg])) &
+                  ~(1ULL << holder);
+      drop_mask = holders[pg] & ~diff_mask & ~(1ULL << holder);
+    }
+    for (int q = 0; q < n; ++q) {
+      if ((diff_mask >> q) & 1ULL) {
+        sends[static_cast<std::size_t>(holder)].push_back(
+            DirSend{pg, q, l, /*is_diff=*/true});
+        ++recv_count[static_cast<std::size_t>(q)];
+        ++elements;
+      }
+      if ((drop_mask >> q) & 1ULL) {
+        drops[static_cast<std::size_t>(q)].push_back(pg);
+        ++elements;
+      }
+    }
+  }
+
+  // Outside writes: write notices to every other valid copy; the first
+  // writer becomes the page's home.
+  for (int p = 0; p < n; ++p) {
+    for (const PageId pg : b.arrival[static_cast<std::size_t>(p)].outside_pages) {
+      std::uint64_t mask = holders[pg] & ~(1ULL << p);
+      for (int q = 0; q < n; ++q) {
+        if ((mask >> q) & 1ULL) {
+          sends[static_cast<std::size_t>(p)].push_back(
+              DirSend{pg, q, 0, /*is_diff=*/false});
+          ++recv_count[static_cast<std::size_t>(q)];
+          ++elements;
+        }
+      }
+    }
+  }
+
+  // Home reassignment for every touched page (computed in pass 1).
+  std::vector<std::vector<PageId>> gained(static_cast<std::size_t>(n));
+  for (PageId pg = 0; pg < npages; ++pg) {
+    const ProcId h = new_home[pg];
+    if (h == kNoProc) continue;  // untouched, or nobody valid: old home stays
     sh_->home[pg] = h;
     gained[static_cast<std::size_t>(h)].push_back(pg);
     ++elements;
@@ -1328,15 +1264,19 @@ void AecProtocol::mgr_barrier_compute() {
   for (int p = 0; p < n; ++p) {
     const std::size_t bytes = kCtl + 12 * sends[static_cast<std::size_t>(p)].size() +
                               interest[static_cast<std::size_t>(p)].size() +
-                              8 * gained[static_cast<std::size_t>(p)].size();
+                              8 * gained[static_cast<std::size_t>(p)].size() +
+                              8 * drops[static_cast<std::size_t>(p)].size();
     m_.engine().schedule(done, [this, p, bytes,
                                 s = std::move(sends[static_cast<std::size_t>(p)]),
                                 e = recv_count[static_cast<std::size_t>(p)],
                                 i = std::move(interest[static_cast<std::size_t>(p)]),
-                                g = std::move(gained[static_cast<std::size_t>(p)])]() mutable {
+                                g = std::move(gained[static_cast<std::size_t>(p)]),
+                                d = std::move(drops[static_cast<std::size_t>(p)])]() mutable {
       m_.post(m_.barrier_manager(), p, bytes, m_.params().list_processing_per_elem * 2,
-              [this, p, s = std::move(s), e, i = std::move(i), g = std::move(g)]() mutable {
-                peer(p).recv_directive(std::move(s), e, std::move(i), std::move(g));
+              [this, p, s = std::move(s), e, i = std::move(i), g = std::move(g),
+               d = std::move(d)]() mutable {
+                peer(p).recv_directive(std::move(s), e, std::move(i), std::move(g),
+                                       std::move(d));
               });
     });
   }

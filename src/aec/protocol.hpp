@@ -43,11 +43,12 @@
 #include "dsm/machine.hpp"
 #include "dsm/protocol.hpp"
 #include "mem/diff.hpp"
+#include "policy/engine.hpp"
 #include "sim/processor.hpp"
 
 namespace aecdsm::aec {
 
-class AecProtocol : public dsm::Protocol {
+class AecProtocol : public policy::PolicyEngine {
  public:
   AecProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<AecShared> shared);
   ~AecProtocol() override;
@@ -61,7 +62,6 @@ class AecProtocol : public dsm::Protocol {
   void barrier() override;
   void acquire_notice(LockId lock) override;
   void on_page_access(PageId page) override;
-  DiffStats diff_stats() const override { return dstats_; }
 
   /// Per-lock LAP scores (Table 3) — identical object across nodes.
   const AecShared& shared() const { return *sh_; }
@@ -151,16 +151,9 @@ class AecProtocol : public dsm::Protocol {
   };
 
   // --- Helpers ----------------------------------------------------------------
-  sim::Processor& proc() { return *m_.node(self_).proc; }
-  dsm::Context& ctx() { return *m_.node(self_).ctx; }
-  mem::PageStore& store() { return *m_.node(self_).store; }
   PageMeta& meta(PageId pg) { return pages_[pg]; }
   LockLocal& llocal(LockId l) { return locks_[l]; }
   AecProtocol& peer(ProcId p) { return *sh_->nodes[static_cast<std::size_t>(p)]; }
-
-  /// Charge sender software overhead on the app thread, sync, and post.
-  void send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
-                     std::function<void()> handler, sim::Bucket bucket);
 
   /// Best-effort variant of send_from_app, used only for LAP update pushes:
   /// under fault injection the push may be dropped, duplicated or delayed
@@ -174,17 +167,6 @@ class AecProtocol : public dsm::Protocol {
   /// wait cleared expect_push and counted a push timeout, and the caller
   /// falls back to lazy fetching.
   bool wait_for_push_or_timeout(LockLocal& ll, sim::Bucket bucket);
-
-  /// Engine-side post with delivery-time-computed service cost.
-  void post_dynamic(ProcId from, ProcId to, std::size_t bytes,
-                    std::function<Cycles()> cost, std::function<void()> handler);
-
-  /// Diff creation/application on the app thread, with cost + stats.
-  mem::Diff create_diff_charged(PageId pg, bool hidden, sim::Bucket bucket);
-  void apply_diff_charged(PageId pg, const mem::Diff& d, bool hidden, sim::Bucket bucket);
-
-  /// Make a twin (cost + protection bookkeeping).
-  void make_twin_charged(PageId pg, sim::Bucket bucket);
 
   /// Flush one outside-dirty page: create diff, fold into out_acc, refresh
   /// twin, write-protect.
@@ -214,7 +196,8 @@ class AecProtocol : public dsm::Protocol {
   void recv_barrier_diff(PageId pg, mem::Diff d);
   void recv_barrier_notice(PageId pg, ProcId writer);
   void recv_directive(std::vector<DirSend> sends, int expected,
-                      std::vector<std::uint8_t> interest, std::vector<PageId> gained);
+                      std::vector<std::uint8_t> interest, std::vector<PageId> gained,
+                      std::vector<PageId> drops);
 
   /// Serve this node's published outside diff of barrier `episode`
   /// (engine-side; lazy generations are diffed on demand from the live
@@ -243,8 +226,6 @@ class AecProtocol : public dsm::Protocol {
   void barrier_home_reconstruct();
   void barrier_step_cleanup();
 
-  dsm::Machine& m_;
-  const ProcId self_;
   std::shared_ptr<AecShared> sh_;
 
   std::vector<PageMeta> pages_;
@@ -274,8 +255,9 @@ class AecProtocol : public dsm::Protocol {
   std::vector<InboundDiff> inbound_diffs_;
   std::vector<std::pair<PageId, ProcId>> inbound_notices_;
   std::vector<PageId> home_gained_;  ///< pages to home-reconstruct this episode
-
-  DiffStats dstats_;
+  /// Invalidate-propagation directive entries (hybrid policies): pages whose
+  /// local copy must be dropped instead of receiving a routed diff.
+  std::vector<PageId> drops_;
 };
 
 }  // namespace aecdsm::aec

@@ -10,10 +10,10 @@
 #include <memory>
 #include <vector>
 
-#include "aec/config.hpp"
 #include "aec/lap.hpp"
 #include "common/params.hpp"
 #include "common/types.hpp"
+#include "policy/policy.hpp"
 
 namespace aecdsm::aec {
 
@@ -72,11 +72,11 @@ struct BarrierEpisode {
 class AecProtocol;
 
 struct AecShared {
-  AecShared(const SystemParams& p, AecConfig cfg)
-      : params(p), config(cfg), home(0) {}
+  AecShared(const SystemParams& p, policy::ConsistencyPolicy pol)
+      : params(p), policy(std::move(pol)), home(0) {}
 
   const SystemParams params;  ///< by value: outlives the Machine for post-run reads
-  AecConfig config;
+  const policy::ConsistencyPolicy policy;
 
   /// Node protocol instances, for engine-side cross-node handler access.
   std::vector<AecProtocol*> nodes;
@@ -94,7 +94,7 @@ struct AecShared {
       // Disabling the affinity technique is modeled as an unreachable
       // inclusion threshold (the affinity set is then always empty).
       const double threshold =
-          config.use_affinity ? params.affinity_threshold : 1e30;
+          policy.lap_affinity ? params.affinity_threshold : 1e30;
       it = locks.emplace(l, LockRecord(params, threshold)).first;
     }
     return it->second;

@@ -1,14 +1,27 @@
 #include "aec/suite.hpp"
 
 #include "aec/protocol.hpp"
+#include "common/check.hpp"
 
 namespace aecdsm::aec {
 
+policy::ConsistencyPolicy AecSuite::default_policy() {
+  const policy::ConsistencyPolicy* p = policy::find_policy("AEC");
+  AECDSM_CHECK(p != nullptr);
+  return *p;
+}
+
+AecSuite::AecSuite(policy::ConsistencyPolicy pol) : pol_(std::move(pol)) {
+  policy::validate(pol_);
+  AECDSM_CHECK_MSG(pol_.family == policy::Family::kAec,
+                   "AecSuite asked to run non-AEC policy '" << pol_.name << "'");
+}
+
 dsm::ProtocolSuite AecSuite::suite() {
   dsm::ProtocolSuite s;
-  s.name = cfg_.lap_enabled ? "AEC" : "AEC-noLAP";
+  s.name = pol_.name;
   s.make = [this](dsm::Machine& m, ProcId p) -> std::unique_ptr<dsm::Protocol> {
-    if (p == 0) shared_ = std::make_shared<AecShared>(m.params(), cfg_);
+    if (p == 0) shared_ = std::make_shared<AecShared>(m.params(), pol_);
     return std::make_unique<AecProtocol>(m, p, shared_);
   };
   return s;

@@ -5,15 +5,17 @@
 
 #include <memory>
 
-#include "aec/config.hpp"
 #include "aec/shared.hpp"
 #include "dsm/system.hpp"
+#include "policy/policy.hpp"
 
 namespace aecdsm::aec {
 
 class AecSuite {
  public:
-  explicit AecSuite(AecConfig cfg = {}) : cfg_(cfg) {}
+  /// Runs `pol` (family kAec) on the AEC engine; defaults to the full
+  /// paper protocol.
+  explicit AecSuite(policy::ConsistencyPolicy pol = default_policy());
 
   /// Protocol suite for dsm::run_app. A fresh AecShared is created when
   /// node 0's protocol is built, so one AecSuite can drive several runs
@@ -24,10 +26,12 @@ class AecSuite {
   const AecShared* shared() const { return shared_.get(); }
   std::shared_ptr<const AecShared> shared_handle() const { return shared_; }
 
-  const AecConfig& config() const { return cfg_; }
+  const policy::ConsistencyPolicy& policy() const { return pol_; }
 
  private:
-  AecConfig cfg_;
+  static policy::ConsistencyPolicy default_policy();
+
+  policy::ConsistencyPolicy pol_;
   std::shared_ptr<AecShared> shared_;
 };
 

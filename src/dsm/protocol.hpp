@@ -9,6 +9,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
+namespace aecdsm::policy {
+struct ConsistencyPolicy;
+}  // namespace aecdsm::policy
+
 namespace aecdsm::dsm {
 
 class Protocol {
@@ -45,6 +49,13 @@ class Protocol {
 
   /// Twin/diff machinery statistics accumulated by this node (Table 4).
   virtual DiffStats diff_stats() const { return {}; }
+
+  /// The consistency policy this instance executes, when it is driven by
+  /// the policy engine; nullptr for policy-unaware implementations (tests'
+  /// hand-built protocols).
+  virtual const policy::ConsistencyPolicy* active_policy() const {
+    return nullptr;
+  }
 };
 
 }  // namespace aecdsm::dsm

@@ -9,17 +9,7 @@
 
 namespace aecdsm::erc {
 
-namespace {
-constexpr std::size_t kCtl = 32;
-
-PageId trace_page() {
-  static const PageId pg = [] {
-    const char* v = std::getenv("AECDSM_TRACE_PAGE");
-    return v == nullptr ? kNoPage : static_cast<PageId>(std::atoi(v));
-  }();
-  return pg;
-}
-}  // namespace
+// kCtl and trace_page() are inherited from policy::PolicyEngine.
 
 #define AECDSM_TRACE(pg, stream_expr)                    \
   do {                                                   \
@@ -27,7 +17,7 @@ PageId trace_page() {
   } while (0)
 
 ErcProtocol::ErcProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<ErcShared> shared)
-    : m_(m), self_(self), sh_(std::move(shared)) {
+    : policy::PolicyEngine(m, self, shared->policy), sh_(std::move(shared)) {
   if (sh_->nodes.empty()) {
     sh_->nodes.resize(static_cast<std::size_t>(m.nprocs()), nullptr);
     sh_->copyset.assign(m.num_pages(), 0);
@@ -40,23 +30,6 @@ ErcProtocol::ErcProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<ErcShared
 }
 
 ErcProtocol::~ErcProtocol() = default;
-
-void ErcProtocol::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
-                                std::function<void()> handler, sim::Bucket bucket) {
-  proc().advance(m_.params().message_overhead, bucket);
-  proc().sync();
-  m_.post(self_, to, bytes, svc_cost, std::move(handler));
-}
-
-void ErcProtocol::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
-                               std::function<Cycles()> cost,
-                               std::function<void()> handler) {
-  m_.transport().send(from, to, bytes,
-                    [this, to, c = std::move(cost), h = std::move(handler)]() mutable {
-                      const Cycles done = m_.node(to).proc->service(c());
-                      m_.engine().schedule(done, std::move(h));
-                    });
-}
 
 // --------------------------------------------------------------------------
 // Faults
@@ -73,42 +46,29 @@ void ErcProtocol::on_read_fault(PageId pg) {
   const ProcId h = home_of(pg);
   AECDSM_CHECK_MSG(h != self_, "ERC home fault on own page " << pg);
   ++m_.node(self_).faults.cold_faults;
-  proc().advance(params.message_overhead, sim::Bucket::kData);
-  proc().sync();
-  bool done = false;
-  auto buf = std::make_shared<std::vector<Word>>();
-  const std::size_t page_words = params.words_per_page();
+  // Marked before the request goes out: any update fanned out to this node
+  // while the fetch is in flight must be deferred, or the full-page reply
+  // would overwrite it.
   fetching_.insert(pg);
-  post_dynamic(
-      self_, h, kCtl,
-      [this, h, pg, buf, page_words] {
+  fetch_page_from_home(
+      pg, h, sim::Bucket::kData,
+      [this, h, pg](std::vector<Word>& buf) {
         AECDSM_TRACE(pg, "p" << self_ << " erc-fetch pg" << pg << " (copyset now "
                              << (sh_->copyset[pg] | (1ULL << self_)) << ")");
         sh_->copyset[pg] |= 1ULL << self_;
         auto span = peer(h).store().page_span(pg);
-        *buf = std::vector<Word>(span.begin(), span.end());
-        return m_.params().memory_access_cycles(page_words);
+        buf.assign(span.begin(), span.end());
       },
-      [this, h, pg, buf, page_words, &done] {
-        post_dynamic(
-            h, self_, m_.params().page_bytes + kCtl,
-            [this, page_words] { return m_.params().memory_access_cycles(page_words); },
-            [this, pg, buf, &done] {
-              auto span = store().page_span(pg);
-              std::copy(buf->begin(), buf->end(), span.begin());
-              // Updates that raced the reply are newer than the copied
-              // frame; fold them back in, in arrival order.
-              fetching_.erase(pg);
-              auto it = fetch_pending_.find(pg);
-              if (it != fetch_pending_.end()) {
-                for (const mem::Diff& d : it->second) apply_update(pg, d);
-                fetch_pending_.erase(it);
-              }
-              done = true;
-              proc().poke();
-            });
+      [this, pg] {
+        // Updates that raced the reply are newer than the copied frame;
+        // fold them back in, in arrival order.
+        fetching_.erase(pg);
+        auto it = fetch_pending_.find(pg);
+        if (it != fetch_pending_.end()) {
+          for (const mem::Diff& d : it->second) apply_update(pg, d);
+          fetch_pending_.erase(it);
+        }
       });
-  proc().wait(sim::Bucket::kData, [&done] { return done; });
   f.valid = true;
   ctx().invalidate_cache_page(pg);
 }
@@ -121,6 +81,8 @@ void ErcProtocol::on_write_fault(PageId pg) {
     proc().advance(m_.params().twin_create_cycles(), sim::Bucket::kData);
     store().make_twin(pg);
     dirty_set_.insert(pg);
+    trace_counter(trace::names::kDiffOutstanding, proc().now(),
+                  dirty_set_.size());
     f.write_protected = false;
   }
 }
@@ -135,22 +97,15 @@ void ErcProtocol::flush_updates(sim::Bucket bucket) {
 
   const std::vector<PageId> dirty(dirty_set_.begin(), dirty_set_.end());
   for (const PageId pg : dirty) {
-    const Cycles c = params.diff_create_cycles();
-    const Cycles trace_t0 = proc().now();
-    proc().advance(c, bucket);
-    proc().sync();
-    if (trace::Recorder* tr = m_.recorder()) {
-      tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate,
-               trace_t0, proc().now(), "page", pg);
-    }
-    mem::Diff d = store().diff_against_twin(pg);
-    ++dstats_.diffs_created;
-    dstats_.diff_bytes += d.encoded_bytes();
-    dstats_.create_cycles += c;  // eager RC: never hidden
+    // Eager RC: diff creation sits on the release's critical path (never
+    // hidden behind a synchronization wait).
+    mem::Diff d = create_diff_charged(pg, /*hidden=*/false, bucket);
 
     store().drop_twin(pg);
     store().frame(pg).write_protected = true;
     dirty_set_.erase(pg);
+    trace_counter(trace::names::kDiffOutstanding, proc().now(),
+                  dirty_set_.size());
     if (d.empty()) continue;
 
     const std::uint64_t id =
@@ -278,23 +233,23 @@ void ErcProtocol::release(LockId l) {
 
 void ErcProtocol::mgr_handle_request(LockId l, ProcId requester) {
   auto& rec = sh_->locks[l];
-  aec::LockLap& lap = sh_->lap_of(l);
+  policy::LockLap& lap = sh_->lap_of(l);
   lap.count_acquire_event();
   if (rec.taken) {
     lap.enqueue_waiter(requester);
   } else {
     mgr_grant(l, requester);
   }
+  trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                lap.waiting_count());
 }
 
 void ErcProtocol::mgr_grant(LockId l, ProcId to) {
   auto& rec = sh_->locks[l];
   rec.taken = true;
   rec.owner = to;
-  aec::LockLap& lap = sh_->lap_of(l);
-  if (rec.last_releaser != kNoProc) lap.record_transfer(rec.last_releaser, to);
-  lap.consume_notice(to);
-  lap.compute_update_set(to);  // scoring-only under ERC
+  // Scoring-only under ERC: the update set is computed but never acted on.
+  policy::lap_score_grant(sh_->lap_of(l), rec.last_releaser, to);
   m_.post(m_.lock_manager(l), to, kCtl, m_.params().list_processing_per_elem,
           [this, to] {
             ErcProtocol& p = peer(to);
@@ -309,8 +264,10 @@ void ErcProtocol::mgr_handle_release(LockId l, ProcId releaser) {
   rec.last_releaser = releaser;
   rec.taken = false;
   rec.owner = kNoProc;
-  aec::LockLap& lap = sh_->lap_of(l);
+  policy::LockLap& lap = sh_->lap_of(l);
   if (lap.has_waiters()) mgr_grant(l, lap.dequeue_waiter());
+  trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                lap.waiting_count());
 }
 
 // --------------------------------------------------------------------------
@@ -343,11 +300,23 @@ void ErcProtocol::mgr_handle_barrier_arrival() {
 // Suite
 // --------------------------------------------------------------------------
 
+policy::ConsistencyPolicy ErcSuite::default_policy() {
+  const policy::ConsistencyPolicy* p = policy::find_policy("Munin-ERC");
+  AECDSM_CHECK(p != nullptr);
+  return *p;
+}
+
+ErcSuite::ErcSuite(policy::ConsistencyPolicy pol) : pol_(std::move(pol)) {
+  policy::validate(pol_);
+  AECDSM_CHECK_MSG(pol_.family == policy::Family::kErc,
+                   "ErcSuite asked to run non-ERC policy '" << pol_.name << "'");
+}
+
 dsm::ProtocolSuite ErcSuite::suite() {
   dsm::ProtocolSuite s;
-  s.name = "Munin-ERC";
+  s.name = pol_.name;
   s.make = [this](dsm::Machine& m, ProcId p) -> std::unique_ptr<dsm::Protocol> {
-    if (p == 0) shared_ = std::make_shared<ErcShared>(m.params());
+    if (p == 0) shared_ = std::make_shared<ErcShared>(m.params(), pol_);
     return std::make_unique<ErcProtocol>(m, p, shared_);
   };
   return s;

@@ -28,13 +28,15 @@
 #include <set>
 #include <vector>
 
-#include "aec/lap.hpp"
 #include "common/stats.hpp"
 #include "dsm/context.hpp"
 #include "dsm/machine.hpp"
 #include "dsm/protocol.hpp"
 #include "dsm/system.hpp"
 #include "mem/diff.hpp"
+#include "policy/engine.hpp"
+#include "policy/lap.hpp"
+#include "policy/policy.hpp"
 #include "sim/processor.hpp"
 
 namespace aecdsm::erc {
@@ -45,9 +47,11 @@ class ErcProtocol;
 /// with the page's home; handlers touching them run as services there), and
 /// the scoring-only LAP instances.
 struct ErcShared {
-  explicit ErcShared(const SystemParams& p) : params(p) {}
+  ErcShared(const SystemParams& p, policy::ConsistencyPolicy pol)
+      : params(p), policy(std::move(pol)) {}
 
   const SystemParams params;
+  const policy::ConsistencyPolicy policy;
   std::vector<ErcProtocol*> nodes;
 
   struct LockRecord {
@@ -64,25 +68,17 @@ struct ErcShared {
     int arrived = 0;
   } barrier;
 
-  std::map<LockId, aec::LockLap> lap;
+  std::map<LockId, policy::LockLap> lap;
 
-  aec::LockLap& lap_of(LockId l) {
-    auto it = lap.find(l);
-    if (it == lap.end()) {
-      it = lap.emplace(l, aec::LockLap(params.num_procs, params.update_set_size,
-                                       params.affinity_threshold))
-               .first;
-    }
-    return it->second;
-  }
+  policy::LockLap& lap_of(LockId l) { return policy::scoring_lap(lap, params, l); }
 };
 
-class ErcProtocol : public dsm::Protocol {
+class ErcProtocol : public policy::PolicyEngine {
  public:
   ErcProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<ErcShared> shared);
   ~ErcProtocol() override;
 
-  std::string name() const override { return "Munin-ERC"; }
+  std::string name() const override { return pol_.name; }
 
   void on_read_fault(PageId page) override;
   void on_write_fault(PageId page) override;
@@ -90,23 +86,14 @@ class ErcProtocol : public dsm::Protocol {
   void release(LockId lock) override;
   void barrier() override;
   void acquire_notice(LockId lock) override;
-  DiffStats diff_stats() const override { return dstats_; }
 
   const ErcShared& shared() const { return *sh_; }
 
  private:
-  sim::Processor& proc() { return *m_.node(self_).proc; }
-  dsm::Context& ctx() { return *m_.node(self_).ctx; }
-  mem::PageStore& store() { return *m_.node(self_).store; }
   ErcProtocol& peer(ProcId p) { return *sh_->nodes[static_cast<std::size_t>(p)]; }
   ProcId home_of(PageId pg) const {
     return static_cast<ProcId>(pg % static_cast<PageId>(m_.nprocs()));
   }
-
-  void send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
-                     std::function<void()> handler, sim::Bucket bucket);
-  void post_dynamic(ProcId from, ProcId to, std::size_t bytes,
-                    std::function<Cycles()> cost, std::function<void()> handler);
 
   /// Flush all dirty pages: diff, update the copyset through the home, and
   /// wait for every acknowledgement (the eager-RC release stall).
@@ -131,8 +118,6 @@ class ErcProtocol : public dsm::Protocol {
 
   void mgr_handle_barrier_arrival();
 
-  dsm::Machine& m_;
-  const ProcId self_;
   std::shared_ptr<ErcShared> sh_;
 
   std::set<PageId> dirty_set_;
@@ -157,18 +142,24 @@ class ErcProtocol : public dsm::Protocol {
     int remaining = 0;
   };
   std::map<std::uint64_t, FanOut> fanouts_;
-
-  DiffStats dstats_;
 };
 
 /// Suite factory (mirrors aec::AecSuite / tmk::TmSuite).
 class ErcSuite {
  public:
+  /// Runs `pol` (family kErc) on the eager-RC engine.
+  explicit ErcSuite(policy::ConsistencyPolicy pol = default_policy());
+
   dsm::ProtocolSuite suite();
   const ErcShared* shared() const { return shared_.get(); }
   std::shared_ptr<const ErcShared> shared_handle() const { return shared_; }
 
+  const policy::ConsistencyPolicy& policy() const { return pol_; }
+
  private:
+  static policy::ConsistencyPolicy default_policy();
+
+  policy::ConsistencyPolicy pol_;
   std::shared_ptr<ErcShared> shared_;
 };
 

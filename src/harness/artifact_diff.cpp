@@ -300,18 +300,21 @@ std::vector<MetricDelta> compare_cells(const Cell& before, const Cell& after,
 }  // namespace
 
 DiffResult diff(const Document& before, const Document& after,
-                const Tolerances& tol) {
+                const Tolerances& tol, bool subset) {
   DiffResult r;
+  r.subset = subset;
   r.cells_before = before.cells.size();
   r.cells_after = after.cells.size();
 
   // Queues of old-document cell indices per alignment key, consumed
   // first-come first-served so duplicate cells pair up in document order.
+  // Subset mode keys by content hash alone: the two documents come from
+  // different plans, so their scopes and labels never agree.
   std::unordered_map<std::string, std::vector<std::size_t>> by_hash;
   std::unordered_map<std::string, std::vector<std::size_t>> by_identity;
   for (std::size_t i = 0; i < before.cells.size(); ++i) {
     const Cell& c = before.cells[i];
-    by_hash[c.scope + '|' + c.content_hash].push_back(i);
+    by_hash[subset ? c.content_hash : c.scope + '|' + c.content_hash].push_back(i);
     by_identity[c.identity()].push_back(i);
   }
   auto take = [](std::unordered_map<std::string, std::vector<std::size_t>>& m,
@@ -332,13 +335,19 @@ DiffResult diff(const Document& before, const Document& after,
   std::map<std::string, std::pair<double, double>> totals;  // metric -> (before, after)
   for (const Cell& cell : after.cells) {
     bool by_content = true;
-    std::ptrdiff_t idx = take(by_hash, cell.scope + '|' + cell.content_hash, used);
-    if (idx < 0) {
+    std::ptrdiff_t idx =
+        take(by_hash, subset ? cell.content_hash : cell.scope + '|' + cell.content_hash,
+             used);
+    if (idx < 0 && !subset) {
       by_content = false;
       idx = take(by_identity, cell.identity(), used);
     }
     if (idx < 0) {
-      r.added.push_back(cell);
+      if (subset) {
+        ++r.ignored;
+      } else {
+        r.added.push_back(cell);
+      }
       continue;
     }
     used[static_cast<std::size_t>(idx)] = 1;
@@ -361,8 +370,10 @@ DiffResult diff(const Document& before, const Document& after,
     cd.deltas = std::move(deltas);
     r.changed.push_back(std::move(cd));
   }
-  for (std::size_t i = 0; i < before.cells.size(); ++i) {
-    if (!used[i]) r.removed.push_back(before.cells[i]);
+  if (!subset) {
+    for (std::size_t i = 0; i < before.cells.size(); ++i) {
+      if (!used[i]) r.removed.push_back(before.cells[i]);
+    }
   }
 
   // Aggregates keep the per-cell reporting order where possible; totals is
@@ -438,10 +449,12 @@ json::Value to_json(const DiffResult& r) {
   doc["schema"] = json::Value(kDiffSchema);
   doc["version"] = json::Value(std::uint64_t{1});
   doc["gate_failed"] = json::Value(r.gate_failed());
+  doc["subset"] = json::Value(r.subset);
   doc["cells_before"] = json::Value(static_cast<std::uint64_t>(r.cells_before));
   doc["cells_after"] = json::Value(static_cast<std::uint64_t>(r.cells_after));
   doc["compared"] = json::Value(static_cast<std::uint64_t>(r.compared));
   doc["identical"] = json::Value(static_cast<std::uint64_t>(r.identical));
+  doc["ignored"] = json::Value(static_cast<std::uint64_t>(r.ignored));
   json::Value changed = json::Value::array();
   for (const CellDiff& c : r.changed) {
     json::Value v = json::Value::object();
@@ -493,9 +506,13 @@ void print_human(std::ostream& os, const DiffResult& r) {
     os << "\n";
   }
   os << "bench_diff: " << r.compared << " compared, " << r.identical
-     << " identical, " << r.changed.size() << " changed, " << r.added.size()
-     << " added, " << r.removed.size() << " removed -> "
-     << (r.gate_failed() ? "GATE FAILED" : "clean") << "\n";
+     << " identical, " << r.changed.size() << " changed, ";
+  if (r.subset) {
+    os << r.ignored << " unmatched ignored (subset) -> ";
+  } else {
+    os << r.added.size() << " added, " << r.removed.size() << " removed -> ";
+  }
+  os << (r.gate_failed() ? "GATE FAILED" : "clean") << "\n";
 }
 
 int gate_exit_code(const DiffResult& r) { return r.gate_failed() ? 1 : 0; }

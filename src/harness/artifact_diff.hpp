@@ -130,10 +130,14 @@ struct CellDiff {
 
 /// Full result of diffing two documents.
 struct DiffResult {
+  bool subset = false;        ///< produced by a subset-mode diff
   std::size_t cells_before = 0;
   std::size_t cells_after = 0;
   std::size_t compared = 0;   ///< aligned pairs
   std::size_t identical = 0;  ///< aligned pairs with every metric equal
+  /// Subset mode only: new-document cells with no content-hash match in the
+  /// old document, silently skipped instead of reported as added.
+  std::size_t ignored = 0;
   std::vector<CellDiff> changed;
   std::vector<Cell> added;    ///< only in the new document
   std::vector<Cell> removed;  ///< only in the old document
@@ -141,15 +145,24 @@ struct DiffResult {
   std::vector<MetricDelta> aggregate;
 
   /// True when any per-cell metric exceeds its tolerance or any cell was
-  /// added or removed — the regression-gate verdict.
+  /// added or removed — the regression-gate verdict. (Subset mode never
+  /// populates added/removed, so only changed cells can fail it.)
   bool gate_failed() const;
 };
 
 /// Align and compare. Cells are matched within their scope, first by
 /// content hash, then by identity, each consumed first-come first-served
 /// so duplicate cells pair up in document order.
+///
+/// `subset` relaxes the gate to "every cell both documents share must
+/// match": alignment is by content hash alone — across scopes, so a plain
+/// batch artifact can be held against the committed bench-all baseline —
+/// and one-sided cells are counted in `ignored` / implied by `compared`
+/// instead of failing the gate. This is the policy-matrix CI mode: legacy
+/// presets byte-compare against the baseline while hybrid-only cells,
+/// absent from it by design, pass through.
 DiffResult diff(const Document& before, const Document& after,
-                const Tolerances& tol);
+                const Tolerances& tol, bool subset = false);
 
 /// Machine-readable diff document (schema kDiffSchema, "version" 1).
 json::Value to_json(const DiffResult& r);

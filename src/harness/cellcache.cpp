@@ -14,6 +14,7 @@
 #include "common/check.hpp"
 #include "harness/batch.hpp"
 #include "harness/json_out.hpp"
+#include "policy/policy.hpp"
 
 namespace aecdsm::harness {
 
@@ -100,10 +101,18 @@ std::string CellCache::resolve_dir(const std::string& dir) {
 std::string CellCache::cell_key(const ExperimentCell& cell) {
   // The params block is folded in via its canonical compact JSON form, so
   // any SystemParams field added later automatically perturbs the key.
+  // Likewise the resolved policy axes: two registered policies sharing a
+  // name but differing in any axis (or a preset whose definition changes)
+  // can never alias a cached cell.
   std::ostringstream os;
   os << kSimVersionSalt << '|' << cell.protocol << '|' << cell.app << '|'
      << (cell.scale == apps::Scale::kSmall ? "small" : "default") << '|' << cell.seed
      << '|' << to_json(cell.params).dump(-1);
+  if (const policy::ConsistencyPolicy* pol = policy::find_policy(cell.protocol)) {
+    os << '|' << pol->cache_key();
+  } else {
+    os << "|unregistered";
+  }
   return os.str();
 }
 

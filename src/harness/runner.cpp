@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "dsm/system.hpp"
 #include "harness/lap_report.hpp"
+#include "policy/instance.hpp"
 
 namespace aecdsm::harness {
 
@@ -21,24 +22,14 @@ ExperimentResult run_experiment(const std::string& protocol, const std::string& 
   cfg.wall_timeout_sec = wall_timeout_sec;
   cfg.recorder = recorder;
 
+  // The registry replaces the old per-protocol if/else chain: any registered
+  // policy (the legacy presets plus hybrids) resolves to a runnable suite.
+  policy::ProtocolInstance inst = policy::make_instance(protocol);
   ExperimentResult out;
-  if (protocol == "AEC" || protocol == "AEC-noLAP") {
-    aec::AecConfig acfg;
-    acfg.lap_enabled = protocol == "AEC";
-    aec::AecSuite suite(acfg);
-    out.stats = dsm::run_app(*app, suite.suite(), cfg);
-    out.aec = suite.shared_handle();
-  } else if (protocol == "TreadMarks") {
-    tmk::TmSuite suite;
-    out.stats = dsm::run_app(*app, suite.suite(), cfg);
-    out.tm = suite.shared_handle();
-  } else if (protocol == "Munin-ERC") {
-    erc::ErcSuite suite;
-    out.stats = dsm::run_app(*app, suite.suite(), cfg);
-    out.erc = suite.shared_handle();
-  } else {
-    AECDSM_CHECK_MSG(false, "unknown protocol: " << protocol);
-  }
+  out.stats = dsm::run_app(*app, inst.suite(), cfg);
+  out.aec = inst.aec_shared();
+  out.tm = inst.tm_shared();
+  out.erc = inst.erc_shared();
   AECDSM_CHECK_MSG(out.stats.result_valid,
                    app_name << " under " << protocol << " failed its oracle check");
   out.lap_scores = lap_scores_of(out);

@@ -42,7 +42,10 @@ struct ExperimentResult {
   std::shared_ptr<const erc::ErcShared> erc;
 };
 
-/// Protocol names accepted: "AEC", "AEC-noLAP", "TreadMarks", "Munin-ERC".
+/// `protocol` names any policy in the registry (policy/policy.hpp): the
+/// legacy presets "AEC", "AEC-noLAP", "TreadMarks", "Munin-ERC" plus any
+/// hybrid (e.g. "AEC-TmkBarrier"). Unknown names throw a SimError listing
+/// every registered policy.
 /// A positive `wall_timeout_sec` aborts the simulation with TimeoutError
 /// once that much host time has elapsed. A non-null `recorder` captures the
 /// run's event timeline (trace/recorder.hpp) without perturbing it.

@@ -1,0 +1,197 @@
+#include "policy/engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "trace/recorder.hpp"
+
+namespace aecdsm::policy {
+
+std::vector<ProcId> lap_score_grant(LockLap& lap, ProcId from, ProcId to) {
+  if (from != kNoProc) lap.record_transfer(from, to);
+  lap.consume_notice(to);
+  return lap.compute_update_set(to);
+}
+
+LockLap& scoring_lap(std::map<LockId, LockLap>& laps, const SystemParams& p,
+                     LockId l) {
+  auto it = laps.find(l);
+  if (it == laps.end()) {
+    it = laps.emplace(l, LockLap(p.num_procs, p.update_set_size,
+                                 p.affinity_threshold))
+             .first;
+  }
+  return it->second;
+}
+
+PolicyEngine::PolicyEngine(dsm::Machine& m, ProcId self, ConsistencyPolicy pol)
+    : pol_(std::move(pol)), m_(m), self_(self) {}
+
+PageId PolicyEngine::trace_page() {
+  static const PageId pg = [] {
+    const char* v = std::getenv("AECDSM_TRACE_PAGE");
+    return v == nullptr ? kNoPage : static_cast<PageId>(std::atoi(v));
+  }();
+  return pg;
+}
+
+std::size_t PolicyEngine::trace_word() {
+  static const std::size_t w = [] {
+    const char* v = std::getenv("AECDSM_TRACE_WORD");
+    return v == nullptr ? std::size_t{0} : static_cast<std::size_t>(std::atoi(v));
+  }();
+  return w;
+}
+
+void PolicyEngine::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
+                                 std::function<void()> handler,
+                                 sim::Bucket bucket) {
+  proc().advance(m_.params().message_overhead, bucket);
+  proc().sync();
+  m_.post(self_, to, bytes, svc_cost, std::move(handler));
+}
+
+void PolicyEngine::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
+                                std::function<Cycles()> cost,
+                                std::function<void()> handler) {
+  m_.transport().send(from, to, bytes,
+                    [this, to, c = std::move(cost), h = std::move(handler)]() mutable {
+                      const Cycles done = m_.node(to).proc->service(c());
+                      m_.engine().schedule(done, std::move(h));
+                    });
+}
+
+mem::Diff PolicyEngine::create_diff_charged(PageId pg, bool hidden,
+                                            sim::Bucket bucket) {
+  const Cycles c = m_.params().diff_create_cycles();
+  const Cycles trace_t0 = proc().now();
+  proc().advance(c, bucket);
+  proc().sync();
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate, trace_t0,
+             proc().now(), "page", pg, "hidden", hidden ? 1 : 0);
+  }
+  mem::Diff d = store().diff_against_twin(pg);
+  if (pg == trace_page()) {
+    std::ostringstream os;
+    for (const auto& r : d.runs()) {
+      if (r.word_offset <= 10 && 8 < r.word_offset + r.words.size()) {
+        for (std::size_t k = 0; k < r.words.size(); ++k) {
+          if (r.word_offset + k == trace_word()) {
+            os << " w" << r.word_offset + k << "=" << r.words[k];
+          }
+        }
+      }
+    }
+    AECDSM_DEBUG("p" << self_ << " create_diff pg" << pg << " twin[8..10]="
+                     << (*store().frame(pg).twin)[8] << ","
+                     << (*store().frame(pg).twin)[9] << ","
+                     << (*store().frame(pg).twin)[10] << " frame[8..10]="
+                     << store().frame(pg).data[8] << "," << store().frame(pg).data[9]
+                     << "," << store().frame(pg).data[10] << " diff:" << os.str());
+  }
+  ++dstats_.diffs_created;
+  dstats_.diff_bytes += d.encoded_bytes();
+  dstats_.create_cycles += c;
+  if (hidden) dstats_.create_hidden_cycles += c;
+  return d;
+}
+
+void PolicyEngine::apply_diff_charged(PageId pg, const mem::Diff& d, bool hidden,
+                                      sim::Bucket bucket) {
+  if (pg == trace_page()) {
+    std::ostringstream runs;
+    long tw = -1;
+    for (const auto& r : d.runs()) {
+      runs << " @" << r.word_offset << "+" << r.words.size();
+      if (r.word_offset <= trace_word() &&
+          trace_word() < r.word_offset + r.words.size()) {
+        tw = static_cast<long>(r.words[trace_word() - r.word_offset]);
+      }
+    }
+    AECDSM_DEBUG("p" << self_ << " apply pg" << pg << " diff[w" << trace_word()
+                     << "]=" << tw << " frame_before="
+                     << store().frame(pg).data[trace_word()] << runs.str());
+  }
+  const Cycles c = m_.params().diff_apply_cycles(d.changed_words());
+  const Cycles trace_t0 = proc().now();
+  proc().advance(c, bucket);
+  proc().sync();
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->span(self_, trace::Category::kDiff, trace::names::kDiffApply, trace_t0,
+             proc().now(), "page", pg, "hidden", hidden ? 1 : 0);
+  }
+  mem::PageFrame& f = store().frame(pg);
+  d.apply_to(std::span<Word>(f.data));
+  // A live twin must see remote modifications too, or later twin-diffs of
+  // this page would encode the remote words as if they were local writes.
+  if (f.has_twin()) d.apply_to(std::span<Word>(*f.twin));
+  ctx().invalidate_cache_page(pg);
+  ++dstats_.diffs_applied;
+  dstats_.apply_cycles += c;
+  if (hidden) dstats_.apply_hidden_cycles += c;
+}
+
+void PolicyEngine::make_twin_charged(PageId pg, sim::Bucket bucket) {
+  proc().advance(m_.params().twin_create_cycles(), bucket);
+  store().make_twin(pg);
+}
+
+mem::Diff PolicyEngine::service_diff_create(PageId pg, Cycles& cost) {
+  const Cycles c = m_.params().diff_create_cycles();
+  cost += c;
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate,
+             m_.engine().now(), m_.engine().now() + c, "page", pg, "svc", 1);
+  }
+  ++dstats_.diffs_created;
+  dstats_.create_cycles += c;
+  mem::Diff d = store().diff_against_twin(pg);
+  dstats_.diff_bytes += d.encoded_bytes();
+  return d;
+}
+
+void PolicyEngine::trace_counter(const char* name, Cycles t,
+                                 std::uint64_t value) {
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->counter(self_, name, t, value);
+  }
+}
+
+void PolicyEngine::fetch_page_from_home(
+    PageId pg, ProcId h, sim::Bucket bucket,
+    std::function<void(std::vector<Word>& buf)> at_home,
+    std::function<void()> landed) {
+  const auto& params = m_.params();
+  proc().advance(params.message_overhead, bucket);
+  proc().sync();
+  bool done = false;
+  auto buf = std::make_shared<std::vector<Word>>();
+  const std::size_t page_words = params.words_per_page();
+  post_dynamic(
+      self_, h, kCtl,
+      [this, buf, page_words, at_home = std::move(at_home)] {
+        at_home(*buf);
+        return m_.params().memory_access_cycles(page_words);
+      },
+      [this, h, pg, buf, page_words, &done, landed = std::move(landed)]() mutable {
+        // Reply carries the page contents back.
+        post_dynamic(
+            h, self_, m_.params().page_bytes + kCtl,
+            [this, page_words] { return m_.params().memory_access_cycles(page_words); },
+            [this, pg, buf, &done, landed = std::move(landed)] {
+              auto span = store().page_span(pg);
+              std::copy(buf->begin(), buf->end(), span.begin());
+              if (landed) landed();
+              done = true;
+              proc().poke();
+            });
+      });
+  proc().wait(bucket, [&done] { return done; });
+}
+
+}  // namespace aecdsm::policy

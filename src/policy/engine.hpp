@@ -1,0 +1,132 @@
+// PolicyEngine: the machinery the three consistency protocols share,
+// hoisted out of aec/tmk/erc protocol.cpp where it lived in triplicate.
+//
+// The engine owns:
+//   * the cost-charged messaging idioms — send_from_app (fixed service
+//     cost, app thread pays the overhead) and post_dynamic (service cost
+//     computed engine-side at delivery);
+//   * the charged twin/diff chain — make_twin_charged, create_diff_charged,
+//     apply_diff_charged charge the paper's Table 1 per-word costs to the
+//     calling application thread and record diff.create/diff.apply trace
+//     spans;
+//   * service_diff_create — engine-side (svc-flagged) lazy diff creation at
+//     a serving node, the shape AEC's deferred publication and TreadMarks'
+//     critical-path diffing share;
+//   * fetch_page_from_home — the two-hop whole-page RPC every protocol uses
+//     on a cold miss;
+//   * LAP plumbing shared by every lock-manager flavour (lap_score_grant,
+//     scoring_lap).
+//
+// Derived protocols (AecProtocol, TmProtocol, ErcProtocol) keep their
+// protocol-specific state machines and consult pol_ for the axes their
+// engine makes configurable. Everything here preserves the exact
+// advance/sync/post sequences of the pre-refactor code: the determinism
+// contract is that the legacy presets stay byte-identical to the committed
+// bench baselines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dsm/context.hpp"
+#include "dsm/machine.hpp"
+#include "dsm/protocol.hpp"
+#include "mem/diff.hpp"
+#include "policy/lap.hpp"
+#include "policy/policy.hpp"
+#include "sim/processor.hpp"
+
+namespace aecdsm::policy {
+
+/// Manager-side LAP bookkeeping at a lock grant, shared by every lock
+/// scheme: score the realized transfer, consume the acquirer's virtual-queue
+/// notice, and predict the next update set. `from` is kNoProc on the first
+/// grant of a chain.
+std::vector<ProcId> lap_score_grant(LockLap& lap, ProcId from, ProcId to);
+
+/// Lazily build the scoring-only LAP instance for lock `l` (TreadMarks and
+/// Munin-ERC run the predictor without consuming it — paper §5.1).
+LockLap& scoring_lap(std::map<LockId, LockLap>& laps, const SystemParams& p,
+                     LockId l);
+
+class PolicyEngine : public dsm::Protocol {
+ public:
+  const ConsistencyPolicy* active_policy() const override { return &pol_; }
+  DiffStats diff_stats() const override { return dstats_; }
+
+ protected:
+  PolicyEngine(dsm::Machine& m, ProcId self, ConsistencyPolicy pol);
+
+  /// Fixed size of small control messages (requests, grants sans lists,
+  /// acks).
+  static constexpr std::size_t kCtl = 32;
+
+  /// Page singled out for verbose tracing via AECDSM_TRACE_PAGE (debugging).
+  static PageId trace_page();
+
+  /// Word within the traced page reported by value traces
+  /// (AECDSM_TRACE_WORD).
+  static std::size_t trace_word();
+
+  sim::Processor& proc() { return *m_.node(self_).proc; }
+  dsm::Context& ctx() { return *m_.node(self_).ctx; }
+  mem::PageStore& store() { return *m_.node(self_).store; }
+
+  /// Post a message whose service cost is known now; the calling app thread
+  /// pays the send overhead in `bucket` before the post.
+  void send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
+                     std::function<void()> handler, sim::Bucket bucket);
+
+  /// Post a message whose service cost is computed engine-side at delivery
+  /// (the serve lambda runs at the receiver and returns its cost).
+  void post_dynamic(ProcId from, ProcId to, std::size_t bytes,
+                    std::function<Cycles()> cost,
+                    std::function<void()> handler);
+
+  /// Twin creation charged to the app thread (Table 1).
+  void make_twin_charged(PageId pg, sim::Bucket bucket);
+
+  /// Diff creation charged to the app thread; `hidden` marks work the
+  /// protocol overlaps with synchronization waiting (Table 4 accounting).
+  mem::Diff create_diff_charged(PageId pg, bool hidden, sim::Bucket bucket);
+
+  /// Diff application charged to the app thread; keeps a live twin in sync
+  /// and invalidates the cached copy of the page.
+  void apply_diff_charged(PageId pg, const mem::Diff& d, bool hidden,
+                          sim::Bucket bucket);
+
+  /// Engine-side diff creation at a serving node: adds the creation cost to
+  /// `cost` (the enclosing message service), records an svc-flagged
+  /// diff.create span and the stats, and returns the live diff against the
+  /// twin. The page's twin is left untouched — disposition is the caller's.
+  mem::Diff service_diff_create(PageId pg, Cycles& cost);
+
+  /// Two-hop whole-page fetch from `h` (cold miss / stale copy). `at_home`
+  /// runs engine-side at the home: it does the home's bookkeeping and fills
+  /// `buf` with the page contents (every protocol copies the home's span,
+  /// some also snapshot metadata). The reply lands the buffer into the
+  /// local frame; `landed` (may be null) then runs engine-side at self for
+  /// local post-processing (twin restart, deferred-update replay) before
+  /// the waiting app thread resumes. Blocks in `bucket` until the page has
+  /// landed.
+  void fetch_page_from_home(PageId pg, ProcId h, sim::Bucket bucket,
+                            std::function<void(std::vector<Word>& buf)> at_home,
+                            std::function<void()> landed);
+
+  /// Record one sample of this node's counter track `name` at time `t`
+  /// (trace::names::kLockQueueDepth, kDiffOutstanding). Pass proc().now()
+  /// from app-side code and m_.engine().now() from engine-side handlers.
+  /// Observational only: never advances time or perturbs the run.
+  void trace_counter(const char* name, Cycles t, std::uint64_t value);
+
+  const ConsistencyPolicy pol_;
+  dsm::Machine& m_;
+  const ProcId self_;
+  DiffStats dstats_;
+};
+
+}  // namespace aecdsm::policy

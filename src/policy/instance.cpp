@@ -1,0 +1,55 @@
+#include "policy/instance.hpp"
+
+#include "aec/suite.hpp"
+#include "common/check.hpp"
+#include "erc/protocol.hpp"
+#include "tmk/protocol.hpp"
+
+namespace aecdsm::policy {
+
+ProtocolInstance::ProtocolInstance(ConsistencyPolicy pol) : pol_(std::move(pol)) {
+  validate(pol_);
+  switch (pol_.family) {
+    case Family::kAec:
+      aec_ = std::make_unique<aec::AecSuite>(pol_);
+      break;
+    case Family::kTmk:
+      tm_ = std::make_unique<tmk::TmSuite>(pol_);
+      break;
+    case Family::kErc:
+      erc_ = std::make_unique<erc::ErcSuite>(pol_);
+      break;
+  }
+}
+
+ProtocolInstance::ProtocolInstance(ProtocolInstance&&) noexcept = default;
+ProtocolInstance& ProtocolInstance::operator=(ProtocolInstance&&) noexcept = default;
+ProtocolInstance::~ProtocolInstance() = default;
+
+dsm::ProtocolSuite ProtocolInstance::suite() {
+  if (aec_) return aec_->suite();
+  if (tm_) return tm_->suite();
+  return erc_->suite();
+}
+
+std::shared_ptr<const aec::AecShared> ProtocolInstance::aec_shared() const {
+  return aec_ ? aec_->shared_handle() : nullptr;
+}
+
+std::shared_ptr<const tmk::TmShared> ProtocolInstance::tm_shared() const {
+  return tm_ ? tm_->shared_handle() : nullptr;
+}
+
+std::shared_ptr<const erc::ErcShared> ProtocolInstance::erc_shared() const {
+  return erc_ ? erc_->shared_handle() : nullptr;
+}
+
+ProtocolInstance make_instance(const std::string& name) {
+  const ConsistencyPolicy* pol = find_policy(name);
+  AECDSM_CHECK_MSG(pol != nullptr, "unknown protocol/policy '"
+                                       << name << "'; registered policies: "
+                                       << registered_names_joined());
+  return ProtocolInstance(*pol);
+}
+
+}  // namespace aecdsm::policy

@@ -1,0 +1,63 @@
+// ProtocolInstance: the bridge from a ConsistencyPolicy to a runnable
+// dsm::ProtocolSuite. This is the table-driven replacement for the string
+// if/else chains that used to live in harness/runner.cpp and the tests:
+// callers resolve a policy by name (make_instance), get a suite, run it,
+// and read the family-specific shared-state handle afterwards (LAP scores,
+// lock records).
+//
+// Lives in its own library target (aecdsm_protocols) because it links all
+// three protocol engines, which themselves link aecdsm_policy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dsm/system.hpp"
+#include "policy/policy.hpp"
+
+namespace aecdsm::aec {
+class AecSuite;
+struct AecShared;
+}  // namespace aecdsm::aec
+namespace aecdsm::tmk {
+class TmSuite;
+struct TmShared;
+}  // namespace aecdsm::tmk
+namespace aecdsm::erc {
+class ErcSuite;
+struct ErcShared;
+}  // namespace aecdsm::erc
+
+namespace aecdsm::policy {
+
+/// One runnable instantiation of a policy. Owns the family's suite factory;
+/// after a run the shared handle of the family that ran is non-null, the
+/// other two stay null.
+class ProtocolInstance {
+ public:
+  explicit ProtocolInstance(ConsistencyPolicy pol);
+  ProtocolInstance(ProtocolInstance&&) noexcept;
+  ProtocolInstance& operator=(ProtocolInstance&&) noexcept;
+  ~ProtocolInstance();
+
+  const ConsistencyPolicy& policy() const { return pol_; }
+
+  /// Suite for dsm::run_app; suite.name is the policy name.
+  dsm::ProtocolSuite suite();
+
+  std::shared_ptr<const aec::AecShared> aec_shared() const;
+  std::shared_ptr<const tmk::TmShared> tm_shared() const;
+  std::shared_ptr<const erc::ErcShared> erc_shared() const;
+
+ private:
+  ConsistencyPolicy pol_;
+  std::unique_ptr<aec::AecSuite> aec_;
+  std::unique_ptr<tmk::TmSuite> tm_;
+  std::unique_ptr<erc::ErcSuite> erc_;
+};
+
+/// Resolve `name` through the policy registry and build an instance.
+/// Throws SimError naming every registered policy when the name is unknown.
+ProtocolInstance make_instance(const std::string& name);
+
+}  // namespace aecdsm::policy

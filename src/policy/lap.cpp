@@ -1,10 +1,10 @@
-#include "aec/lap.hpp"
+#include "policy/lap.hpp"
 
 #include <algorithm>
 
 #include "common/check.hpp"
 
-namespace aecdsm::aec {
+namespace aecdsm::policy {
 
 LockLap::LockLap(int num_procs, int update_set_size, double affinity_threshold)
     : nprocs_(num_procs),
@@ -161,4 +161,4 @@ void LockLap::record_transfer(ProcId from, ProcId to) {
   ++affinity_[static_cast<std::size_t>(from) * nprocs_ + static_cast<std::size_t>(to)];
 }
 
-}  // namespace aecdsm::aec
+}  // namespace aecdsm::policy

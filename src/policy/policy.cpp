@@ -1,0 +1,245 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace aecdsm::policy {
+
+const char* to_string(Family v) {
+  switch (v) {
+    case Family::kAec: return "aec";
+    case Family::kTmk: return "tmk";
+    case Family::kErc: return "erc";
+  }
+  return "?";
+}
+
+const char* to_string(Propagation v) {
+  switch (v) {
+    case Propagation::kUpdate: return "update";
+    case Propagation::kInvalidate: return "invalidate";
+  }
+  return "?";
+}
+
+const char* to_string(DiffTiming v) {
+  switch (v) {
+    case DiffTiming::kEagerOverlapped: return "eager-overlapped";
+    case DiffTiming::kLazyOnDemand: return "lazy-on-demand";
+    case DiffTiming::kEagerBlocking: return "eager-blocking";
+  }
+  return "?";
+}
+
+const char* to_string(PushSelector v) {
+  switch (v) {
+    case PushSelector::kNone: return "none";
+    case PushSelector::kLapUpdateSet: return "lap-update-set";
+    case PushSelector::kCopyset: return "copyset";
+  }
+  return "?";
+}
+
+const char* to_string(HomePlacement v) {
+  switch (v) {
+    case HomePlacement::kStaticInterleaved: return "static-interleaved";
+    case HomePlacement::kBarrierReassign: return "barrier-reassign";
+  }
+  return "?";
+}
+
+const char* to_string(LockScheme v) {
+  switch (v) {
+    case LockScheme::kManagerChain: return "manager-chain";
+    case LockScheme::kDistributedOwner: return "distributed-owner";
+    case LockScheme::kManagerFifo: return "manager-fifo";
+  }
+  return "?";
+}
+
+const char* to_string(BarrierAction v) {
+  switch (v) {
+    case BarrierAction::kDirectiveRouting: return "directive-routing";
+    case BarrierAction::kNoticeExchange: return "notice-exchange";
+    case BarrierAction::kFlushGather: return "flush-gather";
+  }
+  return "?";
+}
+
+Propagation ConsistencyPolicy::propagation_for(PageId pg) const {
+  Propagation p = propagation;
+  for (const RegionRule& r : regions) {
+    if (pg >= r.first && pg <= r.last) p = r.propagation;
+  }
+  return p;
+}
+
+std::string ConsistencyPolicy::cache_key() const {
+  std::ostringstream os;
+  os << "fam=" << to_string(family) << ";prop=" << to_string(propagation)
+     << ";diff=" << to_string(diff_timing) << ";push=" << to_string(push_selector)
+     << ";home=" << to_string(home_placement) << ";lock=" << to_string(lock_scheme)
+     << ";bar=" << to_string(barrier_action) << ";vq=" << (lap_virtual_queue ? 1 : 0)
+     << ";aff=" << (lap_affinity ? 1 : 0) << ";regions=";
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (i) os << ',';
+    os << regions[i].first << '-' << regions[i].last << ':'
+       << to_string(regions[i].propagation);
+  }
+  return os.str();
+}
+
+void validate(const ConsistencyPolicy& pol) {
+  AECDSM_CHECK_MSG(!pol.name.empty(), "policy has no name");
+  for (const RegionRule& r : pol.regions) {
+    AECDSM_CHECK_MSG(r.first <= r.last,
+                     "policy '" + pol.name + "': region rule first > last");
+  }
+  const auto require = [&](bool ok, const char* what) {
+    AECDSM_CHECK_MSG(ok, "policy '" + pol.name + "': " + what +
+                             std::string(" is not implemented by the ") +
+                             to_string(pol.family) + " engine");
+  };
+  switch (pol.family) {
+    case Family::kAec:
+      // The configurable engine: the propagation axis (including per-region
+      // rules) and the LAP knobs are free; the remaining axes are what the
+      // AEC machinery embodies.
+      require(pol.diff_timing == DiffTiming::kEagerOverlapped, "diff timing");
+      require(pol.push_selector == PushSelector::kNone ||
+                  pol.push_selector == PushSelector::kLapUpdateSet,
+              "push selector");
+      require(pol.home_placement == HomePlacement::kBarrierReassign,
+              "home placement");
+      require(pol.lock_scheme == LockScheme::kManagerChain, "lock scheme");
+      require(pol.barrier_action == BarrierAction::kDirectiveRouting,
+              "barrier action");
+      break;
+    case Family::kTmk:
+      require(pol.propagation == Propagation::kInvalidate, "propagation");
+      require(pol.diff_timing == DiffTiming::kLazyOnDemand, "diff timing");
+      require(pol.push_selector == PushSelector::kNone, "push selector");
+      require(pol.home_placement == HomePlacement::kStaticInterleaved,
+              "home placement");
+      require(pol.lock_scheme == LockScheme::kDistributedOwner, "lock scheme");
+      require(pol.barrier_action == BarrierAction::kNoticeExchange,
+              "barrier action");
+      require(pol.regions.empty(), "per-region propagation");
+      break;
+    case Family::kErc:
+      require(pol.propagation == Propagation::kUpdate, "propagation");
+      require(pol.diff_timing == DiffTiming::kEagerBlocking, "diff timing");
+      require(pol.push_selector == PushSelector::kCopyset, "push selector");
+      require(pol.home_placement == HomePlacement::kStaticInterleaved,
+              "home placement");
+      require(pol.lock_scheme == LockScheme::kManagerFifo, "lock scheme");
+      require(pol.barrier_action == BarrierAction::kFlushGather,
+              "barrier action");
+      require(pol.regions.empty(), "per-region propagation");
+      break;
+  }
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, ConsistencyPolicy> by_name;
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    const auto add = [&](ConsistencyPolicy p) {
+      validate(p);
+      reg->by_name.emplace(p.name, std::move(p));
+    };
+
+    // The paper's protocol (§3): LAP update pushes on lock grants, diff
+    // creation overlapped with barrier waiting, barrier directive routing
+    // with home reassignment.
+    ConsistencyPolicy aec;
+    aec.name = "AEC";
+    add(aec);
+
+    // AEC with the predictor disabled — grants carry no update sets.
+    ConsistencyPolicy nolap = aec;
+    nolap.name = "AEC-noLAP";
+    nolap.push_selector = PushSelector::kNone;
+    add(nolap);
+
+    ConsistencyPolicy tmk;
+    tmk.name = "TreadMarks";
+    tmk.family = Family::kTmk;
+    tmk.propagation = Propagation::kInvalidate;
+    tmk.diff_timing = DiffTiming::kLazyOnDemand;
+    tmk.push_selector = PushSelector::kNone;
+    tmk.home_placement = HomePlacement::kStaticInterleaved;
+    tmk.lock_scheme = LockScheme::kDistributedOwner;
+    tmk.barrier_action = BarrierAction::kNoticeExchange;
+    add(tmk);
+
+    ConsistencyPolicy erc;
+    erc.name = "Munin-ERC";
+    erc.family = Family::kErc;
+    erc.propagation = Propagation::kUpdate;
+    erc.diff_timing = DiffTiming::kEagerBlocking;
+    erc.push_selector = PushSelector::kCopyset;
+    erc.home_placement = HomePlacement::kStaticInterleaved;
+    erc.lock_scheme = LockScheme::kManagerFifo;
+    erc.barrier_action = BarrierAction::kFlushGather;
+    add(erc);
+
+    // The stock hybrid: AEC's lock handling, diff overlap and directive
+    // barrier, with TreadMarks-style invalidate propagation — barrier
+    // directives carry drop notices instead of routed diffs for sharers
+    // that are neither the old nor the new home.
+    ConsistencyPolicy hybrid = aec;
+    hybrid.name = "AEC-TmkBarrier";
+    hybrid.propagation = Propagation::kInvalidate;
+    add(hybrid);
+
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+void register_policy(const ConsistencyPolicy& pol) {
+  validate(pol);
+  Registry& r = registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  r.by_name[pol.name] = pol;
+}
+
+const ConsistencyPolicy* find_policy(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  auto it = r.by_name.find(name);
+  return it == r.by_name.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> registered_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.by_name.size());
+  for (const auto& [name, pol] : r.by_name) names.push_back(name);
+  return names;
+}
+
+std::string registered_names_joined() {
+  std::string out;
+  for (const std::string& n : registered_names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace aecdsm::policy

@@ -1,0 +1,149 @@
+// ConsistencyPolicy: the per-run (and per-region) description of how shared
+// memory is kept coherent, decomposed along the axes the paper's three
+// protocols actually differ on:
+//
+//   * propagation      — push updates (diffs travel to sharers) or push
+//                        invalidations (sharers refetch on demand);
+//   * diff timing      — when twins are diffed: overlapped with barrier
+//                        waiting (AEC), lazily on a remote access miss
+//                        (TreadMarks), or eagerly with blocking acks at
+//                        release (Munin-ERC);
+//   * push selector    — who receives eager pushes: nobody, the LAP-predicted
+//                        update set (§2.2), or the page's copyset;
+//   * home placement   — static interleaved homes, or homes reassigned at
+//                        each barrier toward the writer (AEC §3.3);
+//   * lock scheme      — manager-serialized grant chain (AEC), distributed
+//                        ownership chase (TreadMarks), or a manager FIFO
+//                        (Munin-ERC);
+//   * barrier action   — diff-routing directives (AEC), write-notice
+//                        exchange (TreadMarks), or flush-then-gather
+//                        (Munin-ERC).
+//
+// A policy names one point in that space. The three paper protocols are
+// registered presets; hybrids pick a different value on one axis (the stock
+// hybrid `AEC-TmkBarrier` keeps AEC's lock handling and barrier routing but
+// flips propagation to invalidate, so barrier directives carry drop notices
+// instead of diffs for non-home sharers). The `regions` table refines the
+// propagation axis per page range, which is what "resolved per-region at
+// runtime" means: the engine asks `propagation_for(page)` at every routing
+// decision.
+//
+// Policies are looked up by name through a process-wide registry
+// (find_policy / register_policy); the harness runner, bench drivers and
+// tests all dispatch through it instead of string-matching protocol names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aecdsm::policy {
+
+/// Which protocol engine interprets the policy. The axes are descriptive for
+/// every family, but each family only implements the combinations its
+/// engine supports (see validate()); the AEC engine is the configurable one.
+enum class Family : std::uint8_t {
+  kAec,  ///< aec::AecProtocol — the paper's protocol, §3
+  kTmk,  ///< tmk::TmProtocol — TreadMarks-style lazy release consistency
+  kErc,  ///< erc::ErcProtocol — Munin-style eager release consistency
+};
+
+enum class Propagation : std::uint8_t {
+  kUpdate,      ///< diffs are pushed/routed to sharers
+  kInvalidate,  ///< sharers are told to drop; they refetch on demand
+};
+
+enum class DiffTiming : std::uint8_t {
+  kEagerOverlapped,  ///< diffs created during barrier overlap (AEC)
+  kLazyOnDemand,     ///< diffs created at the writer on access miss (TMK)
+  kEagerBlocking,    ///< diffs flushed with blocking acks at release (ERC)
+};
+
+enum class PushSelector : std::uint8_t {
+  kNone,          ///< nobody is pushed to eagerly
+  kLapUpdateSet,  ///< LAP-predicted update set of the releaser (§2.2)
+  kCopyset,       ///< every current holder of a copy (Munin update fan-out)
+};
+
+enum class HomePlacement : std::uint8_t {
+  kStaticInterleaved,  ///< home(pg) = pg mod nprocs, forever
+  kBarrierReassign,    ///< homes migrate toward writers at barriers (§3.3)
+};
+
+enum class LockScheme : std::uint8_t {
+  kManagerChain,      ///< manager serializes grants; releaser chains diffs
+  kDistributedOwner,  ///< owner hint + hand-off pointer chase (TreadMarks)
+  kManagerFifo,       ///< plain manager FIFO, no consistency piggyback
+};
+
+enum class BarrierAction : std::uint8_t {
+  kDirectiveRouting,  ///< manager routes diffs/drops + reassigns homes (AEC)
+  kNoticeExchange,    ///< gather/broadcast of write notices (TreadMarks)
+  kFlushGather,       ///< flush updates home, then a plain gather (ERC)
+};
+
+const char* to_string(Family v);
+const char* to_string(Propagation v);
+const char* to_string(DiffTiming v);
+const char* to_string(PushSelector v);
+const char* to_string(HomePlacement v);
+const char* to_string(LockScheme v);
+const char* to_string(BarrierAction v);
+
+/// Overrides the propagation axis for pages in [first, last] (inclusive).
+/// Later rules win; pages matched by no rule use the policy-wide axis.
+struct RegionRule {
+  PageId first = 0;
+  PageId last = 0;
+  Propagation propagation = Propagation::kUpdate;
+};
+
+struct ConsistencyPolicy {
+  std::string name;
+  Family family = Family::kAec;
+  Propagation propagation = Propagation::kUpdate;
+  DiffTiming diff_timing = DiffTiming::kEagerOverlapped;
+  PushSelector push_selector = PushSelector::kLapUpdateSet;
+  HomePlacement home_placement = HomePlacement::kBarrierReassign;
+  LockScheme lock_scheme = LockScheme::kManagerChain;
+  BarrierAction barrier_action = BarrierAction::kDirectiveRouting;
+
+  /// LAP low-level predictor toggles (meaningful when the engine consults
+  /// LAP; both true for the paper's full predictor).
+  bool lap_virtual_queue = true;
+  bool lap_affinity = true;
+
+  std::vector<RegionRule> regions;
+
+  /// Does this policy feed LAP predictions into lock grants?
+  bool lap_pushes() const { return push_selector == PushSelector::kLapUpdateSet; }
+
+  /// The propagation axis for one page, after region overrides.
+  Propagation propagation_for(PageId pg) const;
+
+  /// Canonical fingerprint of every behavior-affecting field (not the name),
+  /// folded into the cell-cache key so two policies that differ on any axis
+  /// never alias a cached artifact.
+  std::string cache_key() const;
+};
+
+/// Throws SimError if the family's engine does not implement the requested
+/// axis combination, or a region rule is malformed (first > last).
+void validate(const ConsistencyPolicy& pol);
+
+/// Register (or replace) a policy under pol.name. Validates first.
+void register_policy(const ConsistencyPolicy& pol);
+
+/// Look up a policy by name; nullptr if unknown. Built-in presets (AEC,
+/// AEC-noLAP, TreadMarks, Munin-ERC, AEC-TmkBarrier) are always present.
+const ConsistencyPolicy* find_policy(const std::string& name);
+
+/// Names of every registered policy, sorted; presets first registration.
+std::vector<std::string> registered_names();
+
+/// "AEC, AEC-TmkBarrier, ..." — for unknown-protocol error messages.
+std::string registered_names_joined();
+
+}  // namespace aecdsm::policy

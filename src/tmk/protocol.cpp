@@ -11,25 +11,7 @@
 
 namespace aecdsm::tmk {
 
-namespace {
-constexpr std::size_t kCtl = 32;
-
-PageId trace_page() {
-  static const PageId pg = [] {
-    const char* v = std::getenv("AECDSM_TRACE_PAGE");
-    return v == nullptr ? kNoPage : static_cast<PageId>(std::atoi(v));
-  }();
-  return pg;
-}
-
-std::size_t trace_word() {
-  static const std::size_t w = [] {
-    const char* v = std::getenv("AECDSM_TRACE_WORD");
-    return v == nullptr ? std::size_t{0} : static_cast<std::size_t>(std::atoi(v));
-  }();
-  return w;
-}
-}  // namespace
+// kCtl, trace_page() and trace_word() are inherited from policy::PolicyEngine.
 
 #define AECDSM_TRACE(pg, stream_expr)                    \
   do {                                                   \
@@ -37,8 +19,7 @@ std::size_t trace_word() {
   } while (0)
 
 TmProtocol::TmProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<TmShared> shared)
-    : m_(m),
-      self_(self),
+    : policy::PolicyEngine(m, self, shared->policy),
       sh_(std::move(shared)),
       vt_(static_cast<std::size_t>(m.nprocs()), 0),
       pages_(m.num_pages()) {
@@ -61,23 +42,6 @@ std::uint64_t TmProtocol::vt_sum(const VectorTime& vt) {
   std::uint64_t s = 0;
   for (const std::uint32_t v : vt) s += v;
   return s;
-}
-
-void TmProtocol::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
-                               std::function<void()> handler, sim::Bucket bucket) {
-  proc().advance(m_.params().message_overhead, bucket);
-  proc().sync();
-  m_.post(self_, to, bytes, svc_cost, std::move(handler));
-}
-
-void TmProtocol::post_dynamic(ProcId from, ProcId to, std::size_t bytes,
-                              std::function<Cycles()> cost,
-                              std::function<void()> handler) {
-  m_.transport().send(from, to, bytes,
-                    [this, to, c = std::move(cost), h = std::move(handler)]() mutable {
-                      const Cycles done = m_.node(to).proc->service(c());
-                      m_.engine().schedule(done, std::move(h));
-                    });
 }
 
 void TmProtocol::end_interval() {
@@ -141,6 +105,8 @@ void TmProtocol::handle_fault(PageId pg, bool is_write) {
       ps.dirty = true;
       dirty_set_.insert(pg);
       interval_writes_.insert(pg);
+      trace_counter(trace::names::kDiffOutstanding, proc().now(),
+                    dirty_set_.size());
       f.write_protected = false;
     }
   }
@@ -150,7 +116,6 @@ void TmProtocol::resolve_page(PageId pg) {
   PageState& ps = page(pg);
   mem::PageFrame& f = store().frame(pg);
   if (f.valid) return;
-  const auto& params = m_.params();
 
   if (!ps.ever_valid) {
     // Cold miss: fetch a base copy (plus its holder's pending-writer set)
@@ -158,19 +123,14 @@ void TmProtocol::resolve_page(PageId pg) {
     ++m_.node(self_).faults.cold_faults;
     const ProcId h = static_cast<ProcId>(pg % static_cast<PageId>(m_.nprocs()));
     AECDSM_CHECK(h != self_);
-    proc().advance(params.message_overhead, sim::Bucket::kData);
-    proc().sync();
-    bool done = false;
-    auto buf = std::make_shared<std::vector<Word>>();
     auto hpend = std::make_shared<std::vector<ProcId>>();
     auto hupto = std::make_shared<std::map<ProcId, std::size_t>>();
-    const std::size_t page_words = params.words_per_page();
-    post_dynamic(
-        self_, h, kCtl,
-        [this, h, pg, buf, hpend, hupto, page_words] {
+    fetch_page_from_home(
+        pg, h, sim::Bucket::kData,
+        [this, h, pg, hpend, hupto](std::vector<Word>& buf) {
           TmProtocol& home = peer(h);
           auto span = home.store().page_span(pg);
-          *buf = std::vector<Word>(span.begin(), span.end());
+          buf.assign(span.begin(), span.end());
           hpend->assign(home.page(pg).pending.begin(), home.page(pg).pending.end());
           // The copied frame reflects every diff the home consumed — and
           // every write the home itself ever made. The requester must
@@ -179,20 +139,8 @@ void TmProtocol::resolve_page(PageId pg) {
           // newer base.
           *hupto = home.page(pg).fetched_upto;
           (*hupto)[h] = home.page(pg).stored.size();
-          return m_.params().memory_access_cycles(page_words);
         },
-        [this, h, pg, buf, page_words, &done] {
-          post_dynamic(
-              h, self_, m_.params().page_bytes + kCtl,
-              [this, page_words] { return m_.params().memory_access_cycles(page_words); },
-              [this, pg, buf, &done] {
-                auto span = store().page_span(pg);
-                std::copy(buf->begin(), buf->end(), span.begin());
-                done = true;
-                proc().poke();
-              });
-        });
-    proc().wait(sim::Bucket::kData, [&done] { return done; });
+        /*landed=*/nullptr);
     for (const auto& [w, upto] : *hupto) {
       if (w != self_) ps.fetched_upto[w] = upto;
     }
@@ -319,17 +267,7 @@ std::vector<TmProtocol::StoredDiff> TmProtocol::serve_diffs(PageId pg, std::size
                        << " frame[16]=" << store().frame(pg).data[16]);
   if (ps.dirty) {
     // Lazy diff creation, on the server's critical path (TreadMarks).
-    cost += m_.params().diff_create_cycles();
-    if (trace::Recorder* tr = m_.recorder()) {
-      tr->span(self_, trace::Category::kDiff, trace::names::kDiffCreate,
-               m_.engine().now(),
-               m_.engine().now() + m_.params().diff_create_cycles(), "page",
-               pg, "svc", 1);
-    }
-    mem::Diff d = store().diff_against_twin(pg);
-    ++dstats_.diffs_created;
-    dstats_.diff_bytes += d.encoded_bytes();
-    dstats_.create_cycles += m_.params().diff_create_cycles();
+    mem::Diff d = service_diff_create(pg, cost);
     if (pg == trace_page()) {
       std::ostringstream os;
       for (const auto& r : d.runs()) {
@@ -348,6 +286,8 @@ std::vector<TmProtocol::StoredDiff> TmProtocol::serve_diffs(PageId pg, std::size
     f.write_protected = true;
     ps.dirty = false;
     dirty_set_.erase(pg);
+    trace_counter(trace::names::kDiffOutstanding, m_.engine().now(),
+                  dirty_set_.size());
   }
   AECDSM_CHECK_MSG(after <= ps.stored.size(), "diff request beyond stored history");
   cost += m_.params().list_processing_per_elem * (ps.stored.size() - after + 1);
@@ -385,13 +325,12 @@ void TmProtocol::acquire(LockId l) {
       [this, l, p = self_, req_vt] {
         // Manager: score the event, then route to the owner (or grant the
         // very first request directly).
-        aec::LockLap& lap = sh_->lap_of(l);
+        policy::LockLap& lap = sh_->lap_of(l);
         lap.count_acquire_event();
         auto it = sh_->owner_hint.find(l);
         if (it == sh_->owner_hint.end()) {
           sh_->owner_hint[l] = p;
-          lap.consume_notice(p);
-          lap.compute_update_set(p);
+          policy::lap_score_grant(lap, kNoProc, p);
           m_.post(m_.lock_manager(l), p, kCtl, m_.params().list_processing_per_elem,
                   [this, l, p] { peer(p).recv_grant(l, {}, {}); });
           return;
@@ -419,6 +358,8 @@ void TmProtocol::lock_request_arrive(LockId l, ProcId requester, VectorTime req_
       // queued waiter once the grant lands and the critical section ends.
       sh_->lap_of(l).enqueue_waiter(requester);
       ll.waiting.emplace_back(requester, std::move(req_vt));
+      trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                    ll.waiting.size());
       return;
     }
     const ProcId next = ll.handed_to;
@@ -432,6 +373,8 @@ void TmProtocol::lock_request_arrive(LockId l, ProcId requester, VectorTime req_
   if (ll.in_cs) {
     sh_->lap_of(l).enqueue_waiter(requester);
     ll.waiting.emplace_back(requester, std::move(req_vt));
+    trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                  ll.waiting.size());
     return;
   }
   serve_grant(l, requester, req_vt, /*engine_side=*/true);
@@ -452,10 +395,7 @@ void TmProtocol::serve_grant(LockId l, ProcId requester, const VectorTime& req_v
   }
 
   // Score LAP against realized transfers (TreadMarks never acts on it).
-  aec::LockLap& lap = sh_->lap_of(l);
-  lap.record_transfer(self_, requester);
-  lap.consume_notice(requester);
-  lap.compute_update_set(requester);
+  policy::lap_score_grant(sh_->lap_of(l), self_, requester);
 
   ll.owner = false;
   ll.handed_to = requester;
@@ -531,6 +471,7 @@ void TmProtocol::release(LockId l) {
     // Remaining waiters chase the new owner.
     std::deque<std::pair<ProcId, VectorTime>> rest;
     rest.swap(ll.waiting);
+    trace_counter(trace::names::kLockQueueDepth, proc().now(), 0);
     for (auto& [r, rvt] : rest) {
       sh_->lap_of(l).dequeue_waiter();
       proc().advance(m_.params().message_overhead, sim::Bucket::kSynch);
@@ -556,6 +497,8 @@ void TmProtocol::requeue_request(LockId l, ProcId requester, VectorTime req_vt) 
       // lock_request_arrive).
       sh_->lap_of(l).enqueue_waiter(requester);
       ll.waiting.emplace_back(requester, std::move(req_vt));
+      trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                    ll.waiting.size());
       return;
     }
     const ProcId next = ll.handed_to;
@@ -569,6 +512,8 @@ void TmProtocol::requeue_request(LockId l, ProcId requester, VectorTime req_vt) 
   if (ll.in_cs) {
     sh_->lap_of(l).enqueue_waiter(requester);
     ll.waiting.emplace_back(requester, std::move(req_vt));
+    trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                  ll.waiting.size());
     return;
   }
   serve_grant(l, requester, req_vt, /*engine_side=*/true);
@@ -673,11 +618,23 @@ void TmProtocol::recv_barrier_release(VectorTime merged,
 // Suite
 // --------------------------------------------------------------------------
 
+policy::ConsistencyPolicy TmSuite::default_policy() {
+  const policy::ConsistencyPolicy* p = policy::find_policy("TreadMarks");
+  AECDSM_CHECK(p != nullptr);
+  return *p;
+}
+
+TmSuite::TmSuite(policy::ConsistencyPolicy pol) : pol_(std::move(pol)) {
+  policy::validate(pol_);
+  AECDSM_CHECK_MSG(pol_.family == policy::Family::kTmk,
+                   "TmSuite asked to run non-TreadMarks policy '" << pol_.name << "'");
+}
+
 dsm::ProtocolSuite TmSuite::suite() {
   dsm::ProtocolSuite s;
-  s.name = "TreadMarks";
+  s.name = pol_.name;
   s.make = [this](dsm::Machine& m, ProcId p) -> std::unique_ptr<dsm::Protocol> {
-    if (p == 0) shared_ = std::make_shared<TmShared>(m.params());
+    if (p == 0) shared_ = std::make_shared<TmShared>(m.params(), pol_);
     return std::make_unique<TmProtocol>(m, p, shared_);
   };
   return s;

@@ -29,13 +29,15 @@
 #include <set>
 #include <vector>
 
-#include "aec/lap.hpp"
 #include "common/stats.hpp"
 #include "dsm/context.hpp"
 #include "dsm/machine.hpp"
 #include "dsm/protocol.hpp"
 #include "dsm/system.hpp"
 #include "mem/diff.hpp"
+#include "policy/engine.hpp"
+#include "policy/lap.hpp"
+#include "policy/policy.hpp"
 #include "sim/processor.hpp"
 
 namespace aecdsm::tmk {
@@ -54,9 +56,11 @@ struct NoticeEntry {
 
 /// Run-wide TreadMarks state (manager hints, barrier gather, LAP scorer).
 struct TmShared {
-  TmShared(const SystemParams& p) : params(p) {}
+  TmShared(const SystemParams& p, policy::ConsistencyPolicy pol)
+      : params(p), policy(std::move(pol)) {}
 
   const SystemParams params;
+  const policy::ConsistencyPolicy policy;
   std::vector<TmProtocol*> nodes;
 
   /// Manager-side owner hints (start: manager grants first requester).
@@ -79,25 +83,17 @@ struct TmShared {
   std::uint64_t diff_seq = 1;
 
   /// Scoring-only LAP instances (paper §5.1: LAP accuracy under TreadMarks).
-  std::map<LockId, aec::LockLap> lap;
+  std::map<LockId, policy::LockLap> lap;
 
-  aec::LockLap& lap_of(LockId l) {
-    auto it = lap.find(l);
-    if (it == lap.end()) {
-      it = lap.emplace(l, aec::LockLap(params.num_procs, params.update_set_size,
-                                       params.affinity_threshold))
-               .first;
-    }
-    return it->second;
-  }
+  policy::LockLap& lap_of(LockId l) { return policy::scoring_lap(lap, params, l); }
 };
 
-class TmProtocol : public dsm::Protocol {
+class TmProtocol : public policy::PolicyEngine {
  public:
   TmProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<TmShared> shared);
   ~TmProtocol() override;
 
-  std::string name() const override { return "TreadMarks"; }
+  std::string name() const override { return pol_.name; }
 
   void on_read_fault(PageId page) override;
   void on_write_fault(PageId page) override;
@@ -105,7 +101,6 @@ class TmProtocol : public dsm::Protocol {
   void release(LockId lock) override;
   void barrier() override;
   void acquire_notice(LockId lock) override;
-  DiffStats diff_stats() const override { return dstats_; }
 
   const TmShared& shared() const { return *sh_; }
 
@@ -146,18 +141,10 @@ class TmProtocol : public dsm::Protocol {
   };
 
   // Helpers.
-  sim::Processor& proc() { return *m_.node(self_).proc; }
-  dsm::Context& ctx() { return *m_.node(self_).ctx; }
-  mem::PageStore& store() { return *m_.node(self_).store; }
   TmProtocol& peer(ProcId p) { return *sh_->nodes[static_cast<std::size_t>(p)]; }
   PageState& page(PageId pg) { return pages_[pg]; }
 
   static std::uint64_t vt_sum(const VectorTime& vt);
-
-  void send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
-                     std::function<void()> handler, sim::Bucket bucket);
-  void post_dynamic(ProcId from, ProcId to, std::size_t bytes,
-                    std::function<Cycles()> cost, std::function<void()> handler);
 
   /// End the current interval: bump own clock, log the dirty set.
   void end_interval();
@@ -190,8 +177,6 @@ class TmProtocol : public dsm::Protocol {
   void mgr_barrier_arrive(ProcId p, VectorTime vt, std::vector<NoticeEntry> entries);
   void recv_barrier_release(VectorTime merged, std::vector<NoticeEntry> entries);
 
-  dsm::Machine& m_;
-  const ProcId self_;
   std::shared_ptr<TmShared> sh_;
 
   VectorTime vt_;
@@ -209,18 +194,24 @@ class TmProtocol : public dsm::Protocol {
   bool barrier_release_ = false;
   std::uint32_t last_barrier_own_ = 0;  ///< own clock at the previous barrier
   std::uint64_t invalidations_pending_cost_ = 0;
-
-  DiffStats dstats_;
 };
 
 /// Suite factory (mirrors aec::AecSuite).
 class TmSuite {
  public:
+  /// Runs `pol` (family kTmk) on the TreadMarks engine.
+  explicit TmSuite(policy::ConsistencyPolicy pol = default_policy());
+
   dsm::ProtocolSuite suite();
   const TmShared* shared() const { return shared_.get(); }
   std::shared_ptr<const TmShared> shared_handle() const { return shared_; }
 
+  const policy::ConsistencyPolicy& policy() const { return pol_; }
+
  private:
+  static policy::ConsistencyPolicy default_policy();
+
+  policy::ConsistencyPolicy pol_;
   std::shared_ptr<TmShared> shared_;
 };
 

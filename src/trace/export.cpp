@@ -63,6 +63,20 @@ void append_perfetto_events(Value& trace_events, const Recorder& rec,
   }
   for (const Event& e : rec.events()) {
     Value row = Value::object();
+    if (e.cat == Category::kCounter) {
+      // Perfetto counter track: one "C" event per sample; the args value
+      // becomes the track's y-value. The node rides in the name ("tid" does
+      // not scope counters the way it scopes slices), so each node gets its
+      // own track per counter name.
+      row["ph"] = Value("C");
+      row["pid"] = Value(pid);
+      row["cat"] = Value(category_name(e.cat));
+      row["name"] = Value(std::string(e.name) + " node" + std::to_string(e.node));
+      row["ts"] = Value(e.t_start);
+      row["args"][e.name] = Value(e.a0);
+      trace_events.append(std::move(row));
+      continue;
+    }
     row["ph"] = Value(e.is_span() ? "X" : "i");
     row["pid"] = Value(pid);
     row["tid"] = Value(e.node);

@@ -15,6 +15,7 @@ const char* category_name(Category cat) {
     case Category::kLap: return "lap";
     case Category::kNet: return "net";
     case Category::kSvc: return "svc";
+    case Category::kCounter: return "counter";
   }
   return "?";
 }

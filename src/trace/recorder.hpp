@@ -39,6 +39,7 @@ enum class Category : std::uint8_t {
   kLap,      // lap.predict / lap.push
   kNet,      // net.send / net.retx / net.ack / net.push
   kSvc,      // svc — engine-side message service occupancy on a node
+  kCounter,  // sampled numeric tracks: lockq.depth / diff.outstanding
 };
 
 const char* category_name(Category cat);
@@ -65,6 +66,9 @@ inline constexpr const char* kNetRetx = "net.retx";
 inline constexpr const char* kNetAck = "net.ack";
 inline constexpr const char* kNetPush = "net.push";
 inline constexpr const char* kService = "svc";
+/// Counter tracks (Category::kCounter; exported as Perfetto "C" events).
+inline constexpr const char* kLockQueueDepth = "lockq.depth";
+inline constexpr const char* kDiffOutstanding = "diff.outstanding";
 }  // namespace names
 
 /// One recorded event. `t_start == t_end` marks an instant, otherwise the
@@ -105,6 +109,7 @@ class Recorder {
   void instant(ProcId, Category, const char*, Cycles,
                const char* = nullptr, std::uint64_t = 0,
                const char* = nullptr, std::uint64_t = 0) {}
+  void counter(ProcId, const char*, Cycles, std::uint64_t) {}
 #else
   /// Record a span covering [t0, t1). A span with t1 <= t0 degrades to an
   /// instant at t0 (zero-cost diff work, e.g. an empty page list).
@@ -117,6 +122,14 @@ class Recorder {
                const char* k0 = nullptr, std::uint64_t a0 = 0,
                const char* k1 = nullptr, std::uint64_t a1 = 0) {
     span(node, cat, name, t, t, k0, a0, k1, a1);
+  }
+
+  /// Record one sample of a per-node numeric track (queue depths,
+  /// outstanding-diff counts). Samples are step-wise: the value holds until
+  /// the next sample of the same (node, name) track. Exported as Perfetto
+  /// "C" counter events.
+  void counter(ProcId node, const char* name, Cycles t, std::uint64_t value) {
+    span(node, Category::kCounter, name, t, t, "value", value);
   }
 #endif
 

@@ -43,9 +43,10 @@ class PingPongApp : public apps::AppBase {
 
 RunStats run_aec(dsm::App& app, const SystemParams& params, bool lap,
                  std::shared_ptr<const aec::AecShared>* shared_out = nullptr) {
-  aec::AecConfig cfg;
-  cfg.lap_enabled = lap;
-  aec::AecSuite suite(cfg);
+  const policy::ConsistencyPolicy* pol =
+      policy::find_policy(lap ? "AEC" : "AEC-noLAP");
+  EXPECT_NE(pol, nullptr);
+  aec::AecSuite suite(*pol);
   dsm::RunConfig rc;
   rc.params = params;
   const RunStats stats = dsm::run_app(app, suite.suite(), rc);
@@ -240,9 +241,10 @@ TEST(AecProtocol, WorksWithUpdateSetSizeSweep) {
 }
 
 TEST(AecProtocol, VirtualQueueDisableIsHonoured) {
-  aec::AecConfig cfg;
-  cfg.use_virtual_queue = false;
-  aec::AecSuite suite(cfg);
+  policy::ConsistencyPolicy pol = *policy::find_policy("AEC");
+  pol.name = "AEC-noVQ";
+  pol.lap_virtual_queue = false;
+  aec::AecSuite suite(pol);
   PingPongApp app(6);
   dsm::RunConfig rc;
   rc.params = small_params(4);

@@ -202,6 +202,59 @@ TEST(ArtifactDiff, BenchAllDocumentsFlattenPerBenchScopes) {
   EXPECT_FALSE(r.gate_failed());
 }
 
+TEST(ArtifactDiff, SubsetModeIgnoresOneSidedCellsAndCrossesScopes) {
+  // Baseline: a bench-all document with scoped cells. New: a plain batch
+  // sweep (no scopes, different labels) sharing one cell's simulation
+  // inputs and adding one preset the baseline has never seen. Subset mode
+  // aligns the shared cell across the scope/label mismatch and waves the
+  // one-sided cells through instead of failing the gate.
+  Value combined = Value::object();
+  combined["schema"] = Value(ad::kBenchAllSchema);
+  combined["plan"] = Value("bench_all");
+  Value benches = Value::object();
+  benches["fig3"] = make_doc({make_cell("AEC/IS", "AEC", "IS", 100),
+                              make_cell("AEC/FFT", "AEC", "FFT", 200)});
+  combined["benches"] = std::move(benches);
+  const ad::Document baseline = ad::load(combined, "baseline");
+
+  const Value sweep = make_doc({make_cell("matrix:AEC/IS", "AEC", "IS", 100),
+                                make_cell("matrix:Hybrid/IS", "Hybrid", "IS", 150)});
+  const ad::Document matrix = ad::load(sweep, "matrix");
+
+  const ad::DiffResult strict = ad::diff(baseline, matrix, {});
+  EXPECT_TRUE(strict.gate_failed());  // scope mismatch: nothing aligns
+
+  const ad::DiffResult r = ad::diff(baseline, matrix, {}, /*subset=*/true);
+  EXPECT_TRUE(r.subset);
+  EXPECT_EQ(r.compared, 1u);
+  EXPECT_EQ(r.identical, 1u);
+  EXPECT_EQ(r.ignored, 1u);  // the hybrid-only cell
+  EXPECT_TRUE(r.added.empty());
+  EXPECT_TRUE(r.removed.empty());  // baseline-only AEC/FFT is not reported
+  EXPECT_FALSE(r.gate_failed());
+  EXPECT_EQ(ad::gate_exit_code(r), 0);
+  const Value out = ad::to_json(r);
+  EXPECT_TRUE(out.at("subset").as_bool());
+  EXPECT_EQ(out.at("ignored").as_uint(), 1u);
+}
+
+TEST(ArtifactDiff, SubsetModeStillGatesOnChangedSharedCells) {
+  // Subset mode relaxes coverage, not correctness: a shared cell whose
+  // metrics moved fails the gate exactly as a strict diff would.
+  const Value before = make_doc({make_cell("AEC/IS", "AEC", "IS", 100)});
+  const Value after =
+      make_doc({make_cell("matrix:AEC/IS", "AEC", "IS", 101),
+                make_cell("matrix:Hybrid/IS", "Hybrid", "IS", 150)});
+  const ad::DiffResult r =
+      ad::diff(ad::load(before, "a"), ad::load(after, "b"), {}, /*subset=*/true);
+  EXPECT_EQ(r.compared, 1u);
+  EXPECT_EQ(r.ignored, 1u);
+  ASSERT_EQ(r.changed.size(), 1u);
+  EXPECT_TRUE(r.changed[0].matched_by_hash);
+  EXPECT_TRUE(r.gate_failed());
+  EXPECT_EQ(ad::gate_exit_code(r), 1);
+}
+
 TEST(ArtifactDiff, SchemaErrorsAreClearNotCrashes) {
   // Missing schema.
   Value no_schema = Value::object();

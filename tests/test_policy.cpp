@@ -1,0 +1,192 @@
+// Conformance suite for the policy engine: every policy in the registry —
+// the three legacy protocol presets, the AEC-noLAP ablation and the hybrid
+// AEC-TmkBarrier — must honour the same observable contract regardless of
+// which engine family interprets it: lock acquire/release gives mutual
+// exclusion and release-to-acquire visibility, barriers make all prior
+// writes visible, diff accounting is internally consistent, real apps pass
+// their sequential oracles, and the same seed reproduces the run cycle for
+// cycle. Plus the registry itself: unknown names fail with every registered
+// name in the message, and a per-region policy built from RegionRule runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/check.hpp"
+#include "dsm/shared_array.hpp"
+#include "harness/json_out.hpp"
+#include "policy/instance.hpp"
+#include "policy/policy.hpp"
+#include "tests/test_util.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+std::string safe_name(std::string s) {
+  std::replace(s.begin(), s.end(), '-', '_');
+  return s;
+}
+
+class PolicyConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyConformance, AcquireReleaseGivesExclusionAndVisibility) {
+  // Lock-protected read-modify-write of one shared word: any lost update
+  // means a release's writes were not visible to the next acquirer.
+  dsm::SharedArray<std::uint32_t> counter;
+  constexpr int kIters = 8;
+  LambdaApp app(
+      "policy_counter", 4096,
+      [&](dsm::Machine& m) { counter = dsm::SharedArray<std::uint32_t>::alloc(m, 1); },
+      [&](dsm::Context& ctx) {
+        for (int i = 0; i < kIters; ++i) {
+          ctx.lock(0);
+          counter.put(ctx, 0, counter.get(ctx, 0) + 1);
+          ctx.unlock(0);
+          ctx.compute(50);
+        }
+        ctx.barrier();
+        if (ctx.pid() == 0) {
+          app.set_ok(counter.get(ctx, 0) ==
+                     static_cast<std::uint32_t>(kIters * ctx.nprocs()));
+        }
+      });
+  const RunStats stats = run_protocol(app, GetParam(), small_params());
+  EXPECT_TRUE(stats.result_valid) << "lost update under " << GetParam();
+  EXPECT_EQ(stats.sync.lock_acquires, static_cast<std::uint64_t>(kIters * 4));
+  EXPECT_EQ(stats.sync.barrier_events, 1u);
+}
+
+TEST_P(PolicyConformance, BarrierMakesAllPriorWritesVisible) {
+  // Each processor writes its own chunk before the barrier and audits its
+  // neighbour's after it — every word must have crossed, whichever of
+  // directive routing, notice exchange or flush-gather the policy uses.
+  dsm::SharedArray<std::uint32_t> data;
+  dsm::SharedArray<std::uint32_t> verdict;
+  constexpr int kWords = 96;  // ~1.5 pages per processor at 256-byte pages
+  LambdaApp app(
+      "policy_exchange", 64 * 1024,
+      [&](dsm::Machine& m) {
+        data = dsm::SharedArray<std::uint32_t>::alloc(m, kWords * 4);
+        verdict = dsm::SharedArray<std::uint32_t>::alloc(m, 4);
+      },
+      [&](dsm::Context& ctx) {
+        const int me = ctx.pid();
+        for (int i = 0; i < kWords; ++i) {
+          data.put(ctx, static_cast<std::size_t>(me * kWords + i),
+                   static_cast<std::uint32_t>(me * 100000 + i));
+        }
+        ctx.barrier();
+        const int nb = (me + 1) % ctx.nprocs();
+        bool good = true;
+        for (int i = 0; i < kWords; ++i) {
+          good &= data.get(ctx, static_cast<std::size_t>(nb * kWords + i)) ==
+                  static_cast<std::uint32_t>(nb * 100000 + i);
+        }
+        verdict.put(ctx, static_cast<std::size_t>(me), good ? 1 : 0);
+        ctx.barrier();
+        if (ctx.pid() == 0) {
+          bool all = true;
+          for (int p = 0; p < ctx.nprocs(); ++p) {
+            all &= verdict.get(ctx, static_cast<std::size_t>(p)) == 1;
+          }
+          app.set_ok(all);
+        }
+      });
+  const RunStats stats = run_protocol(app, GetParam(), small_params());
+  EXPECT_TRUE(stats.result_valid) << "stale read after barrier under " << GetParam();
+  EXPECT_EQ(stats.sync.barrier_events, 2u);
+}
+
+TEST_P(PolicyConformance, DiffStatsAreInternallyConsistent) {
+  auto app = apps::make_app("IS", apps::Scale::kSmall);
+  const RunStats stats = run_protocol(*app, GetParam(), small_params());
+  ASSERT_TRUE(stats.result_valid);
+  // A write-shared app makes every engine create diffs; each created diff
+  // costs cycles and encodes at least one byte.
+  EXPECT_GT(stats.diffs.diffs_created, 0u);
+  EXPECT_GT(stats.diffs.diff_bytes, 0u);
+  EXPECT_GT(stats.diffs.create_cycles, 0u);
+  // Hidden cycles are a subset of the respective totals.
+  EXPECT_LE(stats.diffs.create_hidden_cycles, stats.diffs.create_cycles);
+  EXPECT_LE(stats.diffs.apply_hidden_cycles, stats.diffs.apply_cycles);
+  if (stats.diffs.diffs_applied > 0) {
+    EXPECT_GT(stats.diffs.apply_cycles, 0u);
+  } else {
+    EXPECT_EQ(stats.diffs.apply_cycles, 0u);
+  }
+}
+
+TEST_P(PolicyConformance, RealAppsPassTheirOracles) {
+  for (const char* name : {"IS", "Water-sp"}) {
+    auto app = apps::make_app(name, apps::Scale::kSmall);
+    const RunStats stats = run_protocol(*app, GetParam(), small_params());
+    EXPECT_TRUE(stats.result_valid) << name << " under " << GetParam();
+  }
+}
+
+TEST_P(PolicyConformance, SameSeedReproducesTheRunExactly) {
+  auto run_once = [&] {
+    auto app = apps::make_app("IS", apps::Scale::kSmall);
+    return run_protocol(*app, GetParam(), small_params(), /*seed=*/7);
+  };
+  const RunStats a = run_once();
+  const RunStats b = run_once();
+  ASSERT_TRUE(a.result_valid);
+  // Byte-compare the full serialization: finish time, traffic, diff and
+  // fault accounting, and every per-processor bucket.
+  EXPECT_EQ(harness::to_json(a).dump(), harness::to_json(b).dump());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, PolicyConformance, ::testing::ValuesIn(policy::registered_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return safe_name(info.param);
+    });
+
+TEST(PolicyRegistry, UnknownNameErrorListsEveryRegisteredPolicy) {
+  try {
+    policy::make_instance("NoSuchProtocol");
+    FAIL() << "unknown policy name accepted";
+  } catch (const SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("NoSuchProtocol"), std::string::npos) << msg;
+    for (const std::string& name : policy::registered_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "'" << name << "' missing from: " << msg;
+    }
+  }
+}
+
+TEST(PolicyRegistry, HybridPresetDiffersFromItsParentsOnTheCacheKey) {
+  const policy::ConsistencyPolicy* hybrid = policy::find_policy("AEC-TmkBarrier");
+  ASSERT_NE(hybrid, nullptr);
+  for (const char* parent : {"AEC", "TreadMarks"}) {
+    const policy::ConsistencyPolicy* p = policy::find_policy(parent);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NE(hybrid->cache_key(), p->cache_key()) << parent;
+  }
+}
+
+TEST(PolicyRegistry, PerRegionRuleRunsAndKeepsTheOracle) {
+  // A custom (unregistered) policy: stock AEC with the propagation axis
+  // flipped to invalidate for the first half of the shared image only —
+  // "resolved per-region at runtime" end to end.
+  policy::ConsistencyPolicy pol = *policy::find_policy("AEC");
+  pol.name = "AEC-halfInvalidate";
+  pol.regions.push_back({0, 31, policy::Propagation::kInvalidate});
+  policy::validate(pol);
+  EXPECT_EQ(pol.propagation_for(0), policy::Propagation::kInvalidate);
+  EXPECT_EQ(pol.propagation_for(31), policy::Propagation::kInvalidate);
+  EXPECT_EQ(pol.propagation_for(32), policy::Propagation::kUpdate);
+
+  policy::ProtocolInstance inst(pol);
+  auto app = apps::make_app("IS", apps::Scale::kSmall);
+  const RunStats stats = run_one(*app, inst.suite(), small_params(), 42);
+  EXPECT_TRUE(stats.result_valid);
+  EXPECT_EQ(stats.protocol, "AEC-halfInvalidate");
+}
+
+}  // namespace
+}  // namespace aecdsm::test

@@ -130,6 +130,24 @@ TEST(TraceExport, TraceV1Golden) {
       R"({"node":1,"cat":"net","name":"net.send","ts":140,"args":{"dst":0,"bytes":64}}]})");
 }
 
+TEST(TraceExport, CounterSamplesExportAsPerfettoCounterEvents) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec(8);
+  rec.counter(0, names::kLockQueueDepth, 100, 2);
+  rec.counter(1, names::kDiffOutstanding, 140, 5);
+  const std::string got = trace::perfetto_json(rec, toy_meta()).dump(-1);
+  // "C" phase, no tid (the node is folded into the track name), and the
+  // sample value keyed by the counter name so Perfetto plots it as y.
+  EXPECT_EQ(
+      got,
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"ph":"M","pid":0,"name":"process_name","args":{"name":"AEC/toy"}},)"
+      R"({"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"node 0"}},)"
+      R"({"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"node 1"}},)"
+      R"({"ph":"C","pid":0,"cat":"counter","name":"lockq.depth node0","ts":100,"args":{"lockq.depth":2}},)"
+      R"({"ph":"C","pid":0,"cat":"counter","name":"diff.outstanding node1","ts":140,"args":{"diff.outstanding":5}}]})");
+}
+
 // --------------------------------------------------------- OverlapAnalyzer
 
 std::vector<Event> timeline(std::vector<Event> events) {
@@ -277,6 +295,39 @@ TEST(TraceEndToEnd, AecHidesMoreDiffWorkThanTreadMarks) {
   EXPECT_GT(aec.diff_cycles, 0u);
   EXPECT_GT(tmk.diff_cycles, 0u);
   EXPECT_GT(aec.overlap_ratio(), tmk.overlap_ratio());
+}
+
+TEST(TraceEndToEnd, CounterTracksAreRecordedAndInvisibleToOverlap) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec;
+  // Water-sp is lock-heavy, so both counter tracks fire: lockq.depth at the
+  // lock managers and diff.outstanding on the write-fault path.
+  harness::run_experiment("AEC", "Water-sp", apps::Scale::kSmall,
+                          harness::paper_params(), 42, 0.0, &rec);
+  const std::vector<Event> events = rec.events();
+  bool saw_lockq = false;
+  bool saw_diffout = false;
+  std::vector<Event> stripped_events;
+  for (const Event& e : events) {
+    if (e.cat == Category::kCounter) {
+      if (std::string(e.name) == names::kLockQueueDepth) saw_lockq = true;
+      if (std::string(e.name) == names::kDiffOutstanding) saw_diffout = true;
+      continue;
+    }
+    stripped_events.push_back(e);
+  }
+  EXPECT_TRUE(saw_lockq);
+  EXPECT_TRUE(saw_diffout);
+  // Counter samples are numeric tracks, not sync-delay episodes or diff
+  // work: the overlap analysis must be identical with and without them.
+  const auto full = trace::analyze_overlap(events);
+  const auto stripped = trace::analyze_overlap(std::move(stripped_events));
+  EXPECT_EQ(full.diff_cycles, stripped.diff_cycles);
+  EXPECT_EQ(full.overlap_any, stripped.overlap_any);
+  EXPECT_EQ(full.lock_wait_cycles, stripped.lock_wait_cycles);
+  EXPECT_EQ(full.barrier_wait_cycles, stripped.barrier_wait_cycles);
+  EXPECT_EQ(full.service_cycles, stripped.service_cycles);
+  EXPECT_EQ(full.episodes.size(), stripped.episodes.size());
 }
 
 TEST(TraceEndToEnd, OverlapStatsRoundTripThroughJson) {

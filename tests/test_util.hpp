@@ -13,6 +13,7 @@
 #include "dsm/app.hpp"
 #include "dsm/system.hpp"
 #include "erc/protocol.hpp"
+#include "policy/instance.hpp"
 #include "tmk/protocol.hpp"
 
 namespace aecdsm::test {
@@ -69,29 +70,11 @@ inline RunStats run_one(dsm::App& app, dsm::ProtocolSuite suite,
   return dsm::run_app(app, suite, cfg);
 }
 
-/// All three protocol variants, by name.
+/// Any registered policy, by name (legacy presets and hybrids alike).
 inline RunStats run_protocol(dsm::App& app, const std::string& which,
                              const SystemParams& params, std::uint64_t seed = 42) {
-  if (which == "AEC") {
-    aec::AecSuite s;
-    return run_one(app, s.suite(), params, seed);
-  }
-  if (which == "AEC-noLAP") {
-    aec::AecConfig cfg;
-    cfg.lap_enabled = false;
-    aec::AecSuite s(cfg);
-    return run_one(app, s.suite(), params, seed);
-  }
-  if (which == "TreadMarks") {
-    tmk::TmSuite s;
-    return run_one(app, s.suite(), params, seed);
-  }
-  if (which == "Munin-ERC") {
-    erc::ErcSuite s;
-    return run_one(app, s.suite(), params, seed);
-  }
-  ADD_FAILURE() << "unknown protocol " << which;
-  return {};
+  policy::ProtocolInstance inst = policy::make_instance(which);
+  return run_one(app, inst.suite(), params, seed);
 }
 
 inline const char* kAllProtocols[] = {"AEC", "AEC-noLAP", "TreadMarks", "Munin-ERC"};
