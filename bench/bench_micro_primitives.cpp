@@ -24,18 +24,40 @@ std::vector<Word> make_page(std::size_t words, std::uint64_t seed) {
   return page;
 }
 
+// Diff creation, vectorized (chunked) encoder vs the scalar oracle, swept
+// over page size (words: 1 KiB / 4 KiB / 16 KiB pages) and modification
+// stride. The pair quantifies the SIMD speedup as a tracked number — the
+// same cells run warm in CI via the batch telemetry.
 void BM_DiffCreate(benchmark::State& state) {
-  const std::size_t words = 1024;
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
   auto twin = make_page(words, 1);
   auto cur = twin;
   // Modify a fraction of the words controlled by the benchmark argument.
-  const std::size_t stride = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride = static_cast<std::size_t>(state.range(1));
   for (std::size_t i = 0; i < words; i += stride) cur[i] ^= 0xDEADBEEF;
   for (auto _ : state) {
     benchmark::DoNotOptimize(mem::Diff::create(twin, cur));
   }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words * sizeof(Word)));
 }
-BENCHMARK(BM_DiffCreate)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_DiffCreate)
+    ->ArgsProduct({{256, 1024, 4096}, {1, 8, 64}});
+
+void BM_DiffCreateScalar(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  auto twin = make_page(words, 1);
+  auto cur = twin;
+  const std::size_t stride = static_cast<std::size_t>(state.range(1));
+  for (std::size_t i = 0; i < words; i += stride) cur[i] ^= 0xDEADBEEF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::Diff::create_scalar(twin, cur));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words * sizeof(Word)));
+}
+BENCHMARK(BM_DiffCreateScalar)
+    ->ArgsProduct({{256, 1024, 4096}, {1, 8, 64}});
 
 void BM_DiffApply(benchmark::State& state) {
   const std::size_t words = 1024;
@@ -53,7 +75,7 @@ void BM_DiffApply(benchmark::State& state) {
 BENCHMARK(BM_DiffApply)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_DiffMerge(benchmark::State& state) {
-  const std::size_t words = 1024;
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
   auto twin = make_page(words, 1);
   auto a = twin;
   auto b = twin;
@@ -65,7 +87,7 @@ void BM_DiffMerge(benchmark::State& state) {
     benchmark::DoNotOptimize(mem::Diff::merge(da, db));
   }
 }
-BENCHMARK(BM_DiffMerge);
+BENCHMARK(BM_DiffMerge)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_DiffMergeOverlap(benchmark::State& state) {
   // Release-point merge shape: long overlapping dirty stretches where the

@@ -34,6 +34,12 @@ AecProtocol::AecProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<AecShared
     sh_->nodes.resize(static_cast<std::size_t>(m.nprocs()), nullptr);
   }
   sh_->nodes[static_cast<std::size_t>(self)] = this;
+  // Barrier arrivals to the manager are exclusive events (the completing one
+  // rewrites every lock manager's records). Under faults, held out-of-order
+  // arrivals are released by whatever reliable carrier fills the channel
+  // gap, so every such carrier must run solo as well — registered up front,
+  // before any message is in flight.
+  m.transport().mark_exclusive_dst(m.barrier_manager());
   dsm::init_round_robin_validity(m, self);
 }
 
@@ -76,7 +82,7 @@ bool AecProtocol::wait_for_push_or_timeout(LockLocal& ll, sim::Bucket bucket) {
   // of resurrecting the old chain state.
   ll.expect_push = false;
   ll.max_counter_seen = std::max(ll.max_counter_seen, ll.grant_release_counter);
-  ++m_.transport().stats().push_timeouts;
+  ++m_.transport().stats_for(self_).push_timeouts;
   return false;
 }
 
@@ -296,7 +302,7 @@ void AecProtocol::apply_cs_diff_if_needed(PageId pg) {
         proc().wait(sim::Bucket::kData, [&ll] { return !ll.expect_push; });
       } else if (!wait_for_push_or_timeout(ll, sim::Bucket::kData)) {
         // Best-effort push lost: degrade to the noLAP lazy holder fetch.
-        ++m_.transport().stats().push_fallbacks;
+        ++m_.transport().stats_for(self_).push_fallbacks;
       }
     }
     if (auto mt = ll.merged.find(pg); mt != ll.merged.end()) {
@@ -832,11 +838,15 @@ void AecProtocol::barrier() {
       kCtl + 8 * (lock_info_elems + outside.size()) + vmap.size();
   const Cycles arrival_svc =
       params.list_processing_per_elem * (lock_info_elems + outside.size() + 2);
+  // The last arrival's handler runs the barrier computation, which resets
+  // lock records owned by every manager node — under the parallel engine it
+  // must execute alone (Engine::schedule_exclusive). The sender cannot know
+  // which arrival is last, so every arrival is posted exclusive.
   send_from_app(m_.barrier_manager(), arrival_bytes, arrival_svc,
                 [this, p = self_, lock_info, outside, vmap] {
                   mgr_handle_barrier_arrival(p, lock_info, outside, vmap);
                 },
-                sim::Bucket::kSynch);
+                sim::Bucket::kSynch, /*exclusive=*/true);
 
   // Overlap the wait with eager outside-diff creation, filtered to pages
   // other processors hold and that have seen at least one request (§3.3).
@@ -1246,11 +1256,15 @@ void AecProtocol::mgr_barrier_compute() {
 
   // Chain reset: barrier-consistent memory starts every lock afresh. The
   // epoch stamp lets the lock manager ignore chain data in release messages
-  // that were still in flight when this barrier completed.
-  for (auto& [l, rec] : sh_->locks) {
-    rec.diff_holder.clear();
-    rec.last_releaser = kNoProc;
-    rec.epoch = b.episode + 1;
+  // that were still in flight when this barrier completed. This writes every
+  // manager's shard, which is why the completing arrival runs exclusively
+  // under the parallel engine.
+  for (auto& shard : sh_->locks) {
+    for (auto& [l, rec] : shard) {
+      rec.diff_holder.clear();
+      rec.last_releaser = kNoProc;
+      rec.epoch = b.episode + 1;
+    }
   }
 
   for (int p = 0; p < n; ++p) b.arrival[static_cast<std::size_t>(p)] = {};

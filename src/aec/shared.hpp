@@ -73,7 +73,10 @@ class AecProtocol;
 
 struct AecShared {
   AecShared(const SystemParams& p, policy::ConsistencyPolicy pol)
-      : params(p), policy(std::move(pol)), home(0) {}
+      : params(p),
+        policy(std::move(pol)),
+        locks(static_cast<std::size_t>(p.num_procs)),
+        home(0) {}
 
   const SystemParams params;  ///< by value: outlives the Machine for post-run reads
   const policy::ConsistencyPolicy policy;
@@ -81,7 +84,12 @@ struct AecShared {
   /// Node protocol instances, for engine-side cross-node handler access.
   std::vector<AecProtocol*> nodes;
 
-  std::map<LockId, LockRecord> locks;
+  /// Lock records, sharded by manager node (lock % nprocs). Every handler
+  /// that touches a lock's record runs as a service on its manager, so under
+  /// the parallel engine each shard — including its lazy insertions — is
+  /// only ever mutated by that node's worker. (The cross-shard exception,
+  /// the barrier completion's chain reset, runs as an exclusive event.)
+  std::vector<std::map<LockId, LockRecord>> locks;
   BarrierEpisode barrier;
 
   /// Current home node per page (initially page % nprocs); reassigned by
@@ -89,13 +97,15 @@ struct AecShared {
   std::vector<ProcId> home;
 
   LockRecord& lock(LockId l) {
-    auto it = locks.find(l);
-    if (it == locks.end()) {
+    std::map<LockId, LockRecord>& shard =
+        locks[static_cast<std::size_t>(l % static_cast<LockId>(params.num_procs))];
+    auto it = shard.find(l);
+    if (it == shard.end()) {
       // Disabling the affinity technique is modeled as an unreachable
       // inclusion threshold (the affinity set is then always empty).
       const double threshold =
           policy.lap_affinity ? params.affinity_threshold : 1e30;
-      it = locks.emplace(l, LockRecord(params, threshold)).first;
+      it = shard.emplace(l, LockRecord(params, threshold)).first;
     }
     return it->second;
   }

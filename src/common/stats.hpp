@@ -130,6 +130,25 @@ struct TransportStats {
            push_timeouts != 0 || push_fallbacks != 0;
   }
 
+  TransportStats& operator+=(const TransportStats& o) {
+    data_sends += o.data_sends;
+    retransmits += o.retransmits;
+    timeouts += o.timeouts;
+    acks += o.acks;
+    dup_dropped += o.dup_dropped;
+    held_ooo += o.held_ooo;
+    drops_injected += o.drops_injected;
+    dups_injected += o.dups_injected;
+    delays_injected += o.delays_injected;
+    reorders_injected += o.reorders_injected;
+    paused_deliveries += o.paused_deliveries;
+    push_sends += o.push_sends;
+    push_drops += o.push_drops;
+    push_timeouts += o.push_timeouts;
+    push_fallbacks += o.push_fallbacks;
+    return *this;
+  }
+
   friend bool operator==(const TransportStats&, const TransportStats&) = default;
 };
 
@@ -194,6 +213,13 @@ struct RunStats {
   SyncStats sync;
   TransportStats transport;  ///< all-zero when fault injection is disabled
   OverlapStats overlap;      ///< all-zero unless the run was traced + analyzed
+
+  /// Total engine events of the run. Thread-count-independent (the parallel
+  /// engine replays the sequential numbering). Deliberately NOT part of the
+  /// artifact JSON — committed bench baselines and cached blobs predate it —
+  /// so it is zero for cache-served results; events-per-second telemetry
+  /// (BatchRunInfo) uses it for fresh runs only.
+  std::uint64_t engine_events = 0;
 
   bool result_valid = false;  ///< did the app's output match its sequential oracle?
 

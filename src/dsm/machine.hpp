@@ -78,6 +78,15 @@ class Machine {
   void post(ProcId from, ProcId to, std::size_t bytes, Cycles service_cost,
             std::function<void()> handler);
 
+  /// Like post(), but the delivery and the serviced handler both run as
+  /// exclusive events under the parallel engine (Engine::schedule_exclusive):
+  /// protocol handlers that mutate state owned by other nodes — e.g. a
+  /// barrier completion resetting every lock manager's records — must see
+  /// no event anywhere in the machine executing past them. Identical to
+  /// post() under the sequential engine.
+  void post_exclusive(ProcId from, ProcId to, std::size_t bytes,
+                      Cycles service_cost, std::function<void()> handler);
+
   /// Like post(), but best-effort: under fault injection the message may be
   /// dropped, duplicated, delayed or reordered, and is neither acknowledged
   /// nor retransmitted. Used for AEC's LAP update pushes, which the protocol
@@ -103,13 +112,25 @@ class Machine {
   trace::Recorder* recorder() const { return recorder_; }
 
   // --- Run-wide synchronization accounting (fed by Context) ----------------
-  void note_lock_acquire(LockId lock) {
-    ++lock_acquires_;
-    if (locks_seen_.insert(lock).second) ++distinct_locks_;
+  // Sharded per acquiring node so parallel engine workers never share a
+  // counter; the getters aggregate. Barrier episodes are counted by node 0
+  // only (and read cross-node only by the recorder, which forces the
+  // sequential engine), so a single counter stays race-free.
+  void note_lock_acquire(ProcId self, LockId lock) {
+    sync_shards_[static_cast<std::size_t>(self)].seen.insert(lock);
+    ++sync_shards_[static_cast<std::size_t>(self)].acquires;
   }
   void note_barrier_episode() { ++barrier_episodes_; }
-  std::uint64_t lock_acquires() const { return lock_acquires_; }
-  std::uint64_t distinct_locks() const { return distinct_locks_; }
+  std::uint64_t lock_acquires() const {
+    std::uint64_t total = 0;
+    for (const SyncShard& s : sync_shards_) total += s.acquires;
+    return total;
+  }
+  std::uint64_t distinct_locks() const {
+    std::set<LockId> all;
+    for (const SyncShard& s : sync_shards_) all.insert(s.seen.begin(), s.seen.end());
+    return all.size();
+  }
   std::uint64_t barrier_episodes() const { return barrier_episodes_; }
 
  private:
@@ -123,9 +144,11 @@ class Machine {
 
   trace::Recorder* recorder_ = nullptr;
 
-  std::set<LockId> locks_seen_;
-  std::uint64_t lock_acquires_ = 0;
-  std::uint64_t distinct_locks_ = 0;
+  struct alignas(64) SyncShard {
+    std::uint64_t acquires = 0;
+    std::set<LockId> seen;
+  };
+  std::vector<SyncShard> sync_shards_;
   std::uint64_t barrier_episodes_ = 0;
 };
 

@@ -20,6 +20,16 @@ void init_round_robin_validity(Machine& m, ProcId self) {
 RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) {
   Machine m(config.params, app.shared_bytes());
   if (config.recorder != nullptr) m.set_recorder(config.recorder);
+  if (config.engine_threads > 1 && config.recorder == nullptr) {
+    net::MeshNetwork& mesh = m.network();
+    m.engine().enable_parallel(
+        config.engine_threads, config.params.num_procs,
+        mesh.min_cross_latency(),
+        [&mesh](int src, int dst, std::size_t bytes, Cycles t_send) {
+          return mesh.resolve_send(src, dst, bytes, t_send);
+        },
+        [&mesh](std::size_t bytes) { mesh.note_local_send(bytes); });
+  }
   app.setup(m);
 
   for (int p = 0; p < m.nprocs(); ++p) {
@@ -69,6 +79,7 @@ RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) 
   out.sync.lock_acquires = m.lock_acquires();
   out.sync.distinct_locks = m.distinct_locks();
   out.sync.barrier_events = m.barrier_episodes();
+  out.engine_events = m.engine().events_processed();
   out.result_valid = app.ok();
   return out;
 }

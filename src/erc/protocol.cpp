@@ -232,7 +232,7 @@ void ErcProtocol::release(LockId l) {
 }
 
 void ErcProtocol::mgr_handle_request(LockId l, ProcId requester) {
-  auto& rec = sh_->locks[l];
+  auto& rec = sh_->lock(l);
   policy::LockLap& lap = sh_->lap_of(l);
   lap.count_acquire_event();
   if (rec.taken) {
@@ -245,7 +245,7 @@ void ErcProtocol::mgr_handle_request(LockId l, ProcId requester) {
 }
 
 void ErcProtocol::mgr_grant(LockId l, ProcId to) {
-  auto& rec = sh_->locks[l];
+  auto& rec = sh_->lock(l);
   rec.taken = true;
   rec.owner = to;
   // Scoring-only under ERC: the update set is computed but never acted on.
@@ -259,7 +259,7 @@ void ErcProtocol::mgr_grant(LockId l, ProcId to) {
 }
 
 void ErcProtocol::mgr_handle_release(LockId l, ProcId releaser) {
-  auto& rec = sh_->locks[l];
+  auto& rec = sh_->lock(l);
   AECDSM_CHECK(rec.taken && rec.owner == releaser);
   rec.last_releaser = releaser;
   rec.taken = false;

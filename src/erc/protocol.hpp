@@ -48,7 +48,10 @@ class ErcProtocol;
 /// the scoring-only LAP instances.
 struct ErcShared {
   ErcShared(const SystemParams& p, policy::ConsistencyPolicy pol)
-      : params(p), policy(std::move(pol)) {}
+      : params(p),
+        policy(std::move(pol)),
+        locks(static_cast<std::size_t>(p.num_procs)),
+        lap(static_cast<std::size_t>(p.num_procs)) {}
 
   const SystemParams params;
   const policy::ConsistencyPolicy policy;
@@ -59,7 +62,11 @@ struct ErcShared {
     ProcId owner = kNoProc;
     ProcId last_releaser = kNoProc;
   };
-  std::map<LockId, LockRecord> locks;
+  /// Lock records and LAP instances, sharded by manager node (lock %
+  /// nprocs): ERC's lock handling is fully centralized at the manager, so
+  /// each shard — including lazy insertion — is only ever touched by that
+  /// node's worker under the parallel engine.
+  std::vector<std::map<LockId, LockRecord>> locks;
 
   /// Copyset bitmask per page (bit p = processor p caches the page).
   std::vector<std::uint64_t> copyset;
@@ -68,9 +75,17 @@ struct ErcShared {
     int arrived = 0;
   } barrier;
 
-  std::map<LockId, policy::LockLap> lap;
+  std::vector<std::map<LockId, policy::LockLap>> lap;
 
-  policy::LockLap& lap_of(LockId l) { return policy::scoring_lap(lap, params, l); }
+  LockRecord& lock(LockId l) {
+    return locks[static_cast<std::size_t>(
+        l % static_cast<LockId>(params.num_procs))][l];
+  }
+  policy::LockLap& lap_of(LockId l) {
+    return policy::scoring_lap(
+        lap[static_cast<std::size_t>(l % static_cast<LockId>(params.num_procs))],
+        params, l);
+  }
 };
 
 class ErcProtocol : public policy::PolicyEngine {

@@ -60,7 +60,12 @@ namespace {
       "                  trace_event file (load in Perfetto / chrome://tracing)\n"
       "  --trace-dir D   record every cell and write per-cell trace files\n"
       "                  (<label>.trace.json + <label>.perfetto.json) into D\n"
-      "                  (tracing bypasses the cell cache: every cell simulates)\n",
+      "                  (tracing bypasses the cell cache: every cell simulates)\n"
+      "  --engine-threads N  simulate each cell on N engine worker threads\n"
+      "                  (conservative parallel mode; byte-identical results,\n"
+      "                  same cache key — default 1, env AECDSM_ENGINE_THREADS)\n"
+      "  --verify-cache  debug: re-simulate the first warm cache hit cold and\n"
+      "                  fail unless the artifacts match byte for byte\n",
       argv0);
   std::exit(0);
 }
@@ -91,6 +96,10 @@ BatchOptions parse_batch_cli(int& argc, char** argv) {
   if (const char* env = std::getenv("AECDSM_MAX_MEM")) {
     const long mb = std::atol(env);
     if (mb > 0) opts.max_mem_mb = static_cast<std::size_t>(mb);
+  }
+  if (const char* env = std::getenv("AECDSM_ENGINE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) opts.engine_threads = n;
   }
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -128,6 +137,16 @@ BatchOptions parse_batch_cli(int& argc, char** argv) {
       opts.trace_path = value;
     } else if (flag_value(argc, argv, i, "--trace-dir", value)) {
       opts.trace_dir = value;
+    } else if (flag_value(argc, argv, i, "--engine-threads", value)) {
+      opts.engine_threads = std::atoi(value.c_str());
+      if (opts.engine_threads <= 0) {
+        std::fprintf(stderr,
+                     "%s: --engine-threads wants a positive integer, got '%s'\n",
+                     argv[0], value.c_str());
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--verify-cache") == 0) {
+      opts.verify_cache = true;
     } else if (flag_value(argc, argv, i, "--cell-timeout", value)) {
       opts.cell_timeout_sec = std::atof(value.c_str());
       if (opts.cell_timeout_sec <= 0) {
@@ -281,6 +300,24 @@ void write_trace_files(const BatchOptions& opts, const ExperimentPlan& plan,
 BatchRunner::BatchRunner(BatchOptions opts)
     : opts_(std::move(opts)), jobs_(ThreadPool::resolve_jobs(opts_.jobs)) {}
 
+void BatchRunner::verify_warm_hit(const ExperimentCell& cell,
+                                  const ExperimentResult& warm) const {
+  const ExperimentResult cold =
+      run_experiment(cell.protocol, cell.app, cell.scale, cell.params, cell.seed,
+                     opts_.cell_timeout_sec, nullptr, opts_.engine_threads);
+  const std::string warm_doc =
+      to_json(warm.stats).dump() + "\n" + lap_json(warm).dump();
+  const std::string cold_doc =
+      to_json(cold.stats).dump() + "\n" + lap_json(cold).dump();
+  AECDSM_CHECK_MSG(warm_doc == cold_doc,
+                   "--verify-cache: warm hit for cell '"
+                       << cell.label
+                       << "' differs from a cold re-simulation — the cache "
+                          "served a stale or colliding blob");
+  std::fprintf(stderr, "[cache] verify: cell '%s' warm == cold\n",
+               cell.label.c_str());
+}
+
 std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
   const std::size_t n = plan.cells.size();
   std::vector<ExperimentResult> results(n);
@@ -301,6 +338,7 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
   // Serve every memoized cell first; only the misses are simulated.
   std::vector<std::string> hashes(n);
   std::vector<std::size_t> misses;
+  std::size_t first_hit = n;
   for (std::size_t i = 0; i < n; ++i) {
     if (cache != nullptr) hashes[i] = CellCache::cell_hash(plan.cells[i]);
     if (cache != nullptr && !opts_.refresh) {
@@ -308,10 +346,16 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
         results[i] = std::move(*hit);
         executed[i] = 1;
         ++info_.cache_hits;
+        if (first_hit == n) first_hit = i;
         continue;
       }
     }
     misses.push_back(i);
+  }
+
+  if (opts_.verify_cache && first_hit < n) {
+    verify_warm_hit(plan.cells[first_hit], results[first_hit]);
+    ++info_.cache_verified;
   }
 
   if (cache != nullptr && misses.size() > 1) {
@@ -319,6 +363,7 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
   }
 
   TelemetryMap fresh_telemetry;
+  TelemetryMap fresh_events;
   std::mutex telemetry_mu;
   MemGate mem_gate(opts_.max_mem_mb * 1024 * 1024);
   {
@@ -341,7 +386,8 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
         try {
           results[i] = run_experiment(cell.protocol, cell.app, cell.scale,
                                       cell.params, cell.seed,
-                                      opts_.cell_timeout_sec, rec);
+                                      opts_.cell_timeout_sec, rec,
+                                      opts_.engine_threads);
           if (rec != nullptr) {
             results[i].stats.overlap =
                 trace::to_overlap_stats(trace::analyze_overlap(*rec));
@@ -349,10 +395,29 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
           const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                                   std::chrono::steady_clock::now() - start)
                                   .count();
+          const std::uint64_t events = results[i].stats.engine_events;
+          const std::uint64_t eps =
+              (events > 0 && micros > 0)
+                  ? events * 1000000u / static_cast<std::uint64_t>(micros)
+                  : 0;
+          if (eps > 0) {
+            std::fprintf(stderr,
+                         "[telemetry] %s: %llu events in %.3fs — %llu events/s "
+                         "(engine threads=%d)\n",
+                         cell.label.c_str(), static_cast<unsigned long long>(events),
+                         static_cast<double>(micros) / 1e6,
+                         static_cast<unsigned long long>(eps), opts_.engine_threads);
+          }
+          {
+            std::lock_guard<std::mutex> lk(telemetry_mu);
+            info_.engine_events += events;
+            info_.sim_wall_us += static_cast<std::uint64_t>(micros);
+          }
           if (cache != nullptr) {
             cache->store(cell, results[i]);
             std::lock_guard<std::mutex> lk(telemetry_mu);
             fresh_telemetry[hashes[i]] = static_cast<std::uint64_t>(micros);
+            if (eps > 0) fresh_events[hashes[i]] = eps;
           }
         } catch (const TimeoutError& e) {
           // A stuck cell is a recorded outcome, not a batch failure: mark it
@@ -374,7 +439,7 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
     }
     pool.wait_all();
   }
-  if (cache != nullptr) cache->merge_telemetry(fresh_telemetry);
+  if (cache != nullptr) cache->merge_telemetry(fresh_telemetry, fresh_events);
   if (opts_.tracing()) write_trace_files(opts_, plan, results, recorders);
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -386,6 +451,17 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
     }
   }
   info_.simulated = n - info_.cache_hits - info_.skipped;
+  if (info_.engine_events > 0 && info_.sim_wall_us > 0) {
+    std::fprintf(stderr,
+                 "[telemetry] %s: %llu engine events in %.3fs — %llu events/s "
+                 "aggregate (engine threads=%d)\n",
+                 plan.name.c_str(),
+                 static_cast<unsigned long long>(info_.engine_events),
+                 static_cast<double>(info_.sim_wall_us) / 1e6,
+                 static_cast<unsigned long long>(info_.engine_events * 1000000u /
+                                                 info_.sim_wall_us),
+                 opts_.engine_threads);
+  }
   if (cache != nullptr) {
     std::fprintf(stderr, "[cache] %s: hits=%zu simulated=%zu skipped=%zu dir=%s\n",
                  plan.name.c_str(), info_.cache_hits, info_.simulated, info_.skipped,

@@ -77,6 +77,14 @@ struct BatchOptions {
   /// Write per-cell trace files (<label>.trace.json in the aecdsm-trace-v1
   /// schema plus <label>.perfetto.json) into this directory. "" = off.
   std::string trace_dir;
+  /// Engine worker threads per cell (>1 = the conservative parallel engine;
+  /// results are byte-identical to sequential for any value, so the cell
+  /// cache key deliberately does not include this).
+  int engine_threads = 1;
+  /// Debug: after serving cache hits, re-simulate the first warm hit cold
+  /// and fail the batch (SimError) unless the artifacts match byte for
+  /// byte. Guards the cache against key collisions and stale blobs.
+  bool verify_cache = false;
 
   /// Either trace sink requested. Tracing forces every cell to simulate —
   /// the cell cache is bypassed entirely (no loads, no stores, no
@@ -101,6 +109,12 @@ struct BatchRunInfo {
   std::size_t skipped = 0;
   /// Cells aborted by --cell-timeout (they count as simulated as well).
   std::size_t timeouts = 0;
+  /// Warm hits re-simulated and compared byte-for-byte (--verify-cache).
+  std::size_t cache_verified = 0;
+  /// Engine events and host wall time summed over freshly simulated cells
+  /// (cache hits carry no event count), for events/sec telemetry.
+  std::uint64_t engine_events = 0;
+  std::uint64_t sim_wall_us = 0;
 };
 
 /// Estimated peak host-memory footprint of one cell in bytes: the shared
@@ -176,6 +190,12 @@ class BatchRunner {
   int jobs() const { return jobs_; }
 
  private:
+  /// --verify-cache: re-simulate `cell` cold (same engine-thread setting)
+  /// and throw SimError unless its serialized stats and LAP scores match
+  /// the warm result byte for byte.
+  void verify_warm_hit(const ExperimentCell& cell,
+                       const ExperimentResult& warm) const;
+
   BatchOptions opts_;
   int jobs_;
   BatchRunInfo info_;

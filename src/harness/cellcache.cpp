@@ -195,19 +195,45 @@ TelemetryMap CellCache::load_telemetry() const {
   return out;
 }
 
-void CellCache::merge_telemetry(const TelemetryMap& updates) const {
-  if (updates.empty()) return;
+TelemetryMap CellCache::load_events_telemetry() const {
+  TelemetryMap out;
+  const std::string text = read_file(telemetry_path());
+  if (text.empty()) return out;
+  try {
+    const json::Value doc = json::Value::parse(text);
+    if (doc.at("schema").as_string() != kTelemetrySchema) return out;
+    const json::Value* eps_obj = doc.find("events_per_sec");
+    if (eps_obj == nullptr) return out;  // pre-section file
+    for (const auto& [hash, eps] : eps_obj->entries()) {
+      out[hash] = eps.as_uint();
+    }
+  } catch (const SimError&) {
+    out.clear();
+  }
+  return out;
+}
+
+void CellCache::merge_telemetry(const TelemetryMap& updates,
+                                const TelemetryMap& events_per_sec) const {
+  if (updates.empty() && events_per_sec.empty()) return;
   // Concurrent batch runs merge into the same telemetry.json; without the
   // lock two read-modify-write cycles could interleave and silently drop
   // one run's durations.
   FileLock lock((fs::path(dir_) / "telemetry.lock").string());
   TelemetryMap merged = load_telemetry();
   for (const auto& [hash, micros] : updates) merged[hash] = micros;
+  TelemetryMap merged_eps = load_events_telemetry();
+  for (const auto& [hash, eps] : events_per_sec) merged_eps[hash] = eps;
   json::Value doc = json::Value::object();
   doc["schema"] = json::Value(kTelemetrySchema);
   json::Value cells = json::Value::object();
   for (const auto& [hash, micros] : merged) cells[hash] = json::Value(micros);
   doc["cells"] = std::move(cells);
+  if (!merged_eps.empty()) {
+    json::Value eps_obj = json::Value::object();
+    for (const auto& [hash, eps] : merged_eps) eps_obj[hash] = json::Value(eps);
+    doc["events_per_sec"] = std::move(eps_obj);
+  }
   write_file_atomic(telemetry_path(), doc.dump() + "\n");
 }
 

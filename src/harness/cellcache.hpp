@@ -65,9 +65,15 @@ class CellCache {
   /// Wall-clock telemetry of previous runs; empty when none recorded.
   TelemetryMap load_telemetry() const;
 
-  /// Fold fresh per-cell durations into the telemetry file (last
-  /// observation wins per cell).
-  void merge_telemetry(const TelemetryMap& updates) const;
+  /// Engine events/sec of previous fresh simulations (an additive
+  /// "events_per_sec" section of the same telemetry document — files
+  /// written before the section existed simply have none).
+  TelemetryMap load_events_telemetry() const;
+
+  /// Fold fresh per-cell durations (and, when non-empty, engine events/sec)
+  /// into the telemetry file (last observation wins per cell).
+  void merge_telemetry(const TelemetryMap& updates,
+                       const TelemetryMap& events_per_sec = {}) const;
 
  private:
   std::string blob_path(const std::string& hash) const;

@@ -5,11 +5,16 @@ namespace aecdsm::harness {
 std::map<LockId, aec::LapScores> lap_scores_of(const ExperimentResult& r) {
   std::map<LockId, aec::LapScores> out;
   if (r.aec != nullptr) {
-    for (const auto& [l, rec] : r.aec->locks) out[l] = rec.lap.scores();
+    // Manager shards partition the lock id space; `out` re-sorts globally.
+    for (const auto& shard : r.aec->locks) {
+      for (const auto& [l, rec] : shard) out[l] = rec.lap.scores();
+    }
   } else if (r.tm != nullptr) {
     for (const auto& [l, lap] : r.tm->lap) out[l] = lap.scores();
   } else if (r.erc != nullptr) {
-    for (const auto& [l, lap] : r.erc->lap) out[l] = lap.scores();
+    for (const auto& shard : r.erc->lap) {
+      for (const auto& [l, lap] : shard) out[l] = lap.scores();
+    }
   } else {
     // No live protocol handle: the result came from the cell cache, which
     // materialized the scores when the cell was first simulated.

@@ -8,28 +8,128 @@
 
 namespace aecdsm::mem {
 
+namespace wordpool {
+namespace {
+
+/// Thread-local free list. Function-local so each engine worker thread gets
+/// its own on first use and tears it down at thread exit; no Diff outlives
+/// its thread's pool (protocol state is released on the main thread before
+/// exit, and worker threads destroy no diffs after their run() returns).
+struct Pool {
+  std::vector<std::vector<Word>> free;
+};
+
+Pool& pool() {
+  static thread_local Pool p;
+  return p;
+}
+
+/// Parked-buffer cap: diffs at peak concurrency stay bounded, so a small
+/// cap captures nearly all reuse while bounding idle memory.
+constexpr std::size_t kMaxParked = 256;
+
+}  // namespace
+
+std::vector<Word> acquire() {
+  Pool& p = pool();
+  if (p.free.empty()) return {};
+  std::vector<Word> v = std::move(p.free.back());
+  p.free.pop_back();
+  v.clear();
+  return v;
+}
+
+void recycle(std::vector<Word>&& v) {
+  if (v.capacity() == 0) return;
+  Pool& p = pool();
+  if (p.free.size() >= kMaxParked) return;  // excess capacity is just freed
+  p.free.push_back(std::move(v));
+}
+
+std::size_t parked() { return pool().free.size(); }
+
+}  // namespace wordpool
+
+Diff::~Diff() {
+  for (Run& r : runs_) wordpool::recycle(std::move(r.words));
+}
+
+Diff::Diff(const Diff& o) {
+  runs_.reserve(o.runs_.size());
+  for (const Run& r : o.runs_) {
+    Run copy;
+    copy.word_offset = r.word_offset;
+    copy.words = wordpool::acquire();
+    copy.words.assign(r.words.begin(), r.words.end());
+    runs_.push_back(std::move(copy));
+  }
+}
+
+Diff& Diff::operator=(const Diff& o) {
+  if (this == &o) return *this;
+  Diff copy(o);
+  *this = std::move(copy);
+  return *this;
+}
+
 Diff Diff::create(std::span<const Word> twin, std::span<const Word> current) {
   AECDSM_CHECK_MSG(twin.size() == current.size(),
                    "twin/page size mismatch: " << twin.size() << " vs " << current.size());
   Diff d;
-  const Word* const tbegin = twin.data();
-  const Word* const tend = tbegin + twin.size();
-  const Word* t = tbegin;
-  const Word* c = current.data();
-  while (t != tend) {
-    // Skip the unchanged region in one std::mismatch pass (pages are mostly
-    // clean in practice, and the equality scan vectorizes).
-    std::tie(t, c) = std::mismatch(t, tend, c);
-    if (t == tend) break;
-    // The run ends at the next equal word pair: mismatch again, with the
-    // predicate inverted.
-    const auto [rt, rc] = std::mismatch(t, tend, c, std::not_equal_to<Word>{});
+  const std::size_t n = twin.size();
+  const Word* const t = twin.data();
+  const Word* const c = current.data();
+  // Fixed-width chunks whose XOR-OR reduction (clean test) and != -AND
+  // reduction (dirty test) compile to branch-free vector compares on any
+  // SIMD ISA the compiler targets. Chunks are positional, not aligned:
+  // unaligned 32-byte loads are cheap everywhere that matters.
+  constexpr std::size_t K = 8;
+  std::size_t i = 0;
+  while (i < n) {
+    // Skip clean chunks (pages are mostly clean in practice).
+    while (i + K <= n) {
+      Word acc = 0;
+      for (std::size_t j = 0; j < K; ++j) acc |= t[i + j] ^ c[i + j];
+      if (acc != 0) break;
+      i += K;
+    }
+    while (i < n && t[i] == c[i]) ++i;  // tail / position within dirty chunk
+    if (i >= n) break;
+    const std::size_t start = i;
+    // Extend the run: whole-dirty chunks first, then the word boundary.
+    while (i + K <= n) {
+      bool all = true;
+      for (std::size_t j = 0; j < K; ++j) all &= (t[i + j] != c[i + j]);
+      if (!all) break;
+      i += K;
+    }
+    while (i < n && t[i] != c[i]) ++i;
     Run run;
-    run.word_offset = static_cast<std::uint32_t>(t - tbegin);
-    run.words.assign(c, rc);
+    run.word_offset = static_cast<std::uint32_t>(start);
+    run.words = wordpool::acquire();
+    run.words.assign(c + start, c + i);
     d.runs_.push_back(std::move(run));
-    t = rt;
-    c = rc;
+  }
+  return d;
+}
+
+Diff Diff::create_scalar(std::span<const Word> twin,
+                         std::span<const Word> current) {
+  AECDSM_CHECK_MSG(twin.size() == current.size(),
+                   "twin/page size mismatch: " << twin.size() << " vs " << current.size());
+  Diff d;
+  const std::size_t n = twin.size();
+  std::size_t i = 0;
+  while (i < n) {
+    while (i < n && twin[i] == current[i]) ++i;
+    if (i >= n) break;
+    const std::size_t start = i;
+    while (i < n && twin[i] != current[i]) ++i;
+    Run run;
+    run.word_offset = static_cast<std::uint32_t>(start);
+    run.words.assign(current.begin() + static_cast<std::ptrdiff_t>(start),
+                     current.begin() + static_cast<std::ptrdiff_t>(i));
+    d.runs_.push_back(std::move(run));
   }
   return d;
 }
@@ -38,9 +138,8 @@ void Diff::apply_to(std::span<Word> page) const {
   for (const Run& run : runs_) {
     AECDSM_CHECK_MSG(run.word_offset + run.words.size() <= page.size(),
                      "diff run exceeds page bounds");
-    for (std::size_t k = 0; k < run.words.size(); ++k) {
-      page[run.word_offset + k] = run.words[k];
-    }
+    std::copy(run.words.begin(), run.words.end(),
+              page.begin() + run.word_offset);
   }
 }
 
@@ -60,6 +159,7 @@ Diff Diff::merge(const Diff& older, const Diff& newer) {
       if (open) out.runs_.push_back(std::move(current));
       current = Run{};
       current.word_offset = off;
+      current.words = wordpool::acquire();
       current.words.push_back(w);
       open = true;
     }

@@ -2,6 +2,15 @@
 // TreadMarks. A diff is a run-length encoding of the words of a page that
 // differ from its twin (the pristine copy snapshotted when the page was
 // first written in the current epoch).
+//
+// Diff creation and merging sit on the simulator's hottest host paths
+// (every release, every served fetch), so the storage behind each run is
+// recycled through a thread-local buffer pool: a destroyed diff donates its
+// word vectors back, and create/merge/copy draw capacity from the pool
+// instead of malloc. Each engine worker thread (and the sequential engine's
+// one thread) owns its pool, so no synchronization is needed, and recycled
+// capacity never crosses threads in a racy way — the vectors themselves use
+// the global allocator, the pool merely keeps them alive.
 #pragma once
 
 #include <cstddef>
@@ -22,9 +31,21 @@ class Diff {
   };
 
   Diff() = default;
+  ~Diff();
+  Diff(const Diff& o);
+  Diff& operator=(const Diff& o);
+  Diff(Diff&&) noexcept = default;
+  Diff& operator=(Diff&&) noexcept = default;
 
   /// Encode the difference `current - twin`. Both spans must be one page.
+  /// Scans in word chunks whose XOR-OR reduction the compiler vectorizes
+  /// (SSE2/NEON without intrinsics); bitwise-equal to create_scalar().
   static Diff create(std::span<const Word> twin, std::span<const Word> current);
+
+  /// Reference encoder: one word at a time, no chunking. Kept as the oracle
+  /// the vectorized create() is tested (and microbenchmarked) against.
+  static Diff create_scalar(std::span<const Word> twin,
+                            std::span<const Word> current);
 
   /// Overwrite the encoded words of `page` with this diff's values.
   void apply_to(std::span<Word> page) const;
@@ -50,5 +71,15 @@ class Diff {
  private:
   std::vector<Run> runs_;  ///< sorted by word_offset, non-overlapping, maximal
 };
+
+/// Thread-local recycling pool behind Run::words (exposed for tests and the
+/// microbench): acquire() returns an empty vector, reusing donated capacity
+/// when available; recycle() donates one back (capped, excess is freed).
+namespace wordpool {
+std::vector<Word> acquire();
+void recycle(std::vector<Word>&& v);
+/// Buffers currently parked in this thread's pool.
+std::size_t parked();
+}  // namespace wordpool
 
 }  // namespace aecdsm::mem

@@ -53,13 +53,32 @@ class PageStore {
     return std::span<Word>(frame(page).data);
   }
 
-  /// Snapshot the current contents as the page's twin.
+  /// Snapshot the current contents as the page's twin. Twin buffers are
+  /// recycled through a per-store free list: the twin/diff discipline
+  /// allocates and drops one page-sized buffer per write epoch, and the
+  /// store is strictly node-local, so the list needs no synchronization
+  /// under the parallel engine.
   void make_twin(PageId page) {
     PageFrame& f = frame(page);
-    f.twin = std::make_unique<std::vector<Word>>(f.data);
+    if (!twin_pool_.empty()) {
+      f.twin = std::move(twin_pool_.back());
+      twin_pool_.pop_back();
+      *f.twin = f.data;
+    } else {
+      f.twin = std::make_unique<std::vector<Word>>(f.data);
+    }
   }
 
-  void drop_twin(PageId page) { frame(page).twin.reset(); }
+  void drop_twin(PageId page) {
+    PageFrame& f = frame(page);
+    if (f.twin != nullptr && twin_pool_.size() < kTwinPoolCap) {
+      twin_pool_.push_back(std::move(f.twin));
+    }
+    f.twin.reset();
+  }
+
+  /// Twin buffers parked in the free list (for tests).
+  std::size_t pooled_twins() const { return twin_pool_.size(); }
 
   /// Diff current contents against the twin (which must exist).
   Diff diff_against_twin(PageId page) {
@@ -77,8 +96,13 @@ class PageStore {
   }
 
  private:
+  /// Peak simultaneous twins rarely exceeds the node's dirty set; a modest
+  /// cap keeps idle memory bounded while capturing nearly all reuse.
+  static constexpr std::size_t kTwinPoolCap = 64;
+
   std::size_t words_per_page_;
   std::vector<PageFrame> frames_;
+  std::vector<std::unique_ptr<std::vector<Word>>> twin_pool_;
 };
 
 }  // namespace aecdsm::mem

@@ -25,54 +25,75 @@ Transport::Transport(sim::Engine& engine, MeshNetwork& mesh,
       nprocs_(params.num_procs),
       base_rto_(params.faults.retransmit_timeout_cycles),
       backoff_cap_(params.faults.retransmit_backoff_cap) {
+  // Protocols count push_timeouts/push_fallbacks even with faults disabled.
+  stats_.resize(static_cast<std::size_t>(nprocs_));
+  excl_dst_.assign(static_cast<std::size_t>(nprocs_), 0);
   if (plane_.enabled()) {
     const std::size_t channels = static_cast<std::size_t>(nprocs_) *
                                  static_cast<std::size_t>(nprocs_);
     send_ch_.resize(channels);
     recv_ch_.resize(channels);
+    pending_.resize(static_cast<std::size_t>(nprocs_));
   }
 }
 
+TransportStats Transport::stats() const {
+  TransportStats total;
+  for (const TransportStats& s : stats_) total += s;
+  return total;
+}
+
+void Transport::mark_exclusive_dst(ProcId dst) {
+  AECDSM_CHECK(dst >= 0 && dst < nprocs_);
+  excl_dst_[static_cast<std::size_t>(dst)] = 1;
+}
+
 void Transport::inject_copy(ProcId src, ProcId dst, std::size_t bytes,
-                            sim::Engine::EventFn fn) {
+                            bool exclusive, sim::Engine::EventFn fn) {
   const FaultPlane::Decision d = plane_.decide(src, dst);
-  if (d.delayed) ++stats_.delays_injected;
-  if (d.reordered) ++stats_.reorders_injected;
+  TransportStats& st = stats_for(src);
+  if (d.delayed) ++st.delays_injected;
+  if (d.reordered) ++st.reorders_injected;
   if (d.drop) {
-    ++stats_.drops_injected;
+    ++st.drops_injected;
     return;
   }
-  auto emit = [this, src, dst, bytes](Cycles extra, sim::Engine::EventFn deliver) {
+  auto emit = [this, src, dst, bytes,
+               exclusive](Cycles extra, sim::Engine::EventFn deliver) {
     if (extra == 0) {
-      mesh_.send(src, dst, bytes, std::move(deliver));
+      mesh_.send(src, dst, bytes, std::move(deliver), exclusive);
     } else {
       engine_.schedule(engine_.now() + extra,
-                       [this, src, dst, bytes, h = std::move(deliver)]() mutable {
-                         mesh_.send(src, dst, bytes, std::move(h));
+                       [this, src, dst, bytes, exclusive,
+                        h = std::move(deliver)]() mutable {
+                         mesh_.send(src, dst, bytes, std::move(h), exclusive);
                        });
     }
   };
   if (d.duplicate) {
     // The twin is injected verbatim at a fixed offset — it takes no further
     // fault decision, so duplication cannot cascade.
-    ++stats_.dups_injected;
+    ++st.dups_injected;
     emit(d.extra_delay + kDuplicateOffset, fn);
   }
   emit(d.extra_delay, std::move(fn));
 }
 
 void Transport::send(ProcId src, ProcId dst, std::size_t bytes,
-                     sim::Engine::EventFn deliver) {
+                     sim::Engine::EventFn deliver, bool exclusive) {
   if (recorder_ != nullptr) {
     recorder_->instant(src, trace::Category::kNet, trace::names::kNetSend,
                        engine_.now(), "dst", static_cast<std::uint64_t>(dst),
                        "bytes", bytes);
   }
   if (!plane_.enabled() || src == dst) {
-    mesh_.send(src, dst, bytes, std::move(deliver));
+    mesh_.send(src, dst, bytes, std::move(deliver), exclusive);
     return;
   }
-  ++stats_.data_sends;
+  // Under faults, a registered destination widens exclusivity to every
+  // reliable carrier headed its way (see mark_exclusive_dst).
+  const bool excl = exclusive || excl_dst_[static_cast<std::size_t>(dst)] != 0;
+  ++stats_for(src).data_sends;
   const std::size_t ch = channel(src, dst);
   const std::uint32_t seq = send_ch_[ch].next_seq++;
   const std::uint64_t key = pending_key(ch, seq);
@@ -83,11 +104,13 @@ void Transport::send(ProcId src, ProcId dst, std::size_t bytes,
   p.dst = dst;
   p.bytes = bytes;
   p.seq = seq;
+  p.exclusive = excl;
   p.deliver = fn;
-  pending_.emplace(key, std::move(p));
+  pending_shard(key).emplace(key, std::move(p));
 
-  inject_copy(src, dst, bytes,
-              [this, src, dst, seq, fn] { on_data_arrival(src, dst, seq, fn); });
+  inject_copy(src, dst, bytes, excl, [this, src, dst, seq, excl, fn] {
+    on_data_arrival(src, dst, seq, excl, fn);
+  });
   arm_timer(key, 0);
 }
 
@@ -95,12 +118,13 @@ void Transport::arm_timer(std::uint64_t key, int attempt) {
   const int shift = std::min(attempt, backoff_cap_);
   const Cycles rto = base_rto_ << shift;
   engine_.schedule(engine_.now() + rto, [this, key, attempt] {
-    const auto it = pending_.find(key);
+    auto& shard = pending_shard(key);
+    const auto it = shard.find(key);
     // Acked (erased) or already retransmitted by a newer timer: stale timer.
-    if (it == pending_.end() || it->second.attempt != attempt) return;
-    ++stats_.timeouts;
-    ++stats_.retransmits;
+    if (it == shard.end() || it->second.attempt != attempt) return;
     Pending& p = it->second;
+    ++stats_for(p.src).timeouts;
+    ++stats_for(p.src).retransmits;
     if (recorder_ != nullptr) {
       recorder_->instant(p.src, trace::Category::kNet, trace::names::kNetRetx,
                          engine_.now(), "dst",
@@ -111,26 +135,37 @@ void Transport::arm_timer(std::uint64_t key, int attempt) {
     const ProcId src = p.src;
     const ProcId dst = p.dst;
     const std::uint32_t seq = p.seq;
+    const bool excl = p.exclusive;
     auto fn = p.deliver;
-    inject_copy(src, dst, p.bytes,
-                [this, src, dst, seq, fn] { on_data_arrival(src, dst, seq, fn); });
+    inject_copy(src, dst, p.bytes, excl, [this, src, dst, seq, excl, fn] {
+      on_data_arrival(src, dst, seq, excl, fn);
+    });
     arm_timer(key, attempt + 1);
   });
 }
 
 void Transport::on_data_arrival(ProcId src, ProcId dst, std::uint32_t seq,
+                                bool exclusive,
                                 std::shared_ptr<sim::Engine::EventFn> fn) {
   if (plane_.paused(dst, engine_.now())) {
-    ++stats_.paused_deliveries;
-    engine_.schedule(plane_.pause_end(),
-                     [this, src, dst, seq, fn] { on_data_arrival(src, dst, seq, fn); });
+    ++stats_for(dst).paused_deliveries;
+    // The retry must keep running solo, or a held exclusive handler could be
+    // released from a concurrent event after the pause lifts.
+    auto retry = [this, src, dst, seq, exclusive, fn] {
+      on_data_arrival(src, dst, seq, exclusive, fn);
+    };
+    if (exclusive) {
+      engine_.schedule_exclusive(plane_.pause_end(), std::move(retry));
+    } else {
+      engine_.schedule(plane_.pause_end(), std::move(retry));
+    }
     return;
   }
   const std::size_t ch = channel(src, dst);
   RecvChannel& rc = recv_ch_[ch];
   const std::uint64_t key = pending_key(ch, seq);
   if (seq < rc.next_expected || rc.held.count(seq) != 0) {
-    ++stats_.dup_dropped;
+    ++stats_for(dst).dup_dropped;
     send_ack(dst, src, key);  // the ack for the earlier copy may have died
     return;
   }
@@ -146,27 +181,29 @@ void Transport::on_data_arrival(ProcId src, ProcId dst, std::uint32_t seq,
       (*held)();
     }
   } else {
-    ++stats_.held_ooo;
+    ++stats_for(dst).held_ooo;
     rc.held.emplace(seq, std::move(fn));
   }
   send_ack(dst, src, key);
 }
 
 void Transport::send_ack(ProcId from, ProcId to, std::uint64_t key) {
-  ++stats_.acks;
+  TransportStats& st = stats_for(from);
+  ++st.acks;
   if (recorder_ != nullptr) {
     recorder_->instant(from, trace::Category::kNet, trace::names::kNetAck,
                        engine_.now(), "dst", static_cast<std::uint64_t>(to));
   }
   const FaultPlane::Decision d = plane_.decide(from, to);
-  if (d.delayed) ++stats_.delays_injected;
-  if (d.reordered) ++stats_.reorders_injected;
+  if (d.delayed) ++st.delays_injected;
+  if (d.reordered) ++st.reorders_injected;
   if (d.drop) {
-    ++stats_.drops_injected;
+    ++st.drops_injected;
     return;  // the sender retransmits; the receiver dedups
   }
   auto emit = [this, from, to](Cycles extra, std::uint64_t k) {
-    auto deliver = [this, k] { pending_.erase(k); };
+    // Delivers at `to`, the original sender — the shard owner.
+    auto deliver = [this, k] { pending_shard(k).erase(k); };
     if (extra == 0) {
       mesh_.send(from, to, kAckBytes, std::move(deliver));
     } else {
@@ -177,7 +214,7 @@ void Transport::send_ack(ProcId from, ProcId to, std::uint64_t key) {
     }
   };
   if (d.duplicate) {
-    ++stats_.dups_injected;
+    ++st.dups_injected;
     emit(d.extra_delay + kDuplicateOffset, key);
   }
   emit(d.extra_delay, key);
@@ -194,13 +231,13 @@ void Transport::send_best_effort(ProcId src, ProcId dst, std::size_t bytes,
     mesh_.send(src, dst, bytes, std::move(deliver));
     return;
   }
-  ++stats_.push_sends;
+  ++stats_for(src).push_sends;
   auto fn = std::make_shared<sim::Engine::EventFn>(std::move(deliver));
   // Arrival still honours a destination pause window; there is no dedup, so
   // a duplicated copy runs the handler twice (receivers are idempotent).
   auto arrival = [this, dst, fn] {
     if (plane_.paused(dst, engine_.now())) {
-      ++stats_.paused_deliveries;
+      ++stats_for(dst).paused_deliveries;
       const auto held = fn;
       engine_.schedule(plane_.pause_end(), [held] { (*held)(); });
       return;
@@ -208,11 +245,12 @@ void Transport::send_best_effort(ProcId src, ProcId dst, std::size_t bytes,
     (*fn)();
   };
   const FaultPlane::Decision d = plane_.decide(src, dst);
-  if (d.delayed) ++stats_.delays_injected;
-  if (d.reordered) ++stats_.reorders_injected;
+  TransportStats& st = stats_for(src);
+  if (d.delayed) ++st.delays_injected;
+  if (d.reordered) ++st.reorders_injected;
   if (d.drop) {
-    ++stats_.drops_injected;
-    ++stats_.push_drops;
+    ++st.drops_injected;
+    ++st.push_drops;
     return;
   }
   auto emit = [this, src, dst, bytes, &arrival](Cycles extra) {
@@ -225,7 +263,7 @@ void Transport::send_best_effort(ProcId src, ProcId dst, std::size_t bytes,
     }
   };
   if (d.duplicate) {
-    ++stats_.dups_injected;
+    ++st.dups_injected;
     emit(d.extra_delay + kDuplicateOffset);
   }
   emit(d.extra_delay);

@@ -49,10 +49,14 @@ std::size_t PolicyEngine::trace_word() {
 
 void PolicyEngine::send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
                                  std::function<void()> handler,
-                                 sim::Bucket bucket) {
+                                 sim::Bucket bucket, bool exclusive) {
   proc().advance(m_.params().message_overhead, bucket);
   proc().sync();
-  m_.post(self_, to, bytes, svc_cost, std::move(handler));
+  if (exclusive) {
+    m_.post_exclusive(self_, to, bytes, svc_cost, std::move(handler));
+  } else {
+    m_.post(self_, to, bytes, svc_cost, std::move(handler));
+  }
 }
 
 void PolicyEngine::post_dynamic(ProcId from, ProcId to, std::size_t bytes,

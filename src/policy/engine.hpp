@@ -77,9 +77,13 @@ class PolicyEngine : public dsm::Protocol {
   mem::PageStore& store() { return *m_.node(self_).store; }
 
   /// Post a message whose service cost is known now; the calling app thread
-  /// pays the send overhead in `bucket` before the post.
+  /// pays the send overhead in `bucket` before the post. `exclusive` routes
+  /// through Machine::post_exclusive: the handler runs as an exclusive event
+  /// under the parallel engine (required when it mutates state owned by
+  /// other nodes, e.g. a barrier completion).
   void send_from_app(ProcId to, std::size_t bytes, Cycles svc_cost,
-                     std::function<void()> handler, sim::Bucket bucket);
+                     std::function<void()> handler, sim::Bucket bucket,
+                     bool exclusive = false);
 
   /// Post a message whose service cost is computed engine-side at delivery
   /// (the serve lambda runs at the receiver and returns its cost).

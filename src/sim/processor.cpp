@@ -14,6 +14,9 @@ Processor::~Processor() = default;
 void Processor::start(std::function<void()> body) {
   AECDSM_CHECK_MSG(!thread_, "Processor::start called twice");
   thread_ = std::make_unique<CoThread>([this, b = std::move(body)] {
+    // The cothread's OS thread is permanently this processor's: bind it so
+    // engine calls made from application code attribute to this node.
+    engine_.bind_current_thread(id_);
     running_app_ = true;
     b();
     absorb_stolen();
@@ -22,7 +25,7 @@ void Processor::start(std::function<void()> body) {
     finish_time_ = now_;
   });
   now_ = std::max(now_, engine_.now());
-  engine_.schedule(engine_.now(), [this] { thread_->resume(); });
+  engine_.schedule_for(id_, engine_.now(), [this] { thread_->resume(); });
 }
 
 void Processor::charge(Cycles c, Bucket b) {
@@ -64,7 +67,7 @@ void Processor::sync() {
 }
 
 void Processor::yield_for_resume_at(Cycles t) {
-  engine_.schedule(t, [this] { thread_->resume(); });
+  engine_.schedule_for(id_, t, [this] { thread_->resume(); });
   running_app_ = false;
   thread_->yield_to_engine();
   running_app_ = true;
@@ -88,7 +91,7 @@ void Processor::poke() {
   if (!blocked_) return;
   blocked_ = false;
   unblock_accounting(engine_.now());
-  engine_.schedule(engine_.now(), [this] { thread_->resume(); });
+  engine_.schedule_for(id_, engine_.now(), [this] { thread_->resume(); });
 }
 
 void Processor::unblock_accounting(Cycles t) {

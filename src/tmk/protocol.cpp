@@ -211,7 +211,7 @@ void TmProtocol::fetch_pending_diffs(PageId pg, sim::Bucket bucket) {
     for (const StoredDiff& d : *f.diffs) all.push_back(&d);
   }
   if (ps.word_tag.empty()) {
-    ps.word_tag.assign(params.words_per_page(), 0);
+    ps.word_tag.assign(params.words_per_page(), DiffTag{});
   }
   std::stable_sort(all.begin(), all.end(),
                    [](const StoredDiff* a, const StoredDiff* b) { return a->tag < b->tag; });
@@ -267,6 +267,7 @@ std::vector<TmProtocol::StoredDiff> TmProtocol::serve_diffs(PageId pg, std::size
                        << " frame[16]=" << store().frame(pg).data[16]);
   if (ps.dirty) {
     // Lazy diff creation, on the server's critical path (TreadMarks).
+    const DiffTag tag{m_.engine().now(), self_, diff_k_++};
     mem::Diff d = service_diff_create(pg, cost);
     if (pg == trace_page()) {
       std::ostringstream os;
@@ -278,10 +279,10 @@ std::vector<TmProtocol::StoredDiff> TmProtocol::serve_diffs(PageId pg, std::size
              << ")";
         }
       }
-      AECDSM_DEBUG("p" << self_ << " created diff pg" << pg << " tag=" << sh_->diff_seq
+      AECDSM_DEBUG("p" << self_ << " created diff pg" << pg << " tag=" << tag
                        << os.str());
     }
-    ps.stored.push_back(StoredDiff{sh_->diff_seq++, std::move(d)});
+    ps.stored.push_back(StoredDiff{tag, std::move(d)});
     store().drop_twin(pg);
     f.write_protected = true;
     ps.dirty = false;
@@ -304,7 +305,11 @@ void TmProtocol::acquire_notice(LockId l) {
   // instance at the manager (paper §5.1 robustness study).
   send_from_app(m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem,
                 [this, l, p = self_] {
-                  if (sh_->params.num_procs > 0) sh_->lap_of(l).add_notice(p);
+                  // Scoring-only state, mutated from several nodes' events
+                  // (manager and current owner): applied in commit order so
+                  // the parallel engine reproduces the sequential scores.
+                  m_.engine().at_commit(
+                      [this, l, p] { sh_->lap_of(l).add_notice(p); });
                 },
                 sim::Bucket::kSynch);
 }
@@ -324,13 +329,16 @@ void TmProtocol::acquire(LockId l) {
       m_.lock_manager(l), kCtl + vt_bytes, params.list_processing_per_elem * 2,
       [this, l, p = self_, req_vt] {
         // Manager: score the event, then route to the owner (or grant the
-        // very first request directly).
-        policy::LockLap& lap = sh_->lap_of(l);
-        lap.count_acquire_event();
-        auto it = sh_->owner_hint.find(l);
-        if (it == sh_->owner_hint.end()) {
-          sh_->owner_hint[l] = p;
-          policy::lap_score_grant(lap, kNoProc, p);
+        // very first request directly). LAP mutations go through at_commit
+        // (scoring-only state also touched by owner-side events).
+        m_.engine().at_commit(
+            [this, l] { sh_->lap_of(l).count_acquire_event(); });
+        std::map<LockId, ProcId>& hints = sh_->hint_shard(l);
+        auto it = hints.find(l);
+        if (it == hints.end()) {
+          hints[l] = p;
+          m_.engine().at_commit(
+              [this, l, p] { policy::lap_score_grant(sh_->lap_of(l), kNoProc, p); });
           m_.post(m_.lock_manager(l), p, kCtl, m_.params().list_processing_per_elem,
                   [this, l, p] { peer(p).recv_grant(l, {}, {}); });
           return;
@@ -356,7 +364,8 @@ void TmProtocol::lock_request_arrive(LockId l, ProcId requester, VectorTime req_
       // A grant addressed to this node is still in flight (a forwarded
       // request overtook it); park the request — it is served like any
       // queued waiter once the grant lands and the critical section ends.
-      sh_->lap_of(l).enqueue_waiter(requester);
+      m_.engine().at_commit(
+          [this, l, requester] { sh_->lap_of(l).enqueue_waiter(requester); });
       ll.waiting.emplace_back(requester, std::move(req_vt));
       trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                     ll.waiting.size());
@@ -371,7 +380,8 @@ void TmProtocol::lock_request_arrive(LockId l, ProcId requester, VectorTime req_
     return;
   }
   if (ll.in_cs) {
-    sh_->lap_of(l).enqueue_waiter(requester);
+    m_.engine().at_commit(
+        [this, l, requester] { sh_->lap_of(l).enqueue_waiter(requester); });
     ll.waiting.emplace_back(requester, std::move(req_vt));
     trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                   ll.waiting.size());
@@ -395,7 +405,9 @@ void TmProtocol::serve_grant(LockId l, ProcId requester, const VectorTime& req_v
   }
 
   // Score LAP against realized transfers (TreadMarks never acts on it).
-  policy::lap_score_grant(sh_->lap_of(l), self_, requester);
+  m_.engine().at_commit([this, l, requester] {
+    policy::lap_score_grant(sh_->lap_of(l), self_, requester);
+  });
 
   ll.owner = false;
   ll.handed_to = requester;
@@ -448,7 +460,7 @@ void TmProtocol::recv_grant(LockId l, std::vector<NoticeEntry> entries,
 
   // Keep the manager's owner hint fresh (shortens future chases).
   m_.post(self_, m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem,
-          [this, l, p = self_] { sh_->owner_hint[l] = p; });
+          [this, l, p = self_] { sh_->hint_shard(l)[l] = p; });
 
   proc().poke();
 }
@@ -466,14 +478,14 @@ void TmProtocol::release(LockId l) {
     auto [q, qvt] = std::move(ll.waiting.front());
     ll.waiting.pop_front();
     // The scorer's FIFO mirrors this queue.
-    sh_->lap_of(l).dequeue_waiter();
+    m_.engine().at_commit([this, l] { sh_->lap_of(l).dequeue_waiter(); });
     serve_grant(l, q, qvt, /*engine_side=*/false);
     // Remaining waiters chase the new owner.
     std::deque<std::pair<ProcId, VectorTime>> rest;
     rest.swap(ll.waiting);
     trace_counter(trace::names::kLockQueueDepth, proc().now(), 0);
     for (auto& [r, rvt] : rest) {
-      sh_->lap_of(l).dequeue_waiter();
+      m_.engine().at_commit([this, l] { sh_->lap_of(l).dequeue_waiter(); });
       proc().advance(m_.params().message_overhead, sim::Bucket::kSynch);
       proc().sync();
       m_.transport().send(self_, q, kCtl + rvt.size() * 4,
@@ -495,7 +507,8 @@ void TmProtocol::requeue_request(LockId l, ProcId requester, VectorTime req_vt) 
     if (ll.handed_to == kNoProc) {
       // Grant in flight to this node; park the request (see
       // lock_request_arrive).
-      sh_->lap_of(l).enqueue_waiter(requester);
+      m_.engine().at_commit(
+          [this, l, requester] { sh_->lap_of(l).enqueue_waiter(requester); });
       ll.waiting.emplace_back(requester, std::move(req_vt));
       trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                     ll.waiting.size());
@@ -510,7 +523,8 @@ void TmProtocol::requeue_request(LockId l, ProcId requester, VectorTime req_vt) 
     return;
   }
   if (ll.in_cs) {
-    sh_->lap_of(l).enqueue_waiter(requester);
+    m_.engine().at_commit(
+        [this, l, requester] { sh_->lap_of(l).enqueue_waiter(requester); });
     ll.waiting.emplace_back(requester, std::move(req_vt));
     trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                   ll.waiting.size());

@@ -22,10 +22,12 @@
 // influences TreadMarks' behaviour.
 #pragma once
 
+#include <compare>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <ostream>
 #include <set>
 #include <vector>
 
@@ -57,14 +59,24 @@ struct NoticeEntry {
 /// Run-wide TreadMarks state (manager hints, barrier gather, LAP scorer).
 struct TmShared {
   TmShared(const SystemParams& p, policy::ConsistencyPolicy pol)
-      : params(p), policy(std::move(pol)) {}
+      : params(p),
+        policy(std::move(pol)),
+        owner_hint(static_cast<std::size_t>(p.num_procs)) {}
 
   const SystemParams params;
   const policy::ConsistencyPolicy policy;
   std::vector<TmProtocol*> nodes;
 
-  /// Manager-side owner hints (start: manager grants first requester).
-  std::map<LockId, ProcId> owner_hint;
+  /// Manager-side owner hints (start: manager grants first requester),
+  /// sharded by manager node (lock % nprocs): every hint access runs as a
+  /// service on the lock's manager, so under the parallel engine each shard
+  /// — including its lazy insertions — belongs to one node's worker.
+  std::vector<std::map<LockId, ProcId>> owner_hint;
+
+  std::map<LockId, ProcId>& hint_shard(LockId l) {
+    return owner_hint[static_cast<std::size_t>(
+        l % static_cast<LockId>(params.num_procs))];
+  }
 
   /// Barrier gather state (node 0). Arrivals carry each processor's vector
   /// time and the notice entries it created since the previous barrier; the
@@ -79,10 +91,11 @@ struct TmShared {
     std::vector<NoticeEntry> entries;
   } barrier;
 
-  /// Global diff-creation sequence (see TmProtocol::StoredDiff).
-  std::uint64_t diff_seq = 1;
-
   /// Scoring-only LAP instances (paper §5.1: LAP accuracy under TreadMarks).
+  /// Mutated by events at the manager *and* the current owner, so every
+  /// write goes through Engine::at_commit: under the parallel engine the
+  /// mutations apply serially at replay, in sequential event order, and the
+  /// map (including lazy insertion) is never touched concurrently.
   std::map<LockId, policy::LockLap> lap;
 
   policy::LockLap& lap_of(LockId l) { return policy::scoring_lap(lap, params, l); }
@@ -105,16 +118,29 @@ class TmProtocol : public policy::PolicyEngine {
   const TmShared& shared() const { return *sh_; }
 
  private:
-  /// Lazily created diff. The tag is a *global creation sequence number*:
-  /// for any word written under a lock chain, fetch-before-write forces the
-  /// older writer's diff to be materialized before the newer writer's, so
-  /// creation order is a sound application order for conflicting words
-  /// (concurrent diffs touch disjoint words in data-race-free programs).
-  /// Per-page vector-time tags are NOT sound here: a page shared by several
-  /// locks can carry concurrent intervals whose clock sums tie or invert
-  /// relative to a single word's chain.
+  /// Lazily created diff. The tag orders creation: for any word written
+  /// under a lock chain, fetch-before-write forces the older writer's diff
+  /// to be materialized before the newer writer's — at a strictly later
+  /// simulated time — so creation-time order is a sound application order
+  /// for conflicting words (concurrent diffs touch disjoint words in
+  /// data-race-free programs). The tag is therefore (creation time, node,
+  /// per-node counter): any refinement of time order works, and this one
+  /// needs no cross-node counter, so every node mints identical tags under
+  /// the sequential and the parallel engine. Per-page vector-time tags are
+  /// NOT sound here: a page shared by several locks can carry concurrent
+  /// intervals whose clock sums tie or invert relative to a single word's
+  /// chain.
+  struct DiffTag {
+    Cycles t = 0;           ///< serving event's simulated time
+    ProcId node = kNoProc;  ///< creating node (time tie-break)
+    std::uint64_t k = 0;    ///< per-node creation counter
+    friend auto operator<=>(const DiffTag&, const DiffTag&) = default;
+    friend std::ostream& operator<<(std::ostream& os, const DiffTag& tg) {
+      return os << tg.t << "/p" << tg.node << "/" << tg.k;
+    }
+  };
   struct StoredDiff {
-    std::uint64_t tag = 0;  ///< global creation sequence (TmShared::diff_seq)
+    DiffTag tag;
     mem::Diff diff;
   };
 
@@ -129,7 +155,7 @@ class TmProtocol : public policy::PolicyEngine {
     /// carry an older diff); per-word tags stop stale values from reverting
     /// newer ones. Local writes need no stamp: a conflicting remote write
     /// is always fetched before the local one happens (lock-chain h-b).
-    std::vector<std::uint64_t> word_tag;
+    std::vector<DiffTag> word_tag;
   };
 
   struct LockLocal {
@@ -178,6 +204,8 @@ class TmProtocol : public policy::PolicyEngine {
   void recv_barrier_release(VectorTime merged, std::vector<NoticeEntry> entries);
 
   std::shared_ptr<TmShared> sh_;
+
+  std::uint64_t diff_k_ = 0;  ///< per-node DiffTag counter
 
   VectorTime vt_;
   std::vector<PageState> pages_;

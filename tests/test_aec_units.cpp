@@ -70,8 +70,9 @@ TEST(AecProtocol, UpdateSetsComputedForEveryAcquire) {
   const RunStats stats = run_aec(app, small_params(4), true, &shared);
   ASSERT_TRUE(stats.result_valid);
   ASSERT_NE(shared, nullptr);
-  const auto it = shared->locks.find(0);
-  ASSERT_NE(it, shared->locks.end());
+  // Lock 0 lives in manager node 0's shard.
+  const auto it = shared->locks[0].find(0);
+  ASSERT_NE(it, shared->locks[0].end());
   EXPECT_EQ(it->second.lap.scores().acquire_events, 24u);
   // Under heavy contention the waiting queue predicts nearly perfectly.
   EXPECT_GT(it->second.lap.scores().lap.rate(), 0.8);
@@ -81,7 +82,7 @@ TEST(AecProtocol, AcquireCountersIncreaseMonotonically) {
   PingPongApp app(5);
   std::shared_ptr<const aec::AecShared> shared;
   run_aec(app, small_params(4), true, &shared);
-  const auto& rec = shared->locks.at(0);
+  const auto& rec = shared->locks[0].at(0);
   EXPECT_EQ(rec.counter, 20u);  // 5 iterations x 4 processors
   EXPECT_FALSE(rec.taken);
 }

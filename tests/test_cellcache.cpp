@@ -169,17 +169,108 @@ TEST(CellCache, WarmRunIsByteIdenticalAndSimulatesNothing) {
   fs::remove_all(dir);
 }
 
+TEST(CellCache, EngineThreadsNeverForkTheCacheKey) {
+  // Audit for the parallel engine mode: the cell hash is computed from the
+  // cell alone (protocol/app/scale/params/seed + version salt) — a cell
+  // carries no engine-thread count, so a parallel run MUST hit the blobs a
+  // sequential run stored, and serve byte-identical documents.
+  const std::string dir = fresh_cache_dir("threads_key");
+  harness::ExperimentPlan plan;
+  plan.name = "threads_key";
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4));
+  plan.add("TreadMarks", "IS", apps::Scale::kSmall, small_params(4));
+
+  auto doc_with = [&](int engine_threads, bool refresh) {
+    harness::BatchOptions opts;
+    opts.jobs = 1;
+    opts.cache_dir = dir;
+    opts.engine_threads = engine_threads;
+    opts.refresh = refresh;
+    harness::BatchRunner runner(opts);
+    const auto results = runner.run(plan);
+    return std::make_pair(harness::BatchRunner::document(plan, results).dump(),
+                          runner.last_run_info());
+  };
+
+  const auto [cold_seq, cold_info] = doc_with(1, false);
+  EXPECT_EQ(cold_info.simulated, plan.cells.size());
+  // Parallel run: every cell is a warm hit on the sequential run's blobs.
+  const auto [warm_par, warm_info] = doc_with(4, false);
+  EXPECT_EQ(warm_info.cache_hits, plan.cells.size());
+  EXPECT_EQ(warm_par, cold_seq);
+  // And a parallel re-simulation stores blobs the sequential run hits.
+  const auto [cold_par, par_info] = doc_with(4, true);
+  EXPECT_EQ(par_info.simulated, plan.cells.size());
+  EXPECT_EQ(cold_par, cold_seq);
+  const auto [warm_seq, seq_info] = doc_with(1, false);
+  EXPECT_EQ(seq_info.cache_hits, plan.cells.size());
+  EXPECT_EQ(warm_seq, cold_seq);
+  fs::remove_all(dir);
+}
+
+TEST(CellCache, VerifyCacheAcceptsSoundBlobsAndRejectsTamperedOnes) {
+  const std::string dir = fresh_cache_dir("verify");
+  harness::ExperimentPlan plan;
+  plan.name = "verify";
+  plan.add("AEC", "IS", apps::Scale::kSmall, small_params(4));
+
+  auto run_with_verify = [&] {
+    harness::BatchOptions opts;
+    opts.jobs = 1;
+    opts.cache_dir = dir;
+    opts.verify_cache = true;
+    harness::BatchRunner runner(opts);
+    const auto results = runner.run(plan);
+    return runner.last_run_info();
+  };
+
+  // Cold run: nothing to verify yet.
+  EXPECT_EQ(run_with_verify().cache_verified, 0u);
+  // Warm run: the hit is re-simulated cold and matches.
+  EXPECT_EQ(run_with_verify().cache_verified, 1u);
+
+  // Tamper with the blob's stats while keeping the key valid: verify must
+  // now catch the divergence.
+  const fs::path blob =
+      fs::path(dir) / "cells" /
+      (harness::CellCache::cell_hash(plan.cells[0]) + ".json");
+  ASSERT_TRUE(fs::exists(blob));
+  std::ifstream in(blob);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  json::Value doc = json::Value::parse(text);
+  json::Value stats = doc.at("stats");
+  stats["finish_time"] = json::Value(stats.at("finish_time").as_uint() + 1);
+  doc["stats"] = std::move(stats);
+  std::ofstream out(blob);
+  out << doc.dump() << "\n";
+  out.close();
+  EXPECT_THROW(run_with_verify(), SimError);
+  fs::remove_all(dir);
+}
+
 TEST(CellCache, TelemetryMergesLastObservationWins) {
   const std::string dir = fresh_cache_dir("telemetry");
   harness::CellCache cache(dir);
   EXPECT_TRUE(cache.load_telemetry().empty());
   cache.merge_telemetry({{"aaaa", 500}, {"bbbb", 20}});
-  cache.merge_telemetry({{"aaaa", 900}, {"cccc", 7}});
+  cache.merge_telemetry({{"aaaa", 900}, {"cccc", 7}}, {{"aaaa", 123456}});
   const harness::TelemetryMap t = cache.load_telemetry();
   ASSERT_EQ(t.size(), 3u);
   EXPECT_EQ(t.at("aaaa"), 900u);
   EXPECT_EQ(t.at("bbbb"), 20u);
   EXPECT_EQ(t.at("cccc"), 7u);
+  // The events/sec section is additive: cells without one stay absent, and
+  // later merges preserve earlier observations.
+  harness::TelemetryMap eps = cache.load_events_telemetry();
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps.at("aaaa"), 123456u);
+  cache.merge_telemetry({{"dddd", 1}}, {{"dddd", 777}});
+  eps = cache.load_events_telemetry();
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(eps.at("aaaa"), 123456u);
+  EXPECT_EQ(eps.at("dddd"), 777u);
   fs::remove_all(dir);
 }
 

@@ -120,6 +120,69 @@ TEST(Diff, MergeCoalescesOverlappingAndAdjacentRuns) {
   EXPECT_EQ(m.changed_words(), 8u);
 }
 
+TEST(Diff, ChunkedCreateMatchesScalarOracleOnBoundaryShapes) {
+  // Hand-picked shapes that straddle the vectorized encoder's 8-word chunk
+  // boundaries: runs starting/ending mid-chunk, exactly chunk-aligned runs,
+  // dirty tails shorter than a chunk, and alternating words that defeat the
+  // whole-chunk dirty test.
+  const std::size_t words = 67;  // deliberately not a multiple of the chunk
+  std::vector<Word> twin(words, 0xAAAAAAAA);
+  const auto check = [&](const std::vector<std::size_t>& dirty) {
+    std::vector<Word> cur = twin;
+    for (std::size_t i : dirty) cur[i] ^= 0x5A5A5A5A;
+    const Diff fast = Diff::create(twin, cur);
+    const Diff slow = Diff::create_scalar(twin, cur);
+    EXPECT_EQ(fast, slow);
+    std::vector<Word> target = twin;
+    fast.apply_to(target);
+    EXPECT_EQ(target, cur);
+  };
+  check({});
+  check({0});
+  check({7});
+  check({8});
+  check({66});
+  check({0, 1, 2, 3, 4, 5, 6, 7});            // exactly one chunk
+  check({5, 6, 7, 8, 9, 10});                 // run across a chunk seam
+  check({63, 64, 65, 66});                    // run into the scalar tail
+  check({0, 2, 4, 6, 8, 10, 12, 14});         // alternating: no dirty chunk
+  std::vector<std::size_t> all(words);
+  for (std::size_t i = 0; i < words; ++i) all[i] = i;
+  check(all);                                 // fully dirty page
+}
+
+TEST(Diff, WordPoolRecyclesRunStorage) {
+  // A destroyed diff donates its run vectors; the next create() reuses the
+  // capacity instead of allocating.
+  std::vector<Word> twin(64, 0);
+  std::vector<Word> cur = twin;
+  cur[3] = 1;
+  cur[40] = 2;
+  while (mem::wordpool::parked() > 0) (void)mem::wordpool::acquire();
+  {
+    const Diff d = Diff::create(twin, cur);
+    ASSERT_EQ(d.runs().size(), 2u);
+  }
+  EXPECT_EQ(mem::wordpool::parked(), 2u);
+  const Diff d2 = Diff::create(twin, cur);
+  EXPECT_EQ(mem::wordpool::parked(), 0u);
+  EXPECT_EQ(d2.runs().size(), 2u);
+}
+
+TEST(Diff, CopiesAreDeepAndPoolBacked) {
+  std::vector<Word> twin(16, 0);
+  std::vector<Word> cur = twin;
+  cur[2] = 7;
+  const Diff a = Diff::create(twin, cur);
+  Diff b = a;           // copy draws from the pool
+  EXPECT_EQ(a, b);
+  Diff c;
+  c = a;                // copy-assign
+  EXPECT_EQ(a, c);
+  const Diff moved = std::move(b);
+  EXPECT_EQ(a, moved);  // move preserves contents; b is hollow
+}
+
 TEST(Diff, ApplyOutOfBoundsThrows) {
   std::vector<Word> twin(8, 0);
   std::vector<Word> cur = twin;
@@ -157,6 +220,9 @@ TEST_P(DiffProperty, ApplyCreateRoundTrips) {
   std::vector<Word> target = twin;
   d.apply_to(target);
   EXPECT_EQ(target, cur);
+  // The chunked encoder is bitwise-equivalent to the scalar oracle at every
+  // density, including run structure (not just the applied image).
+  EXPECT_EQ(d, Diff::create_scalar(twin, cur));
 }
 
 TEST_P(DiffProperty, MergeEqualsSequentialApplication) {

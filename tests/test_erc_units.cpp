@@ -135,8 +135,9 @@ TEST(ErcProtocol, ScoringLapMatchesEventCounts) {
       });
   const RunStats stats = run_erc(app, small_params(4), &shared);
   ASSERT_TRUE(stats.result_valid);
-  const auto it = shared->lap.find(2);
-  ASSERT_NE(it, shared->lap.end());
+  // Lock 2's manager (2 % 4) owns its LAP shard.
+  const auto it = shared->lap[2].find(2);
+  ASSERT_NE(it, shared->lap[2].end());
   EXPECT_EQ(it->second.scores().acquire_events, 20u);
   EXPECT_GT(it->second.scores().lap.rate(), 0.5);
 }

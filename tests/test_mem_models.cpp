@@ -119,6 +119,25 @@ TEST(PageStore, TwinLifecycle) {
   EXPECT_FALSE(store.frame(0).has_twin());
 }
 
+TEST(PageStore, TwinBuffersRecycleThroughFreeList) {
+  SystemParams params;
+  mem::PageStore store(params, 2);
+  store.page_span(0)[0] = 1;
+  store.make_twin(0);
+  EXPECT_EQ(store.pooled_twins(), 0u);
+  store.drop_twin(0);
+  EXPECT_EQ(store.pooled_twins(), 1u);
+  // The next twin (any page) reuses the parked buffer and snapshots the
+  // current contents correctly.
+  store.page_span(1)[3] = 9;
+  store.make_twin(1);
+  EXPECT_EQ(store.pooled_twins(), 0u);
+  store.page_span(1)[3] = 10;
+  const mem::Diff d = store.diff_against_twin(1);
+  ASSERT_EQ(d.changed_words(), 1u);
+  EXPECT_EQ(d.runs()[0].word_offset, 3u);
+}
+
 TEST(PageStore, DiffWithoutTwinThrows) {
   SystemParams params;
   mem::PageStore store(params, 1);
