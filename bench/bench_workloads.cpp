@@ -1,0 +1,111 @@
+// Synthetic-workload sweep: the `syn:` grammar corpus crossed with every
+// registered consistency policy at small scale. Each cell's app carries its
+// own sequential oracle, so the sweep is simultaneously a conformance run
+// (an invalid result fails the batch) and a where-does-AEC-win survey over
+// sharing patterns the paper's six kernels never exercise.
+//
+// The top-level artifact keeps the standard aecdsm-batch-v1 schema (so
+// bench_diff can gate it); the report attaches a derived
+// "aecdsm-bench-workloads-v1" section with per-spec rows — canonical
+// fingerprints, finish times and vs-AEC ratios.
+//
+// AECDSM_WORKLOAD_SPECS="syn:...,syn:..." restricts the corpus (the CI
+// smoke uses it); the default corpus covers all five sharing patterns.
+// Deliberately NOT part of bench_all: the corpus is environment-tunable,
+// and the committed bench_all baseline must stay byte-identical.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/synthetic/workload.hpp"
+#include "harness/bench_registry.hpp"
+#include "harness/format.hpp"
+#include "policy/policy.hpp"
+
+namespace {
+using namespace aecdsm;
+
+std::vector<std::string> split_env_list(const char* env,
+                                        std::vector<std::string> fallback) {
+  if (env == nullptr || *env == '\0') return fallback;
+  std::vector<std::string> picked;
+  std::stringstream ss{std::string(env)};
+  for (std::string name; std::getline(ss, name, ',');) {
+    if (!name.empty()) picked.push_back(name);
+  }
+  return picked;
+}
+
+std::vector<std::string> corpus() {
+  return split_env_list(std::getenv("AECDSM_WORKLOAD_SPECS"),
+                        apps::synthetic::default_corpus());
+}
+
+harness::ExperimentPlan build_plan() {
+  harness::ExperimentPlan plan;
+  plan.name = "workloads";
+  for (const std::string& spec : corpus()) {
+    // Parse up front so a typo fails with the grammar error before any
+    // simulation starts, not in the middle of the batch.
+    (void)apps::synthetic::WorkloadSpec::parse(spec);
+    for (const std::string& pol : policy::registered_names()) {
+      plan.add(pol, spec, apps::Scale::kSmall);
+    }
+  }
+  return plan;
+}
+
+void report(harness::BenchReport& r) {
+  harness::print_header(
+      std::cout, "Synthetic workload corpus x every registered policy (small scale)");
+  std::printf("%-44s %-16s %10s %10s %7s %6s\n", "workload", "policy",
+              "finish (M)", "messages", "vs AEC", "valid");
+
+  json::Value section = json::Value::object();
+  section["schema"] = "aecdsm-bench-workloads-v1";
+  json::Value rows = json::Value::array();
+  for (const std::string& spec : corpus()) {
+    const std::string fp = apps::synthetic::WorkloadSpec::parse(spec).fingerprint();
+    const auto& aec = r.result("AEC/" + spec);
+    for (const std::string& pol : policy::registered_names()) {
+      const auto& cell = r.result(pol + "/" + spec);
+      const double vs_aec = static_cast<double>(cell.stats.finish_time) /
+                            static_cast<double>(aec.stats.finish_time);
+      std::printf("%-44s %-16s %10.2f %10llu %6.2fx %6s\n", fp.c_str(),
+                  pol.c_str(), cell.stats.finish_time / 1e6,
+                  static_cast<unsigned long long>(cell.stats.msgs.messages),
+                  vs_aec, cell.stats.result_valid ? "yes" : "NO");
+      json::Value row = json::Value::object();
+      row["spec"] = spec;
+      row["fingerprint"] = fp;
+      row["policy"] = pol;
+      row["finish_time"] = cell.stats.finish_time;
+      row["messages"] = cell.stats.msgs.messages;
+      row["vs_aec"] = vs_aec;
+      row["result_valid"] = cell.stats.result_valid;
+      rows.append(std::move(row));
+    }
+  }
+  section["rows"] = std::move(rows);
+  r.doc["workloads"] = std::move(section);
+
+  std::printf(
+      "\n(Every workload ships its own sequential oracle; 'valid' is the\n"
+      " oracle verdict under that policy. Patterns: migratory regions,\n"
+      " producer-consumer handoff, read-mostly after a fill round, hotspot\n"
+      " contention on one region, and a per-burst mixed draw.)\n");
+}
+
+[[maybe_unused]] const bool registered = harness::register_bench(
+    {"workloads", 15, build_plan, report, /*in_bench_all=*/false});
+
+}  // namespace
+
+#ifndef AECDSM_BENCH_ALL
+int main(int argc, char** argv) {
+  return aecdsm::harness::bench_main("workloads", argc, argv);
+}
+#endif

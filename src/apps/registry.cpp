@@ -4,17 +4,34 @@
 #include "apps/is.hpp"
 #include "apps/ocean.hpp"
 #include "apps/raytrace.hpp"
+#include "apps/synthetic/workload.hpp"
 #include "apps/water_ns.hpp"
 #include "apps/water_sp.hpp"
 #include "common/check.hpp"
 
 namespace aecdsm::apps {
+namespace {
+
+std::string app_names_joined() {
+  std::string out;
+  for (const std::string& n : app_names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<std::string> app_names() {
   return {"IS", "Raytrace", "Water-ns", "FFT", "Ocean", "Water-sp"};
 }
 
 std::unique_ptr<dsm::App> make_app(const std::string& name, Scale scale) {
+  if (synthetic::WorkloadSpec::is_spec_name(name)) {
+    return std::make_unique<synthetic::SyntheticApp>(
+        synthetic::WorkloadSpec::parse(name), scale);
+  }
   const bool small = scale == Scale::kSmall;
   if (name == "IS") {
     IsConfig cfg;
@@ -62,10 +79,17 @@ std::unique_ptr<dsm::App> make_app(const std::string& name, Scale scale) {
     }
     return std::make_unique<WaterSpApp>(cfg);
   }
-  AECDSM_CHECK_MSG(false, "unknown application: " << name);
+  AECDSM_CHECK_MSG(false, "unknown application '"
+                              << name << "'; registered applications: "
+                              << app_names_joined()
+                              << "; or a synthetic workload spec:\n"
+                              << synthetic::WorkloadSpec::grammar());
 }
 
 std::vector<LockGroup> lock_groups(const std::string& name, Scale scale, int nprocs) {
+  if (synthetic::WorkloadSpec::is_spec_name(name)) {
+    return synthetic::spec_lock_groups(synthetic::WorkloadSpec::parse(name));
+  }
   const bool small = scale == Scale::kSmall;
   if (name == "IS") return {{"var 0 (rank array)", 0, 0}};
   if (name == "Raytrace") {
@@ -84,7 +108,11 @@ std::vector<LockGroup> lock_groups(const std::string& name, Scale scale, int npr
     return {{"var 0 (proc ids)", 0, 0}, {"vars 1-3 (global sums)", 1, 3}};
   }
   if (name == "Water-sp") return {{"vars 0-5 (global values)", 0, 5}};
-  AECDSM_CHECK_MSG(false, "unknown application: " << name);
+  AECDSM_CHECK_MSG(false, "unknown application '"
+                              << name << "'; registered applications: "
+                              << app_names_joined()
+                              << "; or a synthetic workload spec:\n"
+                              << synthetic::WorkloadSpec::grammar());
 }
 
 }  // namespace aecdsm::apps

@@ -14,9 +14,12 @@ namespace aecdsm::apps {
 enum class Scale { kSmall, kDefault };
 
 /// Names in the paper's order: IS, Raytrace, Water-ns, FFT, Ocean, Water-sp.
+/// Synthetic `syn:` workload specs (apps/synthetic/workload.hpp) are also
+/// accepted by make_app/lock_groups but not listed here.
 std::vector<std::string> app_names();
 
-/// Build an application by paper name; throws SimError on unknown names.
+/// Build an application by paper name or `syn:` workload spec; throws
+/// SimError (listing the valid names and the spec grammar) on unknown names.
 std::unique_ptr<dsm::App> make_app(const std::string& name, Scale scale);
 
 /// Logical grouping of an application's lock variables, mirroring how the

@@ -1,0 +1,143 @@
+#include "apps/synthetic/schedule.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace aecdsm::apps::synthetic {
+
+void validate(const ScheduleSet& set) {
+  AECDSM_CHECK_MSG(!set.procs.empty(), "schedule set has no processors");
+  const std::size_t rounds = set.procs.front().rounds.size();
+  for (std::size_t p = 0; p < set.procs.size(); ++p) {
+    const ProcSchedule& sched = set.procs[p];
+    AECDSM_CHECK_MSG(sched.rounds.size() == rounds,
+                     "proc " << p << " has " << sched.rounds.size()
+                             << " rounds, proc 0 has " << rounds
+                             << " (rounds are barrier-separated and must match)");
+    for (const std::vector<Op>& round : sched.rounds) {
+      for (const Op& op : round) {
+        for (const std::uint32_t c : op.burst.reads) {
+          AECDSM_CHECK_MSG(c < set.cell_count,
+                           "read of cell " << c << " out of " << set.cell_count);
+        }
+        for (const CellUpdate& u : op.burst.updates) {
+          AECDSM_CHECK_MSG(u.cell < set.cell_count,
+                           "update of cell " << u.cell << " out of "
+                                             << set.cell_count);
+        }
+        for (const PrivateWrite& w : op.writes) {
+          AECDSM_CHECK_MSG(w.slot < set.priv_count,
+                           "private write to slot " << w.slot << " out of "
+                                                    << set.priv_count);
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t OracleImage::checksum() const {
+  std::uint64_t acc = 0;
+  for (const std::uint64_t v : cells) acc = mix_into(acc, v);
+  for (const std::uint64_t v : priv) acc = mix_into(acc, v);
+  return acc;
+}
+
+OracleImage replay_sequential(const ScheduleSet& set) {
+  validate(set);
+  OracleImage img;
+  img.cells.assign(set.cell_count, 0);
+  img.priv.assign(set.priv_count, 0);
+  // Round-major: rounds are barrier-separated, so every processor's round r
+  // lands before any processor's round r+1. Within a round, per-processor
+  // order is arbitrary for the oracle because updates commute and private
+  // slots have at most one writer per round.
+  for (std::size_t r = 0; r < set.rounds(); ++r) {
+    for (const ProcSchedule& sched : set.procs) {
+      for (const Op& op : sched.rounds[r]) {
+        for (const CellUpdate& u : op.burst.updates) {
+          img.cells[u.cell] += u.delta;
+        }
+        for (const PrivateWrite& w : op.writes) {
+          img.priv[w.slot] = w.value;
+        }
+      }
+    }
+  }
+  return img;
+}
+
+void execute_schedule(dsm::Context& ctx, const ProcSchedule& sched,
+                      const dsm::SharedArray<std::uint64_t>& cells,
+                      const dsm::SharedArray<std::uint64_t>& priv) {
+  for (const std::vector<Op>& round : sched.rounds) {
+    for (const Op& op : round) {
+      if (!op.burst.empty()) {
+        if (op.burst.notice) ctx.lock_acquire_notice(op.burst.lock);
+        ctx.lock(op.burst.lock);
+        std::uint64_t sink = 0;
+        for (const std::uint32_t c : op.burst.reads) {
+          sink ^= cells.get(ctx, c);
+        }
+        for (const CellUpdate& u : op.burst.updates) {
+          cells.put(ctx, u.cell, cells.get(ctx, u.cell) + u.delta);
+        }
+        if (op.burst.cs_cycles > 0) ctx.compute(op.burst.cs_cycles);
+        ctx.unlock(op.burst.lock);
+        // The read sink is dead by construction; keep the compiler honest.
+        if (sink == 0x5DEECE66DULL) ctx.compute(1);
+      }
+      for (const PrivateWrite& w : op.writes) {
+        priv.put(ctx, w.slot, w.value);
+      }
+      if (op.post_compute > 0) ctx.compute(op.post_compute);
+    }
+    ctx.barrier();
+  }
+}
+
+ScheduleApp::ScheduleApp(std::string name, std::size_t shared_bytes,
+                         Builder build)
+    : name_(std::move(name)), bytes_(shared_bytes), build_(std::move(build)) {}
+
+void ScheduleApp::setup(dsm::Machine& m) {
+  set_ = build_(m.nprocs());
+  AECDSM_CHECK_MSG(set_.procs.size() == static_cast<std::size_t>(m.nprocs()),
+                   name_ << ": builder produced " << set_.procs.size()
+                         << " proc schedules for " << m.nprocs() << " procs");
+  oracle_ = replay_sequential(set_);
+  cells_ = dsm::SharedArray<std::uint64_t>::alloc(m, set_.cell_count);
+  priv_ = dsm::SharedArray<std::uint64_t>::alloc(m, set_.priv_count);
+  const std::size_t need = (set_.cell_count + set_.priv_count) * sizeof(std::uint64_t);
+  AECDSM_CHECK_MSG(need <= bytes_, name_ << ": shared image " << need
+                                         << " B exceeds declared bound "
+                                         << bytes_ << " B");
+}
+
+void ScheduleApp::body(dsm::Context& ctx) {
+  execute_schedule(ctx, set_.procs[static_cast<std::size_t>(ctx.pid())], cells_,
+                   priv_);
+  ctx.barrier();
+  if (ctx.pid() != 0) return;
+  bool all_match = true;
+  for (std::size_t i = 0; i < set_.cell_count; ++i) {
+    const std::uint64_t v = cells_.get(ctx, i);
+    if (v != oracle_.cells[i]) {
+      all_match = false;
+      AECDSM_DEBUG(name_ << " cell " << i << ": got " << v << " want "
+                         << oracle_.cells[i]);
+    }
+  }
+  for (std::size_t i = 0; i < set_.priv_count; ++i) {
+    const std::uint64_t v = priv_.get(ctx, i);
+    if (v != oracle_.priv[i]) {
+      all_match = false;
+      AECDSM_DEBUG(name_ << " priv slot " << i << ": got " << v << " want "
+                         << oracle_.priv[i]);
+    }
+  }
+  set_ok(all_match);
+}
+
+}  // namespace aecdsm::apps::synthetic

@@ -1,0 +1,139 @@
+// Explicit operation schedules with a sequential-reference oracle — the
+// correctness backbone of every synthetic workload.
+//
+// A ScheduleSet is the fully materialized program of one run: per processor,
+// barrier-separated rounds of lock-protected bursts (reads + read-modify-
+// write updates of shared counter cells), private last-write-wins slots
+// written outside any critical section, and modeled compute. Because the
+// schedule is explicit data — generated once on the host, then both replayed
+// sequentially (the oracle) and executed under the protocol (the run) — the
+// two sides can never drift out of step the way paired RNG draws can.
+//
+// Why canonical replay is exact: all lock-protected mutations are
+// commutative integer additions, so any interleaving the lock discipline
+// permits within a round produces the same sums; private slots are
+// last-write-wins, so they replay exactly as long as at most one processor
+// writes a given slot per round (generators keep slots owner-private).
+// Rounds are barrier-separated, so the oracle replays round-major: every
+// processor's round r before any processor's round r+1. Any run whose final
+// memory image differs from the replayed image under these rules has a
+// coherence bug — which is precisely what the embedded oracle check exists
+// to catch, under every registered consistency policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "common/types.hpp"
+#include "dsm/shared_array.hpp"
+
+namespace aecdsm::apps::synthetic {
+
+/// cells[cell] += delta inside the burst's critical section.
+struct CellUpdate {
+  std::uint32_t cell = 0;
+  std::uint32_t delta = 0;
+};
+
+/// priv[slot] = value, outside any critical section. Slots must be written
+/// by at most one processor per round (generators keep them owner-private).
+struct PrivateWrite {
+  std::uint32_t slot = 0;
+  std::uint64_t value = 0;
+};
+
+/// One lock-protected episode: acquire `lock`, perform the pure reads and
+/// the read-modify-write updates, model `cs_cycles` of compute, release.
+struct LockBurst {
+  LockId lock = 0;
+  bool notice = false;   ///< issue lock_acquire_notice before acquiring
+  Cycles cs_cycles = 0;  ///< modeled compute inside the critical section
+  std::vector<std::uint32_t> reads;  ///< pure reads of shared cells
+  std::vector<CellUpdate> updates;   ///< read-modify-writes under the lock
+
+  bool empty() const { return reads.empty() && updates.empty(); }
+};
+
+/// One schedule step: an optional lock burst, then private writes and
+/// modeled compute outside any critical section.
+struct Op {
+  LockBurst burst;  ///< skipped entirely when burst.empty()
+  std::vector<PrivateWrite> writes;
+  Cycles post_compute = 0;
+};
+
+/// One processor's program: rounds[r] runs between barrier r and r+1.
+struct ProcSchedule {
+  std::vector<std::vector<Op>> rounds;
+};
+
+/// The whole run: every processor's schedule over one shared image. All
+/// processors must have the same number of rounds (they share barriers).
+struct ScheduleSet {
+  std::size_t cell_count = 0;  ///< shared commutative counter cells
+  std::size_t priv_count = 0;  ///< shared last-write-wins slots
+  std::vector<ProcSchedule> procs;
+
+  std::size_t rounds() const {
+    return procs.empty() ? 0 : procs.front().rounds.size();
+  }
+};
+
+/// Throws SimError unless the set is well-formed: equal round counts, every
+/// cell/slot index in range.
+void validate(const ScheduleSet& set);
+
+/// The sequential oracle's view of the final shared image.
+struct OracleImage {
+  std::vector<std::uint64_t> cells;
+  std::vector<std::uint64_t> priv;
+
+  /// Order-independent checksum over both arrays (apps::mix_into).
+  std::uint64_t checksum() const;
+};
+
+/// Replay the set on the host in canonical round-major order (for each
+/// round, processors 0..N-1 in turn) and return the reference image.
+OracleImage replay_sequential(const ScheduleSet& set);
+
+/// Execute one processor's schedule against the shared arrays, with a
+/// barrier after every round. The simulation-side twin of replay_sequential.
+void execute_schedule(dsm::Context& ctx, const ProcSchedule& sched,
+                      const dsm::SharedArray<std::uint64_t>& cells,
+                      const dsm::SharedArray<std::uint64_t>& priv);
+
+/// A dsm::App around any ScheduleSet: setup builds the set for the actual
+/// machine size, replays the oracle and allocates the shared image; the body
+/// executes each processor's schedule; processor 0 then audits the final
+/// image cell-for-cell against the oracle. SyntheticApp (workload.hpp) and
+/// the randomized property suite both build on this one implementation.
+class ScheduleApp : public AppBase {
+ public:
+  using Builder = std::function<ScheduleSet(int nprocs)>;
+
+  /// `shared_bytes` must bound the set's shared image for any machine the
+  /// app will run on (cells + priv, in 64-bit words, plus page slack).
+  ScheduleApp(std::string name, std::size_t shared_bytes, Builder build);
+
+  std::string name() const override { return name_; }
+  std::size_t shared_bytes() const override { return bytes_; }
+  void setup(dsm::Machine& m) override;
+  void body(dsm::Context& ctx) override;
+
+  const ScheduleSet& schedule() const { return set_; }
+  const OracleImage& oracle() const { return oracle_; }
+
+ private:
+  std::string name_;
+  std::size_t bytes_;
+  Builder build_;
+  ScheduleSet set_;
+  OracleImage oracle_;
+  dsm::SharedArray<std::uint64_t> cells_;
+  dsm::SharedArray<std::uint64_t> priv_;
+};
+
+}  // namespace aecdsm::apps::synthetic

@@ -1,0 +1,339 @@
+#include "apps/synthetic/workload.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace aecdsm::apps::synthetic {
+namespace {
+
+constexpr const char* kPrefix = "syn:";
+
+/// Private-block stride per processor, in 64-bit slots. Private writes run
+/// outside any critical section, which entry consistency only permits when
+/// no two processors ever touch one page unsynchronized — so each block
+/// spans a whole page at the largest page size in use (4 KiB). Only the
+/// first 8 slots of a block are ever written.
+constexpr std::size_t kPrivSlotsPerProc = 512;
+
+struct PatternEntry {
+  const char* name;
+  Pattern pattern;
+  int default_read_pct;
+};
+
+// Order defines the canonical listing in errors and docs.
+constexpr PatternEntry kPatterns[] = {
+    {"migratory", Pattern::kMigratory, 20},
+    {"producer-consumer", Pattern::kProducerConsumer, 50},
+    {"read-mostly", Pattern::kReadMostly, 90},
+    {"hotspot", Pattern::kHotspot, 10},
+    {"mixed", Pattern::kMixed, 40},
+};
+
+const PatternEntry& entry_of(Pattern p) {
+  for (const PatternEntry& e : kPatterns) {
+    if (e.pattern == p) return e;
+  }
+  AECDSM_CHECK_MSG(false, "unreachable: unregistered pattern");
+}
+
+std::string pattern_list() {
+  std::string out;
+  for (const PatternEntry& e : kPatterns) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+std::uint64_t parse_uint(const std::string& token, const std::string& key,
+                         const std::string& digits, std::uint64_t lo,
+                         std::uint64_t hi) {
+  std::uint64_t v = 0;
+  const char* first = digits.data();
+  const char* last = digits.data() + digits.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  AECDSM_CHECK_MSG(ec == std::errc() && ptr == last && !digits.empty(),
+                   "workload spec token '" << token << "': '" << digits
+                                           << "' is not an unsigned integer\n"
+                                           << WorkloadSpec::grammar());
+  AECDSM_CHECK_MSG(v >= lo && v <= hi, "workload spec token '"
+                                           << token << "': " << key
+                                           << " must be in [" << lo << ", "
+                                           << hi << "], got " << v << "\n"
+                                           << WorkloadSpec::grammar());
+  return v;
+}
+
+std::vector<std::string> split_slashes(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t slash = s.find('/', start);
+    if (slash == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, slash - start));
+    start = slash + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* pattern_name(Pattern p) { return entry_of(p).name; }
+
+bool WorkloadSpec::is_spec_name(const std::string& name) {
+  return name.rfind(kPrefix, 0) == 0;
+}
+
+std::string WorkloadSpec::grammar() {
+  std::ostringstream os;
+  os << "  syn:<pattern>[/key<uint>...] with pattern in {" << pattern_list()
+     << "} and keys:\n"
+     << "    cs<N>      cycles inside each critical section (0..1000000, default 64)\n"
+     << "    fan<N>     lock fan-out = #regions = #locks    (1..256, default 4)\n"
+     << "    cells<N>   64-bit cells per region             (1..4096, default 24)\n"
+     << "    rounds<N>  barrier-separated rounds            (1..64, default 4)\n"
+     << "    bursts<N>  lock bursts per proc per round      (1..1024, default 8)\n"
+     << "    read<N>    read share percent                  (0..100, default per pattern)\n"
+     << "    seed<N>    generator seed                      (default 1)\n"
+     << "  e.g. syn:migratory/cs32/fan4/seed7";
+  return os.str();
+}
+
+WorkloadSpec WorkloadSpec::parse(const std::string& name) {
+  AECDSM_CHECK_MSG(is_spec_name(name),
+                   "not a workload spec (missing 'syn:' prefix): " << name);
+  const std::vector<std::string> tokens =
+      split_slashes(name.substr(std::string(kPrefix).size()));
+
+  WorkloadSpec spec;
+  bool found = false;
+  for (const PatternEntry& e : kPatterns) {
+    if (tokens.front() == e.name) {
+      spec.pattern = e.pattern;
+      found = true;
+      break;
+    }
+  }
+  AECDSM_CHECK_MSG(found, "workload spec '" << name
+                                            << "': first token must be a "
+                                               "pattern in {"
+                                            << pattern_list() << "}\n"
+                                            << grammar());
+
+  bool seen_cs = false, seen_fan = false, seen_cells = false,
+       seen_rounds = false, seen_bursts = false, seen_read = false,
+       seen_seed = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    const auto take = [&](const char* key, bool& seen) -> std::string {
+      AECDSM_CHECK_MSG(!seen, "workload spec '" << name << "': duplicate key '"
+                                                << key << "'\n"
+                                                << grammar());
+      seen = true;
+      return t.substr(std::string(key).size());
+    };
+    if (t.rfind("cells", 0) == 0) {
+      spec.region_cells = static_cast<std::uint32_t>(
+          parse_uint(t, "cells", take("cells", seen_cells), 1, 4096));
+    } else if (t.rfind("cs", 0) == 0) {
+      spec.cs_cycles = static_cast<std::uint32_t>(
+          parse_uint(t, "cs", take("cs", seen_cs), 0, 1000000));
+    } else if (t.rfind("fan", 0) == 0) {
+      spec.fan = static_cast<std::uint32_t>(
+          parse_uint(t, "fan", take("fan", seen_fan), 1, 256));
+    } else if (t.rfind("rounds", 0) == 0) {
+      spec.rounds = static_cast<std::uint32_t>(
+          parse_uint(t, "rounds", take("rounds", seen_rounds), 1, 64));
+    } else if (t.rfind("bursts", 0) == 0) {
+      spec.bursts = static_cast<std::uint32_t>(
+          parse_uint(t, "bursts", take("bursts", seen_bursts), 1, 1024));
+    } else if (t.rfind("read", 0) == 0) {
+      spec.read_pct = static_cast<std::int32_t>(
+          parse_uint(t, "read", take("read", seen_read), 0, 100));
+    } else if (t.rfind("seed", 0) == 0) {
+      spec.seed = parse_uint(t, "seed", take("seed", seen_seed), 0,
+                             UINT64_MAX);
+    } else {
+      AECDSM_CHECK_MSG(false, "workload spec '"
+                                  << name << "': unknown token '" << t
+                                  << "' (patterns go first, keys are "
+                                     "cs/fan/cells/rounds/bursts/read/seed)\n"
+                                  << grammar());
+    }
+  }
+  return spec;
+}
+
+std::string WorkloadSpec::fingerprint() const {
+  std::ostringstream os;
+  os << kPrefix << pattern_name(pattern) << "/cs" << cs_cycles << "/fan" << fan
+     << "/cells" << region_cells << "/rounds" << rounds << "/bursts" << bursts
+     << "/read" << resolved_read_pct() << "/seed" << seed;
+  return os.str();
+}
+
+int WorkloadSpec::resolved_read_pct() const {
+  return read_pct >= 0 ? read_pct : entry_of(pattern).default_read_pct;
+}
+
+WorkloadSpec WorkloadSpec::scaled(Scale scale) const {
+  WorkloadSpec s = *this;
+  if (scale == Scale::kSmall) {
+    s.rounds = std::max<std::uint32_t>(1, s.rounds / 2);
+    s.bursts = std::max<std::uint32_t>(1, s.bursts / 2);
+  }
+  return s;
+}
+
+ScheduleSet build_schedule_set(const WorkloadSpec& spec, int nprocs) {
+  AECDSM_CHECK_MSG(nprocs > 0, "workload needs at least one processor");
+  const std::size_t fan = spec.fan;
+  const std::size_t cells_per_region = spec.region_cells;
+  const int read_pct = spec.resolved_read_pct();
+
+  ScheduleSet set;
+  set.cell_count = fan * cells_per_region;
+  set.priv_count = kPrivSlotsPerProc * static_cast<std::size_t>(nprocs);
+  set.procs.resize(static_cast<std::size_t>(nprocs));
+
+  for (int p = 0; p < nprocs; ++p) {
+    Rng rng = Rng(spec.seed).split(static_cast<std::uint64_t>(p) + 1);
+    ProcSchedule& sched = set.procs[static_cast<std::size_t>(p)];
+    sched.rounds.resize(spec.rounds);
+    for (std::uint32_t r = 0; r < spec.rounds; ++r) {
+      std::vector<Op>& round = sched.rounds[r];
+      round.reserve(spec.bursts);
+      for (std::uint32_t b = 0; b < spec.bursts; ++b) {
+        Op op;
+
+        // Region choice and read share, by sharing pattern.
+        std::size_t region = 0;
+        int op_read_pct = read_pct;
+        bool forced_writes = false, forced_reads = false;
+        Pattern pat = spec.pattern;
+        if (pat == Pattern::kMixed) {
+          // Per-burst draw over the four concrete patterns. The draw is
+          // consumed unconditionally so schedules stay seed-stable.
+          static constexpr Pattern kConcrete[] = {
+              Pattern::kMigratory, Pattern::kProducerConsumer,
+              Pattern::kReadMostly, Pattern::kHotspot};
+          pat = kConcrete[rng.next_below(4)];
+        }
+        switch (pat) {
+          case Pattern::kMigratory:
+            // Every processor walks the same region sequence, so ownership
+            // of the region (and its lock) migrates proc to proc.
+            region = (static_cast<std::size_t>(r) * spec.bursts + b) % fan;
+            break;
+          case Pattern::kProducerConsumer:
+            if (b % 2 == 0) {
+              region = static_cast<std::size_t>(p) % fan;
+              forced_writes = true;  // produce into the own region
+            } else {
+              region = static_cast<std::size_t>((p + 1) % nprocs) % fan;
+              forced_reads = true;  // consume the neighbour's region
+            }
+            break;
+          case Pattern::kReadMostly:
+            region = rng.next_below(fan);
+            // Round 0 is the fill round; afterwards reads dominate.
+            if (r == 0) op_read_pct = 0;
+            break;
+          case Pattern::kHotspot:
+            // 60% of bursts contend on region 0.
+            region = rng.next_below(10) < 6 ? 0 : rng.next_below(fan);
+            break;
+          case Pattern::kMixed:
+            AECDSM_CHECK_MSG(false, "unreachable: mixed resolves above");
+        }
+
+        op.burst.lock = static_cast<LockId>(region);
+        op.burst.cs_cycles = spec.cs_cycles;
+        op.burst.notice = rng.next_below(4) == 0;
+        const std::size_t n_ops = 1 + rng.next_below(4);
+        for (std::size_t k = 0; k < n_ops; ++k) {
+          const std::uint32_t cell = static_cast<std::uint32_t>(
+              region * cells_per_region + rng.next_below(cells_per_region));
+          const bool is_read =
+              forced_reads ||
+              (!forced_writes &&
+               rng.next_below(100) < static_cast<std::uint64_t>(op_read_pct));
+          if (is_read) {
+            op.burst.reads.push_back(cell);
+          } else {
+            op.burst.updates.push_back(CellUpdate{
+                cell, static_cast<std::uint32_t>(rng.next_below(1000) + 1)});
+          }
+        }
+
+        // Private traffic outside the CS: owner-disjoint last-write slots.
+        if (rng.next_below(2) == 0) {
+          op.writes.push_back(PrivateWrite{
+              static_cast<std::uint32_t>(
+                  kPrivSlotsPerProc * static_cast<std::size_t>(p) +
+                  rng.next_below(8)),
+              rng.next_u64()});
+        }
+        op.post_compute = static_cast<Cycles>(rng.next_below(200));
+        round.push_back(std::move(op));
+      }
+    }
+  }
+  validate(set);
+  return set;
+}
+
+namespace {
+
+std::size_t spec_shared_bytes(const WorkloadSpec& spec) {
+  // Page frames allocate lazily, so a generous processor-count bound (the
+  // actual count is unknown until setup) costs address space, not memory.
+  constexpr std::size_t kMaxProcs = 1024;
+  return (static_cast<std::size_t>(spec.fan) * spec.region_cells +
+          kPrivSlotsPerProc * kMaxProcs) *
+             sizeof(std::uint64_t) +
+         16 * 4096;
+}
+
+}  // namespace
+
+SyntheticApp::SyntheticApp(const WorkloadSpec& spec, Scale scale)
+    : ScheduleApp(spec.fingerprint(), spec_shared_bytes(spec),
+                  [run = spec.scaled(scale)](int nprocs) {
+                    return build_schedule_set(run, nprocs);
+                  }),
+      spec_(spec) {}
+
+std::vector<LockGroup> spec_lock_groups(const WorkloadSpec& spec) {
+  const LockId hi = static_cast<LockId>(spec.fan - 1);
+  std::string label = spec.fan == 1
+                          ? "var 0 (region)"
+                          : "vars 0-" + std::to_string(spec.fan - 1) +
+                                " (regions)";
+  return {{std::move(label), 0, hi}};
+}
+
+std::vector<std::string> default_corpus() {
+  return {
+      "syn:migratory/cs32/fan4/seed7",
+      "syn:migratory/cs512/fan2/seed11",
+      "syn:producer-consumer/fan4/seed3",
+      "syn:producer-consumer/cs128/fan8/seed5",
+      "syn:read-mostly/fan4/cells96/seed13",
+      "syn:read-mostly/cs16/fan1/seed31",
+      "syn:hotspot/cs64/fan8/seed17",
+      "syn:hotspot/fan2/cells48/seed19",
+      "syn:mixed/fan6/seed23",
+      "syn:mixed/cs256/fan3/cells40/seed29",
+  };
+}
+
+}  // namespace aecdsm::apps::synthetic

@@ -1,0 +1,93 @@
+// The `syn:` workload grammar — seeded, deterministic synthetic apps.
+//
+// A WorkloadSpec names a sharing pattern plus the knobs the analytical
+// locking literature models (critical-section length, lock fan-out, barrier
+// cadence, region geometry, read/write mix). Compiling a spec yields an
+// explicit ScheduleSet (schedule.hpp), so every synthetic app carries the
+// sequential-reference oracle for free and is conformance-checkable under
+// any consistency policy.
+//
+// Spec names parse from strings like `syn:migratory/cs32/fan4/seed7` and
+// round-trip through fingerprint(): the canonical spelling with every field
+// materialized. make_app accepts any spelling; the harness folds the
+// fingerprint into cache keys so spellings of the same workload alias.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "apps/synthetic/schedule.hpp"
+
+namespace aecdsm::apps::synthetic {
+
+/// Sharing patterns, mirroring the classic DSM taxonomy (Munin's categories).
+enum class Pattern {
+  kMigratory,         ///< one token region set migrates proc-to-proc
+  kProducerConsumer,  ///< each proc produces its region, consumes a neighbor's
+  kReadMostly,        ///< write-once (fill round), then dominated by reads
+  kHotspot,           ///< most bursts contend on region 0
+  kMixed,             ///< per-burst random draw over the other patterns
+};
+
+const char* pattern_name(Pattern p);
+
+struct WorkloadSpec {
+  Pattern pattern = Pattern::kMigratory;
+  std::uint32_t cs_cycles = 64;  ///< modeled compute inside each CS (`cs`)
+  std::uint32_t fan = 4;         ///< lock fan-out: #regions = #locks (`fan`)
+  std::uint64_t seed = 1;        ///< generator seed (`seed`)
+  std::uint32_t rounds = 4;      ///< barrier-separated rounds (`rounds`)
+  std::uint32_t bursts = 8;      ///< lock bursts per proc per round (`bursts`)
+  std::uint32_t region_cells = 24;  ///< 64-bit cells per region (`cells`)
+  std::int32_t read_pct = -1;    ///< read share 0..100; -1 = pattern default
+
+  /// True for any name carrying the `syn:` prefix (well-formed or not).
+  static bool is_spec_name(const std::string& name);
+
+  /// One-paragraph grammar reference, embedded in parse errors.
+  static std::string grammar();
+
+  /// Parse `syn:<pattern>[/key<uint>...]`; throws SimError with the grammar
+  /// on any malformed input (unknown pattern/key, duplicate key, bad or
+  /// out-of-range number).
+  static WorkloadSpec parse(const std::string& name);
+
+  /// Canonical spelling with every field materialized (read resolved to the
+  /// pattern default). Stable under re-parsing: parse(fingerprint()) yields
+  /// the same fingerprint.
+  std::string fingerprint() const;
+
+  /// The read share the generator actually uses.
+  int resolved_read_pct() const;
+
+  /// Test-scale variant: kSmall halves rounds and bursts (min 1).
+  WorkloadSpec scaled(Scale scale) const;
+};
+
+/// Compile the spec into an explicit per-processor schedule. Deterministic
+/// in (spec, nprocs); all randomness is consumed here, never during the run.
+ScheduleSet build_schedule_set(const WorkloadSpec& spec, int nprocs);
+
+/// A spec-defined app. Its name() is the canonical fingerprint of the
+/// unscaled spec; the schedule itself is built from spec.scaled(scale).
+class SyntheticApp : public ScheduleApp {
+ public:
+  SyntheticApp(const WorkloadSpec& spec, Scale scale);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+};
+
+/// Lock groups for a spec: one region per lock, ids [0, fan).
+std::vector<LockGroup> spec_lock_groups(const WorkloadSpec& spec);
+
+/// The default grammar corpus for bench_workloads and CI: every pattern,
+/// varied CS lengths, fan-outs, page-spanning region sizes and seeds.
+std::vector<std::string> default_corpus();
+
+}  // namespace aecdsm::apps::synthetic

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "apps/synthetic/workload.hpp"
 #include "common/check.hpp"
 #include "harness/batch.hpp"
 #include "harness/json_out.hpp"
@@ -104,8 +105,20 @@ std::string CellCache::cell_key(const ExperimentCell& cell) {
   // Likewise the resolved policy axes: two registered policies sharing a
   // name but differing in any axis (or a preset whose definition changes)
   // can never alias a cached cell.
+  //
+  // Synthetic `syn:` app names are folded in as the spec's canonical
+  // fingerprint, so spellings of one workload (reordered keys, elided
+  // defaults) alias the same cached cell. A malformed spec falls back to
+  // its raw spelling here — make_app will surface the parse error.
+  std::string app = cell.app;
+  if (apps::synthetic::WorkloadSpec::is_spec_name(app)) {
+    try {
+      app = apps::synthetic::WorkloadSpec::parse(app).fingerprint();
+    } catch (const SimError&) {
+    }
+  }
   std::ostringstream os;
-  os << kSimVersionSalt << '|' << cell.protocol << '|' << cell.app << '|'
+  os << kSimVersionSalt << '|' << cell.protocol << '|' << app << '|'
      << (cell.scale == apps::Scale::kSmall ? "small" : "default") << '|' << cell.seed
      << '|' << to_json(cell.params).dump(-1);
   if (const policy::ConsistencyPolicy* pol = policy::find_policy(cell.protocol)) {

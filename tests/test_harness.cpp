@@ -3,7 +3,10 @@
 // registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "apps/registry.hpp"
 #include "harness/format.hpp"
@@ -29,13 +32,72 @@ TEST(Registry, UnknownAppThrows) {
   EXPECT_THROW(apps::make_app("NoSuchApp", apps::Scale::kSmall), SimError);
 }
 
-TEST(Registry, LockGroupsCoverKnownApps) {
-  for (const std::string& name : apps::app_names()) {
-    const auto groups = apps::lock_groups(name, apps::Scale::kDefault, 16);
-    EXPECT_FALSE(groups.empty()) << name;
-    for (const auto& g : groups) {
-      EXPECT_LE(g.lo, g.hi) << name << "/" << g.label;
-      EXPECT_FALSE(g.label.empty());
+// The unknown-name error must teach the caller every valid spelling: all
+// registered application names plus the synthetic `syn:` spec grammar
+// (mirroring the policy registry's unknown-protocol error).
+TEST(Registry, UnknownAppErrorListsEveryAppAndTheSpecGrammar) {
+  for (const auto go : {+[] { apps::make_app("NoSuchApp", apps::Scale::kSmall); },
+                        +[] { apps::lock_groups("NoSuchApp", apps::Scale::kSmall, 4); }}) {
+    try {
+      go();
+      FAIL() << "unknown app accepted";
+    } catch (const SimError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("NoSuchApp"), std::string::npos) << msg;
+      for (const std::string& name : apps::app_names()) {
+        EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name << ": " << msg;
+      }
+      EXPECT_NE(msg.find("syn:<pattern>"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("migratory"), std::string::npos) << msg;
+    }
+  }
+}
+
+// Every registered app (and a sample of synthetic specs) must expose lock
+// groups that are well-formed at every scale and processor count: non-empty
+// labels, lo <= hi, and pairwise non-overlapping id ranges.
+TEST(Registry, LockGroupsWellFormedForEveryAppScaleAndNprocs) {
+  std::vector<std::string> names = apps::app_names();
+  names.push_back("syn:migratory/cs32/fan4/seed7");
+  names.push_back("syn:hotspot/fan1/seed3");
+  names.push_back("syn:mixed/fan256/seed5");
+  for (const std::string& name : names) {
+    for (const apps::Scale scale : {apps::Scale::kSmall, apps::Scale::kDefault}) {
+      for (const int nprocs : {2, 4, 8, 16}) {
+        auto groups = apps::lock_groups(name, scale, nprocs);
+        ASSERT_FALSE(groups.empty()) << name;
+        std::sort(groups.begin(), groups.end(),
+                  [](const auto& a, const auto& b) { return a.lo < b.lo; });
+        for (std::size_t i = 0; i < groups.size(); ++i) {
+          EXPECT_FALSE(groups[i].label.empty()) << name;
+          EXPECT_LE(groups[i].lo, groups[i].hi) << name << "/" << groups[i].label;
+          if (i > 0) {
+            EXPECT_LT(groups[i - 1].hi, groups[i].lo)
+                << name << ": groups '" << groups[i - 1].label << "' and '"
+                << groups[i].label << "' overlap";
+          }
+        }
+      }
+    }
+  }
+}
+
+// The groups must also cover the lock-id space the app actually uses: every
+// lock that shows up in an AEC run's LAP scores falls inside some group.
+TEST(Registry, LockGroupsContainEveryObservedLock) {
+  const SystemParams params = small_params(4);
+  std::vector<std::string> names = apps::app_names();
+  names.push_back("syn:mixed/fan6/seed23");
+  for (const std::string& name : names) {
+    const auto r = harness::run_experiment("AEC", name, apps::Scale::kSmall, params);
+    ASSERT_TRUE(r.stats.result_valid) << name;
+    const auto groups = apps::lock_groups(name, apps::Scale::kSmall, 4);
+    for (const auto& [lock, scores] : harness::lap_scores_of(r)) {
+      bool covered = false;
+      for (const auto& g : groups) {
+        covered = covered || (lock >= g.lo && lock <= g.hi);
+      }
+      EXPECT_TRUE(covered) << name << ": lock " << lock << " in no group";
     }
   }
 }

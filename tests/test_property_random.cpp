@@ -2,28 +2,30 @@
 // workloads must produce exactly the sequential reference result under
 // every protocol. This sweeps seeds, processor counts and sharing shapes —
 // the strongest general check on the coherence implementations.
+//
+// The workload is expressed as an explicit apps::synthetic::ScheduleSet (a
+// random schedule of lock-protected update bursts, private last-write slots
+// and barriers), so the sequential oracle and the simulated execution are
+// the one shared implementation in src/apps/synthetic — the same one every
+// `syn:` grammar workload uses.
 #include <gtest/gtest.h>
 
-#include <map>
+#include <string>
 #include <vector>
 
-#include "apps/app_common.hpp"
-#include "common/log.hpp"
+#include "apps/synthetic/schedule.hpp"
 #include "common/rng.hpp"
-#include "dsm/shared_array.hpp"
 #include "tests/test_util.hpp"
 
 namespace aecdsm::test {
 namespace {
 
-// The workload: a shared array of counters partitioned into lock-protected
-// regions plus a per-processor "private block" written outside critical
-// sections. Each processor performs a random schedule of:
-//   * region update bursts (lock, read-modify-write several cells, unlock)
-//   * private block writes (outside any CS)
-//   * barriers (all processors share one schedule position for these)
-// The sequential oracle replays the same operations in a canonical order;
-// commutative integer updates make the comparison exact.
+using apps::synthetic::CellUpdate;
+using apps::synthetic::Op;
+using apps::synthetic::PrivateWrite;
+using apps::synthetic::ScheduleApp;
+using apps::synthetic::ScheduleSet;
+
 struct WorkloadConfig {
   std::uint64_t seed = 1;
   int nprocs = 4;
@@ -33,106 +35,53 @@ struct WorkloadConfig {
   int bursts_per_round = 8;       ///< lock bursts per processor per round
 };
 
-class RandomWorkloadApp : public apps::AppBase {
- public:
-  explicit RandomWorkloadApp(WorkloadConfig cfg) : cfg_(cfg) {}
-
-  std::string name() const override { return "random-workload"; }
-  std::size_t shared_bytes() const override {
-    return (cfg_.regions * cfg_.region_cells + 64 * static_cast<std::size_t>(cfg_.nprocs)) *
-               sizeof(std::uint64_t) +
-           16 * 4096;
-  }
-
-  void setup(dsm::Machine& m) override {
-    cells_ = dsm::SharedArray<std::uint64_t>::alloc(m, cfg_.regions * cfg_.region_cells);
-    priv_ = dsm::SharedArray<std::uint64_t>::alloc(
-        m, 64 * static_cast<std::size_t>(cfg_.nprocs));
-
-    // Oracle: region cells accumulate commutative contributions; private
-    // blocks take the last value each owner writes in each round.
-    std::vector<std::uint64_t> cells(cfg_.regions * cfg_.region_cells, 0);
-    std::vector<std::uint64_t> priv(64 * static_cast<std::size_t>(cfg_.nprocs), 0);
-    for (int p = 0; p < cfg_.nprocs; ++p) {
-      Rng rng = Rng(cfg_.seed).split(static_cast<std::uint64_t>(p) + 1);
-      for (int round = 0; round < cfg_.rounds; ++round) {
-        for (int b = 0; b < cfg_.bursts_per_round; ++b) {
-          const std::size_t region = rng.next_below(cfg_.regions);
-          const std::size_t n_cells = 1 + rng.next_below(4);
-          for (std::size_t k = 0; k < n_cells; ++k) {
-            const std::size_t cell =
-                region * cfg_.region_cells + rng.next_below(cfg_.region_cells);
-            cells[cell] += rng.next_below(1000) + 1;
-          }
-          const std::size_t pslot =
-              64 * static_cast<std::size_t>(p) + rng.next_below(8);
-          priv[pslot] = rng.next_u64();
-          (void)rng.next_below(500);  // keep in step with the body's compute draw
-        }
-      }
-    }
-    oracle_cells_ = cells;
-    oracle_priv_ = priv;
-    oracle_checksum_ = 0;
-    for (const std::uint64_t v : cells) oracle_checksum_ = apps::mix_into(oracle_checksum_, v);
-    for (const std::uint64_t v : priv) oracle_checksum_ = apps::mix_into(oracle_checksum_, v);
-  }
-
-  void body(dsm::Context& ctx) override {
-    const int p = ctx.pid();
-    Rng rng = Rng(cfg_.seed).split(static_cast<std::uint64_t>(p) + 1);
-    for (int round = 0; round < cfg_.rounds; ++round) {
-      for (int b = 0; b < cfg_.bursts_per_round; ++b) {
-        const std::size_t region = rng.next_below(cfg_.regions);
+// Each processor performs a random schedule of region update bursts (lock,
+// read-modify-write several cells, unlock), private block writes outside
+// any CS, and modeled compute; rounds are barrier-separated. Some bursts
+// issue advance acquire notices to exercise AEC's virtual queues.
+ScheduleSet random_schedule(const WorkloadConfig& cfg, int nprocs) {
+  ScheduleSet set;
+  set.cell_count = cfg.regions * cfg.region_cells;
+  set.priv_count = 64 * static_cast<std::size_t>(nprocs);
+  set.procs.resize(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) {
+    Rng rng = Rng(cfg.seed).split(static_cast<std::uint64_t>(p) + 1);
+    auto& rounds = set.procs[static_cast<std::size_t>(p)].rounds;
+    rounds.resize(static_cast<std::size_t>(cfg.rounds));
+    for (auto& round : rounds) {
+      for (int b = 0; b < cfg.bursts_per_round; ++b) {
+        Op op;
+        const std::size_t region = rng.next_below(cfg.regions);
         const std::size_t n_cells = 1 + rng.next_below(4);
-        // Random advance notice for some bursts (exercises virtual queues).
-        if (n_cells == 2) ctx.lock_acquire_notice(static_cast<LockId>(region));
-        ctx.lock(static_cast<LockId>(region));
+        op.burst.lock = static_cast<LockId>(region);
+        op.burst.notice = n_cells == 2;
         for (std::size_t k = 0; k < n_cells; ++k) {
-          const std::size_t cell =
-              region * cfg_.region_cells + rng.next_below(cfg_.region_cells);
-          cells_.put(ctx, cell, cells_.get(ctx, cell) + rng.next_below(1000) + 1);
+          const std::uint32_t cell = static_cast<std::uint32_t>(
+              region * cfg.region_cells + rng.next_below(cfg.region_cells));
+          op.burst.updates.push_back(CellUpdate{
+              cell, static_cast<std::uint32_t>(rng.next_below(1000) + 1)});
         }
-        ctx.unlock(static_cast<LockId>(region));
-        const std::size_t pslot = 64 * static_cast<std::size_t>(p) + rng.next_below(8);
-        priv_.put(ctx, pslot, rng.next_u64());
-        ctx.compute(rng.next_below(500));
+        op.writes.push_back(PrivateWrite{
+            static_cast<std::uint32_t>(64 * p + rng.next_below(8)),
+            rng.next_u64()});
+        op.post_compute = static_cast<Cycles>(rng.next_below(500));
+        round.push_back(std::move(op));
       }
-      ctx.barrier();
-    }
-    ctx.barrier();
-    if (p == 0) {
-      std::uint64_t checksum = 0;
-      for (std::size_t i = 0; i < cfg_.regions * cfg_.region_cells; ++i) {
-        const std::uint64_t v = cells_.get(ctx, i);
-        if (!oracle_cells_.empty() && v != oracle_cells_[i]) {
-          AECDSM_DEBUG("random-workload cell " << i << " (region "
-                                               << i / cfg_.region_cells << "): got " << v
-                                               << " want " << oracle_cells_[i]);
-        }
-        checksum = apps::mix_into(checksum, v);
-      }
-      for (std::size_t i = 0; i < 64 * static_cast<std::size_t>(cfg_.nprocs); ++i) {
-        const std::uint64_t v = priv_.get(ctx, i);
-        if (!oracle_priv_.empty() && v != oracle_priv_[i]) {
-          AECDSM_DEBUG("random-workload priv slot " << i << " (proc " << i / 64
-                                                    << "): got " << v << " want "
-                                                    << oracle_priv_[i]);
-        }
-        checksum = apps::mix_into(checksum, v);
-      }
-      set_ok(checksum == oracle_checksum_);
     }
   }
+  return set;
+}
 
- private:
-  WorkloadConfig cfg_;
-  std::vector<std::uint64_t> oracle_cells_;
-  std::vector<std::uint64_t> oracle_priv_;
-  dsm::SharedArray<std::uint64_t> cells_;
-  dsm::SharedArray<std::uint64_t> priv_;
-  std::uint64_t oracle_checksum_ = 0;
-};
+ScheduleApp make_random_app(const WorkloadConfig& cfg) {
+  const std::size_t bytes =
+      (cfg.regions * cfg.region_cells +
+       64 * static_cast<std::size_t>(cfg.nprocs)) *
+          sizeof(std::uint64_t) +
+      16 * 4096;
+  return ScheduleApp("random-workload", bytes, [cfg](int nprocs) {
+    return random_schedule(cfg, nprocs);
+  });
+}
 
 struct PropCase {
   WorkloadConfig cfg;
@@ -143,7 +92,7 @@ class RandomWorkload : public ::testing::TestWithParam<PropCase> {};
 
 TEST_P(RandomWorkload, MatchesSequentialOracle) {
   const PropCase& c = GetParam();
-  RandomWorkloadApp app(c.cfg);
+  ScheduleApp app = make_random_app(c.cfg);
   const RunStats stats = run_protocol(app, c.protocol, small_params(c.cfg.nprocs),
                                       /*seed=*/c.cfg.seed);
   EXPECT_TRUE(stats.result_valid)
@@ -152,6 +101,42 @@ TEST_P(RandomWorkload, MatchesSequentialOracle) {
   for (const TimeBreakdown& b : stats.per_proc) {
     EXPECT_GT(b.total(), 0u);
   }
+}
+
+// The host-side oracle must agree with a literal reference interpreter: a
+// hand-rolled round-major replay of the same schedule.
+TEST(ScheduleOracle, ReplayMatchesDirectInterpretation) {
+  WorkloadConfig cfg;
+  cfg.seed = 91;
+  const ScheduleSet set = random_schedule(cfg, cfg.nprocs);
+  const apps::synthetic::OracleImage img = apps::synthetic::replay_sequential(set);
+
+  std::vector<std::uint64_t> cells(set.cell_count, 0);
+  std::vector<std::uint64_t> priv(set.priv_count, 0);
+  for (std::size_t r = 0; r < set.rounds(); ++r) {
+    for (const auto& sched : set.procs) {
+      for (const Op& op : sched.rounds[r]) {
+        for (const CellUpdate& u : op.burst.updates) cells[u.cell] += u.delta;
+        for (const PrivateWrite& w : op.writes) priv[w.slot] = w.value;
+      }
+    }
+  }
+  EXPECT_EQ(img.cells, cells);
+  EXPECT_EQ(img.priv, priv);
+  EXPECT_NE(img.checksum(), 0u);
+}
+
+// Malformed schedules must be rejected before any simulation runs.
+TEST(ScheduleOracle, ValidateRejectsRaggedAndOutOfRange) {
+  WorkloadConfig cfg;
+  ScheduleSet ragged = random_schedule(cfg, cfg.nprocs);
+  ragged.procs[1].rounds.pop_back();
+  EXPECT_THROW(apps::synthetic::validate(ragged), SimError);
+
+  ScheduleSet oob = random_schedule(cfg, cfg.nprocs);
+  oob.procs[0].rounds[0][0].burst.updates.push_back(
+      CellUpdate{static_cast<std::uint32_t>(oob.cell_count), 1});
+  EXPECT_THROW(apps::synthetic::validate(oob), SimError);
 }
 
 std::vector<PropCase> prop_cases() {

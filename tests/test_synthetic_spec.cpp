@@ -1,0 +1,199 @@
+// The `syn:` workload-spec grammar: parse/fingerprint round-trips, spelling
+// aliasing, scaling, generator determinism, and a malformed-input fuzz pass
+// (mirroring the json round-trip fuzz style) — a bad spec must throw
+// SimError with the grammar attached, never crash or be silently accepted.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "apps/synthetic/workload.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+using apps::synthetic::build_schedule_set;
+using apps::synthetic::Pattern;
+using apps::synthetic::replay_sequential;
+using apps::synthetic::ScheduleSet;
+using apps::synthetic::WorkloadSpec;
+
+TEST(SyntheticSpec, PrefixDetection) {
+  EXPECT_TRUE(WorkloadSpec::is_spec_name("syn:migratory"));
+  EXPECT_TRUE(WorkloadSpec::is_spec_name("syn:"));  // malformed but syn-shaped
+  EXPECT_FALSE(WorkloadSpec::is_spec_name("IS"));
+  EXPECT_FALSE(WorkloadSpec::is_spec_name("Synthetic"));
+  EXPECT_FALSE(WorkloadSpec::is_spec_name(" syn:migratory"));
+}
+
+TEST(SyntheticSpec, DefaultsMaterializeInTheFingerprint) {
+  const WorkloadSpec spec = WorkloadSpec::parse("syn:migratory");
+  EXPECT_EQ(spec.pattern, Pattern::kMigratory);
+  EXPECT_EQ(spec.cs_cycles, 64u);
+  EXPECT_EQ(spec.fan, 4u);
+  EXPECT_EQ(spec.region_cells, 24u);
+  EXPECT_EQ(spec.rounds, 4u);
+  EXPECT_EQ(spec.bursts, 8u);
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.read_pct, -1);
+  EXPECT_EQ(spec.resolved_read_pct(), 20);
+  EXPECT_EQ(spec.fingerprint(),
+            "syn:migratory/cs64/fan4/cells24/rounds4/bursts8/read20/seed1");
+}
+
+TEST(SyntheticSpec, EveryPatternParsesWithItsDefaultReadShare) {
+  const std::vector<std::pair<std::string, int>> expect = {
+      {"migratory", 20}, {"producer-consumer", 50}, {"read-mostly", 90},
+      {"hotspot", 10},   {"mixed", 40},
+  };
+  for (const auto& [name, read] : expect) {
+    const WorkloadSpec spec = WorkloadSpec::parse("syn:" + name);
+    EXPECT_EQ(apps::synthetic::pattern_name(spec.pattern), name);
+    EXPECT_EQ(spec.resolved_read_pct(), read) << name;
+  }
+}
+
+TEST(SyntheticSpec, SpellingsOfOneWorkloadShareAFingerprint) {
+  const std::string canonical =
+      WorkloadSpec::parse("syn:hotspot/cs64/fan4/seed5").fingerprint();
+  // Reordered keys, elided defaults, explicitly-spelled defaults.
+  for (const char* alias :
+       {"syn:hotspot/seed5", "syn:hotspot/fan4/seed5/cs64",
+        "syn:hotspot/seed5/rounds4/bursts8/cells24", "syn:hotspot/read10/seed5"}) {
+    EXPECT_EQ(WorkloadSpec::parse(alias).fingerprint(), canonical) << alias;
+  }
+  EXPECT_NE(WorkloadSpec::parse("syn:hotspot/seed6").fingerprint(), canonical);
+  EXPECT_NE(WorkloadSpec::parse("syn:hotspot/seed5/cs65").fingerprint(), canonical);
+  EXPECT_NE(WorkloadSpec::parse("syn:hotspot/seed5/read11").fingerprint(), canonical);
+}
+
+TEST(SyntheticSpec, FingerprintIsReparseStable) {
+  for (const std::string& name : apps::synthetic::default_corpus()) {
+    const std::string fp = WorkloadSpec::parse(name).fingerprint();
+    EXPECT_EQ(WorkloadSpec::parse(fp).fingerprint(), fp) << name;
+  }
+}
+
+TEST(SyntheticSpec, SmallScaleHalvesRoundsAndBurstsWithAFloorOfOne) {
+  const WorkloadSpec spec = WorkloadSpec::parse("syn:mixed/rounds5/bursts1");
+  const WorkloadSpec small = spec.scaled(apps::Scale::kSmall);
+  EXPECT_EQ(small.rounds, 2u);
+  EXPECT_EQ(small.bursts, 1u);
+  const WorkloadSpec def = spec.scaled(apps::Scale::kDefault);
+  EXPECT_EQ(def.rounds, 5u);
+  EXPECT_EQ(def.bursts, 1u);
+}
+
+TEST(SyntheticSpec, GeneratorIsDeterministicInSpecAndNprocs) {
+  const WorkloadSpec spec = WorkloadSpec::parse("syn:producer-consumer/fan4/seed3");
+  const ScheduleSet a = build_schedule_set(spec, 4);
+  const ScheduleSet b = build_schedule_set(spec, 4);
+  ASSERT_EQ(a.procs.size(), b.procs.size());
+  EXPECT_EQ(replay_sequential(a).checksum(), replay_sequential(b).checksum());
+  // A different seed or processor count yields a different program.
+  WorkloadSpec other = spec;
+  other.seed = 4;
+  EXPECT_NE(replay_sequential(build_schedule_set(other, 4)).checksum(),
+            replay_sequential(a).checksum());
+  EXPECT_NE(replay_sequential(build_schedule_set(spec, 2)).checksum(),
+            replay_sequential(a).checksum());
+}
+
+TEST(SyntheticSpec, SpecLockGroupsSpanExactlyTheFanOut) {
+  const auto one = apps::lock_groups("syn:read-mostly/fan1", apps::Scale::kSmall, 4);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].lo, 0u);
+  EXPECT_EQ(one[0].hi, 0u);
+  const auto many = apps::lock_groups("syn:read-mostly/fan8", apps::Scale::kDefault, 16);
+  ASSERT_EQ(many.size(), 1u);
+  EXPECT_EQ(many[0].lo, 0u);
+  EXPECT_EQ(many[0].hi, 7u);
+}
+
+// ---- malformed inputs -------------------------------------------------------
+
+const char* const kBadSpecs[] = {
+    "syn:",                                 // no pattern
+    "syn:bogus",                            // unknown pattern
+    "syn:Migratory",                        // patterns are case-sensitive
+    "syn:/cs32",                            // empty pattern token
+    "syn:cs32/migratory",                   // pattern must come first
+    "syn:migratory/cs",                     // key without a number
+    "syn:migratory/cs32/cs64",              // duplicate key
+    "syn:mixed/read50/read60",              // duplicate key
+    "syn:migratory/fan0",                   // below range
+    "syn:migratory/fan257",                 // above range
+    "syn:migratory/rounds0",                //
+    "syn:migratory/rounds65",               //
+    "syn:migratory/bursts0",                //
+    "syn:migratory/bursts2000",             //
+    "syn:migratory/cells0",                 //
+    "syn:migratory/cells5000",              //
+    "syn:migratory/read101",                //
+    "syn:migratory/cs-5",                   // negative
+    "syn:migratory/cs1e3",                  // not an integer
+    "syn:migratory/cs 32",                  // embedded space
+    "syn:migratory/seed1x",                 // trailing garbage
+    "syn:migratory/seed18446744073709551616",  // uint64 overflow
+    "syn:migratory/zzz9",                   // unknown key
+    "syn:migratory/",                       // trailing empty token
+    "syn:migratory//cs32",                  // interior empty token
+};
+
+TEST(SyntheticSpec, MalformedSpecsThrowSimError) {
+  for (const char* bad : kBadSpecs) {
+    EXPECT_THROW(WorkloadSpec::parse(bad), SimError) << bad;
+    EXPECT_THROW(apps::make_app(bad, apps::Scale::kSmall), SimError) << bad;
+    EXPECT_THROW(apps::lock_groups(bad, apps::Scale::kSmall, 4), SimError) << bad;
+  }
+}
+
+TEST(SyntheticSpec, ParseErrorsCarryTheGrammar) {
+  try {
+    apps::make_app("syn:migratory/fan999", apps::Scale::kSmall);
+    FAIL() << "out-of-range fan accepted";
+  } catch (const SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fan999"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("syn:<pattern>"), std::string::npos) << msg;
+  }
+}
+
+// Fuzz: random token soups must either parse to a spec whose fingerprint is
+// reparse-stable, or throw SimError — never abort or silently misparse.
+TEST(SyntheticSpec, FuzzRandomTokenSoup) {
+  const char* patterns[] = {"migratory", "producer-consumer", "read-mostly",
+                            "hotspot",   "mixed",             "bogus"};
+  const char* keys[] = {"cs", "fan", "cells", "rounds", "bursts",
+                        "read", "seed", "", "x", "cs3q", "-"};
+  int parsed = 0, rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    std::string name = "syn:";
+    if (rng.next_below(8) != 0) name += patterns[rng.next_below(6)];
+    const std::size_t n_tokens = rng.next_below(6);
+    for (std::size_t i = 0; i < n_tokens; ++i) {
+      name += '/';
+      name += keys[rng.next_below(11)];
+      if (rng.next_below(3) != 0) {
+        name += std::to_string(rng.next_below(100000));
+      }
+    }
+    try {
+      const std::string fp = WorkloadSpec::parse(name).fingerprint();
+      EXPECT_EQ(WorkloadSpec::parse(fp).fingerprint(), fp) << name;
+      ++parsed;
+    } catch (const SimError&) {
+      ++rejected;
+    }
+  }
+  // The soup must actually exercise both sides of the parser.
+  EXPECT_GT(parsed, 10);
+  EXPECT_GT(rejected, 10);
+}
+
+}  // namespace
+}  // namespace aecdsm::test
