@@ -4,6 +4,13 @@
 // finish-time inflation relative to the loss-free run together with the
 // transport's recovery counters (retransmits, LAP push fallbacks).
 //
+// Second section: the crash/recovery sweep. Fail-stop crash schedules
+// ({1, 2} lock-manager crashes) run the lock-heavy Water-ns kernel across
+// every policy preset; each cell must finish with a correct pid-0 oracle
+// audit (no lost updates through failover), and the report shows recovery
+// time, manager re-elections, replayed requests and traffic inflation vs
+// the crash-free run. A failed audit throws and fails the bench.
+//
 // Deliberately NOT part of bench_all: its cells diverge from the paper
 // testbed, and the committed bench_all baseline must stay byte-identical.
 #include <cstdlib>
@@ -14,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/params.hpp"
 #include "harness/bench_registry.hpp"
 #include "harness/format.hpp"
 
@@ -59,6 +68,39 @@ std::vector<std::string> apps_list() {
   return picked;
 }
 
+/// Crash sweep shape: the lock-heavy Water-ns kernel (every node manages a
+/// slice of the per-molecule locks), every policy preset, {0, 1, 2} fail-stop
+/// crashes. Windows land mid-run for all presets (small-scale Water-ns
+/// finishes between ~22M and ~160M cycles) and crash nodes that manage locks
+/// other nodes contend for, so each scheduled crash exercises suspect ->
+/// failover -> re-election -> replay.
+const char* kCrashApp = "Water-ns";
+
+const std::vector<std::string>& crash_presets() {
+  static const std::vector<std::string> presets = {
+      "AEC", "AEC-noLAP", "AEC-TmkBarrier", "TreadMarks", "Munin-ERC"};
+  return presets;
+}
+
+std::vector<FaultWindow> crash_schedule(const std::string& preset, int count) {
+  // Anchor the windows at ~25% and ~60% of each preset's crash-free finish
+  // time (small-scale Water-ns: AEC family ~8M cycles, TreadMarks ~12M,
+  // Munin-ERC ~35M) so the outages land inside the lock-heavy phase for
+  // every preset — a window placed by one preset's clock would fall into
+  // another's startup, crashing a manager nobody is talking to yet.
+  Cycles anchor = 8'000'000;
+  if (preset == "TreadMarks") anchor = 12'000'000;
+  if (preset == "Munin-ERC") anchor = 35'000'000;
+  std::vector<FaultWindow> ws;
+  if (count >= 1) ws.push_back({/*node=*/3, anchor / 4, /*cycles=*/1'500'000});
+  if (count >= 2) ws.push_back({/*node=*/5, (anchor * 3) / 5, /*cycles=*/1'500'000});
+  return ws;
+}
+
+std::string crash_label(const std::string& preset, int count) {
+  return preset + "/" + kCrashApp + "+crash" + std::to_string(count);
+}
+
 harness::ExperimentPlan build_plan() {
   harness::ExperimentPlan plan;
   plan.name = "fault_tolerance";
@@ -74,6 +116,16 @@ harness::ExperimentPlan build_plan() {
           cell.params.faults.drop_rate = loss.rate;
           cell.params.faults.seed = 7;
         }
+      }
+    }
+  }
+  for (const std::string& preset : crash_presets()) {
+    for (int count = 0; count <= 2; ++count) {
+      auto& cell = plan.add(preset, kCrashApp, sweep_scale());
+      cell.label = crash_label(preset, count);
+      if (count > 0) {
+        cell.params.faults.crashes = crash_schedule(preset, count);
+        cell.params.faults.seed = 7;
       }
     }
   }
@@ -113,6 +165,50 @@ void report(harness::BenchReport& r) {
                   << std::setw(10) << worst.stats.transport.push_fallbacks;
       }
       std::cout << "\n";
+    }
+  }
+
+  harness::print_header(
+      std::cout,
+      std::string("Crash recovery: lock-manager failover on ") + kCrashApp);
+  std::cout << std::left << std::setw(16) << "Preset" << std::right
+            << std::setw(8) << "crashes" << std::setw(10) << "audit"
+            << std::setw(9) << "time" << std::setw(9) << "bytes"
+            << std::setw(7) << "fails" << std::setw(7) << "reel"
+            << std::setw(7) << "replay" << std::setw(12) << "rec cycles"
+            << "\n";
+  for (const std::string& preset : crash_presets()) {
+    const auto& base = r.result(crash_label(preset, 0));
+    for (int count = 0; count <= 2; ++count) {
+      const auto& cell = r.result(crash_label(preset, count));
+      std::cout << std::left << std::setw(16) << preset << std::right
+                << std::setw(8) << count;
+      if (cell.status != "ok") {
+        std::cout << std::setw(10) << cell.status << "\n";
+        AECDSM_CHECK_MSG(false, "crash cell " << crash_label(preset, count)
+                                              << " did not complete: "
+                                              << cell.status);
+        continue;
+      }
+      const RunStats& s = cell.stats;
+      // The acceptance gate: every preset must survive its lock-manager
+      // crashes with the pid-0 result oracle intact (no lost updates).
+      AECDSM_CHECK_MSG(s.result_valid, "oracle audit failed for "
+                                           << crash_label(preset, count));
+      auto ratio = [&](std::uint64_t a, std::uint64_t b) {
+        std::ostringstream os;
+        if (b == 0) return std::string("-");
+        os << std::fixed << std::setprecision(2)
+           << static_cast<double>(a) / static_cast<double>(b) << "x";
+        return os.str();
+      };
+      std::cout << std::setw(10) << (s.result_valid ? "ok" : "FAIL")
+                << std::setw(9) << ratio(s.finish_time, base.stats.finish_time)
+                << std::setw(9) << ratio(s.msgs.bytes, base.stats.msgs.bytes)
+                << std::setw(7) << s.recovery.failovers << std::setw(7)
+                << s.recovery.reelections << std::setw(7)
+                << s.recovery.requeued_requests << std::setw(12)
+                << s.recovery.recovery_cycles << "\n";
     }
   }
 }

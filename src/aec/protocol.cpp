@@ -403,8 +403,10 @@ void AecProtocol::write_twin_discipline(PageId pg) {
 // --------------------------------------------------------------------------
 
 void AecProtocol::acquire_notice(LockId l) {
-  send_from_app(m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem * 2,
-                [this, l, p = self_] { mgr_handle_notice(l, p); }, sim::Bucket::kSynch);
+  const ProcId mgr = m_.lock_manager(l);
+  send_from_app(mgr, kCtl, m_.params().list_processing_per_elem * 2,
+                [this, l, p = self_, mgr] { mgr_handle_notice(l, p, mgr); },
+                sim::Bucket::kSynch);
 }
 
 void AecProtocol::acquire(LockId l) {
@@ -415,8 +417,28 @@ void AecProtocol::acquire(LockId l) {
   ll.cs_holders.clear();
   ll.my_update_set.clear();
 
-  send_from_app(m_.lock_manager(l), kCtl, params.list_processing_per_elem * 4,
-                [this, l, p = self_] { mgr_handle_request(l, p); }, sim::Bucket::kSynch);
+  const ProcId mgr = m_.lock_manager(l);
+  std::uint64_t serial = 0;
+  if (crash_scheduled()) {
+    serial = next_op_serial(l);
+    ll.awaiting_serial = serial;
+    ll.cur_serial = serial;
+    // The replay rides the engine (a NIC-autonomous re-send to the
+    // re-elected manager); the app thread is blocked inside this very
+    // acquire and must not be charged again.
+    ll.req_op_id = track_mgr_op(
+        l, mgr, serial, [this, l, serial](ProcId nm) {
+          m_.post(self_, nm, kCtl, m_.params().list_processing_per_elem * 4,
+                  [this, l, p = self_, serial, nm] {
+                    mgr_handle_request(l, p, serial, nm);
+                  });
+        });
+  }
+  send_from_app(mgr, kCtl, params.list_processing_per_elem * 4,
+                [this, l, p = self_, serial, mgr] {
+                  mgr_handle_request(l, p, serial, mgr);
+                },
+                sim::Bucket::kSynch);
 
   // Overlap the wait for the grant: first apply already-received pushes to
   // valid pages, then flush outside modifications into diffs (§3.2).
@@ -633,10 +655,25 @@ void AecProtocol::release(LockId l) {
   pages.reserve(ll.merged.size());
   for (const auto& [pg, d] : ll.merged) pages.push_back(pg);
   release_info_[l] = ArrivalLockInfo{l, ll.grant_counter, pages};
-  send_from_app(m_.lock_manager(l), kCtl + 8 * pages.size(),
+  const ProcId mgr = m_.lock_manager(l);
+  const std::uint64_t serial = crash_scheduled() ? ll.cur_serial : 0;
+  if (serial != 0) {
+    // The release op stays tracked until the manager's crash-gated
+    // confirmation lands; a manager crash replays it to the successor so
+    // the FIFO hand-off is not lost with the crashed node.
+    track_mgr_op(l, mgr, serial,
+                 [this, l, pages, ep = episode_, serial](ProcId nm) {
+                   m_.post(self_, nm, kCtl + 8 * pages.size(),
+                           m_.params().list_processing_per_elem * (pages.size() + 2),
+                           [this, l, p = self_, pages, ep, serial, nm] {
+                             mgr_handle_release(l, p, pages, ep, serial, nm);
+                           });
+                 });
+  }
+  send_from_app(mgr, kCtl + 8 * pages.size(),
                 params.list_processing_per_elem * (pages.size() + 2),
-                [this, l, p = self_, pages, ep = episode_] {
-                  mgr_handle_release(l, p, pages, ep);
+                [this, l, p = self_, pages, ep = episode_, serial, mgr] {
+                  mgr_handle_release(l, p, pages, ep, serial, mgr);
                 },
                 sim::Bucket::kSynch);
 
@@ -648,8 +685,22 @@ void AecProtocol::release(LockId l) {
 void AecProtocol::recv_grant(LockId l, ProcId last_releaser, std::uint32_t counter,
                              std::uint32_t release_counter,
                              std::map<PageId, ProcId> cs_holders,
-                             std::vector<ProcId> update_set, bool in_update_set) {
+                             std::vector<ProcId> update_set, bool in_update_set,
+                             std::uint64_t serial) {
   LockLocal& ll = llocal(l);
+  if (crash_scheduled()) {
+    // Only the grant answering the outstanding request counts: duplicates
+    // (the pre-crash manager's original racing the successor's rebuild, or
+    // a resend triggered by a bounced stale request) are dropped.
+    if (serial != ll.awaiting_serial) {
+      AECDSM_DEBUG("p" << self_ << " drops grant l" << l << " serial=" << serial
+                       << " awaiting=" << ll.awaiting_serial);
+      return;
+    }
+    ll.awaiting_serial = 0;
+    clear_mgr_op(ll.req_op_id);
+    ll.req_op_id = 0;
+  }
   ll.grant_last_releaser = last_releaser;
   ll.grant_counter = counter;
   ll.grant_release_counter = release_counter;
@@ -719,8 +770,47 @@ void AecProtocol::recv_push(LockId l, ProcId from, std::uint32_t counter,
 // Lock manager (runs as services on the lock's manager node)
 // --------------------------------------------------------------------------
 
-void AecProtocol::mgr_handle_request(LockId l, ProcId requester) {
-  LockRecord& rec = sh_->lock(l);
+void AecProtocol::mgr_handle_request(LockId l, ProcId requester,
+                                     std::uint64_t serial, ProcId mgr_at) {
+  const ProcId mgr = m_.lock_manager(l);
+  if (mgr != mgr_at) {
+    // A failover re-elected the manager after this message left: forward
+    // one hop. The record now lives in the new manager's shard, which only
+    // that node's worker may touch.
+    m_.post(mgr_at, mgr, kCtl, m_.params().list_processing_per_elem,
+            [this, l, requester, serial, mgr] {
+              mgr_handle_request(l, requester, serial, mgr);
+            });
+    return;
+  }
+  LockRecord& rec = sh_->lock(l, mgr);
+  AECDSM_DEBUG("mgr req l" << l << " from p" << requester << " serial=" << serial
+                           << " taken=" << rec.taken << " owner=" << rec.owner);
+  if (serial != 0) {
+    // Crash-failover dedup (serials are only minted under a crash schedule).
+    auto gt = rec.granted_serial.find(requester);
+    if (gt != rec.granted_serial.end() && serial <= gt->second) {
+      // The tenure this request started was already granted. If the
+      // requester still owns the lock its grant was lost with the crashed
+      // manager (or raced it): rebuild the reply idempotently. Otherwise
+      // the tenure completed and this is a stale replay — drop it. A fresh
+      // serial from the current owner (its release still in flight behind
+      // this request) falls through and queues like any other waiter.
+      if (serial == gt->second && rec.taken && rec.owner == requester) {
+        AECDSM_DEBUG("mgr req l" << l << " rebuild lost grant p" << requester);
+        mgr_send_grant(l, rec, requester);
+      } else {
+        AECDSM_DEBUG("mgr req l" << l << " drop stale p" << requester
+                                 << " serial=" << serial);
+      }
+      return;
+    }
+    if (rec.lap.waiting_contains(requester)) {
+      AECDSM_DEBUG("mgr req l" << l << " p" << requester << " already queued");
+      return;
+    }
+    rec.req_serial[requester] = serial;
+  }
   rec.lap.count_acquire_event();
   if (rec.taken) {
     rec.lap.enqueue_waiter(requester);
@@ -732,18 +822,23 @@ void AecProtocol::mgr_handle_request(LockId l, ProcId requester) {
 }
 
 void AecProtocol::mgr_grant(LockId l, ProcId to) {
-  LockRecord& rec = sh_->lock(l);
+  LockRecord& rec = sh_->lock(l, m_.lock_manager(l));
+  AECDSM_DEBUG("mgr grant l" << l << " -> p" << to);
   rec.taken = true;
   rec.owner = to;
   ++rec.counter;
   std::vector<ProcId> u = policy::lap_score_grant(rec.lap, rec.last_releaser, to);
-  rec.update_set[static_cast<std::size_t>(to)] = u;
+  rec.update_set[static_cast<std::size_t>(to)] = std::move(u);
   if (trace::Recorder* tr = m_.recorder()) {
     tr->instant(m_.lock_manager(l), trace::Category::kLap,
                 trace::names::kLapPredict, m_.engine().now(), "lock", l,
-                "update_set", u.size());
+                "update_set", rec.update_set[static_cast<std::size_t>(to)].size());
   }
+  if (crash_scheduled()) rec.granted_serial[to] = rec.req_serial[to];
+  mgr_send_grant(l, rec, to);
+}
 
+void AecProtocol::mgr_send_grant(LockId l, LockRecord& rec, ProcId to) {
   // Is the acquirer in the last releaser's update set (i.e., is a push of
   // the merged diffs on its way)?
   bool in_update_set = false;
@@ -753,22 +848,48 @@ void AecProtocol::mgr_grant(LockId l, ProcId to) {
     in_update_set = std::find(lu.begin(), lu.end(), to) != lu.end();
   }
 
+  std::uint64_t serial = 0;
+  if (auto it = rec.granted_serial.find(to); it != rec.granted_serial.end()) {
+    serial = it->second;
+  }
   const ProcId mgr = m_.lock_manager(l);
   const std::size_t bytes = kCtl + 32 + rec.diff_holder.size() * 12;
   const Cycles svc = m_.params().list_processing_per_elem * (rec.diff_holder.size() + 2);
   m_.post(mgr, to, bytes, svc,
           [this, l, to, last = rec.last_releaser, counter = rec.counter,
            rel_counter = rec.last_release_counter, holders = rec.diff_holder,
-           u = std::move(u), in_update_set]() mutable {
+           u = rec.update_set[static_cast<std::size_t>(to)], in_update_set,
+           serial]() mutable {
             peer(to).recv_grant(l, last, counter, rel_counter, std::move(holders),
-                                std::move(u), in_update_set);
+                                std::move(u), in_update_set, serial);
           });
 }
 
 void AecProtocol::mgr_handle_release(LockId l, ProcId releaser,
                                      std::vector<PageId> pages,
-                                     std::uint32_t episode) {
-  LockRecord& rec = sh_->lock(l);
+                                     std::uint32_t episode, std::uint64_t serial,
+                                     ProcId mgr_at) {
+  const ProcId mgr = m_.lock_manager(l);
+  if (mgr != mgr_at) {
+    m_.post(mgr_at, mgr, kCtl + 8 * pages.size(),
+            m_.params().list_processing_per_elem,
+            [this, l, releaser, pages, episode, serial, mgr] {
+              mgr_handle_release(l, releaser, pages, episode, serial, mgr);
+            });
+    return;
+  }
+  LockRecord& rec = sh_->lock(l, mgr);
+  if (serial != 0) {
+    auto& last_rel = rec.released_serial[releaser];
+    if (serial <= last_rel) {
+      // Replayed or bounced duplicate of a processed release; re-confirm so
+      // the releaser's pending op clears even when the first ack raced a
+      // crash window.
+      mgr_send_release_ack(l, releaser, serial);
+      return;
+    }
+    last_rel = serial;
+  }
   AECDSM_CHECK_MSG(rec.taken && rec.owner == releaser,
                    "release of lock " << l << " by non-owner p" << releaser);
   AECDSM_DEBUG("mgr release l" << l << " by p" << releaser << " pages=" << pages.size()
@@ -786,11 +907,53 @@ void AecProtocol::mgr_handle_release(LockId l, ProcId releaser,
   }
   trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                 rec.lap.waiting_count());
+  if (serial != 0) mgr_send_release_ack(l, releaser, serial);
 }
 
-void AecProtocol::mgr_handle_notice(LockId l, ProcId p) {
+void AecProtocol::mgr_send_release_ack(LockId l, ProcId releaser,
+                                       std::uint64_t serial) {
+  // Crash-schedule-only confirmation: clears the releaser's tracked op so a
+  // later manager crash does not replay an already-processed release.
+  m_.post(m_.lock_manager(l), releaser, kCtl,
+          m_.params().list_processing_per_elem, [this, l, releaser, serial] {
+            peer(releaser).clear_mgr_op_by_serial(l, serial);
+          });
+}
+
+void AecProtocol::mgr_handle_notice(LockId l, ProcId p, ProcId mgr_at) {
   if (!pol_.lap_virtual_queue) return;
-  sh_->lock(l).lap.add_notice(p);
+  const ProcId mgr = m_.lock_manager(l);
+  if (mgr != mgr_at) {
+    m_.post(mgr_at, mgr, kCtl, m_.params().list_processing_per_elem,
+            [this, l, p, mgr] { mgr_handle_notice(l, p, mgr); });
+    return;
+  }
+  sh_->lock(l, mgr).lap.add_notice(p);
+}
+
+// --------------------------------------------------------------------------
+// Crash failover (policy::PolicyEngine hooks)
+// --------------------------------------------------------------------------
+
+std::vector<ProcId> AecProtocol::lock_sharers(LockId l, ProcId crashed) {
+  std::vector<ProcId> out;
+  const LockRecord* rec = sh_->find_lock(l, crashed);
+  if (rec == nullptr) return out;
+  if (rec->taken && rec->owner != kNoProc) out.push_back(rec->owner);
+  if (rec->last_releaser != kNoProc) out.push_back(rec->last_releaser);
+  for (const auto& [pg, h] : rec->diff_holder) out.push_back(h);
+  return out;
+}
+
+void AecProtocol::migrate_lock_state(LockId l, ProcId from, ProcId to) {
+  sh_->migrate_lock(l, from, to);
+  if (LockRecord* rec = sh_->find_lock(l, to)) {
+    // The waiting/virtual queues die with the crashed manager's custody and
+    // are rebuilt from the live requesters' replayed ops; affinity history,
+    // chain custody and the grant/release serials are shared state that
+    // survives the fail-stop window.
+    rec->lap.reset_queues();
+  }
 }
 
 // --------------------------------------------------------------------------

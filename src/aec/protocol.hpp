@@ -136,6 +136,15 @@ class AecProtocol : public policy::PolicyEngine {
     /// re-protected); the paper unprotects them again at release when they
     /// were not modified inside the critical section.
     std::vector<PageId> protected_at_acquire;
+
+    // Crash-failover state (all zero in crash-free runs). The acquire mints
+    // a per-(node, lock) serial; the grant must echo it to be accepted
+    // (duplicate grants from a pre-crash manager and its successor are
+    // otherwise indistinguishable), and the release reuses it so the
+    // manager can dedup replays.
+    std::uint64_t awaiting_serial = 0;  ///< grant we are waiting for
+    std::uint64_t cur_serial = 0;       ///< serial of the current tenure
+    std::uint64_t req_op_id = 0;        ///< registry id of the pending request op
   };
 
   // --- Barrier exchange local state -------------------------------------------
@@ -189,7 +198,8 @@ class AecProtocol : public policy::PolicyEngine {
   // --- Engine-side receive handlers ---------------------------------------------
   void recv_grant(LockId l, ProcId last_releaser, std::uint32_t counter,
                   std::uint32_t release_counter, std::map<PageId, ProcId> cs_holders,
-                  std::vector<ProcId> update_set, bool in_update_set);
+                  std::vector<ProcId> update_set, bool in_update_set,
+                  std::uint64_t serial);
   void recv_push(LockId l, ProcId from, std::uint32_t counter,
                  std::uint32_t episode,
                  std::shared_ptr<const std::map<PageId, mem::Diff>> diffs);
@@ -208,16 +218,36 @@ class AecProtocol : public policy::PolicyEngine {
   const mem::Diff* serve_merged(LockId l, PageId pg);
 
   // --- Manager handlers (run engine-side, as services on the manager node) -----
-  void mgr_handle_request(LockId l, ProcId requester);
+  //
+  // Each handler carries `mgr_at`, the node the message was addressed to.
+  // After a crash failover the current manager may differ: the handler then
+  // forwards one hop instead of touching the record, because under the
+  // parallel engine a shard may only be mutated by the worker of the node
+  // it belongs to. `serial` is the crash-failover dedup serial (0 when no
+  // crash schedule exists).
+  void mgr_handle_request(LockId l, ProcId requester, std::uint64_t serial,
+                          ProcId mgr_at);
   void mgr_handle_release(LockId l, ProcId releaser, std::vector<PageId> pages,
-                          std::uint32_t episode);
-  void mgr_handle_notice(LockId l, ProcId p);
-  void mgr_grant(LockId l, ProcId to);  ///< build + send the grant reply
+                          std::uint32_t episode, std::uint64_t serial,
+                          ProcId mgr_at);
+  void mgr_handle_notice(LockId l, ProcId p, ProcId mgr_at);
+  void mgr_grant(LockId l, ProcId to);  ///< grant a fresh tenure + send the reply
+  /// Send (or re-send) the grant reply from the current record state; the
+  /// idempotent half of mgr_grant, also used to answer a replayed request
+  /// whose original grant came from the crashed manager.
+  void mgr_send_grant(LockId l, LockRecord& rec, ProcId to);
+  /// Crash-schedule-only release confirmation (clears the releaser's
+  /// tracked op; without it a later manager crash would replay the release).
+  void mgr_send_release_ack(LockId l, ProcId releaser, std::uint64_t serial);
   void mgr_handle_barrier_arrival(ProcId p, std::vector<ArrivalLockInfo> lock_info,
                                   std::vector<PageId> outside,
                                   std::vector<std::uint8_t> valid_map);
   void mgr_barrier_compute();  ///< all arrived: route diffs/notices, homes
   void mgr_handle_barrier_completion();
+
+  // --- Crash failover (policy::PolicyEngine hooks) -------------------------------
+  std::vector<ProcId> lock_sharers(LockId l, ProcId crashed) override;
+  void migrate_lock_state(LockId l, ProcId from, ProcId to) override;
 
   // --- Barrier phases on the application thread ---------------------------------
   void barrier_publish_outside();

@@ -43,6 +43,16 @@ struct LockRecord {
   /// merged diff of each page modified under this lock. Drives both the
   /// grant-time invalidation list and the barrier diff routing.
   std::map<PageId, ProcId> diff_holder;
+
+  // Crash-failover dedup state, populated only when a crash schedule
+  // exists. Requests and releases then carry a per-(node, lock) monotonic
+  // serial; the manager records the serial pending per requester, the
+  // serial echoed at its grant, and the serial of its last processed
+  // release, so replayed or bounced duplicates are recognized and dropped
+  // (or answered idempotently) instead of corrupting the FIFO state.
+  std::map<ProcId, std::uint64_t> req_serial;
+  std::map<ProcId, std::uint64_t> granted_serial;
+  std::map<ProcId, std::uint64_t> released_serial;
 };
 
 /// Per-lock information a processor reports on barrier arrival: the acquire
@@ -97,8 +107,15 @@ struct AecShared {
   std::vector<ProcId> home;
 
   LockRecord& lock(LockId l) {
-    std::map<LockId, LockRecord>& shard =
-        locks[static_cast<std::size_t>(l % static_cast<LockId>(params.num_procs))];
+    return lock(l, static_cast<ProcId>(l % static_cast<LockId>(params.num_procs)));
+  }
+
+  /// Record lookup by current manager: after a crash failover the record
+  /// lives in the re-elected manager's shard, not the static `l % nprocs`
+  /// one. Handlers pass Machine::lock_manager(l) so each shard — including
+  /// its lazy insertions — is still only touched by its own node's worker.
+  LockRecord& lock(LockId l, ProcId mgr) {
+    std::map<LockId, LockRecord>& shard = locks[static_cast<std::size_t>(mgr)];
     auto it = shard.find(l);
     if (it == shard.end()) {
       // Disabling the affinity technique is modeled as an unreachable
@@ -108,6 +125,22 @@ struct AecShared {
       it = shard.emplace(l, LockRecord(params, threshold)).first;
     }
     return it->second;
+  }
+
+  /// Find-only variant (election-time reads): nullptr when the record was
+  /// never created in `mgr`'s shard.
+  LockRecord* find_lock(LockId l, ProcId mgr) {
+    auto& shard = locks[static_cast<std::size_t>(mgr)];
+    auto it = shard.find(l);
+    return it == shard.end() ? nullptr : &it->second;
+  }
+
+  /// Crash failover: move lock `l`'s record between manager shards. Custody
+  /// (affinity history, diff holders, owner) survives the fail-stop window
+  /// because the storage is shared host memory. Exclusive-event only.
+  void migrate_lock(LockId l, ProcId from, ProcId to) {
+    auto node = locks[static_cast<std::size_t>(from)].extract(l);
+    if (!node.empty()) locks[static_cast<std::size_t>(to)].insert(std::move(node));
   }
 };
 

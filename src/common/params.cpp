@@ -1,5 +1,6 @@
 #include "common/params.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace aecdsm {
@@ -36,9 +37,41 @@ std::string SystemParams::validate() const {
     err << "delay_jitter_cycles must be positive when delay_rate > 0; ";
   if (faults.reorder_rate > 0.0 && faults.reorder_window_cycles == 0)
     err << "reorder_window_cycles must be positive when reorder_rate > 0; ";
-  if (faults.pause_node != kNoProc &&
-      (faults.pause_node < 0 || faults.pause_node >= num_procs))
-    err << "pause_node must name an existing processor; ";
+  for (const FaultWindow& w : faults.pauses) {
+    if (w.node < 0 || w.node >= num_procs)
+      err << "faults.pauses: node " << w.node << " must name an existing processor; ";
+    if (w.cycles == 0)
+      err << "faults.pauses: window on node " << w.node
+          << " must have positive cycles; ";
+  }
+  for (const FaultWindow& w : faults.crashes) {
+    // Node 0 hosts the barrier manager and runs the result oracle; letting it
+    // crash would take the run's control plane down with it.
+    if (w.node < 1 || w.node >= num_procs)
+      err << "faults.crashes: node " << w.node
+          << " must name an existing processor other than node 0; ";
+    if (w.cycles == 0)
+      err << "faults.crashes: window on node " << w.node
+          << " must have positive cycles; ";
+  }
+  // Overlapping crash windows on one node would make crashed()/crash_end()
+  // ambiguous; reject them instead of silently folding into the cache key.
+  {
+    std::vector<FaultWindow> sorted = faults.crashes;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FaultWindow& a, const FaultWindow& b) {
+                return a.node != b.node ? a.node < b.node : a.at_cycle < b.at_cycle;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      const FaultWindow& prev = sorted[i - 1];
+      const FaultWindow& cur = sorted[i];
+      if (prev.node == cur.node && cur.at_cycle < prev.end())
+        err << "faults.crashes: overlapping windows on node " << cur.node
+            << " (cycle " << cur.at_cycle << " < " << prev.end() << "); ";
+    }
+  }
+  if (faults.crash_scheduled() && faults.suspect_after < 1)
+    err << "faults.suspect_after must be at least 1; ";
   if (faults.any() && faults.retransmit_timeout_cycles == 0)
     err << "retransmit_timeout_cycles must be positive under faults; ";
   if (faults.any() && faults.retransmit_backoff_cap < 0)

@@ -6,10 +6,29 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
 namespace aecdsm {
+
+/// One scheduled availability window on a node: starting at `at_cycle`, the
+/// node is out of service for `cycles` simulated cycles. Used both for
+/// transient pauses (inbound deliveries complete at the window end) and for
+/// fail-stop crashes (the node drops traffic and makes no progress until the
+/// window ends, then resumes from its last sync point with memory intact).
+struct FaultWindow {
+  int node = kNoProc;
+  Cycles at_cycle = 0;
+  Cycles cycles = 0;
+
+  Cycles end() const { return at_cycle + cycles; }
+  bool covers(Cycles t) const {
+    return cycles > 0 && t >= at_cycle && t < at_cycle + cycles;
+  }
+
+  friend bool operator==(const FaultWindow&, const FaultWindow&) = default;
+};
 
 /// Deterministic fault-injection knobs for the interconnect (net::FaultPlane).
 ///
@@ -27,11 +46,22 @@ struct FaultParams {
   double reorder_rate = 0.0;  ///< P(copy is held so later sends overtake it)
   Cycles reorder_window_cycles = 1000;  ///< hold time of a reordered copy
 
-  /// Stall one node's inbound message processing for a cycle window
-  /// (deliveries arriving inside the window complete at its end).
-  int pause_node = kNoProc;
-  Cycles pause_at_cycle = 0;
-  Cycles pause_cycles = 0;
+  /// Stall a node's inbound message processing for a cycle window
+  /// (deliveries arriving inside the window complete at its end). Multiple
+  /// windows, possibly on different nodes, may be scheduled.
+  std::vector<FaultWindow> pauses;
+
+  /// Fail-stop crash schedule: inside a window the node's NIC drops all
+  /// inbound traffic (data, acks, best-effort pushes) and its application
+  /// thread makes no progress; at the window end the node resumes from its
+  /// last sync point with memory intact (warm reboot). Node 0 hosts the
+  /// barrier manager and the result oracle and must never crash.
+  std::vector<FaultWindow> crashes;
+
+  /// Retransmit attempts to a node before the reliable transport declares
+  /// it *suspect* and triggers lock-manager failover (only while the node
+  /// is actually crashed — pure message loss never raises a suspicion).
+  int suspect_after = 3;
 
   std::uint64_t seed = 1;  ///< fault-schedule seed (independent of app seed)
 
@@ -45,8 +75,24 @@ struct FaultParams {
   /// Any fault source active? When false the whole fault/transport stack is
   /// bypassed (send == MeshNetwork::send).
   bool any() const {
+    auto active = [](const std::vector<FaultWindow>& ws) {
+      for (const FaultWindow& w : ws) {
+        if (w.node != kNoProc && w.cycles > 0) return true;
+      }
+      return false;
+    };
     return drop_rate > 0.0 || dup_rate > 0.0 || delay_rate > 0.0 ||
-           reorder_rate > 0.0 || (pause_node != kNoProc && pause_cycles > 0);
+           reorder_rate > 0.0 || active(pauses) || active(crashes);
+  }
+
+  /// Any crash window scheduled? Gates the failover machinery (suspect
+  /// verdicts, release acknowledgements, manager re-election) so crash-free
+  /// configurations stay byte-identical to builds without the crash plane.
+  bool crash_scheduled() const {
+    for (const FaultWindow& w : crashes) {
+      if (w.node != kNoProc && w.cycles > 0) return true;
+    }
+    return false;
   }
 
   friend bool operator==(const FaultParams&, const FaultParams&) = default;

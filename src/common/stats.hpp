@@ -152,6 +152,37 @@ struct TransportStats {
   friend bool operator==(const TransportStats&, const TransportStats&) = default;
 };
 
+/// Crash/recovery counters for the fail-stop fault plane (crash schedules in
+/// FaultParams::crashes plus the lock-manager failover protocol in
+/// policy::PolicyEngine). All zero — and omitted from the JSON artifacts —
+/// when no crash is scheduled, which keeps crash-free documents
+/// byte-identical to pre-crash-plane baselines.
+struct RecoveryStats {
+  std::uint64_t crash_drops = 0;        ///< message copies refused by a crashed NIC
+  std::uint64_t suspects = 0;           ///< suspect verdicts raised by the transport
+  std::uint64_t failovers = 0;          ///< lock failovers initiated by a suspecter
+  std::uint64_t reelections = 0;        ///< manager re-elections installed
+  std::uint64_t requeued_requests = 0;  ///< pending ops replayed to a new manager
+  Cycles recovery_cycles = 0;           ///< sum over installs of (install time - crash start)
+
+  bool any() const {
+    return crash_drops != 0 || suspects != 0 || failovers != 0 ||
+           reelections != 0 || requeued_requests != 0 || recovery_cycles != 0;
+  }
+
+  RecoveryStats& operator+=(const RecoveryStats& o) {
+    crash_drops += o.crash_drops;
+    suspects += o.suspects;
+    failovers += o.failovers;
+    reelections += o.reelections;
+    requeued_requests += o.requeued_requests;
+    recovery_cycles += o.recovery_cycles;
+    return *this;
+  }
+
+  friend bool operator==(const RecoveryStats&, const RecoveryStats&) = default;
+};
+
 /// Diff-work / synchronization-delay overlap summary, produced by the
 /// trace::OverlapAnalyzer from a recorded timeline (trace/overlap.hpp).
 /// All zero — and omitted from the JSON artifacts — when the run was not
@@ -212,6 +243,7 @@ struct RunStats {
   MsgStats msgs;
   SyncStats sync;
   TransportStats transport;  ///< all-zero when fault injection is disabled
+  RecoveryStats recovery;    ///< all-zero unless a crash was scheduled
   OverlapStats overlap;      ///< all-zero unless the run was traced + analyzed
 
   /// Total engine events of the run. Thread-count-independent (the parallel

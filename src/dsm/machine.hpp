@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/params.hpp"
@@ -94,9 +95,21 @@ class Machine {
   void post_best_effort(ProcId from, ProcId to, std::size_t bytes,
                         Cycles service_cost, std::function<void()> handler);
 
-  /// Home node of a lock's manager (static distribution, as in TreadMarks).
+  /// Home node of a lock's manager: static distribution (as in TreadMarks)
+  /// unless a crash failover re-elected a surviving manager for the lock.
   ProcId lock_manager(LockId lock) const {
+    if (!mgr_override_.empty()) {
+      const auto it = mgr_override_.find(lock);
+      if (it != mgr_override_.end()) return it->second;
+    }
     return static_cast<ProcId>(lock % static_cast<LockId>(params_.num_procs));
+  }
+
+  /// Re-point a lock's manager after failover. May only be called from an
+  /// exclusive event (the table is read concurrently by every node under
+  /// the parallel engine; mutations must run solo).
+  void set_lock_manager_override(LockId lock, ProcId mgr) {
+    mgr_override_[lock] = mgr;
   }
 
   /// Node hosting the barrier manager.
@@ -150,6 +163,9 @@ class Machine {
   };
   std::vector<SyncShard> sync_shards_;
   std::uint64_t barrier_episodes_ = 0;
+
+  /// Crash-failover manager re-elections (empty unless a manager crashed).
+  std::unordered_map<LockId, ProcId> mgr_override_;
 };
 
 }  // namespace aecdsm::dsm

@@ -47,6 +47,21 @@ class Protocol {
   /// (metadata-only hook on the fast path — must not sync or block).
   virtual void on_page_access(PageId page) { (void)page; }
 
+  /// The reliable transport suspects `peer` has fail-stop crashed (a crash
+  /// window is active and suspect_after retransmits went unacknowledged).
+  /// Runs engine-side at this node, in the retransmit-timer context; lock
+  /// managers use it to start failover. Default: ignore.
+  virtual void on_peer_suspect(ProcId peer) { (void)peer; }
+
+  /// This node's fail-stop crash window just ended (warm reboot). Runs
+  /// engine-side at this node, scheduled at the window's end cycle; the
+  /// protocol re-aims and replays whatever manager-directed traffic was in
+  /// flight when the node died — ops aimed at this node's own pre-crash
+  /// managership have no surviving sender to chase the re-elected manager,
+  /// and re-election broadcasts sent during the window skipped this node.
+  /// Default: ignore.
+  virtual void on_recover() {}
+
   /// Twin/diff machinery statistics accumulated by this node (Table 4).
   virtual DiffStats diff_stats() const { return {}; }
 

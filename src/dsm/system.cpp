@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "dsm/context.hpp"
+#include "trace/recorder.hpp"
 
 namespace aecdsm::dsm {
 
@@ -36,6 +37,42 @@ RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) 
     Node& node = m.node(p);
     node.protocol = suite.make(m, p);
     node.ctx = std::make_unique<Context>(m, p, config.seed);
+  }
+  if (config.params.faults.crash_scheduled()) {
+    // Wire the fail-stop crash plane: application-thread resumes gate on the
+    // node's crash windows, and retransmit exhaustion toward a crashed node
+    // raises the protocol's suspect hook. None of this exists in crash-free
+    // runs, which stay byte-identical to builds without the crash plane.
+    net::Transport& tr = m.transport();
+    net::FaultPlane& plane = tr.plane();
+    for (int p = 0; p < m.nprocs(); ++p) {
+      m.node(p).proc->set_crash_hold([&plane, p](Cycles t) -> Cycles {
+        return plane.crashed(p, t) ? plane.crash_end(p, t) : 0;
+      });
+    }
+    tr.set_suspect_handler([&m](ProcId src, ProcId dst) {
+      m.node(src).protocol->on_peer_suspect(dst);
+    });
+    // Warm reboot: at each window's end the node replays its in-flight
+    // manager traffic (replies addressed to it during the window died at
+    // its NIC and were cancelled by the sender's suspect verdict).
+    for (const FaultWindow& w : config.params.faults.crashes) {
+      if (w.node == kNoProc || w.cycles == 0) continue;
+      m.engine().schedule_for(w.node, w.end(), [&m, node = w.node] {
+        m.node(node).protocol->on_recover();
+      });
+    }
+    if (config.recorder != nullptr) {
+      // The crash schedule is known up front; stamp its instants directly
+      // (recording never schedules events or perturbs timing).
+      for (const FaultWindow& w : config.params.faults.crashes) {
+        if (w.node == kNoProc || w.cycles == 0) continue;
+        config.recorder->instant(w.node, trace::Category::kNet,
+                                 trace::names::kNodeCrash, w.at_cycle);
+        config.recorder->instant(w.node, trace::Category::kNet,
+                                 trace::names::kNodeRecover, w.end());
+      }
+    }
   }
   for (int p = 0; p < m.nprocs(); ++p) {
     Node& node = m.node(p);
@@ -76,6 +113,7 @@ RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) 
   }
   out.msgs = m.network().stats();
   out.transport = m.transport().stats();
+  out.recovery = m.transport().recovery();
   out.sync.lock_acquires = m.lock_acquires();
   out.sync.distinct_locks = m.distinct_locks();
   out.sync.barrier_events = m.barrier_episodes();

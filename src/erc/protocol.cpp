@@ -210,15 +210,32 @@ void ErcProtocol::apply_update(PageId pg, const mem::Diff& diff) {
 // --------------------------------------------------------------------------
 
 void ErcProtocol::acquire_notice(LockId l) {
-  send_from_app(m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem,
-                [this, l, p = self_] { sh_->lap_of(l).add_notice(p); },
+  const ProcId mgr = m_.lock_manager(l);
+  send_from_app(mgr, kCtl, m_.params().list_processing_per_elem,
+                [this, l, p = self_, mgr] { mgr_handle_notice(l, p, mgr); },
                 sim::Bucket::kSynch);
 }
 
 void ErcProtocol::acquire(LockId l) {
   grant_ready_ = false;
-  send_from_app(m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem * 2,
-                [this, l, p = self_] { mgr_handle_request(l, p); },
+  const ProcId mgr = m_.lock_manager(l);
+  std::uint64_t serial = 0;
+  if (crash_scheduled()) {
+    serial = next_op_serial(l);
+    awaiting_serial_ = serial;
+    cur_serial_[l] = serial;
+    req_op_id_ = track_mgr_op(
+        l, mgr, serial, [this, l, serial](ProcId nm) {
+          m_.post(self_, nm, kCtl, m_.params().list_processing_per_elem * 2,
+                  [this, l, p = self_, serial, nm] {
+                    mgr_handle_request(l, p, serial, nm);
+                  });
+        });
+  }
+  send_from_app(mgr, kCtl, m_.params().list_processing_per_elem * 2,
+                [this, l, p = self_, serial, mgr] {
+                  mgr_handle_request(l, p, serial, mgr);
+                },
                 sim::Bucket::kSynch);
   proc().wait(sim::Bucket::kSynch, [this] { return grant_ready_; });
 }
@@ -226,14 +243,64 @@ void ErcProtocol::acquire(LockId l) {
 void ErcProtocol::release(LockId l) {
   // Eager release consistency: flush and wait before releasing the lock.
   flush_updates(sim::Bucket::kSynch);
-  send_from_app(m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem * 2,
-                [this, l, p = self_] { mgr_handle_release(l, p); },
+  const ProcId mgr = m_.lock_manager(l);
+  const std::uint64_t serial = crash_scheduled() ? cur_serial_[l] : 0;
+  if (serial != 0) {
+    track_mgr_op(l, mgr, serial, [this, l, serial](ProcId nm) {
+      m_.post(self_, nm, kCtl, m_.params().list_processing_per_elem * 2,
+              [this, l, p = self_, serial, nm] {
+                mgr_handle_release(l, p, serial, nm);
+              });
+    });
+  }
+  send_from_app(mgr, kCtl, m_.params().list_processing_per_elem * 2,
+                [this, l, p = self_, serial, mgr] {
+                  mgr_handle_release(l, p, serial, mgr);
+                },
                 sim::Bucket::kSynch);
 }
 
-void ErcProtocol::mgr_handle_request(LockId l, ProcId requester) {
-  auto& rec = sh_->lock(l);
-  policy::LockLap& lap = sh_->lap_of(l);
+void ErcProtocol::recv_grant(LockId l, std::uint64_t serial) {
+  if (crash_scheduled()) {
+    if (serial != awaiting_serial_) return;  // duplicate/stale grant
+    awaiting_serial_ = 0;
+    clear_mgr_op(req_op_id_);
+    req_op_id_ = 0;
+  }
+  (void)l;
+  grant_ready_ = true;
+  proc().poke();
+}
+
+void ErcProtocol::mgr_handle_request(LockId l, ProcId requester,
+                                     std::uint64_t serial, ProcId mgr_at) {
+  const ProcId mgr = m_.lock_manager(l);
+  if (mgr != mgr_at) {
+    // Re-elected manager: forward one hop (the record's shard belongs to
+    // the new manager's worker).
+    m_.post(mgr_at, mgr, kCtl, m_.params().list_processing_per_elem,
+            [this, l, requester, serial, mgr] {
+              mgr_handle_request(l, requester, serial, mgr);
+            });
+    return;
+  }
+  auto& rec = sh_->lock(l, mgr);
+  policy::LockLap& lap = sh_->lap_of(l, mgr);
+  if (serial != 0) {
+    auto gt = rec.granted_serial.find(requester);
+    if (gt != rec.granted_serial.end() && serial <= gt->second) {
+      // Already-granted tenure: rebuild the lost grant while the requester
+      // still owns the lock, drop the stale replay otherwise. A fresh serial
+      // from the current owner (release in flight behind it) falls through
+      // and queues normally.
+      if (serial == gt->second && rec.taken && rec.owner == requester) {
+        mgr_send_grant(l, rec, requester);
+      }
+      return;
+    }
+    if (lap.waiting_contains(requester)) return;
+    rec.req_serial[requester] = serial;
+  }
   lap.count_acquire_event();
   if (rec.taken) {
     lap.enqueue_waiter(requester);
@@ -245,29 +312,90 @@ void ErcProtocol::mgr_handle_request(LockId l, ProcId requester) {
 }
 
 void ErcProtocol::mgr_grant(LockId l, ProcId to) {
-  auto& rec = sh_->lock(l);
+  auto& rec = sh_->lock(l, m_.lock_manager(l));
   rec.taken = true;
   rec.owner = to;
   // Scoring-only under ERC: the update set is computed but never acted on.
-  policy::lap_score_grant(sh_->lap_of(l), rec.last_releaser, to);
-  m_.post(m_.lock_manager(l), to, kCtl, m_.params().list_processing_per_elem,
-          [this, to] {
-            ErcProtocol& p = peer(to);
-            p.grant_ready_ = true;
-            p.proc().poke();
-          });
+  policy::lap_score_grant(sh_->lap_of(l, m_.lock_manager(l)), rec.last_releaser, to);
+  if (crash_scheduled()) rec.granted_serial[to] = rec.req_serial[to];
+  mgr_send_grant(l, rec, to);
 }
 
-void ErcProtocol::mgr_handle_release(LockId l, ProcId releaser) {
-  auto& rec = sh_->lock(l);
+void ErcProtocol::mgr_send_grant(LockId l, ErcShared::LockRecord& rec, ProcId to) {
+  std::uint64_t serial = 0;
+  if (auto it = rec.granted_serial.find(to); it != rec.granted_serial.end()) {
+    serial = it->second;
+  }
+  m_.post(m_.lock_manager(l), to, kCtl, m_.params().list_processing_per_elem,
+          [this, l, to, serial] { peer(to).recv_grant(l, serial); });
+}
+
+void ErcProtocol::mgr_handle_release(LockId l, ProcId releaser,
+                                     std::uint64_t serial, ProcId mgr_at) {
+  const ProcId mgr = m_.lock_manager(l);
+  if (mgr != mgr_at) {
+    m_.post(mgr_at, mgr, kCtl, m_.params().list_processing_per_elem,
+            [this, l, releaser, serial, mgr] {
+              mgr_handle_release(l, releaser, serial, mgr);
+            });
+    return;
+  }
+  auto& rec = sh_->lock(l, mgr);
+  if (serial != 0) {
+    auto& last_rel = rec.released_serial[releaser];
+    if (serial <= last_rel) {
+      mgr_send_release_ack(l, releaser, serial);  // duplicate: re-confirm only
+      return;
+    }
+    last_rel = serial;
+  }
   AECDSM_CHECK(rec.taken && rec.owner == releaser);
   rec.last_releaser = releaser;
   rec.taken = false;
   rec.owner = kNoProc;
-  policy::LockLap& lap = sh_->lap_of(l);
+  policy::LockLap& lap = sh_->lap_of(l, mgr);
   if (lap.has_waiters()) mgr_grant(l, lap.dequeue_waiter());
   trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                 lap.waiting_count());
+  if (serial != 0) mgr_send_release_ack(l, releaser, serial);
+}
+
+void ErcProtocol::mgr_send_release_ack(LockId l, ProcId releaser,
+                                       std::uint64_t serial) {
+  m_.post(m_.lock_manager(l), releaser, kCtl,
+          m_.params().list_processing_per_elem, [this, l, releaser, serial] {
+            peer(releaser).clear_mgr_op_by_serial(l, serial);
+          });
+}
+
+void ErcProtocol::mgr_handle_notice(LockId l, ProcId p, ProcId mgr_at) {
+  const ProcId mgr = m_.lock_manager(l);
+  if (mgr != mgr_at) {
+    m_.post(mgr_at, mgr, kCtl, m_.params().list_processing_per_elem,
+            [this, l, p, mgr] { mgr_handle_notice(l, p, mgr); });
+    return;
+  }
+  sh_->lap_of(l, mgr).add_notice(p);
+}
+
+// --------------------------------------------------------------------------
+// Crash failover (policy::PolicyEngine hooks)
+// --------------------------------------------------------------------------
+
+std::vector<ProcId> ErcProtocol::lock_sharers(LockId l, ProcId crashed) {
+  std::vector<ProcId> out;
+  const ErcShared::LockRecord* rec = sh_->find_lock(l, crashed);
+  if (rec == nullptr) return out;
+  if (rec->taken && rec->owner != kNoProc) out.push_back(rec->owner);
+  if (rec->last_releaser != kNoProc) out.push_back(rec->last_releaser);
+  return out;
+}
+
+void ErcProtocol::migrate_lock_state(LockId l, ProcId from, ProcId to) {
+  sh_->migrate_lock(l, from, to);
+  // The FIFO queue (the LAP instance's waiting queue doubles as ERC's real
+  // queue) is rebuilt from the live requesters' replayed ops.
+  sh_->lap_of(l, to).reset_queues();
 }
 
 // --------------------------------------------------------------------------

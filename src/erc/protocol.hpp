@@ -61,6 +61,11 @@ struct ErcShared {
     bool taken = false;
     ProcId owner = kNoProc;
     ProcId last_releaser = kNoProc;
+    // Crash-failover dedup state (see aec::LockRecord): pending request
+    // serial per proc, serial echoed at grant, last processed release.
+    std::map<ProcId, std::uint64_t> req_serial;
+    std::map<ProcId, std::uint64_t> granted_serial;
+    std::map<ProcId, std::uint64_t> released_serial;
   };
   /// Lock records and LAP instances, sharded by manager node (lock %
   /// nprocs): ERC's lock handling is fully centralized at the manager, so
@@ -78,13 +83,34 @@ struct ErcShared {
   std::vector<std::map<LockId, policy::LockLap>> lap;
 
   LockRecord& lock(LockId l) {
-    return locks[static_cast<std::size_t>(
-        l % static_cast<LockId>(params.num_procs))][l];
+    return lock(l, static_cast<ProcId>(l % static_cast<LockId>(params.num_procs)));
   }
   policy::LockLap& lap_of(LockId l) {
-    return policy::scoring_lap(
-        lap[static_cast<std::size_t>(l % static_cast<LockId>(params.num_procs))],
-        params, l);
+    return lap_of(l, static_cast<ProcId>(l % static_cast<LockId>(params.num_procs)));
+  }
+
+  /// Manager-aware lookups: after a crash failover the record and its LAP
+  /// instance live in the re-elected manager's shard (handlers pass
+  /// Machine::lock_manager(l)).
+  LockRecord& lock(LockId l, ProcId mgr) {
+    return locks[static_cast<std::size_t>(mgr)][l];
+  }
+  policy::LockLap& lap_of(LockId l, ProcId mgr) {
+    return policy::scoring_lap(lap[static_cast<std::size_t>(mgr)], params, l);
+  }
+  LockRecord* find_lock(LockId l, ProcId mgr) {
+    auto& shard = locks[static_cast<std::size_t>(mgr)];
+    auto it = shard.find(l);
+    return it == shard.end() ? nullptr : &it->second;
+  }
+
+  /// Crash failover: move the record and LAP instance between manager
+  /// shards (exclusive-event only).
+  void migrate_lock(LockId l, ProcId from, ProcId to) {
+    auto rec = locks[static_cast<std::size_t>(from)].extract(l);
+    if (!rec.empty()) locks[static_cast<std::size_t>(to)].insert(std::move(rec));
+    auto lp = lap[static_cast<std::size_t>(from)].extract(l);
+    if (!lp.empty()) lap[static_cast<std::size_t>(to)].insert(std::move(lp));
   }
 };
 
@@ -126,12 +152,30 @@ class ErcProtocol : public policy::PolicyEngine {
   /// Engine-side apply helper (frame + twin), with stats.
   void apply_update(PageId pg, const mem::Diff& diff);
 
-  // Lock manager handlers (services on the manager's node).
-  void mgr_handle_request(LockId l, ProcId requester);
-  void mgr_handle_release(LockId l, ProcId releaser);
+  // Lock manager handlers (services on the manager's node). `mgr_at` is the
+  // node the message was addressed to: when a crash failover re-elected the
+  // manager meanwhile, the handler forwards one hop instead of touching a
+  // shard another node's worker owns. `serial` is the crash-failover dedup
+  // serial (0 when no crash schedule exists).
+  void mgr_handle_request(LockId l, ProcId requester, std::uint64_t serial,
+                          ProcId mgr_at);
+  void mgr_handle_release(LockId l, ProcId releaser, std::uint64_t serial,
+                          ProcId mgr_at);
+  void mgr_handle_notice(LockId l, ProcId p, ProcId mgr_at);
   void mgr_grant(LockId l, ProcId to);
+  /// Idempotent grant (re)send from the record state (crash dedup path).
+  void mgr_send_grant(LockId l, ErcShared::LockRecord& rec, ProcId to);
+  void mgr_send_release_ack(LockId l, ProcId releaser, std::uint64_t serial);
+
+  /// Engine-side at the requester: accept the grant iff it answers the
+  /// outstanding request (serial echo; always accepted crash-free).
+  void recv_grant(LockId l, std::uint64_t serial);
 
   void mgr_handle_barrier_arrival();
+
+  // Crash failover (policy::PolicyEngine hooks).
+  std::vector<ProcId> lock_sharers(LockId l, ProcId crashed) override;
+  void migrate_lock_state(LockId l, ProcId from, ProcId to) override;
 
   std::shared_ptr<ErcShared> sh_;
 
@@ -145,6 +189,13 @@ class ErcProtocol : public policy::PolicyEngine {
 
   bool grant_ready_ = false;
   bool barrier_release_ = false;
+
+  // Crash-failover state (zero in crash-free runs): a node has at most one
+  // outstanding acquire, but may hold several locks, so the tenure serial
+  // used by release is per lock.
+  std::uint64_t awaiting_serial_ = 0;
+  std::uint64_t req_op_id_ = 0;
+  std::map<LockId, std::uint64_t> cur_serial_;
 
   /// Outstanding update acknowledgements during a flush.
   int pending_acks_ = 0;

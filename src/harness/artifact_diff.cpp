@@ -83,6 +83,16 @@ Cell load_cell(const json::Value& c, const std::string& scope,
     cell.metrics.emplace_back("overlap_ratio",
                               number_of(*overlap, "overlap_ratio", what));
   }
+  // Crash-scheduled artifacts only (omit-when-empty, like "overlap").
+  if (const json::Value* rec = stats.find("recovery"); rec != nullptr) {
+    cell.metrics.emplace_back("failovers", number_of(*rec, "failovers", what));
+    cell.metrics.emplace_back("reelections",
+                              number_of(*rec, "reelections", what));
+    cell.metrics.emplace_back("requeued_requests",
+                              number_of(*rec, "requeued_requests", what));
+    cell.metrics.emplace_back("recovery_cycles",
+                              number_of(*rec, "recovery_cycles", what));
+  }
   const json::Value& lap = member(c, "lap", what);
   if (lap.kind() == json::Value::Kind::kObject) {
     cell.metrics.emplace_back("lap_rate",

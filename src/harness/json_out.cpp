@@ -118,6 +118,20 @@ Value to_json(const RunStats& r) {
   // Emitted only for traced + analyzed runs; untraced documents (and every
   // committed baseline) therefore never carry an "overlap" member.
   if (r.overlap.any()) v["overlap"] = to_json(r.overlap);
+  // Emitted only when a crash schedule actually fired: crash-free documents
+  // (all committed baselines) never carry a "recovery" member.
+  if (r.recovery.any()) v["recovery"] = to_json(r.recovery);
+  return v;
+}
+
+Value to_json(const RecoveryStats& r) {
+  Value v = Value::object();
+  v["crash_drops"] = Value(r.crash_drops);
+  v["suspects"] = Value(r.suspects);
+  v["failovers"] = Value(r.failovers);
+  v["reelections"] = Value(r.reelections);
+  v["requeued_requests"] = Value(r.requeued_requests);
+  v["recovery_cycles"] = Value(r.recovery_cycles);
   return v;
 }
 
@@ -158,9 +172,20 @@ Value to_json(const SystemParams& p) {
     f["delay_jitter_cycles"] = Value(p.faults.delay_jitter_cycles);
     f["reorder_rate"] = Value(p.faults.reorder_rate);
     f["reorder_window_cycles"] = Value(p.faults.reorder_window_cycles);
-    f["pause_node"] = Value(p.faults.pause_node);
-    f["pause_at_cycle"] = Value(p.faults.pause_at_cycle);
-    f["pause_cycles"] = Value(p.faults.pause_cycles);
+    auto windows = [](const std::vector<FaultWindow>& ws) {
+      Value arr = Value::array();
+      for (const FaultWindow& w : ws) {
+        Value e = Value::object();
+        e["node"] = Value(w.node);
+        e["at_cycle"] = Value(w.at_cycle);
+        e["cycles"] = Value(w.cycles);
+        arr.append(std::move(e));
+      }
+      return arr;
+    };
+    f["pauses"] = windows(p.faults.pauses);
+    f["crashes"] = windows(p.faults.crashes);
+    f["suspect_after"] = Value(p.faults.suspect_after);
     f["seed"] = Value(p.faults.seed);
     f["retransmit_timeout_cycles"] = Value(p.faults.retransmit_timeout_cycles);
     f["retransmit_backoff_cap"] = Value(p.faults.retransmit_backoff_cap);
@@ -291,6 +316,15 @@ RunStats run_stats_from_json(const Value& v) {
     r.transport.push_drops = t->at("push_drops").as_uint();
     r.transport.push_timeouts = t->at("push_timeouts").as_uint();
     r.transport.push_fallbacks = t->at("push_fallbacks").as_uint();
+  }
+  // Optional: present only for runs whose crash schedule fired.
+  if (const Value* rc = v.find("recovery"); rc != nullptr) {
+    r.recovery.crash_drops = rc->at("crash_drops").as_uint();
+    r.recovery.suspects = rc->at("suspects").as_uint();
+    r.recovery.failovers = rc->at("failovers").as_uint();
+    r.recovery.reelections = rc->at("reelections").as_uint();
+    r.recovery.requeued_requests = rc->at("requeued_requests").as_uint();
+    r.recovery.recovery_cycles = rc->at("recovery_cycles").as_uint();
   }
   // Optional: present only for traced runs ("overlap_ratio" is derived and
   // recomputed on the next serialization).

@@ -1,8 +1,30 @@
 #include "net/fault.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace aecdsm::net {
+
+namespace {
+
+std::vector<std::vector<FaultWindow>> build_schedule(
+    const std::vector<FaultWindow>& windows, int nprocs) {
+  std::vector<std::vector<FaultWindow>> s(static_cast<std::size_t>(nprocs));
+  for (const FaultWindow& w : windows) {
+    if (w.node < 0 || w.node >= nprocs || w.cycles == 0) continue;
+    s[static_cast<std::size_t>(w.node)].push_back(w);
+  }
+  for (auto& per_node : s) {
+    std::sort(per_node.begin(), per_node.end(),
+              [](const FaultWindow& a, const FaultWindow& b) {
+                return a.at_cycle < b.at_cycle;
+              });
+  }
+  return s;
+}
+
+}  // namespace
 
 FaultPlane::FaultPlane(const SystemParams& params)
     : fp_(params.faults), nprocs_(params.num_procs) {
@@ -11,6 +33,8 @@ FaultPlane::FaultPlane(const SystemParams& params)
                             static_cast<std::size_t>(nprocs_);
   link_rng_.reserve(links);
   for (std::size_t l = 0; l < links; ++l) link_rng_.push_back(master.split(l));
+  pauses_ = build_schedule(fp_.pauses, nprocs_);
+  crashes_ = build_schedule(fp_.crashes, nprocs_);
 }
 
 FaultPlane::Decision FaultPlane::decide(ProcId src, ProcId dst) {

@@ -6,9 +6,11 @@
 // SplitMix64 stream seeded from FaultParams::seed. Decisions depend only on
 // the sequence of copies sent over that link, never on host scheduling or
 // traffic on other links, so identical seeds replay identical fault
-// schedules. A node pause window additionally stalls inbound deliveries at
-// the destination. With default FaultParams the plane reports disabled and
-// is never consulted.
+// schedules. Node pause windows additionally stall inbound deliveries at
+// the destination, and fail-stop crash windows take a node out of service
+// entirely (inbound traffic dropped, application progress halted) until the
+// window ends. With default FaultParams the plane reports disabled and is
+// never consulted.
 #pragma once
 
 #include <vector>
@@ -43,19 +45,56 @@ class FaultPlane {
   /// so one knob never perturbs another knob's schedule.
   Decision decide(ProcId src, ProcId dst);
 
-  /// Is `dst` inside its pause window at time `t`?
+  /// Is `dst` inside a pause window at time `t`?
   bool paused(ProcId dst, Cycles t) const {
-    return dst == fp_.pause_node && fp_.pause_cycles > 0 &&
-           t >= fp_.pause_at_cycle && t < pause_end();
+    return window_at(pauses_, dst, t) != nullptr;
   }
 
-  /// First cycle after the pause window (deliveries resume here).
-  Cycles pause_end() const { return fp_.pause_at_cycle + fp_.pause_cycles; }
+  /// First cycle after the pause window covering (dst, t); deliveries resume
+  /// here. Precondition: paused(dst, t).
+  Cycles pause_end(ProcId dst, Cycles t) const {
+    return window_at(pauses_, dst, t)->end();
+  }
+
+  /// Is `node` crashed (fail-stop window active) at time `t`?
+  bool crashed(ProcId node, Cycles t) const {
+    return window_at(crashes_, node, t) != nullptr;
+  }
+
+  /// First cycle after the crash window covering (node, t); the node resumes
+  /// here. Precondition: crashed(node, t).
+  Cycles crash_end(ProcId node, Cycles t) const {
+    return window_at(crashes_, node, t)->end();
+  }
+
+  /// Start cycle of the crash window covering (node, t).
+  /// Precondition: crashed(node, t).
+  Cycles crash_start(ProcId node, Cycles t) const {
+    return window_at(crashes_, node, t)->at_cycle;
+  }
+
+  /// Any crash window scheduled anywhere in the run?
+  bool crash_scheduled() const { return fp_.crash_scheduled(); }
 
  private:
+  /// Per-node window schedules, sorted by start cycle (validation rejects
+  /// overlapping crash windows, so at most one window covers any t).
+  using Schedule = std::vector<std::vector<FaultWindow>>;
+
+  const FaultWindow* window_at(const Schedule& s, ProcId node, Cycles t) const {
+    if (node < 0 || node >= nprocs_) return nullptr;
+    for (const FaultWindow& w : s[static_cast<std::size_t>(node)]) {
+      if (w.covers(t)) return &w;
+      if (w.at_cycle > t) break;
+    }
+    return nullptr;
+  }
+
   FaultParams fp_;
   int nprocs_;
   std::vector<Rng> link_rng_;  ///< one stream per directed (src, dst) pair
+  Schedule pauses_;
+  Schedule crashes_;
 };
 
 }  // namespace aecdsm::net

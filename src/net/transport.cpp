@@ -24,9 +24,11 @@ Transport::Transport(sim::Engine& engine, MeshNetwork& mesh,
       plane_(params),
       nprocs_(params.num_procs),
       base_rto_(params.faults.retransmit_timeout_cycles),
-      backoff_cap_(params.faults.retransmit_backoff_cap) {
+      backoff_cap_(params.faults.retransmit_backoff_cap),
+      suspect_after_(params.faults.suspect_after) {
   // Protocols count push_timeouts/push_fallbacks even with faults disabled.
   stats_.resize(static_cast<std::size_t>(nprocs_));
+  rstats_.resize(static_cast<std::size_t>(nprocs_));
   excl_dst_.assign(static_cast<std::size_t>(nprocs_), 0);
   if (plane_.enabled()) {
     const std::size_t channels = static_cast<std::size_t>(nprocs_) *
@@ -34,12 +36,19 @@ Transport::Transport(sim::Engine& engine, MeshNetwork& mesh,
     send_ch_.resize(channels);
     recv_ch_.resize(channels);
     pending_.resize(static_cast<std::size_t>(nprocs_));
+    suspected_.resize(static_cast<std::size_t>(nprocs_));
   }
 }
 
 TransportStats Transport::stats() const {
   TransportStats total;
   for (const TransportStats& s : stats_) total += s;
+  return total;
+}
+
+RecoveryStats Transport::recovery() const {
+  RecoveryStats total;
+  for (const RecoveryStats& s : rstats_) total += s;
   return total;
 }
 
@@ -117,47 +126,93 @@ void Transport::send(ProcId src, ProcId dst, std::size_t bytes,
 void Transport::arm_timer(std::uint64_t key, int attempt) {
   const int shift = std::min(attempt, backoff_cap_);
   const Cycles rto = base_rto_ << shift;
-  engine_.schedule(engine_.now() + rto, [this, key, attempt] {
-    auto& shard = pending_shard(key);
-    const auto it = shard.find(key);
-    // Acked (erased) or already retransmitted by a newer timer: stale timer.
-    if (it == shard.end() || it->second.attempt != attempt) return;
-    Pending& p = it->second;
-    ++stats_for(p.src).timeouts;
-    ++stats_for(p.src).retransmits;
-    if (recorder_ != nullptr) {
-      recorder_->instant(p.src, trace::Category::kNet, trace::names::kNetRetx,
-                         engine_.now(), "dst",
-                         static_cast<std::uint64_t>(p.dst), "attempt",
-                         static_cast<std::uint64_t>(attempt + 1));
-    }
-    p.attempt = attempt + 1;
-    const ProcId src = p.src;
-    const ProcId dst = p.dst;
-    const std::uint32_t seq = p.seq;
-    const bool excl = p.exclusive;
-    auto fn = p.deliver;
-    inject_copy(src, dst, p.bytes, excl, [this, src, dst, seq, excl, fn] {
-      on_data_arrival(src, dst, seq, excl, fn);
-    });
-    arm_timer(key, attempt + 1);
+  engine_.schedule(engine_.now() + rto,
+                   [this, key, attempt] { timer_fire(key, attempt); });
+}
+
+void Transport::timer_fire(std::uint64_t key, int attempt) {
+  auto& shard = pending_shard(key);
+  const auto it = shard.find(key);
+  // Acked (erased) or already retransmitted by a newer timer: stale timer.
+  if (it == shard.end() || it->second.attempt != attempt) return;
+  Pending& p = it->second;
+  const Cycles now = engine_.now();
+  if (plane_.crashed(p.src, now)) {
+    // A crashed NIC cannot retransmit: re-check at the window end without
+    // consuming an attempt or counting a timeout.
+    engine_.schedule(plane_.crash_end(p.src, now),
+                     [this, key, attempt] { timer_fire(key, attempt); });
+    return;
+  }
+  if (suspect_handler_ && attempt + 1 >= suspect_after_ &&
+      plane_.crashed(p.dst, now)) {
+    // Enough unacknowledged copies to a destination that really is crashed:
+    // raise the suspect verdict (once per window), but keep retransmitting —
+    // the payload must still deliver after recovery.
+    maybe_suspect(p.src, p.dst, now);
+  }
+  ++stats_for(p.src).timeouts;
+  ++stats_for(p.src).retransmits;
+  if (recorder_ != nullptr) {
+    recorder_->instant(p.src, trace::Category::kNet, trace::names::kNetRetx,
+                       engine_.now(), "dst",
+                       static_cast<std::uint64_t>(p.dst), "attempt",
+                       static_cast<std::uint64_t>(attempt + 1));
+  }
+  p.attempt = attempt + 1;
+  const ProcId src = p.src;
+  const ProcId dst = p.dst;
+  const std::uint32_t seq = p.seq;
+  const bool excl = p.exclusive;
+  auto fn = p.deliver;
+  inject_copy(src, dst, p.bytes, excl, [this, src, dst, seq, excl, fn] {
+    on_data_arrival(src, dst, seq, excl, fn);
   });
+  arm_timer(key, attempt + 1);
+}
+
+void Transport::maybe_suspect(ProcId src, ProcId dst, Cycles now) {
+  const Cycles window_end = plane_.crash_end(dst, now);
+  auto& memo = suspected_[static_cast<std::size_t>(src)];
+  const auto [it, inserted] = memo.try_emplace(dst, window_end);
+  if (inserted || it->second != window_end) {
+    // First verdict for this window: count it and stamp the instant once.
+    it->second = window_end;
+    ++recovery_for(src).suspects;
+    if (recorder_ != nullptr) {
+      recorder_->instant(src, trace::Category::kNet, trace::names::kNetSuspect,
+                         now, "dst", static_cast<std::uint64_t>(dst));
+    }
+  }
+  // The hook itself fires on every exhausted message, not just the first:
+  // a lock request issued after the manager was suspected via unrelated
+  // traffic must still reach failover once its own retransmits exhaust.
+  // The protocol's handler is idempotent (locks already failed over are
+  // skipped), so repeat invocations only cost the registry scan.
+  suspect_handler_(src, dst);
 }
 
 void Transport::on_data_arrival(ProcId src, ProcId dst, std::uint32_t seq,
                                 bool exclusive,
                                 std::shared_ptr<sim::Engine::EventFn> fn) {
+  if (plane_.crashed(dst, engine_.now())) {
+    // A crashed NIC refuses the copy and sends no ack; the sender's
+    // retransmissions deliver it after recovery.
+    ++recovery_for(dst).crash_drops;
+    return;
+  }
   if (plane_.paused(dst, engine_.now())) {
     ++stats_for(dst).paused_deliveries;
+    const Cycles resume_at = plane_.pause_end(dst, engine_.now());
     // The retry must keep running solo, or a held exclusive handler could be
     // released from a concurrent event after the pause lifts.
     auto retry = [this, src, dst, seq, exclusive, fn] {
       on_data_arrival(src, dst, seq, exclusive, fn);
     };
     if (exclusive) {
-      engine_.schedule_exclusive(plane_.pause_end(), std::move(retry));
+      engine_.schedule_exclusive(resume_at, std::move(retry));
     } else {
-      engine_.schedule(plane_.pause_end(), std::move(retry));
+      engine_.schedule(resume_at, std::move(retry));
     }
     return;
   }
@@ -202,8 +257,16 @@ void Transport::send_ack(ProcId from, ProcId to, std::uint64_t key) {
     return;  // the sender retransmits; the receiver dedups
   }
   auto emit = [this, from, to](Cycles extra, std::uint64_t k) {
-    // Delivers at `to`, the original sender — the shard owner.
-    auto deliver = [this, k] { pending_shard(k).erase(k); };
+    // Delivers at `to`, the original sender — the shard owner. A crashed
+    // original sender refuses the ack like any other inbound copy (its
+    // retransmit timer is already deferred to the window end).
+    auto deliver = [this, to, k] {
+      if (plane_.crashed(to, engine_.now())) {
+        ++recovery_for(to).crash_drops;
+        return;
+      }
+      pending_shard(k).erase(k);
+    };
     if (extra == 0) {
       mesh_.send(from, to, kAckBytes, std::move(deliver));
     } else {
@@ -236,10 +299,16 @@ void Transport::send_best_effort(ProcId src, ProcId dst, std::size_t bytes,
   // Arrival still honours a destination pause window; there is no dedup, so
   // a duplicated copy runs the handler twice (receivers are idempotent).
   auto arrival = [this, dst, fn] {
+    if (plane_.crashed(dst, engine_.now())) {
+      // Best-effort copies have no retransmission: a crash-dropped push is
+      // simply gone and the protocol's push-timeout fallback covers it.
+      ++recovery_for(dst).crash_drops;
+      return;
+    }
     if (plane_.paused(dst, engine_.now())) {
       ++stats_for(dst).paused_deliveries;
       const auto held = fn;
-      engine_.schedule(plane_.pause_end(), [held] { (*held)(); });
+      engine_.schedule(plane_.pause_end(dst, engine_.now()), [held] { (*held)(); });
       return;
     }
     (*fn)();

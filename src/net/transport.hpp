@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -83,6 +84,26 @@ class Transport {
   /// retransmit / ack instants; purely observational.
   void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
 
+  // --- Crash plane ----------------------------------------------------------
+
+  /// Aggregate crash/recovery counters across all per-node shards.
+  RecoveryStats recovery() const;
+
+  /// Recovery counter shard owned by `node` (same ownership discipline as
+  /// stats_for: each shard is only touched by events executing at that node).
+  RecoveryStats& recovery_for(ProcId node) {
+    return rstats_[static_cast<std::size_t>(node)];
+  }
+
+  /// Install the suspect callback: invoked once per (source, crashed
+  /// destination, crash window) when `suspect_after` unacknowledged copies
+  /// have been sent to a destination that is actually crashed. Runs in the
+  /// retransmit-timer context at the source node. Pure message loss never
+  /// raises a suspicion — the failure detector is deterministic and perfect.
+  void set_suspect_handler(std::function<void(ProcId src, ProcId dst)> h) {
+    suspect_handler_ = std::move(h);
+  }
+
  private:
   struct SendChannel {
     std::uint32_t next_seq = 0;
@@ -116,6 +137,8 @@ class Transport {
                    sim::Engine::EventFn fn);
 
   void arm_timer(std::uint64_t key, int attempt);
+  void timer_fire(std::uint64_t key, int attempt);
+  void maybe_suspect(ProcId src, ProcId dst, Cycles now);
   void on_data_arrival(ProcId src, ProcId dst, std::uint32_t seq, bool exclusive,
                        std::shared_ptr<sim::Engine::EventFn> fn);
   void send_ack(ProcId from, ProcId to, std::uint64_t key);
@@ -140,7 +163,14 @@ class Transport {
   std::vector<RecvChannel> recv_ch_;
   std::vector<std::unordered_map<std::uint64_t, Pending>> pending_;
   std::vector<TransportStats> stats_;
+  std::vector<RecoveryStats> rstats_;
   std::vector<char> excl_dst_;  ///< per-dst: all reliable deliveries exclusive
+  /// Per-source memo of already-suspected (dst -> crash window end) pairs, so
+  /// one crash window raises at most one suspicion per directed channel.
+  /// Sharded by source like pending_ (timer events execute at the source).
+  std::vector<std::unordered_map<ProcId, Cycles>> suspected_;
+  std::function<void(ProcId, ProcId)> suspect_handler_;
+  int suspect_after_;
   trace::Recorder* recorder_ = nullptr;
 };
 

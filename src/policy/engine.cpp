@@ -166,6 +166,142 @@ void PolicyEngine::trace_counter(const char* name, Cycles t,
   }
 }
 
+std::uint64_t PolicyEngine::track_mgr_op(LockId l, ProcId mgr,
+                                         std::uint64_t serial,
+                                         std::function<void(ProcId)> replay) {
+  if (!crash_scheduled()) return 0;
+  MgrOp op;
+  op.lock = l;
+  op.mgr = mgr;
+  op.serial = serial;
+  op.replay = std::move(replay);
+  const std::uint64_t id = ++next_op_id_;
+  mgr_ops_.emplace(id, std::move(op));
+  return id;
+}
+
+void PolicyEngine::clear_mgr_op(std::uint64_t id) {
+  if (id != 0) mgr_ops_.erase(id);
+}
+
+void PolicyEngine::clear_mgr_op_by_serial(LockId l, std::uint64_t serial) {
+  for (auto it = mgr_ops_.begin(); it != mgr_ops_.end(); ++it) {
+    if (it->second.lock == l && it->second.serial == serial) {
+      mgr_ops_.erase(it);
+      return;
+    }
+  }
+}
+
+void PolicyEngine::on_peer_suspect(ProcId peer) {
+  // Timer context at this node: only node-local state (the op registry) and
+  // concurrent-read-safe state (the manager override table) may be touched.
+  // The election itself runs in an exclusive self-event.
+  AECDSM_DEBUG("p" << self_ << " suspects p" << peer << " (" << mgr_ops_.size()
+                   << " pending ops)");
+  std::vector<LockId> locks;
+  for (const auto& [id, op] : mgr_ops_) {
+    if (op.mgr != peer) continue;
+    if (m_.lock_manager(op.lock) != peer) continue;  // already failed over
+    if (std::find(locks.begin(), locks.end(), op.lock) != locks.end()) continue;
+    locks.push_back(op.lock);
+  }
+  for (const LockId l : locks) {
+    m_.post_exclusive(self_, self_, kCtl,
+                      m_.params().list_processing_per_elem * 4,
+                      [this, l, peer] { begin_failover(l, peer); });
+  }
+}
+
+void PolicyEngine::on_recover() {
+  // Engine-side at the recovered node. Re-reads the shared override table
+  // (concurrent-read-safe: writes happen only in exclusive events) so ops
+  // aimed at this node's own pre-crash managership chase the re-elected
+  // manager; the one-hop bounce in the manager handlers covers elections
+  // that land after this replay.
+  for (auto& [id, op] : mgr_ops_) {
+    const ProcId mgr = m_.lock_manager(op.lock);
+    op.mgr = mgr;
+    ++m_.transport().recovery_for(self_).requeued_requests;
+    AECDSM_DEBUG("p" << self_ << " recovers, replays op serial=" << op.serial
+                     << " l" << op.lock << " to mgr p" << mgr);
+    op.replay(mgr);
+  }
+}
+
+void PolicyEngine::begin_failover(LockId l, ProcId crashed) {
+  // Exclusive event: the machine is quiescent, cross-node reads are safe.
+  if (m_.lock_manager(l) != crashed) return;  // a peer already failed it over
+  const Cycles now = m_.engine().now();
+  net::FaultPlane& plane = m_.transport().plane();
+  if (!plane.crashed(crashed, now)) return;  // recovered: keep the manager
+  std::vector<ProcId> cand = lock_sharers(l, crashed);
+  cand.push_back(self_);
+  ProcId successor = kNoProc;
+  for (const ProcId p : cand) {
+    if (p == kNoProc || p == crashed || plane.crashed(p, now)) continue;
+    if (successor == kNoProc || p < successor) successor = p;
+  }
+  if (successor == kNoProc) return;  // nobody live: stall until recovery
+  AECDSM_DEBUG("p" << self_ << " failover l" << l << ": crashed mgr p"
+                   << crashed << " -> successor p" << successor);
+  ++m_.transport().recovery_for(self_).failovers;
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->instant(self_, trace::Category::kLock, trace::names::kLockFailover, now,
+                "lock", static_cast<std::uint64_t>(l), "crashed",
+                static_cast<std::uint64_t>(crashed));
+  }
+  m_.post_exclusive(self_, successor, kCtl,
+                    m_.params().list_processing_per_elem * 4,
+                    [this, l, crashed, successor] {
+                      peer_engine(successor).handle_failover_request(l, crashed);
+                    });
+}
+
+void PolicyEngine::handle_failover_request(LockId l, ProcId crashed) {
+  // Exclusive event at the elected successor.
+  if (m_.lock_manager(l) != crashed) return;  // duplicate election
+  const Cycles now = m_.engine().now();
+  net::FaultPlane& plane = m_.transport().plane();
+  if (!plane.crashed(crashed, now)) return;  // recovered while electing
+  AECDSM_DEBUG("p" << self_ << " re-elected as manager of l" << l
+                   << " (was p" << crashed << ")");
+  m_.set_lock_manager_override(l, self_);
+  migrate_lock_state(l, crashed, self_);
+  RecoveryStats& rs = m_.transport().recovery_for(self_);
+  ++rs.reelections;
+  rs.recovery_cycles += now - plane.crash_start(crashed, now);
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->instant(self_, trace::Category::kLock, trace::names::kLockReelect, now,
+                "lock", static_cast<std::uint64_t>(l), "mgr",
+                static_cast<std::uint64_t>(self_));
+  }
+  // Every live node re-aims its pending ops; the crashed node needs no
+  // notification — it reads the shared override table once it recovers.
+  for (int p = 0; p < m_.nprocs(); ++p) {
+    if (p == self_) {
+      on_manager_change(l, self_);
+      continue;
+    }
+    if (plane.crashed(p, now)) continue;
+    m_.post(self_, p, kCtl, m_.params().list_processing_per_elem * 2,
+            [this, l, p, mgr = self_] {
+              peer_engine(p).on_manager_change(l, mgr);
+            });
+  }
+}
+
+void PolicyEngine::on_manager_change(LockId l, ProcId new_mgr) {
+  for (auto& [id, op] : mgr_ops_) {
+    if (op.lock != l || op.mgr == new_mgr) continue;
+    op.mgr = new_mgr;
+    ++m_.transport().recovery_for(self_).requeued_requests;
+    AECDSM_DEBUG("p" << self_ << " replays op serial=" << op.serial << " l"
+                     << l << " to new mgr p" << new_mgr);
+    op.replay(new_mgr);
+  }
+}
+
 void PolicyEngine::fetch_page_from_home(
     PageId pg, ProcId h, sim::Bucket bucket,
     std::function<void(std::vector<Word>& buf)> at_home,

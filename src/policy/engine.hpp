@@ -58,6 +58,19 @@ class PolicyEngine : public dsm::Protocol {
   const ConsistencyPolicy* active_policy() const override { return &pol_; }
   DiffStats diff_stats() const override { return dstats_; }
 
+  /// Transport suspect verdict: `peer` is fail-stop crashed and has pending
+  /// traffic from this node. Starts lock-manager failover for every lock
+  /// with a pending op aimed at the crashed manager (§ DESIGN.md 12).
+  void on_peer_suspect(ProcId peer) override;
+
+  /// Warm reboot at the end of this node's crash window: replay every
+  /// pending manager op to the lock's *current* manager. The crashed node
+  /// missed any re-election broadcast (it is skipped while down), so ops
+  /// it aimed at its own pre-crash managership would otherwise never chase
+  /// the successor; manager-side serial dedup absorbs replays that race a
+  /// reply still being retransmitted by a live sender.
+  void on_recover() override;
+
  protected:
   PolicyEngine(dsm::Machine& m, ProcId self, ConsistencyPolicy pol);
 
@@ -127,10 +140,97 @@ class PolicyEngine : public dsm::Protocol {
   /// Observational only: never advances time or perturbs the run.
   void trace_counter(const char* name, Cycles t, std::uint64_t value);
 
+  // --- Crash failover: lock-manager re-election -----------------------------
+  //
+  // Every manager-directed operation that would be lost if the manager
+  // crashed (an un-granted REQUEST, an unconfirmed RELEASE) is tracked in a
+  // per-node registry while a crash schedule exists. When the transport
+  // suspects the manager, a surviving node with pending business is elected
+  // deterministically (lowest live rank among the lock's sharers), the lock
+  // record migrates to its shard — lock records live in shared host memory,
+  // so custody survives the fail-stop window — and every live node replays
+  // its pending ops to the new manager, rebuilding the FIFO/LAP waiting
+  // queue in deterministic DES arrival order. Crash-free runs never build
+  // the registry and never see a failover message.
+
+  /// Is any crash window scheduled? Gates all failover-only traffic.
+  bool crash_scheduled() const {
+    return m_.params().faults.crash_scheduled();
+  }
+
+  /// Per-(node, lock) monotonic serial minted at acquire; the matching
+  /// release reuses the acquire's serial. Managers dedup replayed requests
+  /// and releases by it.
+  std::uint64_t next_op_serial(LockId l) { return ++op_serial_[l]; }
+
+  /// Track a pending manager op for crash replay; returns a registry id for
+  /// clear_mgr_op (0 — and no tracking — when no crash is scheduled).
+  /// `replay` re-posts the op to the re-elected manager; retransmission is
+  /// NIC-autonomous and charges no app-thread time.
+  std::uint64_t track_mgr_op(LockId l, ProcId mgr, std::uint64_t serial,
+                             std::function<void(ProcId new_mgr)> replay);
+  void clear_mgr_op(std::uint64_t id);
+
+  /// Release confirmation: erase the tracked op for (l, serial). The
+  /// confirming manager does not know the releaser's registry id, but the
+  /// (lock, serial) pair identifies at most one pending op.
+  void clear_mgr_op_by_serial(LockId l, std::uint64_t serial);
+
+  /// The PolicyEngine instance running at `p` (all nodes of a run execute
+  /// the same preset).
+  PolicyEngine& peer_engine(ProcId p) {
+    return *static_cast<PolicyEngine*>(m_.node(p).protocol.get());
+  }
+
+  /// Exclusive self-event: elect a successor for `l` whose manager
+  /// `crashed` is suspected, and post it the failover request.
+  void begin_failover(LockId l, ProcId crashed);
+
+  /// Exclusive event at the elected successor: install the override, migrate
+  /// custody, and broadcast the manager change to every live node.
+  void handle_failover_request(LockId l, ProcId crashed);
+
+  /// At each node: re-aim pending ops for `l` at the new manager and replay
+  /// them.
+  void on_manager_change(LockId l, ProcId new_mgr);
+
+  /// Protocol-specific election input: nodes known to share lock `l`'s
+  /// state (owner, diff custodians, ...). The suspecter itself is always a
+  /// candidate. Runs inside an exclusive event — cross-node reads are safe.
+  virtual std::vector<ProcId> lock_sharers(LockId l, ProcId crashed) {
+    (void)l;
+    (void)crashed;
+    return {};
+  }
+
+  /// Protocol-specific custody migration: move lock `l`'s record between
+  /// the shard maps of `from` and `to` and reset manager-soft state (the
+  /// waiting/virtual queues; affinity history and diff custody survive).
+  /// Runs inside an exclusive event.
+  virtual void migrate_lock_state(LockId l, ProcId from, ProcId to) {
+    (void)l;
+    (void)from;
+    (void)to;
+  }
+
   const ConsistencyPolicy pol_;
   dsm::Machine& m_;
   const ProcId self_;
   DiffStats dstats_;
+
+ private:
+  /// Pending manager-directed op, keyed by a monotonically increasing id so
+  /// replay iterates in issue order (preserving per-channel REL-before-REQ
+  /// FIFO order at the new manager).
+  struct MgrOp {
+    LockId lock = 0;
+    ProcId mgr = kNoProc;
+    std::uint64_t serial = 0;
+    std::function<void(ProcId new_mgr)> replay;
+  };
+  std::map<std::uint64_t, MgrOp> mgr_ops_;
+  std::uint64_t next_op_id_ = 0;
+  std::map<LockId, std::uint64_t> op_serial_;
 };
 
 }  // namespace aecdsm::policy

@@ -65,6 +65,20 @@ class LockLap {
   ProcId dequeue_waiter();
   bool has_waiters() const { return !waiting_.empty(); }
   std::size_t waiting_count() const { return waiting_.size(); }
+  bool waiting_contains(ProcId p) const {
+    for (const ProcId q : waiting_) {
+      if (q == p) return true;
+    }
+    return false;
+  }
+
+  /// Crash failover: the waiting and virtual queues die with the old
+  /// manager's custody and are rebuilt from the requesters' replayed
+  /// requests/notices; the affinity history is shared state that survives.
+  void reset_queues() {
+    waiting_.clear();
+    virtual_queue_.clear();
+  }
 
   /// Record a realized ownership transfer from -> to (affinity history) and
   /// score all predictor snapshots taken for `from`.

@@ -25,7 +25,25 @@ void Processor::start(std::function<void()> body) {
     finish_time_ = now_;
   });
   now_ = std::max(now_, engine_.now());
-  engine_.schedule_for(id_, engine_.now(), [this] { thread_->resume(); });
+  schedule_resume(engine_.now());
+}
+
+void Processor::schedule_resume(Cycles t) {
+  engine_.schedule_for(id_, t, [this] {
+    if (crash_hold_) {
+      const Cycles release = crash_hold_(engine_.now());
+      if (release > engine_.now()) {
+        // Fail-stop window: hold the application thread until the node
+        // recovers, then resume from its last sync point.
+        schedule_resume(release);
+        return;
+      }
+      // A deferred resume lands past the local clock; the dead time is
+      // charged so the breakdown still sums to the finish time.
+      if (engine_.now() > now_) charge(engine_.now() - now_, Bucket::kOthersMisc);
+    }
+    thread_->resume();
+  });
 }
 
 void Processor::charge(Cycles c, Bucket b) {
@@ -67,7 +85,7 @@ void Processor::sync() {
 }
 
 void Processor::yield_for_resume_at(Cycles t) {
-  engine_.schedule_for(id_, t, [this] { thread_->resume(); });
+  schedule_resume(t);
   running_app_ = false;
   thread_->yield_to_engine();
   running_app_ = true;
@@ -91,7 +109,7 @@ void Processor::poke() {
   if (!blocked_) return;
   blocked_ = false;
   unblock_accounting(engine_.now());
-  engine_.schedule_for(id_, engine_.now(), [this] { thread_->resume(); });
+  schedule_resume(engine_.now());
 }
 
 void Processor::unblock_accounting(Cycles t) {

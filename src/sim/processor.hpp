@@ -103,9 +103,20 @@ class Processor {
   void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
   trace::Recorder* recorder() const { return recorder_; }
 
+  /// Install the fail-stop crash gate: `hold(t)` returns the release time if
+  /// this node is crashed at `t`, else 0. Every application-thread resume is
+  /// routed through the gate, so a crashed node makes no app progress until
+  /// its window ends; the dead time is charged to the others bucket so the
+  /// per-processor breakdown still sums to the finish time. Only installed
+  /// when a crash schedule exists — crash-free runs never consult it.
+  void set_crash_hold(std::function<Cycles(Cycles)> hold) {
+    crash_hold_ = std::move(hold);
+  }
+
  private:
   void charge(Cycles c, Bucket b);
   void absorb_stolen();
+  void schedule_resume(Cycles t);      ///< resume event, gated by crash_hold_
   void yield_for_resume_at(Cycles t);  ///< schedule resume event, then yield
   void unblock_accounting(Cycles t);
 
@@ -133,6 +144,8 @@ class Processor {
   bool running_app_ = false;
   bool done_ = false;
   Cycles finish_time_ = 0;
+
+  std::function<Cycles(Cycles)> crash_hold_;  ///< null unless crashes scheduled
 
   trace::Recorder* recorder_ = nullptr;
 };

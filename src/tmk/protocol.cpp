@@ -325,48 +325,109 @@ void TmProtocol::acquire(LockId l) {
 
   const std::size_t vt_bytes = vt_.size() * 4;
   auto req_vt = std::make_shared<VectorTime>(vt_);
-  send_from_app(
-      m_.lock_manager(l), kCtl + vt_bytes, params.list_processing_per_elem * 2,
-      [this, l, p = self_, req_vt] {
-        // Manager: score the event, then route to the owner (or grant the
-        // very first request directly). LAP mutations go through at_commit
-        // (scoring-only state also touched by owner-side events).
-        m_.engine().at_commit(
-            [this, l] { sh_->lap_of(l).count_acquire_event(); });
-        std::map<LockId, ProcId>& hints = sh_->hint_shard(l);
-        auto it = hints.find(l);
-        if (it == hints.end()) {
-          hints[l] = p;
-          m_.engine().at_commit(
-              [this, l, p] { policy::lap_score_grant(sh_->lap_of(l), kNoProc, p); });
-          m_.post(m_.lock_manager(l), p, kCtl, m_.params().list_processing_per_elem,
-                  [this, l, p] { peer(p).recv_grant(l, {}, {}); });
-          return;
-        }
-        const ProcId hint = it->second;
-        m_.post(m_.lock_manager(l), hint, kCtl + vt_.size() * 4,
-                m_.params().list_processing_per_elem * 2,
-                [this, l, p, hint, req_vt] {
-                  peer(hint).lock_request_arrive(l, p, *req_vt);
-                });
-      },
-      sim::Bucket::kSynch);
+  const ProcId mgr = m_.lock_manager(l);
+  std::uint64_t serial = 0;
+  if (crash_scheduled()) {
+    serial = next_op_serial(l);
+    ll.awaiting_serial = serial;
+    ll.req_op_id = track_mgr_op(
+        l, mgr, serial, [this, l, req_vt, serial](ProcId nm) {
+          m_.post(self_, nm, kCtl + req_vt->size() * 4,
+                  m_.params().list_processing_per_elem * 2,
+                  [this, l, p = self_, req_vt, serial, nm] {
+                    mgr_route_request(l, p, req_vt, serial, nm);
+                  });
+        });
+  }
+  send_from_app(mgr, kCtl + vt_bytes, params.list_processing_per_elem * 2,
+                [this, l, p = self_, req_vt, serial, mgr] {
+                  mgr_route_request(l, p, req_vt, serial, mgr);
+                },
+                sim::Bucket::kSynch);
 
   proc().wait(sim::Bucket::kSynch, [&ll] { return ll.grant_ready; });
   proc().advance(invalidations_pending_cost_, sim::Bucket::kSynch);
   invalidations_pending_cost_ = 0;
 }
 
-void TmProtocol::lock_request_arrive(LockId l, ProcId requester, VectorTime req_vt) {
+void TmProtocol::mgr_route_request(LockId l, ProcId requester,
+                                   std::shared_ptr<VectorTime> req_vt,
+                                   std::uint64_t serial, ProcId mgr_at) {
+  // Manager: score the event, then route to the owner hint (or grant the
+  // very first request directly). LAP mutations go through at_commit
+  // (scoring-only state also touched by owner-side events). If a crash
+  // failover re-elected the manager after this message was sent, forward
+  // one hop: the hint shard now belongs to the new manager's worker.
+  const ProcId mgr = m_.lock_manager(l);
+  if (mgr != mgr_at) {
+    m_.post(mgr_at, mgr, kCtl + req_vt->size() * 4,
+            m_.params().list_processing_per_elem * 2,
+            [this, l, requester, req_vt, serial, mgr] {
+              mgr_route_request(l, requester, req_vt, serial, mgr);
+            });
+    return;
+  }
+  m_.engine().at_commit([this, l] { sh_->lap_of(l).count_acquire_event(); });
+  std::map<LockId, ProcId>& hints = sh_->hint_shard(l, mgr);
+  auto it = hints.find(l);
+  if (it == hints.end()) {
+    hints[l] = requester;
+    m_.engine().at_commit([this, l, requester] {
+      policy::lap_score_grant(sh_->lap_of(l), kNoProc, requester);
+    });
+    m_.post(mgr, requester, kCtl, m_.params().list_processing_per_elem,
+            [this, l, requester, serial] {
+              peer(requester).recv_grant(l, {}, {}, serial);
+            });
+    return;
+  }
+  const ProcId hint = it->second;
+  m_.post(mgr, hint, kCtl + req_vt->size() * 4,
+          m_.params().list_processing_per_elem * 2,
+          [this, l, requester, hint, req_vt, serial] {
+            peer(hint).lock_request_arrive(l, requester, *req_vt, serial);
+          });
+}
+
+void TmProtocol::mgr_set_hint(LockId l, ProcId p, ProcId mgr_at) {
+  const ProcId mgr = m_.lock_manager(l);
+  if (mgr != mgr_at) {
+    m_.post(mgr_at, mgr, kCtl, m_.params().list_processing_per_elem,
+            [this, l, p, mgr] { mgr_set_hint(l, p, mgr); });
+    return;
+  }
+  sh_->hint_shard(l, mgr)[l] = p;
+}
+
+bool TmProtocol::duplicate_waiter(const LockLocal& ll, ProcId requester,
+                                  std::uint64_t serial) const {
+  if (!crash_scheduled()) return false;
+  for (const Waiter& w : ll.waiting) {
+    if (w.p == requester && w.serial == serial) return true;
+  }
+  return false;
+}
+
+void TmProtocol::lock_request_arrive(LockId l, ProcId requester, VectorTime req_vt,
+                                     std::uint64_t serial) {
   LockLocal& ll = locks_[l];
   if (!ll.owner) {
+    // Crash failover replays can deliver the same request twice; if this
+    // node already granted to the requester for this serial, the (possibly
+    // stale) grant is on its way — drop the duplicate here instead of
+    // chasing our own hand-off pointer back to the requester.
+    if (crash_scheduled() && ll.handed_to == requester &&
+        ll.handed_serial == serial) {
+      return;
+    }
     if (ll.handed_to == kNoProc) {
       // A grant addressed to this node is still in flight (a forwarded
       // request overtook it); park the request — it is served like any
       // queued waiter once the grant lands and the critical section ends.
+      if (duplicate_waiter(ll, requester, serial)) return;
       m_.engine().at_commit(
           [this, l, requester] { sh_->lap_of(l).enqueue_waiter(requester); });
-      ll.waiting.emplace_back(requester, std::move(req_vt));
+      ll.waiting.push_back(Waiter{requester, std::move(req_vt), serial});
       trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                     ll.waiting.size());
       return;
@@ -374,24 +435,27 @@ void TmProtocol::lock_request_arrive(LockId l, ProcId requester, VectorTime req_
     const ProcId next = ll.handed_to;
     post_dynamic(self_, next, kCtl + req_vt.size() * 4,
                  [this] { return m_.params().list_processing_per_elem * 2; },
-                 [this, l, requester, next, rv = std::move(req_vt)]() mutable {
-                   peer(next).lock_request_arrive(l, requester, std::move(rv));
+                 [this, l, requester, next, serial,
+                  rv = std::move(req_vt)]() mutable {
+                   peer(next).lock_request_arrive(l, requester, std::move(rv),
+                                                  serial);
                  });
     return;
   }
   if (ll.in_cs) {
+    if (duplicate_waiter(ll, requester, serial)) return;
     m_.engine().at_commit(
         [this, l, requester] { sh_->lap_of(l).enqueue_waiter(requester); });
-    ll.waiting.emplace_back(requester, std::move(req_vt));
+    ll.waiting.push_back(Waiter{requester, std::move(req_vt), serial});
     trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                   ll.waiting.size());
     return;
   }
-  serve_grant(l, requester, req_vt, /*engine_side=*/true);
+  serve_grant(l, requester, req_vt, /*engine_side=*/true, serial);
 }
 
 void TmProtocol::serve_grant(LockId l, ProcId requester, const VectorTime& req_vt,
-                             bool engine_side) {
+                             bool engine_side, std::uint64_t serial) {
   LockLocal& ll = locks_[l];
   AECDSM_CHECK(ll.owner && !ll.in_cs);
 
@@ -411,6 +475,7 @@ void TmProtocol::serve_grant(LockId l, ProcId requester, const VectorTime& req_v
 
   ll.owner = false;
   ll.handed_to = requester;
+  ll.handed_serial = serial;
 
   std::size_t bytes = kCtl + vt_.size() * 4;
   std::size_t total_pages = 0;
@@ -421,9 +486,9 @@ void TmProtocol::serve_grant(LockId l, ProcId requester, const VectorTime& req_v
   const Cycles work = m_.params().list_processing_per_elem *
                       (dirty_set_.size() + entries.size() + total_pages + 2);
 
-  auto deliver = [this, l, requester, entries = std::move(entries),
+  auto deliver = [this, l, requester, serial, entries = std::move(entries),
                   ovt = vt_]() mutable {
-    peer(requester).recv_grant(l, std::move(entries), std::move(ovt));
+    peer(requester).recv_grant(l, std::move(entries), std::move(ovt), serial);
   };
   if (engine_side) {
     const Cycles done = proc().service(work + m_.params().message_overhead);
@@ -444,7 +509,7 @@ void TmProtocol::serve_grant(LockId l, ProcId requester, const VectorTime& req_v
 }
 
 void TmProtocol::recv_grant(LockId l, std::vector<NoticeEntry> entries,
-                            VectorTime owner_vt) {
+                            VectorTime owner_vt, std::uint64_t serial) {
   LockLocal& ll = locks_[l];
   for (const NoticeEntry& e : entries) {
     if (absorb_entry(e)) apply_entry_invalidations(e);
@@ -454,13 +519,54 @@ void TmProtocol::recv_grant(LockId l, std::vector<NoticeEntry> entries,
       vt_[i] = std::max(vt_[i], owner_vt[i]);
     }
   }
+
+  const ProcId mgr = m_.lock_manager(l);
+  if (crash_scheduled() && serial != ll.awaiting_serial) {
+    // Stale grant: a request replayed after a manager failover was also
+    // served along the original (recovered) route. Ownership genuinely
+    // transferred — the granter gave up custody — so take it idle without
+    // entering the critical section (the notices above are always sound to
+    // absorb). Any requests parked here while the grant was in flight are
+    // served now, release-style: front gets the lock, the rest chase it.
+    if (!ll.owner) {
+      ll.owner = true;
+      ll.in_cs = false;
+      ll.handed_to = kNoProc;
+      m_.post(self_, mgr, kCtl, m_.params().list_processing_per_elem,
+              [this, l, p = self_, mgr] { mgr_set_hint(l, p, mgr); });
+      if (!ll.waiting.empty()) {
+        Waiter head = std::move(ll.waiting.front());
+        ll.waiting.pop_front();
+        m_.engine().at_commit([this, l] { sh_->lap_of(l).dequeue_waiter(); });
+        std::deque<Waiter> rest;
+        rest.swap(ll.waiting);
+        trace_counter(trace::names::kLockQueueDepth, m_.engine().now(), 0);
+        serve_grant(l, head.p, head.vt, /*engine_side=*/true, head.serial);
+        for (Waiter& w : rest) {
+          m_.engine().at_commit([this, l] { sh_->lap_of(l).dequeue_waiter(); });
+          m_.post(self_, head.p, kCtl + w.vt.size() * 4,
+                  m_.params().list_processing_per_elem * 2,
+                  [this, l, q = head.p, w = std::move(w)]() mutable {
+                    peer(q).requeue_request(l, w.p, std::move(w.vt), w.serial);
+                  });
+        }
+      }
+    }
+    return;
+  }
+
   ll.owner = true;
   ll.in_cs = true;  // admission: forwarded requests now queue here
   ll.grant_ready = true;
+  if (crash_scheduled()) {
+    ll.awaiting_serial = 0;
+    clear_mgr_op(ll.req_op_id);
+    ll.req_op_id = 0;
+  }
 
   // Keep the manager's owner hint fresh (shortens future chases).
-  m_.post(self_, m_.lock_manager(l), kCtl, m_.params().list_processing_per_elem,
-          [this, l, p = self_] { sh_->hint_shard(l)[l] = p; });
+  m_.post(self_, mgr, kCtl, m_.params().list_processing_per_elem,
+          [this, l, p = self_, mgr] { mgr_set_hint(l, p, mgr); });
 
   proc().poke();
 }
@@ -475,41 +581,49 @@ void TmProtocol::release(LockId l) {
                  sim::Bucket::kSynch);
 
   if (!ll.waiting.empty()) {
-    auto [q, qvt] = std::move(ll.waiting.front());
+    Waiter head = std::move(ll.waiting.front());
+    const ProcId q = head.p;
     ll.waiting.pop_front();
     // The scorer's FIFO mirrors this queue.
     m_.engine().at_commit([this, l] { sh_->lap_of(l).dequeue_waiter(); });
-    serve_grant(l, q, qvt, /*engine_side=*/false);
+    serve_grant(l, q, head.vt, /*engine_side=*/false, head.serial);
     // Remaining waiters chase the new owner.
-    std::deque<std::pair<ProcId, VectorTime>> rest;
+    std::deque<Waiter> rest;
     rest.swap(ll.waiting);
     trace_counter(trace::names::kLockQueueDepth, proc().now(), 0);
-    for (auto& [r, rvt] : rest) {
+    for (Waiter& w : rest) {
       m_.engine().at_commit([this, l] { sh_->lap_of(l).dequeue_waiter(); });
       proc().advance(m_.params().message_overhead, sim::Bucket::kSynch);
       proc().sync();
-      m_.transport().send(self_, q, kCtl + rvt.size() * 4,
-                        [this, l, q, r, rv = std::move(rvt)]() mutable {
+      m_.transport().send(self_, q, kCtl + w.vt.size() * 4,
+                        [this, l, q, w = std::move(w)]() mutable {
                           const Cycles done = m_.node(q).proc->service(
                               m_.params().list_processing_per_elem * 2);
-                          m_.engine().schedule(done, [this, l, q, r,
-                                                      rv = std::move(rv)]() mutable {
-                            peer(q).requeue_request(l, r, std::move(rv));
+                          m_.engine().schedule(done, [this, l, q,
+                                                      w = std::move(w)]() mutable {
+                            peer(q).requeue_request(l, w.p, std::move(w.vt),
+                                                    w.serial);
                           });
                         });
     }
   }
 }
 
-void TmProtocol::requeue_request(LockId l, ProcId requester, VectorTime req_vt) {
+void TmProtocol::requeue_request(LockId l, ProcId requester, VectorTime req_vt,
+                                 std::uint64_t serial) {
   LockLocal& ll = locks_[l];
   if (!ll.owner) {
+    if (crash_scheduled() && ll.handed_to == requester &&
+        ll.handed_serial == serial) {
+      return;  // duplicate of a request already granted (see lock_request_arrive)
+    }
     if (ll.handed_to == kNoProc) {
       // Grant in flight to this node; park the request (see
       // lock_request_arrive).
+      if (duplicate_waiter(ll, requester, serial)) return;
       m_.engine().at_commit(
           [this, l, requester] { sh_->lap_of(l).enqueue_waiter(requester); });
-      ll.waiting.emplace_back(requester, std::move(req_vt));
+      ll.waiting.push_back(Waiter{requester, std::move(req_vt), serial});
       trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                     ll.waiting.size());
       return;
@@ -517,20 +631,40 @@ void TmProtocol::requeue_request(LockId l, ProcId requester, VectorTime req_vt) 
     const ProcId next = ll.handed_to;
     post_dynamic(self_, next, kCtl + req_vt.size() * 4,
                  [this] { return m_.params().list_processing_per_elem * 2; },
-                 [this, l, requester, next, rv = std::move(req_vt)]() mutable {
-                   peer(next).requeue_request(l, requester, std::move(rv));
+                 [this, l, requester, next, serial,
+                  rv = std::move(req_vt)]() mutable {
+                   peer(next).requeue_request(l, requester, std::move(rv),
+                                              serial);
                  });
     return;
   }
   if (ll.in_cs) {
+    if (duplicate_waiter(ll, requester, serial)) return;
     m_.engine().at_commit(
         [this, l, requester] { sh_->lap_of(l).enqueue_waiter(requester); });
-    ll.waiting.emplace_back(requester, std::move(req_vt));
+    ll.waiting.push_back(Waiter{requester, std::move(req_vt), serial});
     trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                   ll.waiting.size());
     return;
   }
-  serve_grant(l, requester, req_vt, /*engine_side=*/true);
+  serve_grant(l, requester, req_vt, /*engine_side=*/true, serial);
+}
+
+std::vector<ProcId> TmProtocol::lock_sharers(LockId l, ProcId crashed) {
+  // TreadMarks' manager state is just the owner hint; the last known owner
+  // is the only node with lock-specific custody. (Exclusive-event context:
+  // reading the crashed node's shard is safe.)
+  std::vector<ProcId> out;
+  auto& hints = sh_->hint_shard(l, crashed);
+  auto it = hints.find(l);
+  if (it != hints.end()) out.push_back(it->second);
+  return out;
+}
+
+void TmProtocol::migrate_lock_state(LockId l, ProcId from, ProcId to) {
+  // Only the owner hint lives at the manager; distributed waiting queues
+  // stay with the surviving owners and need no reconstruction.
+  sh_->migrate_hint(l, from, to);
 }
 
 // --------------------------------------------------------------------------

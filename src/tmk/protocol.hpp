@@ -78,6 +78,20 @@ struct TmShared {
         l % static_cast<LockId>(params.num_procs))];
   }
 
+  /// Manager-aware variant: after a crash failover the hint lives in the
+  /// re-elected manager's shard (handlers pass Machine::lock_manager(l)).
+  std::map<LockId, ProcId>& hint_shard(LockId l, ProcId mgr) {
+    (void)l;
+    return owner_hint[static_cast<std::size_t>(mgr)];
+  }
+
+  /// Crash failover: move the owner hint between manager shards
+  /// (exclusive-event only).
+  void migrate_hint(LockId l, ProcId from, ProcId to) {
+    auto node = owner_hint[static_cast<std::size_t>(from)].extract(l);
+    if (!node.empty()) owner_hint[static_cast<std::size_t>(to)].insert(std::move(node));
+  }
+
   /// Barrier gather state (node 0). Arrivals carry each processor's vector
   /// time and the notice entries it created since the previous barrier; the
   /// release redistributes to each processor exactly the entries its clock
@@ -158,12 +172,24 @@ class TmProtocol : public policy::PolicyEngine {
     std::vector<DiffTag> word_tag;
   };
 
+  /// A queued lock request. `serial` is the crash-failover dedup serial the
+  /// grant must echo (0 in crash-free runs).
+  struct Waiter {
+    ProcId p = kNoProc;
+    VectorTime vt;
+    std::uint64_t serial = 0;
+  };
+
   struct LockLocal {
     bool owner = false;
     bool in_cs = false;
     ProcId handed_to = kNoProc;
-    std::deque<std::pair<ProcId, VectorTime>> waiting;
+    std::uint64_t handed_serial = 0;  ///< serial of the request last granted
+    std::deque<Waiter> waiting;
     bool grant_ready = false;
+    // Crash-failover state (zero in crash-free runs).
+    std::uint64_t awaiting_serial = 0;
+    std::uint64_t req_op_id = 0;
   };
 
   // Helpers.
@@ -192,12 +218,32 @@ class TmProtocol : public policy::PolicyEngine {
   /// critical-path diffing).
   std::vector<StoredDiff> serve_diffs(PageId pg, std::size_t after, Cycles& cost);
 
-  // Lock machinery (engine-side handlers).
-  void lock_request_arrive(LockId l, ProcId requester, VectorTime req_vt);
-  void requeue_request(LockId l, ProcId requester, VectorTime req_vt);
+  // Lock machinery (engine-side handlers). `serial` is the crash-failover
+  // dedup serial the eventual grant echoes (0 crash-free); `mgr_at` on the
+  // manager handlers is the node the message was addressed to — when a
+  // crash failover re-elected the hint manager meanwhile, the handler
+  // forwards one hop instead of touching a shard another worker owns.
+  void mgr_route_request(LockId l, ProcId requester,
+                         std::shared_ptr<VectorTime> req_vt,
+                         std::uint64_t serial, ProcId mgr_at);
+  void mgr_set_hint(LockId l, ProcId p, ProcId mgr_at);
+  bool duplicate_waiter(const LockLocal& ll, ProcId requester,
+                        std::uint64_t serial) const;
+  void lock_request_arrive(LockId l, ProcId requester, VectorTime req_vt,
+                           std::uint64_t serial);
+  void requeue_request(LockId l, ProcId requester, VectorTime req_vt,
+                       std::uint64_t serial);
   void serve_grant(LockId l, ProcId requester, const VectorTime& req_vt,
-                   bool engine_side);
-  void recv_grant(LockId l, std::vector<NoticeEntry> entries, VectorTime owner_vt);
+                   bool engine_side, std::uint64_t serial);
+  void recv_grant(LockId l, std::vector<NoticeEntry> entries, VectorTime owner_vt,
+                  std::uint64_t serial);
+
+  // Crash failover (policy::PolicyEngine hooks). TreadMarks' manager holds
+  // only the owner hint, so failover migrates the hint entry; distributed
+  // waiting queues live at surviving owners. A crashed *owner* is a
+  // stall-until-recovery case by design (§ DESIGN.md 12).
+  std::vector<ProcId> lock_sharers(LockId l, ProcId crashed) override;
+  void migrate_lock_state(LockId l, ProcId from, ProcId to) override;
 
   // Barrier machinery.
   void mgr_barrier_arrive(ProcId p, VectorTime vt, std::vector<NoticeEntry> entries);

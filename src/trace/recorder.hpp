@@ -65,6 +65,13 @@ inline constexpr const char* kNetSend = "net.send";
 inline constexpr const char* kNetRetx = "net.retx";
 inline constexpr const char* kNetAck = "net.ack";
 inline constexpr const char* kNetPush = "net.push";
+/// Crash/recovery plane (Category::kNet for transport-observed instants,
+/// Category::kLock for the failover protocol's manager changes).
+inline constexpr const char* kNetSuspect = "net.suspect";
+inline constexpr const char* kNodeCrash = "node.crash";
+inline constexpr const char* kNodeRecover = "node.recover";
+inline constexpr const char* kLockFailover = "lock.failover";
+inline constexpr const char* kLockReelect = "lock.reelect";
 inline constexpr const char* kService = "svc";
 /// Counter tracks (Category::kCounter; exported as Perfetto "C" events).
 inline constexpr const char* kLockQueueDepth = "lockq.depth";

@@ -99,12 +99,46 @@ TEST(ParallelDeterminismFaults, DelayReorderAndPause) {
   SystemParams p = small_params(8);
   p.faults.delay_rate = 0.1;
   p.faults.reorder_rate = 0.05;
-  p.faults.pause_node = 1;
-  p.faults.pause_at_cycle = 50000;
-  p.faults.pause_cycles = 20000;
+  p.faults.pauses.push_back({/*node=*/1, /*at_cycle=*/50000, /*cycles=*/20000});
   expect_parallel_matches_sequential("AEC", "Water-ns", p, 42);
   expect_parallel_matches_sequential("Munin-ERC", "IS", p, 42);
 }
+
+TEST(ParallelDeterminismFaults, MultiplePauseWindows) {
+  SystemParams p = small_params(8);
+  p.faults.pauses.push_back({/*node=*/1, /*at_cycle=*/50000, /*cycles=*/20000});
+  p.faults.pauses.push_back({/*node=*/3, /*at_cycle=*/90000, /*cycles=*/30000});
+  expect_parallel_matches_sequential("AEC", "IS", p, 42);
+}
+
+// Fail-stop crash + failover is the newest and most tie-heavy event mix:
+// NIC drops, deferred retransmit timers, suspect verdicts, exclusive
+// failover/re-election events, and request replay all have to land
+// byte-identically under every worker count. Water-ns spreads 65 locks
+// over all 8 manager nodes, so a mid-run crash of node 3 takes down live
+// lock managers with requests pending in every preset.
+class ParallelDeterminismCrash
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelDeterminismCrash, CrashRunsAreByteIdenticalAcrossThreads) {
+  SystemParams p = small_params(8);
+  p.faults.crashes.push_back(
+      {/*node=*/3, /*at_cycle=*/200000, /*cycles=*/400000});
+  p.faults.crashes.push_back(
+      {/*node=*/5, /*at_cycle=*/900000, /*cycles=*/300000});
+  expect_parallel_matches_sequential(GetParam(), "Water-ns", p, 42);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, ParallelDeterminismCrash,
+    ::testing::ValuesIn(policy::registered_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string s = info.param;
+      for (char& ch : s) {
+        if (!(std::isalnum(static_cast<unsigned char>(ch)))) ch = '_';
+      }
+      return s;
+    });
 
 // Different seeds shift every event time; the lookahead argument must hold
 // for all of them, not just the default.

@@ -53,8 +53,26 @@ TEST(FaultParams, ValidationRejectsBadRatesAndCertainLoss) {
   }
   {
     SystemParams p = small_params(4);
-    p.faults.pause_node = 99;  // outside [0, num_procs)
-    p.faults.pause_cycles = 10;
+    p.faults.pauses.push_back({/*node=*/99, 0, 10});  // outside [0, num_procs)
+    EXPECT_FALSE(p.validate().empty());
+  }
+  {
+    SystemParams p = small_params(4);
+    p.faults.crashes.push_back({/*node=*/0, 0, 10});  // node 0 may not crash
+    EXPECT_FALSE(p.validate().empty());
+  }
+  {
+    SystemParams p = small_params(4);
+    p.faults.crashes.push_back({/*node=*/1, /*at_cycle=*/100, /*cycles=*/500});
+    p.faults.crashes.push_back({/*node=*/1, /*at_cycle=*/400, /*cycles=*/100});
+    EXPECT_FALSE(p.validate().empty());  // overlapping windows on node 1
+  }
+  {
+    SystemParams p = small_params(4);
+    p.faults.crashes.push_back({/*node=*/1, /*at_cycle=*/100, /*cycles=*/200});
+    p.faults.crashes.push_back({/*node=*/1, /*at_cycle=*/400, /*cycles=*/100});
+    EXPECT_TRUE(p.validate().empty()) << p.validate();  // disjoint is fine
+    p.faults.suspect_after = 0;
     EXPECT_FALSE(p.validate().empty());
   }
 }
@@ -217,9 +235,7 @@ TEST(Transport, RetransmitBackoffFollowsTheExponentialSchedule) {
 
 TEST(Transport, PausedNodeDefersDeliveryToTheWindowEnd) {
   SystemParams p = small_params(4);
-  p.faults.pause_node = 1;
-  p.faults.pause_at_cycle = 0;
-  p.faults.pause_cycles = 50000;
+  p.faults.pauses.push_back({/*node=*/1, /*at_cycle=*/0, /*cycles=*/50000});
   p.faults.retransmit_timeout_cycles = 200000;  // no retransmit during pause
   ASSERT_TRUE(p.faults.any());
   sim::Engine engine;
