@@ -5,9 +5,11 @@
 #include <sstream>
 #include <memory>
 
+#include "common/bitset.hpp"
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "dsm/system.hpp"
+#include "locks/discipline.hpp"
 #include "trace/recorder.hpp"
 
 namespace aecdsm::aec {
@@ -555,6 +557,13 @@ void AecProtocol::acquire(LockId l) {
     ll.expect_push = false;
   }
 
+  if (sh_->strategy == aecdsm::locks::Strategy::kMcs) {
+    // Links chained behind past tenures were consumed (or superseded by a
+    // manager-path grant that raced the LINK); only the current tenure's
+    // link — possibly not arrived yet — can still matter.
+    ll.mcs_links.erase(ll.mcs_links.begin(),
+                       ll.mcs_links.lower_bound(ll.grant_counter));
+  }
   ll.grant_processed = true;
   owned_this_step_.insert(l);
   cs_stack_.push_back(l);
@@ -656,6 +665,32 @@ void AecProtocol::release(LockId l) {
   for (const auto& [pg, d] : ll.merged) pages.push_back(pg);
   release_info_[l] = ArrivalLockInfo{l, ll.grant_counter, pages};
   const ProcId mgr = m_.lock_manager(l);
+
+  // mcs: when the manager linked a successor behind this tenure, hand the
+  // lock to it directly — one point-to-point message carrying the release
+  // page list plus the grant payload (the successor reads the holder map
+  // from the shared record; the bytes model the grant delta it would have
+  // received from the manager). Runs as an exclusive event because the
+  // successor performs the manager-record bookkeeping on its own node.
+  // Disabled under a crash schedule: handoffs then stay on the manager path
+  // the failover chain replays.
+  if (sh_->strategy == aecdsm::locks::Strategy::kMcs && !crash_scheduled()) {
+    if (auto lit = ll.mcs_links.find(ll.grant_counter); lit != ll.mcs_links.end()) {
+      const ProcId succ = lit->second;
+      ll.mcs_links.erase(lit);
+      send_from_app(succ, kCtl + 8 * pages.size() + 32 + 12 * pages.size(),
+                    params.list_processing_per_elem * (pages.size() + 4),
+                    [this, l, p = self_, pages, ep = episode_, succ] {
+                      peer(succ).recv_direct_handoff(l, p, pages, ep);
+                    },
+                    sim::Bucket::kSynch, /*exclusive=*/true);
+      auto sit = std::find(cs_stack_.rbegin(), cs_stack_.rend(), l);
+      AECDSM_CHECK(sit != cs_stack_.rend());
+      cs_stack_.erase(std::next(sit).base());
+      return;
+    }
+  }
+
   const std::uint64_t serial = crash_scheduled() ? ll.cur_serial : 0;
   if (serial != 0) {
     // The release op stays tracked until the manager's crash-gated
@@ -766,6 +801,83 @@ void AecProtocol::recv_push(LockId l, ProcId from, std::uint32_t counter,
   proc().poke();
 }
 
+void AecProtocol::recv_mcs_link(LockId l, std::uint32_t pred_counter, ProcId succ) {
+  // Store unconditionally: tenure counters are globally unique per lock, so
+  // only the tenure whose grant carries `pred_counter` ever consumes this
+  // entry. A link landing after its tenure already released the manager way
+  // (the REL raced the LINK) goes stale and is pruned at the next grant.
+  AECDSM_DEBUG("p" << self_ << " mcs link l" << l << " pred_counter="
+                   << pred_counter << " succ=p" << succ);
+  llocal(l).mcs_links[pred_counter] = succ;
+}
+
+void AecProtocol::recv_direct_handoff(LockId l, ProcId releaser,
+                                      std::vector<PageId> pages,
+                                      std::uint32_t episode) {
+  const ProcId mgr = m_.lock_manager(l);
+  LockRecord& rec = sh_->lock(l, mgr);
+  AECDSM_DEBUG("p" << self_ << " direct handoff l" << l << " from p" << releaser
+                   << " counter=" << rec.counter);
+  // The releaser's LINK promised this node is the exact FIFO successor of
+  // its tenure — true by construction in crash-free runs (mcs handoffs are
+  // disabled under a crash schedule). Validate against the shared record
+  // anyway and degrade to a plain manager-path release on any mismatch.
+  if (!(rec.taken && rec.owner == releaser && rec.lap.has_waiters() &&
+        rec.lap.waiting().front() == self_)) {
+    if (sh_->collect_lock_stats()) {
+      ++sh_->lockstats[static_cast<std::size_t>(self_)].fallback_rels;
+    }
+    m_.post(self_, mgr, kCtl + 8 * pages.size(),
+            m_.params().list_processing_per_elem * (pages.size() + 2),
+            [this, l, releaser, pages, episode, mgr] {
+              mgr_handle_release(l, releaser, pages, episode, /*serial=*/0, mgr);
+            });
+    return;
+  }
+
+  // The manager-release half of mgr_handle_release, performed here — this
+  // runs as an exclusive event, so mutating the manager's shard from the
+  // successor's node is safe.
+  if (episode >= rec.epoch) {
+    rec.last_releaser = releaser;
+    rec.last_release_counter = rec.counter;
+    for (const PageId pg : pages) rec.diff_holder[pg] = releaser;
+  }
+  const ProcId to = rec.lap.dequeue_waiter();
+  AECDSM_CHECK(to == self_);
+
+  // The mgr_grant half, minus the reply message: this node IS the grantee.
+  rec.owner = self_;  // rec.taken stays true across the handoff
+  ++rec.counter;
+  std::vector<ProcId> u =
+      policy::lap_score_grant(rec.lap, rec.last_releaser, self_);
+  rec.update_set[static_cast<std::size_t>(self_)] = u;
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->instant(self_, trace::Category::kLap, trace::names::kLapPredict,
+                m_.engine().now(), "lock", l, "update_set", u.size());
+    tr->instant(self_, trace::Category::kLock, trace::names::kLockHandoff,
+                m_.engine().now(), "lock", l, "from",
+                static_cast<std::uint64_t>(releaser));
+  }
+  bool in_update_set = false;
+  if (pol_.lap_pushes() && rec.last_releaser != kNoProc &&
+      rec.last_releaser != self_) {
+    const auto& lu =
+        rec.update_set[static_cast<std::size_t>(rec.last_releaser)];
+    in_update_set = std::find(lu.begin(), lu.end(), self_) != lu.end();
+  }
+  if (sh_->collect_lock_stats()) {
+    aecdsm::locks::note_grant(sh_->lockstats[static_cast<std::size_t>(self_)],
+                              m_.params(), releaser, self_,
+                              rec.lap.waiting_count(), /*direct_handoff=*/true,
+                              /*skipped_head=*/false);
+  }
+  trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                rec.lap.waiting_count());
+  recv_grant(l, rec.last_releaser, rec.counter, rec.last_release_counter,
+             rec.diff_holder, std::move(u), in_update_set, /*serial=*/0);
+}
+
 // --------------------------------------------------------------------------
 // Lock manager (runs as services on the lock's manager node)
 // --------------------------------------------------------------------------
@@ -813,9 +925,35 @@ void AecProtocol::mgr_handle_request(LockId l, ProcId requester,
   }
   rec.lap.count_acquire_event();
   if (rec.taken) {
+    if (sh_->strategy == aecdsm::locks::Strategy::kMcs && !crash_scheduled()) {
+      // MCS: link the new waiter behind its queue predecessor so the
+      // predecessor's release can hand the lock over point-to-point. Grants
+      // are strict FIFO under mcs, so the predecessor's tenure counter is
+      // known here: the current owner holds rec.counter and the i-th queued
+      // waiter (1-based) will hold rec.counter + i. Disabled under a crash
+      // schedule — handoffs then stay on the manager path the PR 9 failover
+      // chain covers.
+      const bool queue_empty = !rec.lap.has_waiters();
+      const ProcId pred = queue_empty ? rec.owner : rec.lap.waiting().back();
+      const std::uint32_t pred_counter =
+          rec.counter + static_cast<std::uint32_t>(rec.lap.waiting_count());
+      m_.post(mgr, pred, kCtl, m_.params().list_processing_per_elem,
+              [this, l, pred, pred_counter, requester] {
+                peer(pred).recv_mcs_link(l, pred_counter, requester);
+              });
+      if (sh_->collect_lock_stats()) {
+        ++sh_->lockstats[static_cast<std::size_t>(mgr)].link_messages;
+      }
+    }
     rec.lap.enqueue_waiter(requester);
   } else {
     mgr_grant(l, requester);
+    if (sh_->collect_lock_stats()) {
+      aecdsm::locks::note_grant(sh_->lockstats[static_cast<std::size_t>(mgr)],
+                                m_.params(), kNoProc, requester,
+                                rec.lap.waiting_count(), /*direct_handoff=*/false,
+                                /*skipped_head=*/false);
+    }
   }
   trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                 rec.lap.waiting_count());
@@ -903,7 +1041,17 @@ void AecProtocol::mgr_handle_release(LockId l, ProcId releaser,
   rec.taken = false;
   rec.owner = kNoProc;
   if (rec.lap.has_waiters()) {
-    mgr_grant(l, rec.lap.dequeue_waiter());
+    const aecdsm::locks::Pick pick =
+        aecdsm::locks::pick_waiter(rec.lap.waiting(), sh_->strategy, releaser,
+                                   m_.params(), rec.hier_streak);
+    const ProcId to = rec.lap.dequeue_waiter_at(pick.index);
+    mgr_grant(l, to);
+    if (sh_->collect_lock_stats()) {
+      aecdsm::locks::note_grant(sh_->lockstats[static_cast<std::size_t>(mgr)],
+                                m_.params(), releaser, to,
+                                rec.lap.waiting_count(), /*direct_handoff=*/false,
+                                pick.skipped_head);
+    }
   }
   trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                 rec.lap.waiting_count());
@@ -1265,14 +1413,13 @@ void AecProtocol::mgr_barrier_compute() {
   BarrierEpisode& b = sh_->barrier;
   const int n = m_.nprocs();
   const std::size_t npages = m_.num_pages();
-  AECDSM_CHECK_MSG(n <= 64, "barrier routing uses 64-bit holder masks");
 
-  // Valid-copy masks per page.
-  std::vector<std::uint64_t> holders(npages, 0);
+  // Valid-copy masks per page (DynBitset: no 64-node cap, bit q = proc q).
+  std::vector<DynBitset> holders(npages, DynBitset(n));
   for (int p = 0; p < n; ++p) {
     const auto& vm = b.arrival[static_cast<std::size_t>(p)].valid_map;
     for (PageId pg = 0; pg < npages; ++pg) {
-      if ((vm[pg / 8] >> (pg % 8)) & 1u) holders[pg] |= (1ULL << p);
+      if ((vm[pg / 8] >> (pg % 8)) & 1u) holders[pg].set(p);
     }
   }
 
@@ -1304,11 +1451,11 @@ void AecProtocol::mgr_barrier_compute() {
   for (const auto& [key, val] : freshest) cs_modifier[key.second] = val.second;
 
   std::vector<ProcId> first_writer(npages, kNoProc);
-  std::vector<std::uint64_t> outside_writers(npages, 0);
+  std::vector<DynBitset> outside_writers(npages, DynBitset(n));
   for (int p = 0; p < n; ++p) {
     for (const PageId pg : b.arrival[static_cast<std::size_t>(p)].outside_pages) {
       if (first_writer[pg] == kNoProc) first_writer[pg] = p;
-      outside_writers[pg] |= (1ULL << p);
+      outside_writers[pg].set(p);
     }
   }
 
@@ -1322,11 +1469,11 @@ void AecProtocol::mgr_barrier_compute() {
     ProcId h = kNoProc;
     if (first_writer[pg] != kNoProc) {
       h = first_writer[pg];
-    } else if ((holders[pg] >> cs_modifier[pg]) & 1ULL) {
+    } else if (holders[pg].test(cs_modifier[pg])) {
       h = cs_modifier[pg];
-    } else if (holders[pg] != 0) {
+    } else if (holders[pg].any()) {
       for (int q = 0; q < n; ++q) {
-        if ((holders[pg] >> q) & 1ULL) {
+        if (holders[pg].test(q)) {
           h = q;
           break;
         }
@@ -1352,27 +1499,34 @@ void AecProtocol::mgr_barrier_compute() {
     const ProcId holder = val.second;
     AECDSM_DEBUG("barrier compute: l" << l << " pg" << pg << " holder=p" << holder
                                       << " counter=" << val.first
-                                      << " holders_mask=" << holders[pg]);
+                                      << " holders=" << holders[pg].count());
     const ProcId old_home = sh_->home[pg];
-    std::uint64_t diff_mask;
-    std::uint64_t drop_mask = 0;
+    DynBitset diff_mask(n);
+    DynBitset drop_mask(n);
     if (sh_->policy.propagation_for(pg) == policy::Propagation::kUpdate) {
-      diff_mask = (holders[pg] | (1ULL << old_home)) & ~(1ULL << holder);
+      diff_mask = holders[pg];
+      diff_mask.set(old_home);
+      diff_mask.reset(holder);
     } else {
       const ProcId nh = new_home[pg] == kNoProc ? old_home : new_home[pg];
-      diff_mask = ((1ULL << old_home) | (1ULL << nh) |
-                   (outside_writers[pg] & holders[pg])) &
-                  ~(1ULL << holder);
-      drop_mask = holders[pg] & ~diff_mask & ~(1ULL << holder);
+      DynBitset valid_writers = outside_writers[pg];
+      valid_writers &= holders[pg];
+      diff_mask = valid_writers;
+      diff_mask.set(old_home);
+      diff_mask.set(nh);
+      diff_mask.reset(holder);
+      drop_mask = holders[pg];
+      drop_mask.andnot(diff_mask);
+      drop_mask.reset(holder);
     }
     for (int q = 0; q < n; ++q) {
-      if ((diff_mask >> q) & 1ULL) {
+      if (diff_mask.test(q)) {
         sends[static_cast<std::size_t>(holder)].push_back(
             DirSend{pg, q, l, /*is_diff=*/true});
         ++recv_count[static_cast<std::size_t>(q)];
         ++elements;
       }
-      if ((drop_mask >> q) & 1ULL) {
+      if (drop_mask.test(q)) {
         drops[static_cast<std::size_t>(q)].push_back(pg);
         ++elements;
       }
@@ -1383,9 +1537,10 @@ void AecProtocol::mgr_barrier_compute() {
   // writer becomes the page's home.
   for (int p = 0; p < n; ++p) {
     for (const PageId pg : b.arrival[static_cast<std::size_t>(p)].outside_pages) {
-      std::uint64_t mask = holders[pg] & ~(1ULL << p);
+      DynBitset mask = holders[pg];
+      mask.reset(p);
       for (int q = 0; q < n; ++q) {
-        if ((mask >> q) & 1ULL) {
+        if (mask.test(q)) {
           sends[static_cast<std::size_t>(p)].push_back(
               DirSend{pg, q, 0, /*is_diff=*/false});
           ++recv_count[static_cast<std::size_t>(q)];
@@ -1410,7 +1565,7 @@ void AecProtocol::mgr_barrier_compute() {
   for (int p = 0; p < n; ++p) {
     interest[static_cast<std::size_t>(p)].assign((npages + 7) / 8, 0);
     for (PageId pg = 0; pg < npages; ++pg) {
-      if ((holders[pg] & ~(1ULL << p)) != 0) {
+      if (holders[pg].any_except(p)) {
         interest[static_cast<std::size_t>(p)][pg / 8] |=
             static_cast<std::uint8_t>(1u << (pg % 8));
       }

@@ -66,6 +66,11 @@ class AecProtocol : public policy::PolicyEngine {
   /// Per-lock LAP scores (Table 3) — identical object across nodes.
   const AecShared& shared() const { return *sh_; }
 
+  /// This node's shard of the lock-strategy counters (summed by run_app).
+  LockMgrStats lockmgr_stats() const override {
+    return sh_->lockstats[static_cast<std::size_t>(self_)];
+  }
+
  private:
   // --- Per-page node state ---------------------------------------------------
 
@@ -145,6 +150,14 @@ class AecProtocol : public policy::PolicyEngine {
     std::uint64_t awaiting_serial = 0;  ///< grant we are waiting for
     std::uint64_t cur_serial = 0;       ///< serial of the current tenure
     std::uint64_t req_op_id = 0;        ///< registry id of the pending request op
+
+    /// mcs strategy: successor links keyed by the tenure counter they chain
+    /// behind. A LINK(K -> succ) means: the tenure whose grant carries
+    /// counter K hands the lock directly to `succ`. Tenure counters are
+    /// globally unique per lock, so an entry is only ever consumed by the
+    /// node whose grant_counter equals its key; stale keys (< grant_counter)
+    /// are pruned when the next grant is processed.
+    std::map<std::uint32_t, ProcId> mcs_links;
   };
 
   // --- Barrier exchange local state -------------------------------------------
@@ -203,6 +216,15 @@ class AecProtocol : public policy::PolicyEngine {
   void recv_push(LockId l, ProcId from, std::uint32_t counter,
                  std::uint32_t episode,
                  std::shared_ptr<const std::map<PageId, mem::Diff>> diffs);
+  /// mcs: the manager tells the predecessor (tenure `pred_counter`) who its
+  /// queue successor is, so its release can hand the lock over directly.
+  void recv_mcs_link(LockId l, std::uint32_t pred_counter, ProcId succ);
+  /// mcs: direct lock handoff from the releaser, bypassing the manager.
+  /// Runs as an exclusive event (it performs the manager-record bookkeeping
+  /// on the successor's node); self-validates against the shared record and
+  /// falls back to forwarding a plain release to the manager on mismatch.
+  void recv_direct_handoff(LockId l, ProcId releaser, std::vector<PageId> pages,
+                           std::uint32_t episode);
   void recv_barrier_diff(PageId pg, mem::Diff d);
   void recv_barrier_notice(PageId pg, ProcId writer);
   void recv_directive(std::vector<DirSend> sends, int expected,

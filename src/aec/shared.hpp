@@ -12,7 +12,9 @@
 
 #include "aec/lap.hpp"
 #include "common/params.hpp"
+#include "common/stats.hpp"
 #include "common/types.hpp"
+#include "locks/strategy.hpp"
 #include "policy/policy.hpp"
 
 namespace aecdsm::aec {
@@ -53,6 +55,10 @@ struct LockRecord {
   std::map<ProcId, std::uint64_t> req_serial;
   std::map<ProcId, std::uint64_t> granted_serial;
   std::map<ProcId, std::uint64_t> released_serial;
+
+  /// hier strategy: consecutive grants that skipped a cross-cohort FIFO
+  /// head (locks::pick_waiter's fairness budget).
+  int hier_streak = 0;
 };
 
 /// Per-lock information a processor reports on barrier arrival: the acquire
@@ -85,11 +91,23 @@ struct AecShared {
   AecShared(const SystemParams& p, policy::ConsistencyPolicy pol)
       : params(p),
         policy(std::move(pol)),
+        strategy(aecdsm::locks::parse_strategy(p.locks.strategy)),
         locks(static_cast<std::size_t>(p.num_procs)),
+        lockstats(static_cast<std::size_t>(p.num_procs)),
         home(0) {}
 
   const SystemParams params;  ///< by value: outlives the Machine for post-run reads
   const policy::ConsistencyPolicy policy;
+  // The lock-record shards below are also named `locks`, so the strategy
+  // namespace needs full qualification inside this class.
+  const aecdsm::locks::Strategy strategy;  ///< locks.strategy, parsed once
+
+  /// Collect LockMgrStats? Off for the default central/no-stats config so
+  /// artifacts stay byte-identical to pre-locks baselines.
+  bool collect_lock_stats() const {
+    return strategy != aecdsm::locks::Strategy::kCentral ||
+           params.locks.collect_stats;
+  }
 
   /// Node protocol instances, for engine-side cross-node handler access.
   std::vector<AecProtocol*> nodes;
@@ -100,6 +118,14 @@ struct AecShared {
   /// only ever mutated by that node's worker. (The cross-shard exception,
   /// the barrier completion's chain reset, runs as an exclusive event.)
   std::vector<std::map<LockId, LockRecord>> locks;
+
+  /// Strategy counters, sharded like the lock records: manager-side paths
+  /// update the manager node's slot (that node's worker), the mcs direct
+  /// handoff — an exclusive event — updates the handler node's slot.
+  /// run_app sums the shards. Empty of any nonzero value unless
+  /// collect_lock_stats().
+  std::vector<LockMgrStats> lockstats;
+
   BarrierEpisode barrier;
 
   /// Current home node per page (initially page % nprocs); reassigned by

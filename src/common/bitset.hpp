@@ -1,0 +1,75 @@
+// Fixed-width dynamic bitset over processor ids. The AEC barrier router and
+// the ERC copysets used raw std::uint64_t masks, capping runs at 64 nodes;
+// this replaces them with a word-array of the same semantics so k x k mesh
+// sweeps reach 256/1024 nodes. Bit i <-> processor i; all operations keep
+// the 0..n-1 iteration order the protocols rely on for determinism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aecdsm {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(int bits)
+      : bits_(bits), words_((static_cast<std::size_t>(bits) + 63) / 64, 0) {}
+
+  int size() const { return bits_; }
+
+  void set(int i) { words_[word(i)] |= mask(i); }
+  void reset(int i) { words_[word(i)] &= ~mask(i); }
+  bool test(int i) const { return (words_[word(i)] & mask(i)) != 0; }
+
+  bool any() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  /// Any bit set besides `i`? (The barrier's "someone else still holds a
+  /// copy" interest test.)
+  bool any_except(int i) const {
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      std::uint64_t w = words_[k];
+      if (k == word(i)) w &= ~mask(i);
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  int count() const {
+    int n = 0;
+    for (int i = 0; i < bits_; ++i) n += test(i) ? 1 : 0;
+    return n;
+  }
+
+  DynBitset& operator|=(const DynBitset& o) {
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] |= o.words_[k];
+    return *this;
+  }
+  DynBitset& operator&=(const DynBitset& o) {
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= o.words_[k];
+    return *this;
+  }
+  /// this &= ~o (mask subtraction).
+  DynBitset& andnot(const DynBitset& o) {
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] &= ~o.words_[k];
+    return *this;
+  }
+
+  friend bool operator==(const DynBitset&, const DynBitset&) = default;
+
+ private:
+  static std::size_t word(int i) { return static_cast<std::size_t>(i) >> 6; }
+  static std::uint64_t mask(int i) { return 1ULL << (i & 63); }
+
+  int bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace aecdsm

@@ -7,10 +7,18 @@ namespace aecdsm {
 
 std::string SystemParams::validate() const {
   std::ostringstream err;
-  if (num_procs <= 0) err << "num_procs must be positive; ";
-  if (mesh_width <= 0) err << "mesh_width must be positive; ";
-  if (num_procs % mesh_width != 0)
-    err << "num_procs must be a multiple of mesh_width; ";
+  // Mesh geometry first: every knob names itself so a sweep that computes
+  // k x k shapes programmatically gets a SimError pointing at the bad value
+  // (matching the faults.* convention below).
+  if (num_procs <= 0)
+    err << "num_procs: must be positive (got " << num_procs << "); ";
+  if (mesh_width <= 0)
+    err << "mesh_width: mesh edge must be positive (got " << mesh_width << "); ";
+  if (num_procs > 0 && mesh_width > 0 && num_procs % mesh_width != 0)
+    err << "num_procs: " << num_procs << " nodes do not tile a mesh_width="
+        << mesh_width << " mesh (num_procs must be a multiple of mesh_width, "
+        << "so " << mesh_width << "x" << mesh_height() << " = "
+        << mesh_width * mesh_height() << " != num_procs); ";
   if (page_bytes == 0 || page_bytes % kWordBytes != 0)
     err << "page_bytes must be a positive multiple of the word size; ";
   if (cache_line_bytes == 0 || cache_line_bytes % kWordBytes != 0)
@@ -78,6 +86,13 @@ std::string SystemParams::validate() const {
     err << "retransmit_backoff_cap must be non-negative; ";
   if (faults.any() && faults.push_timeout_cycles == 0)
     err << "push_timeout_cycles must be positive under faults; ";
+  if (locks.strategy != "central" && locks.strategy != "mcs" &&
+      locks.strategy != "hier")
+    err << "locks.strategy: unknown strategy '" << locks.strategy
+        << "' (choose central, mcs or hier); ";
+  if (locks.hier_fairness < 1)
+    err << "locks.hier_fairness: budget must be at least 1 (got "
+        << locks.hier_fairness << "); ";
   return err.str();
 }
 

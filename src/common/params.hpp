@@ -98,6 +98,38 @@ struct FaultParams {
   friend bool operator==(const FaultParams&, const FaultParams&) = default;
 };
 
+/// Lock-manager strategy selection (src/locks). The default reproduces the
+/// paper's centralized per-lock FIFO manager exactly; the alternatives keep
+/// the shared lock records but change who forwards the grant and in what
+/// order waiters are served. See DESIGN.md §13.
+struct LockParams {
+  /// Queue discipline + handoff transport:
+  ///   "central" — manager-mediated FIFO (the paper's scheme; default),
+  ///   "mcs"     — MCS-style queue: the manager links each waiter to its
+  ///               predecessor and a release hands off with one
+  ///               point-to-point message,
+  ///   "hier"    — topology-aware hierarchical: grants prefer waiters in
+  ///               the releaser's mesh quadrant (cohort) before crossing
+  ///               quadrant boundaries.
+  std::string strategy = "central";
+
+  /// `hier` fairness budget: consecutive grants that may skip over a
+  /// cross-cohort FIFO head before the global head must be served.
+  int hier_fairness = 4;
+
+  /// Collect LockMgrStats even under `central` (non-central strategies
+  /// always collect). Changes the cell-cache key, never the simulation.
+  bool collect_stats = false;
+
+  /// Non-default? Gates artifact emission so default runs stay
+  /// byte-identical to builds without the locks subsystem.
+  bool any() const {
+    return strategy != "central" || hier_fairness != 4 || collect_stats;
+  }
+
+  friend bool operator==(const LockParams&, const LockParams&) = default;
+};
+
 /// Defaults for system parameters (paper Table 1; 1 cycle = 10 ns).
 ///
 /// The structure is a plain aggregate: experiments copy it, tweak fields and
@@ -154,6 +186,9 @@ struct SystemParams {
 
   // --- Fault injection (off by default) ---------------------------------------
   FaultParams faults;
+
+  // --- Lock-manager strategy (central by default) ------------------------------
+  LockParams locks;
 
   // Derived helpers -----------------------------------------------------------
 

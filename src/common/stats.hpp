@@ -183,6 +183,47 @@ struct RecoveryStats {
   friend bool operator==(const RecoveryStats&, const RecoveryStats&) = default;
 };
 
+/// Lock-manager strategy counters (src/locks; DESIGN.md §13). Collected only
+/// when a non-central strategy is selected or SystemParams::locks.collect_stats
+/// is set; all zero — and omitted from the JSON artifacts — otherwise, which
+/// keeps default documents byte-identical to pre-locks-subsystem baselines.
+struct LockMgrStats {
+  std::uint64_t grants = 0;            ///< lock grants issued (all paths)
+  std::uint64_t handoffs = 0;          ///< grants to a waiter (owner -> waiter transfers)
+  std::uint64_t direct_handoffs = 0;   ///< mcs: releaser->successor grants bypassing the manager
+  std::uint64_t link_messages = 0;     ///< mcs: predecessor-link installs sent by managers
+  std::uint64_t fallback_rels = 0;     ///< mcs: direct handoffs that bounced back to the manager
+  std::uint64_t handoff_hops = 0;      ///< sum of mesh hops releaser -> next owner
+  std::uint64_t cross_cohort = 0;      ///< handoffs leaving the releaser's mesh quadrant
+  std::uint64_t hier_skips = 0;        ///< hier: grants that bypassed a cross-cohort FIFO head
+  std::uint64_t queue_depth_sum = 0;   ///< sum of manager queue depth sampled at each grant
+  std::uint64_t queue_depth_max = 0;   ///< deepest manager queue observed
+
+  bool any() const {
+    return grants != 0 || handoffs != 0 || direct_handoffs != 0 ||
+           link_messages != 0 || fallback_rels != 0 || handoff_hops != 0 ||
+           cross_cohort != 0 || hier_skips != 0 || queue_depth_sum != 0 ||
+           queue_depth_max != 0;
+  }
+
+  LockMgrStats& operator+=(const LockMgrStats& o) {
+    grants += o.grants;
+    handoffs += o.handoffs;
+    direct_handoffs += o.direct_handoffs;
+    link_messages += o.link_messages;
+    fallback_rels += o.fallback_rels;
+    handoff_hops += o.handoff_hops;
+    cross_cohort += o.cross_cohort;
+    hier_skips += o.hier_skips;
+    queue_depth_sum += o.queue_depth_sum;
+    queue_depth_max = queue_depth_max > o.queue_depth_max ? queue_depth_max
+                                                          : o.queue_depth_max;
+    return *this;
+  }
+
+  friend bool operator==(const LockMgrStats&, const LockMgrStats&) = default;
+};
+
 /// Diff-work / synchronization-delay overlap summary, produced by the
 /// trace::OverlapAnalyzer from a recorded timeline (trace/overlap.hpp).
 /// All zero — and omitted from the JSON artifacts — when the run was not
@@ -245,6 +286,7 @@ struct RunStats {
   TransportStats transport;  ///< all-zero when fault injection is disabled
   RecoveryStats recovery;    ///< all-zero unless a crash was scheduled
   OverlapStats overlap;      ///< all-zero unless the run was traced + analyzed
+  LockMgrStats lockmgr;      ///< all-zero unless a lock strategy collects stats
 
   /// Total engine events of the run. Thread-count-independent (the parallel
   /// engine replays the sequential numbering). Deliberately NOT part of the

@@ -65,6 +65,11 @@ class Protocol {
   /// Twin/diff machinery statistics accumulated by this node (Table 4).
   virtual DiffStats diff_stats() const { return {}; }
 
+  /// Lock-strategy counters accumulated by this node's shard (grants and
+  /// handoffs it managed, direct handoffs it received). All-zero unless the
+  /// protocol collects them (non-central strategy or locks.collect_stats).
+  virtual LockMgrStats lockmgr_stats() const { return {}; }
+
   /// The consistency policy this instance executes, when it is driven by
   /// the policy engine; nullptr for policy-unaware implementations (tests'
   /// hand-built protocols).

@@ -110,6 +110,7 @@ RunStats run_app(App& app, const ProtocolSuite& suite, const RunConfig& config) 
     out.finish_time = std::max(out.finish_time, node.proc->finish_time());
     out.faults += node.faults;
     out.diffs += node.protocol->diff_stats();
+    out.lockmgr += node.protocol->lockmgr_stats();
   }
   out.msgs = m.network().stats();
   out.transport = m.transport().stats();

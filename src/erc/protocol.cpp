@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "locks/discipline.hpp"
 #include "trace/recorder.hpp"
 
 namespace aecdsm::erc {
@@ -20,9 +21,9 @@ ErcProtocol::ErcProtocol(dsm::Machine& m, ProcId self, std::shared_ptr<ErcShared
     : policy::PolicyEngine(m, self, shared->policy), sh_(std::move(shared)) {
   if (sh_->nodes.empty()) {
     sh_->nodes.resize(static_cast<std::size_t>(m.nprocs()), nullptr);
-    sh_->copyset.assign(m.num_pages(), 0);
+    sh_->copyset.assign(m.num_pages(), DynBitset(m.nprocs()));
     for (PageId pg = 0; pg < m.num_pages(); ++pg) {
-      sh_->copyset[pg] = 1ULL << (pg % static_cast<PageId>(m.nprocs()));
+      sh_->copyset[pg].set(static_cast<int>(pg % static_cast<PageId>(m.nprocs())));
     }
   }
   sh_->nodes[static_cast<std::size_t>(self)] = this;
@@ -54,8 +55,8 @@ void ErcProtocol::on_read_fault(PageId pg) {
       pg, h, sim::Bucket::kData,
       [this, h, pg](std::vector<Word>& buf) {
         AECDSM_TRACE(pg, "p" << self_ << " erc-fetch pg" << pg << " (copyset now "
-                             << (sh_->copyset[pg] | (1ULL << self_)) << ")");
-        sh_->copyset[pg] |= 1ULL << self_;
+                             << sh_->copyset[pg].count() + 1 << " members)");
+        sh_->copyset[pg].set(self_);
         auto span = peer(h).store().page_span(pg);
         buf.assign(span.begin(), span.end());
       },
@@ -128,15 +129,14 @@ void ErcProtocol::home_handle_update(PageId pg, ProcId writer, const mem::Diff& 
                                      std::uint64_t update_id) {
   AECDSM_TRACE(pg, "home p" << self_ << " update pg" << pg << " from p" << writer
                             << " words=" << diff.changed_words() << " copyset="
-                            << sh_->copyset[pg]);
+                            << sh_->copyset[pg].count());
   // The home applies first (its copy is the fault-service master).
   if (writer != self_) apply_update(pg, diff);
 
-  std::uint64_t members = sh_->copyset[pg] & ~(1ULL << writer) & ~(1ULL << self_);
-  int count = 0;
-  for (int q = 0; q < m_.nprocs(); ++q) {
-    if ((members >> q) & 1ULL) ++count;
-  }
+  DynBitset members = sh_->copyset[pg];
+  members.reset(writer);
+  members.reset(self_);
+  const int count = members.count();
   if (count == 0) {
     // Nobody else caches the page: acknowledge the writer directly.
     m_.post(self_, writer, kCtl, m_.params().list_processing_per_elem,
@@ -149,7 +149,7 @@ void ErcProtocol::home_handle_update(PageId pg, ProcId writer, const mem::Diff& 
   }
   fanouts_[update_id] = FanOut{writer, count};
   for (int q = 0; q < m_.nprocs(); ++q) {
-    if (((members >> q) & 1ULL) == 0) continue;
+    if (!members.test(q)) continue;
     m_.post(self_, q, kCtl + diff.encoded_bytes(),
             m_.params().diff_apply_cycles(diff.changed_words()),
             [this, pg, q, update_id, diff, h = self_] {
@@ -244,6 +244,27 @@ void ErcProtocol::release(LockId l) {
   // Eager release consistency: flush and wait before releasing the lock.
   flush_updates(sim::Bucket::kSynch);
   const ProcId mgr = m_.lock_manager(l);
+
+  // mcs: when the manager linked a successor behind this tenure, hand the
+  // lock to it directly — one point-to-point message instead of the
+  // release/grant pair through the manager. Runs as an exclusive event
+  // because the successor performs the manager-record bookkeeping on its
+  // own node. Disabled under a crash schedule: handoffs then stay on the
+  // manager path the failover chain replays.
+  if (sh_->strategy == aecdsm::locks::Strategy::kMcs && !crash_scheduled()) {
+    auto& links = mcs_links_[l];
+    if (auto lit = links.find(grant_counter_[l]); lit != links.end()) {
+      const ProcId succ = lit->second;
+      links.erase(lit);
+      send_from_app(succ, kCtl, m_.params().list_processing_per_elem * 2,
+                    [this, l, p = self_, succ] {
+                      peer(succ).recv_direct_handoff(l, p);
+                    },
+                    sim::Bucket::kSynch, /*exclusive=*/true);
+      return;
+    }
+  }
+
   const std::uint64_t serial = crash_scheduled() ? cur_serial_[l] : 0;
   if (serial != 0) {
     track_mgr_op(l, mgr, serial, [this, l, serial](ProcId nm) {
@@ -260,16 +281,72 @@ void ErcProtocol::release(LockId l) {
                 sim::Bucket::kSynch);
 }
 
-void ErcProtocol::recv_grant(LockId l, std::uint64_t serial) {
+void ErcProtocol::recv_grant(LockId l, std::uint64_t serial, std::uint32_t counter) {
   if (crash_scheduled()) {
     if (serial != awaiting_serial_) return;  // duplicate/stale grant
     awaiting_serial_ = 0;
     clear_mgr_op(req_op_id_);
     req_op_id_ = 0;
   }
-  (void)l;
+  grant_counter_[l] = counter;
+  if (sh_->strategy == aecdsm::locks::Strategy::kMcs) {
+    // Links chained behind past tenures were consumed (or superseded by a
+    // manager-path grant that raced the LINK); prune them.
+    auto& links = mcs_links_[l];
+    links.erase(links.begin(), links.lower_bound(counter));
+  }
   grant_ready_ = true;
   proc().poke();
+}
+
+void ErcProtocol::recv_mcs_link(LockId l, std::uint32_t pred_counter, ProcId succ) {
+  // Store unconditionally: tenure counters are globally unique per lock, so
+  // only the tenure whose grant carries `pred_counter` ever consumes this
+  // entry; stale keys are pruned when the next grant is accepted.
+  mcs_links_[l][pred_counter] = succ;
+}
+
+void ErcProtocol::recv_direct_handoff(LockId l, ProcId releaser) {
+  const ProcId mgr = m_.lock_manager(l);
+  auto& rec = sh_->lock(l, mgr);
+  policy::LockLap& lap = sh_->lap_of(l, mgr);
+  // The releaser's LINK promised this node is the exact FIFO successor of
+  // its tenure — true by construction in crash-free runs (mcs handoffs are
+  // disabled under a crash schedule). Validate against the shared record
+  // anyway and degrade to a plain manager-path release on any mismatch.
+  if (!(rec.taken && rec.owner == releaser && lap.has_waiters() &&
+        lap.waiting().front() == self_)) {
+    if (sh_->collect_lock_stats()) {
+      ++sh_->lockstats[static_cast<std::size_t>(self_)].fallback_rels;
+    }
+    m_.post(self_, mgr, kCtl, m_.params().list_processing_per_elem * 2,
+            [this, l, releaser, mgr] {
+              mgr_handle_release(l, releaser, /*serial=*/0, mgr);
+            });
+    return;
+  }
+  // The manager's release + grant bookkeeping, performed here — this runs
+  // as an exclusive event, so mutating the manager's shard from the
+  // successor's node is safe.
+  rec.last_releaser = releaser;
+  const ProcId to = lap.dequeue_waiter();
+  AECDSM_CHECK(to == self_);
+  rec.owner = self_;  // rec.taken stays true across the handoff
+  ++rec.counter;
+  policy::lap_score_grant(lap, rec.last_releaser, self_);
+  if (trace::Recorder* tr = m_.recorder()) {
+    tr->instant(self_, trace::Category::kLock, trace::names::kLockHandoff,
+                m_.engine().now(), "lock", l, "from",
+                static_cast<std::uint64_t>(releaser));
+  }
+  if (sh_->collect_lock_stats()) {
+    aecdsm::locks::note_grant(sh_->lockstats[static_cast<std::size_t>(self_)],
+                              m_.params(), releaser, self_, lap.waiting_count(),
+                              /*direct_handoff=*/true, /*skipped_head=*/false);
+  }
+  trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
+                lap.waiting_count());
+  recv_grant(l, /*serial=*/0, rec.counter);
 }
 
 void ErcProtocol::mgr_handle_request(LockId l, ProcId requester,
@@ -303,9 +380,32 @@ void ErcProtocol::mgr_handle_request(LockId l, ProcId requester,
   }
   lap.count_acquire_event();
   if (rec.taken) {
+    if (sh_->strategy == aecdsm::locks::Strategy::kMcs && !crash_scheduled()) {
+      // MCS: link the new waiter behind its queue predecessor (see the AEC
+      // manager for the tenure-counter derivation). Disabled under a crash
+      // schedule — handoffs then stay on the manager path the failover
+      // chain covers.
+      const bool queue_empty = !lap.has_waiters();
+      const ProcId pred = queue_empty ? rec.owner : lap.waiting().back();
+      const std::uint32_t pred_counter =
+          rec.counter + static_cast<std::uint32_t>(lap.waiting_count());
+      m_.post(mgr, pred, kCtl, m_.params().list_processing_per_elem,
+              [this, l, pred, pred_counter, requester] {
+                peer(pred).recv_mcs_link(l, pred_counter, requester);
+              });
+      if (sh_->collect_lock_stats()) {
+        ++sh_->lockstats[static_cast<std::size_t>(mgr)].link_messages;
+      }
+    }
     lap.enqueue_waiter(requester);
   } else {
     mgr_grant(l, requester);
+    if (sh_->collect_lock_stats()) {
+      aecdsm::locks::note_grant(sh_->lockstats[static_cast<std::size_t>(mgr)],
+                                m_.params(), kNoProc, requester,
+                                lap.waiting_count(), /*direct_handoff=*/false,
+                                /*skipped_head=*/false);
+    }
   }
   trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                 lap.waiting_count());
@@ -315,6 +415,7 @@ void ErcProtocol::mgr_grant(LockId l, ProcId to) {
   auto& rec = sh_->lock(l, m_.lock_manager(l));
   rec.taken = true;
   rec.owner = to;
+  ++rec.counter;
   // Scoring-only under ERC: the update set is computed but never acted on.
   policy::lap_score_grant(sh_->lap_of(l, m_.lock_manager(l)), rec.last_releaser, to);
   if (crash_scheduled()) rec.granted_serial[to] = rec.req_serial[to];
@@ -327,7 +428,9 @@ void ErcProtocol::mgr_send_grant(LockId l, ErcShared::LockRecord& rec, ProcId to
     serial = it->second;
   }
   m_.post(m_.lock_manager(l), to, kCtl, m_.params().list_processing_per_elem,
-          [this, l, to, serial] { peer(to).recv_grant(l, serial); });
+          [this, l, to, serial, counter = rec.counter] {
+            peer(to).recv_grant(l, serial, counter);
+          });
 }
 
 void ErcProtocol::mgr_handle_release(LockId l, ProcId releaser,
@@ -354,7 +457,17 @@ void ErcProtocol::mgr_handle_release(LockId l, ProcId releaser,
   rec.taken = false;
   rec.owner = kNoProc;
   policy::LockLap& lap = sh_->lap_of(l, mgr);
-  if (lap.has_waiters()) mgr_grant(l, lap.dequeue_waiter());
+  if (lap.has_waiters()) {
+    const aecdsm::locks::Pick pick = aecdsm::locks::pick_waiter(
+        lap.waiting(), sh_->strategy, releaser, m_.params(), rec.hier_streak);
+    const ProcId to = lap.dequeue_waiter_at(pick.index);
+    mgr_grant(l, to);
+    if (sh_->collect_lock_stats()) {
+      aecdsm::locks::note_grant(sh_->lockstats[static_cast<std::size_t>(mgr)],
+                                m_.params(), releaser, to, lap.waiting_count(),
+                                /*direct_handoff=*/false, pick.skipped_head);
+    }
+  }
   trace_counter(trace::names::kLockQueueDepth, m_.engine().now(),
                 lap.waiting_count());
   if (serial != 0) mgr_send_release_ack(l, releaser, serial);

@@ -28,11 +28,13 @@
 #include <set>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "common/stats.hpp"
 #include "dsm/context.hpp"
 #include "dsm/machine.hpp"
 #include "dsm/protocol.hpp"
 #include "dsm/system.hpp"
+#include "locks/strategy.hpp"
 #include "mem/diff.hpp"
 #include "policy/engine.hpp"
 #include "policy/lap.hpp"
@@ -50,17 +52,36 @@ struct ErcShared {
   ErcShared(const SystemParams& p, policy::ConsistencyPolicy pol)
       : params(p),
         policy(std::move(pol)),
+        strategy(aecdsm::locks::parse_strategy(p.locks.strategy)),
         locks(static_cast<std::size_t>(p.num_procs)),
+        lockstats(static_cast<std::size_t>(p.num_procs)),
         lap(static_cast<std::size_t>(p.num_procs)) {}
 
   const SystemParams params;
   const policy::ConsistencyPolicy policy;
+  // The lock-record shards below are also named `locks`, so the strategy
+  // namespace needs full qualification inside this class.
+  const aecdsm::locks::Strategy strategy;  ///< locks.strategy, parsed once
+
+  /// Collect LockMgrStats? Off for the default central/no-stats config so
+  /// artifacts stay byte-identical to pre-locks baselines.
+  bool collect_lock_stats() const {
+    return strategy != aecdsm::locks::Strategy::kCentral ||
+           params.locks.collect_stats;
+  }
+
   std::vector<ErcProtocol*> nodes;
 
   struct LockRecord {
     bool taken = false;
     ProcId owner = kNoProc;
     ProcId last_releaser = kNoProc;
+    /// Acquire counter (++ per grant). Unused by central ERC bookkeeping;
+    /// the mcs strategy keys its successor links by the holder's tenure.
+    std::uint32_t counter = 0;
+    /// hier strategy: consecutive grants that skipped a cross-cohort FIFO
+    /// head (locks::pick_waiter's fairness budget).
+    int hier_streak = 0;
     // Crash-failover dedup state (see aec::LockRecord): pending request
     // serial per proc, serial echoed at grant, last processed release.
     std::map<ProcId, std::uint64_t> req_serial;
@@ -73,8 +94,14 @@ struct ErcShared {
   /// node's worker under the parallel engine.
   std::vector<std::map<LockId, LockRecord>> locks;
 
-  /// Copyset bitmask per page (bit p = processor p caches the page).
-  std::vector<std::uint64_t> copyset;
+  /// Copyset per page (bit p = processor p caches the page). DynBitset: no
+  /// 64-node cap, so k x k mesh sweeps reach 256/1024 nodes.
+  std::vector<DynBitset> copyset;
+
+  /// Strategy counters, sharded like the lock records: manager-side paths
+  /// update the manager node's slot, the mcs direct handoff (an exclusive
+  /// event) the handler node's slot. run_app sums the shards.
+  std::vector<LockMgrStats> lockstats;
 
   struct BarrierGather {
     int arrived = 0;
@@ -130,6 +157,11 @@ class ErcProtocol : public policy::PolicyEngine {
 
   const ErcShared& shared() const { return *sh_; }
 
+  /// This node's shard of the lock-strategy counters (summed by run_app).
+  LockMgrStats lockmgr_stats() const override {
+    return sh_->lockstats[static_cast<std::size_t>(self_)];
+  }
+
  private:
   ErcProtocol& peer(ProcId p) { return *sh_->nodes[static_cast<std::size_t>(p)]; }
   ProcId home_of(PageId pg) const {
@@ -169,7 +201,17 @@ class ErcProtocol : public policy::PolicyEngine {
 
   /// Engine-side at the requester: accept the grant iff it answers the
   /// outstanding request (serial echo; always accepted crash-free).
-  void recv_grant(LockId l, std::uint64_t serial);
+  /// `counter` is the granted tenure's acquire counter (mcs link keying).
+  void recv_grant(LockId l, std::uint64_t serial, std::uint32_t counter);
+
+  /// mcs: the manager tells the predecessor (tenure `pred_counter`) who its
+  /// queue successor is, so its release can hand the lock over directly.
+  void recv_mcs_link(LockId l, std::uint32_t pred_counter, ProcId succ);
+  /// mcs: direct lock handoff from the releaser, bypassing the manager.
+  /// Runs as an exclusive event (it performs the manager-record bookkeeping
+  /// on the successor's node); self-validates against the shared record and
+  /// falls back to forwarding a plain release to the manager on mismatch.
+  void recv_direct_handoff(LockId l, ProcId releaser);
 
   void mgr_handle_barrier_arrival();
 
@@ -189,6 +231,13 @@ class ErcProtocol : public policy::PolicyEngine {
 
   bool grant_ready_ = false;
   bool barrier_release_ = false;
+
+  // mcs strategy local state (untouched under central/hier): the acquire
+  // counter of this node's current/last tenure per lock, and the successor
+  // links received from the manager, keyed by the tenure they chain behind
+  // (stale keys are pruned when a newer grant is accepted).
+  std::map<LockId, std::uint32_t> grant_counter_;
+  std::map<LockId, std::map<std::uint32_t, ProcId>> mcs_links_;
 
   // Crash-failover state (zero in crash-free runs): a node has at most one
   // outstanding acquire, but may hold several locks, so the tenure serial

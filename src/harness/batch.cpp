@@ -334,6 +334,12 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
     cache = std::make_unique<CellCache>(CellCache::resolve_dir(opts_.cache_dir));
   }
   std::vector<std::unique_ptr<trace::Recorder>> recorders(n);
+  // Spilling recorders stream chunks during the run, so the directory must
+  // exist before the first cell starts (write_trace_files re-creates it
+  // harmlessly later).
+  if (opts_.tracing() && !opts_.trace_dir.empty()) {
+    std::filesystem::create_directories(opts_.trace_dir);
+  }
 
   // Serve every memoized cell first; only the misses are simulated.
   std::vector<std::string> hashes(n);
@@ -380,6 +386,13 @@ std::vector<ExperimentResult> BatchRunner::run(const ExperimentPlan& plan) {
         trace::Recorder* rec = nullptr;
         if (opts_.tracing()) {
           recorders[i] = std::make_unique<trace::Recorder>();
+          // --trace-dir wants complete per-cell timelines: stream every
+          // event to chunked JSONL so long runs outgrow the ring without
+          // losing their head. --trace alone keeps the bounded ring only.
+          if (!opts_.trace_dir.empty()) {
+            recorders[i]->enable_spill(opts_.trace_dir,
+                                       sanitize_label(cell.label));
+          }
           rec = recorders[i].get();
         }
         const auto start = std::chrono::steady_clock::now();

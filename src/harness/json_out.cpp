@@ -121,6 +121,24 @@ Value to_json(const RunStats& r) {
   // Emitted only when a crash schedule actually fired: crash-free documents
   // (all committed baselines) never carry a "recovery" member.
   if (r.recovery.any()) v["recovery"] = to_json(r.recovery);
+  // Emitted only when a lock strategy collected counters (non-central
+  // strategy or locks.collect_stats): default documents never carry it.
+  if (r.lockmgr.any()) v["lockmgr"] = to_json(r.lockmgr);
+  return v;
+}
+
+Value to_json(const LockMgrStats& l) {
+  Value v = Value::object();
+  v["grants"] = Value(l.grants);
+  v["handoffs"] = Value(l.handoffs);
+  v["direct_handoffs"] = Value(l.direct_handoffs);
+  v["link_messages"] = Value(l.link_messages);
+  v["fallback_rels"] = Value(l.fallback_rels);
+  v["handoff_hops"] = Value(l.handoff_hops);
+  v["cross_cohort"] = Value(l.cross_cohort);
+  v["hier_skips"] = Value(l.hier_skips);
+  v["queue_depth_sum"] = Value(l.queue_depth_sum);
+  v["queue_depth_max"] = Value(l.queue_depth_max);
   return v;
 }
 
@@ -191,6 +209,16 @@ Value to_json(const SystemParams& p) {
     f["retransmit_backoff_cap"] = Value(p.faults.retransmit_backoff_cap);
     f["push_timeout_cycles"] = Value(p.faults.push_timeout_cycles);
     v["faults"] = std::move(f);
+  }
+  // Same omit-when-default rule for the lock-manager strategy: the central
+  // default serializes exactly as before src/locks existed, while choosing
+  // mcs/hier (or any locks knob) perturbs the cellcache content hash.
+  if (p.locks.any()) {
+    Value lk = Value::object();
+    lk["strategy"] = Value(p.locks.strategy);
+    lk["hier_fairness"] = Value(p.locks.hier_fairness);
+    lk["collect_stats"] = Value(p.locks.collect_stats);
+    v["locks"] = std::move(lk);
   }
   return v;
 }
@@ -338,6 +366,19 @@ RunStats run_stats_from_json(const Value& v) {
     r.overlap.lock_wait_cycles = o->at("lock_wait_cycles").as_uint();
     r.overlap.barrier_wait_cycles = o->at("barrier_wait_cycles").as_uint();
     r.overlap.service_cycles = o->at("service_cycles").as_uint();
+  }
+  // Optional: present only when a lock strategy collected counters.
+  if (const Value* lk = v.find("lockmgr"); lk != nullptr) {
+    r.lockmgr.grants = lk->at("grants").as_uint();
+    r.lockmgr.handoffs = lk->at("handoffs").as_uint();
+    r.lockmgr.direct_handoffs = lk->at("direct_handoffs").as_uint();
+    r.lockmgr.link_messages = lk->at("link_messages").as_uint();
+    r.lockmgr.fallback_rels = lk->at("fallback_rels").as_uint();
+    r.lockmgr.handoff_hops = lk->at("handoff_hops").as_uint();
+    r.lockmgr.cross_cohort = lk->at("cross_cohort").as_uint();
+    r.lockmgr.hier_skips = lk->at("hier_skips").as_uint();
+    r.lockmgr.queue_depth_sum = lk->at("queue_depth_sum").as_uint();
+    r.lockmgr.queue_depth_max = lk->at("queue_depth_max").as_uint();
   }
   return r;
 }

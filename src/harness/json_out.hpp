@@ -33,6 +33,7 @@ json::Value to_json(const SyncStats& s);
 json::Value to_json(const TransportStats& t);
 json::Value to_json(const OverlapStats& o);
 json::Value to_json(const RecoveryStats& r);
+json::Value to_json(const LockMgrStats& l);
 json::Value to_json(const RunStats& r);
 json::Value to_json(const SystemParams& p);
 

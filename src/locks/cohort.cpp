@@ -1,0 +1,37 @@
+#include "locks/cohort.hpp"
+
+#include <cstdlib>
+
+namespace aecdsm::locks {
+
+namespace {
+
+struct Coord {
+  int x;
+  int y;
+};
+
+Coord coord_of(ProcId p, const SystemParams& params) {
+  return Coord{p % params.mesh_width, p / params.mesh_width};
+}
+
+}  // namespace
+
+int cohort_of(ProcId p, const SystemParams& params) {
+  const Coord c = coord_of(p, params);
+  const int half_w = (params.mesh_width + 1) / 2;
+  const int half_h = (params.mesh_height() + 1) / 2;
+  return (c.x >= half_w ? 1 : 0) | (c.y >= half_h ? 2 : 0);
+}
+
+bool same_cohort(ProcId a, ProcId b, const SystemParams& params) {
+  return cohort_of(a, params) == cohort_of(b, params);
+}
+
+int mesh_hops(ProcId a, ProcId b, const SystemParams& params) {
+  const Coord ca = coord_of(a, params);
+  const Coord cb = coord_of(b, params);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+}  // namespace aecdsm::locks

@@ -1,0 +1,25 @@
+// Mesh-topology helpers for the hierarchical (cohort) lock strategy and the
+// handoff-distance accounting. A cohort is a quadrant of the w x h mesh:
+// nodes whose coordinates fall on the same side of both mesh midlines. On a
+// 1-wide (or 1-high) mesh the split degenerates to halves, and on a single
+// node everything is one cohort — the helpers stay well-defined for every
+// geometry SystemParams::validate() accepts.
+#pragma once
+
+#include "common/params.hpp"
+#include "common/types.hpp"
+
+namespace aecdsm::locks {
+
+/// Quadrant index (0..3) of processor `p` on the params mesh:
+/// bit 0 = east half (x >= ceil(w/2)), bit 1 = south half (y >= ceil(h/2)).
+int cohort_of(ProcId p, const SystemParams& params);
+
+bool same_cohort(ProcId a, ProcId b, const SystemParams& params);
+
+/// XY dimension-order hop count between two nodes — the Manhattan distance
+/// net::MeshNetwork::hop_count computes, reproduced here so accounting code
+/// does not need a network instance.
+int mesh_hops(ProcId a, ProcId b, const SystemParams& params);
+
+}  // namespace aecdsm::locks

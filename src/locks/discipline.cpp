@@ -1,0 +1,52 @@
+#include "locks/discipline.hpp"
+
+#include "locks/cohort.hpp"
+
+namespace aecdsm::locks {
+
+Pick pick_waiter(const std::deque<ProcId>& waiting, Strategy strategy,
+                 ProcId releaser, const SystemParams& params, int& streak) {
+  Pick pick;
+  if (strategy != Strategy::kHier || releaser == kNoProc) {
+    streak = 0;
+    return pick;
+  }
+  if (same_cohort(waiting.front(), releaser, params)) {
+    // Serving the head keeps global FIFO order; no fairness debt accrues.
+    streak = 0;
+    return pick;
+  }
+  if (streak >= params.locks.hier_fairness) {
+    // Budget exhausted: the cross-cohort head has waited long enough.
+    streak = 0;
+    return pick;
+  }
+  for (std::size_t i = 1; i < waiting.size(); ++i) {
+    if (same_cohort(waiting[i], releaser, params)) {
+      ++streak;
+      pick.index = i;
+      pick.skipped_head = true;
+      return pick;
+    }
+  }
+  // No waiter shares the releaser's quadrant: fall back to the head. The
+  // streak is left alone — the next release may still be in-cohort.
+  return pick;
+}
+
+void note_grant(LockMgrStats& st, const SystemParams& params, ProcId from,
+                ProcId to, std::size_t depth_after, bool direct_handoff,
+                bool skipped_head) {
+  ++st.grants;
+  if (from != kNoProc && from != to) {
+    ++st.handoffs;
+    st.handoff_hops += static_cast<std::uint64_t>(mesh_hops(from, to, params));
+    if (!same_cohort(from, to, params)) ++st.cross_cohort;
+  }
+  if (direct_handoff) ++st.direct_handoffs;
+  if (skipped_head) ++st.hier_skips;
+  st.queue_depth_sum += depth_after;
+  if (depth_after > st.queue_depth_max) st.queue_depth_max = depth_after;
+}
+
+}  // namespace aecdsm::locks

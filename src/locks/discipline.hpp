@@ -1,0 +1,43 @@
+// Queue discipline + grant accounting shared by the AEC and ERC lock
+// managers (DESIGN.md §13). The strategies never change what a lock *is* —
+// the shared LockRecord, the serial dedup, the failover chain all stay —
+// only which waiter the manager serves next (hier) and who transports the
+// grant (mcs). pick_waiter works on the raw FIFO deque so this library
+// depends on src/common alone; the protocols adapt their LockLap queues.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/params.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "locks/strategy.hpp"
+
+namespace aecdsm::locks {
+
+struct Pick {
+  std::size_t index = 0;      ///< position in the waiting deque to serve
+  bool skipped_head = false;  ///< hier promoted an in-cohort waiter past the head
+};
+
+/// Choose the next grantee from a non-empty FIFO `waiting` queue.
+///
+/// central / mcs: always the head (MCS hands off in strict queue order).
+/// hier: the first waiter in `releaser`'s mesh quadrant, provided the skip
+/// streak is under locks.hier_fairness; otherwise — or when no in-cohort
+/// waiter exists — the global head. `streak` is the manager's per-lock count
+/// of consecutive grants that bypassed a cross-cohort head; this call
+/// updates it. A grant to the head with no skip resets the streak.
+Pick pick_waiter(const std::deque<ProcId>& waiting, Strategy strategy,
+                 ProcId releaser, const SystemParams& params, int& streak);
+
+/// Fold one grant into the manager's counters: grants/handoffs, mesh hops
+/// and cohort crossings of `from` -> `to` (skipped when `from` is kNoProc —
+/// an uncontended first grant), the queue depth left behind, and the
+/// strategy-specific direct/skip markers.
+void note_grant(LockMgrStats& st, const SystemParams& params, ProcId from,
+                ProcId to, std::size_t depth_after, bool direct_handoff,
+                bool skipped_head);
+
+}  // namespace aecdsm::locks

@@ -1,0 +1,19 @@
+#include "locks/model.hpp"
+
+namespace aecdsm::locks {
+
+double mcs_predicted_throughput(double cs_cycles, double handoff_cycles) {
+  const double period = cs_cycles + handoff_cycles;
+  return period > 0.0 ? 1.0 / period : 0.0;
+}
+
+Cycles mcs_handoff_cycles(const SystemParams& p, std::size_t bytes, int hops,
+                          Cycles service_cycles) {
+  const std::size_t words = (bytes + kWordBytes - 1) / kWordBytes;
+  const Cycles wire = 2 * p.io_transfer_cycles(words) +
+                      static_cast<Cycles>(hops) * (p.switch_cycles + p.wire_cycles) +
+                      p.network_payload_cycles(bytes);
+  return p.message_overhead + wire + p.interrupt_cycles + service_cycles;
+}
+
+}  // namespace aecdsm::locks

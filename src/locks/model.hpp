@@ -1,0 +1,28 @@
+// Closed-form performance model for the mcs strategy, after "Performance
+// Prediction for Coarse-Grained Locking: MCS Case" (Aksenov et al.): a
+// saturated MCS queue serializes the lock, so steady-state throughput is
+// one acquisition per (C + H) cycles — C the critical-section length, H the
+// owner-to-owner handoff latency. bench_lock_scale prints the prediction
+// next to the simulated rate and a committed test holds them within a
+// stated tolerance.
+#pragma once
+
+#include <cstddef>
+
+#include "common/params.hpp"
+#include "common/types.hpp"
+
+namespace aecdsm::locks {
+
+/// Acquisitions per cycle of a saturated MCS lock: 1 / (C + H).
+double mcs_predicted_throughput(double cs_cycles, double handoff_cycles);
+
+/// Simulator-calibrated H for one direct handoff message of `bytes` over
+/// `hops` mesh hops: the releaser's software send overhead, the uncontended
+/// wormhole latency (mirroring net::MeshNetwork::uncontended_latency), the
+/// receiver interrupt, and `service_cycles` of grant processing before the
+/// new owner's critical section can start.
+Cycles mcs_handoff_cycles(const SystemParams& p, std::size_t bytes, int hops,
+                          Cycles service_cycles);
+
+}  // namespace aecdsm::locks

@@ -1,0 +1,24 @@
+#include "locks/strategy.hpp"
+
+#include "common/check.hpp"
+
+namespace aecdsm::locks {
+
+Strategy parse_strategy(const std::string& name) {
+  if (name == "central") return Strategy::kCentral;
+  if (name == "mcs") return Strategy::kMcs;
+  if (name == "hier") return Strategy::kHier;
+  AECDSM_CHECK_MSG(false, "locks.strategy: unknown strategy '"
+                              << name << "' (choose central, mcs or hier)");
+}
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kCentral: return "central";
+    case Strategy::kMcs: return "mcs";
+    case Strategy::kHier: return "hier";
+  }
+  return "?";
+}
+
+}  // namespace aecdsm::locks

@@ -1,0 +1,30 @@
+// Lock-manager strategy selection (DESIGN.md §13). The knob lives in
+// SystemParams::locks as a string so src/common stays free of protocol
+// concepts; this header gives the protocols a typed view of it.
+//
+//   central — the paper's scheme: one manager node per lock serializes
+//             REQUEST/RELEASE and forwards every grant (FIFO).
+//   mcs     — MCS-style distributed queue: the manager still orders the
+//             queue, but links each enqueued waiter to its predecessor so a
+//             release hands the lock off with a single point-to-point
+//             message instead of a RELEASE + GRANT pair through the manager.
+//   hier    — topology-aware hierarchical handoff in the spirit of the
+//             RMA-locks cohort design: grants prefer waiters inside the
+//             releaser's mesh quadrant (cohort, see cohort.hpp), bounded by
+//             a fairness budget, before crossing quadrant boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aecdsm::locks {
+
+enum class Strategy : std::uint8_t { kCentral, kMcs, kHier };
+
+/// Parse SystemParams::locks.strategy; throws SimError naming the knob on an
+/// unknown spelling (same wording as SystemParams::validate()).
+Strategy parse_strategy(const std::string& name);
+
+const char* to_string(Strategy s);
+
+}  // namespace aecdsm::locks

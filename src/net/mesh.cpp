@@ -8,7 +8,8 @@ namespace aecdsm::net {
 
 MeshNetwork::MeshNetwork(sim::Engine& engine, const SystemParams& params)
     : engine_(engine), params_(params) {
-  AECDSM_CHECK(params.validate().empty());
+  const std::string err = params.validate();
+  AECDSM_CHECK_MSG(err.empty(), err);
   // Four directed links per node (N/E/S/W); edge links exist but stay idle.
   link_busy_.assign(static_cast<std::size_t>(params.num_procs) * 4, 0);
   nic_busy_.assign(static_cast<std::size_t>(params.num_procs), 0);

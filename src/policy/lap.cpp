@@ -29,6 +29,13 @@ ProcId LockLap::dequeue_waiter() {
   return p;
 }
 
+ProcId LockLap::dequeue_waiter_at(std::size_t idx) {
+  AECDSM_CHECK(idx < waiting_.size());
+  const ProcId p = waiting_[idx];
+  waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return p;
+}
+
 int LockLap::affinity(ProcId from, ProcId to) const {
   return affinity_[static_cast<std::size_t>(from) * nprocs_ + static_cast<std::size_t>(to)];
 }

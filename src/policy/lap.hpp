@@ -63,8 +63,14 @@ class LockLap {
   /// The real FIFO waiting queue, maintained by the lock manager.
   void enqueue_waiter(ProcId p) { waiting_.push_back(p); }
   ProcId dequeue_waiter();
+  /// Out-of-order removal for the hier strategy's cohort-first grants
+  /// (locks::pick_waiter chooses the index; FIFO order of the rest holds).
+  ProcId dequeue_waiter_at(std::size_t idx);
   bool has_waiters() const { return !waiting_.empty(); }
   std::size_t waiting_count() const { return waiting_.size(); }
+  /// Read-only view for strategy code (locks::pick_waiter) and MCS
+  /// predecessor lookup; mutation stays behind the enqueue/dequeue API.
+  const std::deque<ProcId>& waiting() const { return waiting_; }
   bool waiting_contains(ProcId p) const {
     for (const ProcId q : waiting_) {
       if (q == p) return true;

@@ -1,5 +1,10 @@
 #include "trace/export.hpp"
 
+#include <algorithm>
+#include <fstream>
+
+#include "common/check.hpp"
+
 namespace aecdsm::trace {
 
 namespace {
@@ -11,6 +16,61 @@ Value event_args(const Event& e) {
   if (e.k0 != nullptr) args[e.k0] = Value(e.a0);
   if (e.k1 != nullptr) args[e.k1] = Value(e.a1);
   return args;
+}
+
+/// Assemble the full timeline from a spilling recorder's chunk files: parse
+/// every JSONL row back and stable-sort by "ts". Chunk order is record
+/// order, so the stable sort reproduces exactly the (t_start, seq) order
+/// events() uses — the spilled export is the ring export with the ring's
+/// drops filled back in.
+std::vector<Value> spilled_rows(const Recorder& rec) {
+  rec.flush_spill();
+  std::vector<Value> rows;
+  rows.reserve(static_cast<std::size_t>(rec.spilled()));
+  for (const std::string& path : rec.spill_chunks()) {
+    std::ifstream in(path);
+    AECDSM_CHECK_MSG(in.good(), "trace: cannot read spill chunk " << path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) rows.push_back(Value::parse(line));
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Value& a, const Value& b) {
+    return a.at("ts").as_uint() < b.at("ts").as_uint();
+  });
+  return rows;
+}
+
+/// Rebuild one Perfetto trace-event from an aecdsm-trace-v1 row — the same
+/// mapping append_perfetto_events applies to in-ring Events.
+Value perfetto_row(const Value& row, int pid) {
+  Value out = Value::object();
+  const std::string cat = row.at("cat").as_string();
+  const std::string name = row.at("name").as_string();
+  const std::int64_t node = row.at("node").as_int();
+  if (cat == "counter") {
+    out["ph"] = Value("C");
+    out["pid"] = Value(pid);
+    out["cat"] = Value(cat);
+    out["name"] = Value(name + " node" + std::to_string(node));
+    out["ts"] = Value(row.at("ts").as_uint());
+    out["args"][name] = Value(row.at("args").at("value").as_uint());
+    return out;
+  }
+  const Value* dur = row.find("dur");
+  out["ph"] = Value(dur != nullptr ? "X" : "i");
+  out["pid"] = Value(pid);
+  out["tid"] = Value(node);
+  out["cat"] = Value(cat);
+  out["name"] = Value(name);
+  out["ts"] = Value(row.at("ts").as_uint());
+  if (dur != nullptr) {
+    out["dur"] = Value(dur->as_uint());
+  } else {
+    out["s"] = Value("t");  // instant scoped to its thread (track)
+  }
+  if (const Value* args = row.find("args")) out["args"] = *args;
+  return out;
 }
 
 }  // namespace
@@ -26,15 +86,14 @@ Value trace_json(const Recorder& rec, const TraceMeta& meta) {
   doc["recorded"] = Value(rec.recorded());
   doc["dropped"] = Value(rec.dropped());
   Value events = Value::array();
-  for (const Event& e : rec.events()) {
-    Value row = Value::object();
-    row["node"] = Value(e.node);
-    row["cat"] = Value(category_name(e.cat));
-    row["name"] = Value(e.name);
-    row["ts"] = Value(e.t_start);
-    if (e.is_span()) row["dur"] = Value(e.duration());
-    if (e.k0 != nullptr || e.k1 != nullptr) row["args"] = event_args(e);
-    events.append(std::move(row));
+  if (rec.spill_enabled()) {
+    // Full timeline from the chunks (the ring's wrap-around drops do not
+    // apply); "dropped" above still reports the ring's view.
+    doc["spilled"] = Value(rec.spilled());
+    doc["spill_chunks"] = Value(static_cast<std::uint64_t>(rec.spill_chunks().size()));
+    for (Value& row : spilled_rows(rec)) events.append(std::move(row));
+  } else {
+    for (const Event& e : rec.events()) events.append(event_row(e));
   }
   doc["events"] = std::move(events);
   return doc;
@@ -60,6 +119,12 @@ void append_perfetto_events(Value& trace_events, const Recorder& rec,
     m["name"] = Value("thread_name");
     m["args"]["name"] = Value("node " + std::to_string(node));
     trace_events.append(std::move(m));
+  }
+  if (rec.spill_enabled()) {
+    for (const Value& row : spilled_rows(rec)) {
+      trace_events.append(perfetto_row(row, pid));
+    }
+    return;
   }
   for (const Event& e : rec.events()) {
     Value row = Value::object();

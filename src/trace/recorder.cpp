@@ -1,6 +1,9 @@
 #include "trace/recorder.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
 
 #include "common/check.hpp"
 
@@ -20,9 +23,78 @@ const char* category_name(Category cat) {
   return "?";
 }
 
+json::Value event_row(const Event& e) {
+  json::Value row = json::Value::object();
+  row["node"] = json::Value(e.node);
+  row["cat"] = json::Value(category_name(e.cat));
+  row["name"] = json::Value(e.name);
+  row["ts"] = json::Value(e.t_start);
+  if (e.is_span()) row["dur"] = json::Value(e.duration());
+  if (e.k0 != nullptr || e.k1 != nullptr) {
+    json::Value args = json::Value::object();
+    if (e.k0 != nullptr) args[e.k0] = json::Value(e.a0);
+    if (e.k1 != nullptr) args[e.k1] = json::Value(e.a1);
+    row["args"] = std::move(args);
+  }
+  return row;
+}
+
+/// Chunked JSONL sink state: the open chunk stream plus rotation
+/// bookkeeping. Lives behind a pointer so the common no-spill recorder pays
+/// one null check per record.
+struct Recorder::Spill {
+  std::string dir;
+  std::string stem;
+  std::size_t chunk_events = Recorder::kDefaultChunkEvents;
+  std::ofstream out;
+  std::vector<std::string> paths;
+  std::uint64_t written = 0;
+};
+
 Recorder::Recorder(std::size_t capacity) {
   AECDSM_CHECK_MSG(capacity > 0, "trace: recorder capacity must be positive");
   ring_.resize(capacity);
+}
+
+Recorder::~Recorder() = default;
+Recorder::Recorder(Recorder&&) noexcept = default;
+Recorder& Recorder::operator=(Recorder&&) noexcept = default;
+
+void Recorder::enable_spill(const std::string& dir, const std::string& stem,
+                            std::size_t chunk_events) {
+  AECDSM_CHECK_MSG(chunk_events > 0, "trace: spill chunk size must be positive");
+  spill_ = std::make_unique<Spill>();
+  spill_->dir = dir;
+  spill_->stem = stem;
+  spill_->chunk_events = chunk_events;
+}
+
+std::uint64_t Recorder::spilled() const {
+  return spill_ == nullptr ? 0 : spill_->written;
+}
+
+const std::vector<std::string>& Recorder::spill_chunks() const {
+  static const std::vector<std::string> kNone;
+  return spill_ == nullptr ? kNone : spill_->paths;
+}
+
+void Recorder::flush_spill() const {
+  if (spill_ != nullptr && spill_->out.is_open()) spill_->out.flush();
+}
+
+void Recorder::spill_write(const Event& e) {
+  Spill& s = *spill_;
+  if (s.written % s.chunk_events == 0) {
+    std::ostringstream name;
+    name << s.dir << "/" << s.stem << ".chunk-" << std::setw(4)
+         << std::setfill('0') << s.paths.size() << ".jsonl";
+    if (s.out.is_open()) s.out.close();
+    s.out.open(name.str(), std::ios::trunc);
+    AECDSM_CHECK_MSG(s.out.good(), "trace: cannot open spill chunk " << name.str());
+    s.paths.push_back(name.str());
+  }
+  s.out << event_row(e).dump(-1) << '\n';
+  ++s.written;
 }
 
 #if !defined(AECDSM_DISABLE_TRACING)
@@ -42,6 +114,7 @@ void Recorder::span(ProcId node, Category cat, const char* name, Cycles t0,
   e.a1 = a1;
   next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
   ++recorded_;
+  if (spill_ != nullptr) spill_write(e);
 }
 #endif
 

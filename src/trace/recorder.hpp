@@ -19,8 +19,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 
 namespace aecdsm::trace {
@@ -72,6 +75,8 @@ inline constexpr const char* kNodeCrash = "node.crash";
 inline constexpr const char* kNodeRecover = "node.recover";
 inline constexpr const char* kLockFailover = "lock.failover";
 inline constexpr const char* kLockReelect = "lock.reelect";
+/// mcs strategy: direct releaser -> successor lock handoff (Category::kLock).
+inline constexpr const char* kLockHandoff = "lock.handoff";
 inline constexpr const char* kService = "svc";
 /// Counter tracks (Category::kCounter; exported as Perfetto "C" events).
 inline constexpr const char* kLockQueueDepth = "lockq.depth";
@@ -99,15 +104,34 @@ struct Event {
   Cycles duration() const { return t_end - t_start; }
 };
 
+/// One event in the aecdsm-trace-v1 row format:
+///   { "node", "cat", "name", "ts", "dur"?, "args"? }
+/// ("dur" omitted for instants, "args" for argument-free events). Shared by
+/// the exporters and the Recorder's spill writer so both emit byte-identical
+/// rows.
+json::Value event_row(const Event& e);
+
 /// Fixed-capacity ring of Events. When the ring is full the oldest events
 /// are overwritten (and counted in dropped()) — a bounded-memory tracer can
 /// then run under any workload and still keep the tail of the timeline,
 /// which is what the overlap analysis and a human in Perfetto care about.
+///
+/// For full timelines that outgrow any reasonable ring (a default-scale
+/// 16-node run records millions of events), enable_spill() additionally
+/// streams every event to chunked JSONL files during the run; the exporters
+/// then assemble the complete, un-dropped timeline from the chunks while the
+/// ring — and everything computed from it — behaves exactly as with spill
+/// off.
 class Recorder {
  public:
   static constexpr std::size_t kDefaultCapacity = 1u << 18;  // ~20 MiB
+  /// Spill chunk rotation threshold (events per chunk file).
+  static constexpr std::size_t kDefaultChunkEvents = 1u << 16;
 
   explicit Recorder(std::size_t capacity = kDefaultCapacity);
+  ~Recorder();
+  Recorder(Recorder&&) noexcept;
+  Recorder& operator=(Recorder&&) noexcept;
 
 #if defined(AECDSM_DISABLE_TRACING)
   void span(ProcId, Category, const char*, Cycles, Cycles,
@@ -161,10 +185,34 @@ class Recorder {
     next_ = 0;
   }
 
+  // --- Streaming spill (chunked JSONL) --------------------------------------
+
+  /// Stream every event recorded from now on to chunk files named
+  /// `<stem>.chunk-NNNN.jsonl` under `dir` (one aecdsm-trace-v1 row per
+  /// line, record order), rotating every `chunk_events` lines. The in-memory
+  /// ring — events(), dropped(), the overlap analysis — is completely
+  /// unaffected, so a run with spill off is byte-identical to one that never
+  /// heard of spilling. `dir` must already exist.
+  void enable_spill(const std::string& dir, const std::string& stem,
+                    std::size_t chunk_events = kDefaultChunkEvents);
+  bool spill_enabled() const { return spill_ != nullptr; }
+  /// Events written to chunks (== recorded() when enabled before the run).
+  std::uint64_t spilled() const;
+  /// Chunk file paths written so far, in rotation order.
+  const std::vector<std::string>& spill_chunks() const;
+  /// Flush the current chunk to disk (the exporters call this before
+  /// reading the chunks back). Const: the spill sink is not observable
+  /// recorder state.
+  void flush_spill() const;
+
  private:
+  struct Spill;
+  void spill_write(const Event& e);
+
   std::vector<Event> ring_;
   std::size_t next_ = 0;       // slot the next event lands in
   std::uint64_t recorded_ = 0;
+  std::unique_ptr<Spill> spill_;
 };
 
 }  // namespace aecdsm::trace

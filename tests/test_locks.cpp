@@ -1,0 +1,303 @@
+// Unit tests for the src/locks lock-manager strategy library: strategy
+// parsing, mesh cohorts, the hier queue discipline and its fairness budget,
+// grant accounting, the Aksenov-style MCS throughput model, the DynBitset
+// that lifted the 64-node cap, and the JSON/validation surface the
+// subsystem added to SystemParams and RunStats.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+
+#include "common/bitset.hpp"
+#include "common/check.hpp"
+#include "common/params.hpp"
+#include "common/stats.hpp"
+#include "harness/json_out.hpp"
+#include "locks/cohort.hpp"
+#include "locks/discipline.hpp"
+#include "locks/model.hpp"
+#include "locks/strategy.hpp"
+
+namespace aecdsm::test {
+namespace {
+
+using locks::Pick;
+using locks::Strategy;
+
+SystemParams mesh_params(int width, int procs) {
+  SystemParams p;
+  p.num_procs = procs;
+  p.mesh_width = width;
+  return p;
+}
+
+// ---------------------------------------------------------------- Strategy
+
+TEST(LockStrategy, ParsesEverySpellingAndRoundTrips) {
+  EXPECT_EQ(locks::parse_strategy("central"), Strategy::kCentral);
+  EXPECT_EQ(locks::parse_strategy("mcs"), Strategy::kMcs);
+  EXPECT_EQ(locks::parse_strategy("hier"), Strategy::kHier);
+  for (const Strategy s : {Strategy::kCentral, Strategy::kMcs, Strategy::kHier}) {
+    EXPECT_EQ(locks::parse_strategy(locks::to_string(s)), s);
+  }
+}
+
+TEST(LockStrategy, UnknownSpellingNamesTheKnob) {
+  try {
+    locks::parse_strategy("queue");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("locks.strategy"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("queue"), std::string::npos);
+  }
+}
+
+TEST(LockStrategy, ParamsValidationRejectsBadKnobs) {
+  SystemParams p;
+  p.locks.strategy = "queue";
+  EXPECT_NE(p.validate().find("locks.strategy"), std::string::npos);
+  p.locks.strategy = "hier";
+  p.locks.hier_fairness = 0;
+  EXPECT_NE(p.validate().find("locks.hier_fairness"), std::string::npos);
+  p.locks.hier_fairness = 4;
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(LockStrategy, MeshGeometryValidationNamesTheKnob) {
+  SystemParams p = mesh_params(/*width=*/5, /*procs=*/16);
+  const std::string err = p.validate();
+  EXPECT_NE(err.find("num_procs"), std::string::npos);
+  EXPECT_NE(err.find("mesh_width=5"), std::string::npos);
+  EXPECT_NE(mesh_params(0, 16).validate().find("mesh_width"), std::string::npos);
+  // Every k x k sweep shape passes.
+  for (const int k : {2, 4, 8, 16, 32}) {
+    EXPECT_TRUE(mesh_params(k, k * k).validate().empty()) << k;
+  }
+}
+
+// ----------------------------------------------------------------- Cohorts
+
+TEST(LockCohort, QuadrantsOfA4x4Mesh) {
+  const SystemParams p = mesh_params(4, 16);
+  // Rows 0-1 are north, columns 0-1 are west.
+  EXPECT_EQ(locks::cohort_of(0, p), 0);   // (0,0) NW
+  EXPECT_EQ(locks::cohort_of(5, p), 0);   // (1,1) NW
+  EXPECT_EQ(locks::cohort_of(2, p), 1);   // (2,0) NE
+  EXPECT_EQ(locks::cohort_of(8, p), 2);   // (0,2) SW
+  EXPECT_EQ(locks::cohort_of(15, p), 3);  // (3,3) SE
+  EXPECT_TRUE(locks::same_cohort(0, 5, p));
+  EXPECT_FALSE(locks::same_cohort(0, 15, p));
+}
+
+TEST(LockCohort, DegenerateGeometriesStayWellDefined) {
+  // A 1-wide mesh splits into north/south halves only.
+  const SystemParams line = mesh_params(1, 4);
+  EXPECT_EQ(locks::cohort_of(0, line), locks::cohort_of(1, line));
+  EXPECT_NE(locks::cohort_of(1, line), locks::cohort_of(2, line));
+  // A single node is one cohort.
+  const SystemParams solo = mesh_params(1, 1);
+  EXPECT_EQ(locks::cohort_of(0, solo), 0);
+}
+
+TEST(LockCohort, MeshHopsIsManhattanAndSymmetric) {
+  const SystemParams p = mesh_params(4, 16);
+  EXPECT_EQ(locks::mesh_hops(0, 0, p), 0);
+  EXPECT_EQ(locks::mesh_hops(0, 15, p), 6);
+  EXPECT_EQ(locks::mesh_hops(5, 10, p), 2);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(locks::mesh_hops(a, b, p), locks::mesh_hops(b, a, p));
+    }
+  }
+}
+
+// ------------------------------------------------------------- pick_waiter
+
+TEST(LockDiscipline, CentralAndMcsAlwaysServeTheHead) {
+  const SystemParams p = mesh_params(4, 16);
+  std::deque<ProcId> waiting = {15, 1, 2};
+  for (const Strategy s : {Strategy::kCentral, Strategy::kMcs}) {
+    int streak = 3;
+    const Pick pick = locks::pick_waiter(waiting, s, /*releaser=*/0, p, streak);
+    EXPECT_EQ(pick.index, 0u);
+    EXPECT_FALSE(pick.skipped_head);
+    EXPECT_EQ(streak, 0);
+  }
+}
+
+TEST(LockDiscipline, HierPromotesAnInCohortWaiterPastTheHead) {
+  const SystemParams p = mesh_params(4, 16);
+  // Releaser 0 is NW; head 15 is SE; waiter 5 shares NW.
+  std::deque<ProcId> waiting = {15, 5, 2};
+  int streak = 0;
+  const Pick pick = locks::pick_waiter(waiting, Strategy::kHier, 0, p, streak);
+  EXPECT_EQ(pick.index, 1u);
+  EXPECT_TRUE(pick.skipped_head);
+  EXPECT_EQ(streak, 1);
+}
+
+TEST(LockDiscipline, HierFairnessBudgetBoundsConsecutiveSkips) {
+  const SystemParams p = mesh_params(4, 16);
+  std::deque<ProcId> waiting = {15, 5};
+  int streak = 0;
+  for (int i = 0; i < p.locks.hier_fairness; ++i) {
+    const Pick pick = locks::pick_waiter(waiting, Strategy::kHier, 0, p, streak);
+    EXPECT_TRUE(pick.skipped_head) << i;
+  }
+  // Budget exhausted: the cross-cohort head must now be served, and the
+  // streak resets so in-cohort preference resumes afterwards.
+  const Pick head = locks::pick_waiter(waiting, Strategy::kHier, 0, p, streak);
+  EXPECT_EQ(head.index, 0u);
+  EXPECT_FALSE(head.skipped_head);
+  EXPECT_EQ(streak, 0);
+}
+
+TEST(LockDiscipline, HierServesInCohortHeadWithoutAccruingDebt) {
+  const SystemParams p = mesh_params(4, 16);
+  std::deque<ProcId> waiting = {5, 15};  // head shares the releaser's quadrant
+  int streak = 2;
+  const Pick pick = locks::pick_waiter(waiting, Strategy::kHier, 0, p, streak);
+  EXPECT_EQ(pick.index, 0u);
+  EXPECT_EQ(streak, 0);
+}
+
+TEST(LockDiscipline, HierFallsBackToHeadWhenNoCohortWaiterExists) {
+  const SystemParams p = mesh_params(4, 16);
+  std::deque<ProcId> waiting = {15, 11, 10};  // all south-east of releaser 0
+  int streak = 1;
+  const Pick pick = locks::pick_waiter(waiting, Strategy::kHier, 0, p, streak);
+  EXPECT_EQ(pick.index, 0u);
+  EXPECT_FALSE(pick.skipped_head);
+  EXPECT_EQ(streak, 1);  // untouched: the next release may be in-cohort
+}
+
+TEST(LockDiscipline, NoteGrantFoldsHopsCohortsAndDepth) {
+  const SystemParams p = mesh_params(4, 16);
+  LockMgrStats st;
+  // Uncontended first grant: no handoff, no hops.
+  locks::note_grant(st, p, kNoProc, 3, /*depth_after=*/0,
+                    /*direct_handoff=*/false, /*skipped_head=*/false);
+  EXPECT_EQ(st.grants, 1u);
+  EXPECT_EQ(st.handoffs, 0u);
+  // Cross-quadrant handoff 0 -> 15 with two left waiting.
+  locks::note_grant(st, p, 0, 15, 2, /*direct_handoff=*/true,
+                    /*skipped_head=*/false);
+  EXPECT_EQ(st.grants, 2u);
+  EXPECT_EQ(st.handoffs, 1u);
+  EXPECT_EQ(st.direct_handoffs, 1u);
+  EXPECT_EQ(st.handoff_hops, 6u);
+  EXPECT_EQ(st.cross_cohort, 1u);
+  EXPECT_EQ(st.queue_depth_sum, 2u);
+  EXPECT_EQ(st.queue_depth_max, 2u);
+  // In-quadrant hier skip.
+  locks::note_grant(st, p, 0, 5, 1, /*direct_handoff=*/false,
+                    /*skipped_head=*/true);
+  EXPECT_EQ(st.cross_cohort, 1u);
+  EXPECT_EQ(st.hier_skips, 1u);
+  EXPECT_EQ(st.handoff_hops, 8u);
+}
+
+// ------------------------------------------------------------------- Model
+
+TEST(LockModel, ThroughputIsOneOverPeriod) {
+  EXPECT_DOUBLE_EQ(locks::mcs_predicted_throughput(300.0, 700.0), 1.0 / 1000.0);
+  EXPECT_EQ(locks::mcs_predicted_throughput(0.0, 0.0), 0.0);
+}
+
+TEST(LockModel, HandoffCyclesGrowWithDistanceAndPayload) {
+  const SystemParams p = mesh_params(4, 16);
+  const Cycles near = locks::mcs_handoff_cycles(p, 64, /*hops=*/1, 0);
+  const Cycles far = locks::mcs_handoff_cycles(p, 64, /*hops=*/6, 0);
+  EXPECT_EQ(far - near, 5 * (p.switch_cycles + p.wire_cycles));
+  EXPECT_LT(locks::mcs_handoff_cycles(p, 64, 1, 0),
+            locks::mcs_handoff_cycles(p, 4096, 1, 0));
+  // Grant-processing service time adds through directly.
+  EXPECT_EQ(locks::mcs_handoff_cycles(p, 64, 1, 500) - near, 500u);
+}
+
+// --------------------------------------------------------------- DynBitset
+
+TEST(DynBitset, TracksBitsAcrossWordBoundaries) {
+  DynBitset b(100);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_EQ(b.count(), 4);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_FALSE(b.test(65));
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 3);
+  EXPECT_TRUE(b.any());
+}
+
+TEST(DynBitset, AnyExceptIgnoresExactlyOneBit) {
+  DynBitset b(70);
+  b.set(69);
+  EXPECT_TRUE(b.any_except(0));
+  EXPECT_FALSE(b.any_except(69));
+  b.set(1);
+  EXPECT_TRUE(b.any_except(69));
+}
+
+TEST(DynBitset, SetAlgebraMatchesMaskSemantics) {
+  DynBitset a(130), b(130);
+  a.set(0);
+  a.set(128);
+  b.set(128);
+  b.set(129);
+  DynBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3);
+  DynBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1);
+  EXPECT_TRUE(i.test(128));
+  DynBitset d = a;
+  d.andnot(b);
+  EXPECT_EQ(d.count(), 1);
+  EXPECT_TRUE(d.test(0));
+  EXPECT_FALSE(i == d);
+}
+
+// -------------------------------------------------------------------- JSON
+
+TEST(LockJson, LockMgrStatsRoundTripThroughRunStats) {
+  RunStats s;
+  s.lockmgr.grants = 10;
+  s.lockmgr.handoffs = 7;
+  s.lockmgr.direct_handoffs = 4;
+  s.lockmgr.link_messages = 5;
+  s.lockmgr.fallback_rels = 1;
+  s.lockmgr.handoff_hops = 21;
+  s.lockmgr.cross_cohort = 3;
+  s.lockmgr.hier_skips = 2;
+  s.lockmgr.queue_depth_sum = 17;
+  s.lockmgr.queue_depth_max = 6;
+  const json::Value doc = harness::to_json(s);
+  ASSERT_NE(doc.find("lockmgr"), nullptr);
+  const RunStats back = harness::run_stats_from_json(doc);
+  EXPECT_EQ(back.lockmgr, s.lockmgr);
+  EXPECT_EQ(harness::to_json(back).dump(), doc.dump());
+}
+
+TEST(LockJson, DefaultDocumentsOmitTheLockBlocks) {
+  // The byte-identity contract: a run that never touched the locks knobs
+  // serializes exactly as before src/locks existed.
+  const RunStats s;
+  EXPECT_EQ(harness::to_json(s).find("lockmgr"), nullptr);
+  const SystemParams p;
+  EXPECT_EQ(harness::to_json(p).find("locks"), nullptr);
+  SystemParams mcs;
+  mcs.locks.strategy = "mcs";
+  const json::Value mcs_doc = harness::to_json(mcs);
+  const json::Value* lk = mcs_doc.find("locks");
+  ASSERT_NE(lk, nullptr);
+  EXPECT_EQ(lk->at("strategy").as_string(), "mcs");
+}
+
+}  // namespace
+}  // namespace aecdsm::test

@@ -3,6 +3,11 @@
 // serialization, and self-delivery.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
 #include "common/params.hpp"
 #include "net/mesh.hpp"
 #include "sim/engine.hpp"
@@ -112,6 +117,75 @@ TEST_F(MeshTest, SmallMeshWorks) {
   engine_.run();
   EXPECT_EQ(arrival, net.uncontended_latency(0, 3, 128));
 }
+
+TEST_F(MeshTest, RejectsGeometryThatDoesNotTile) {
+  SystemParams params;
+  params.num_procs = 16;
+  params.mesh_width = 5;
+  try {
+    net::MeshNetwork net(engine_, params);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    // The validation error names the offending knobs.
+    EXPECT_NE(std::string(e.what()).find("num_procs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("mesh_width=5"), std::string::npos);
+  }
+}
+
+/// Structural invariants on every k x k sweep geometry: XY-routed hop
+/// counts are the Manhattan distance, symmetric, and triangle-bounded; the
+/// analytic latency is symmetric, monotone in distance, and delivery of a
+/// real message matches it exactly (spot-checked on the corner-to-corner
+/// worst case, which crosses 2(k-1) links).
+class MeshKbyK : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshKbyK, RoutingAndLatencyInvariantsHold) {
+  const int k = GetParam();
+  SystemParams params;
+  params.num_procs = k * k;
+  params.mesh_width = k;
+  ASSERT_TRUE(params.validate().empty());
+  sim::Engine engine;
+  net::MeshNetwork net(engine, params);
+
+  auto coord = [&](int p) { return std::pair<int, int>{p % k, p / k}; };
+  const int n = params.num_procs;
+  const int far = n - 1;  // (k-1, k-1)
+  EXPECT_EQ(net.hop_count(0, far), 2 * (k - 1));
+  // Hop counts: Manhattan, symmetric, zero only on the diagonal. Sampling
+  // node 0, the corners and a mid node against everyone keeps the check
+  // O(k^2) instead of O(k^4) at k = 32.
+  for (const int a : {0, k - 1, n - k, far, (n / 2)}) {
+    for (int b = 0; b < n; ++b) {
+      const auto [ax, ay] = coord(a);
+      const auto [bx, by] = coord(b);
+      ASSERT_EQ(net.hop_count(a, b), std::abs(ax - bx) + std::abs(ay - by));
+      ASSERT_EQ(net.hop_count(a, b), net.hop_count(b, a));
+      ASSERT_EQ(net.hop_count(a, b) == 0, a == b);
+    }
+  }
+  // Latency: symmetric, strictly increasing per extra hop (fixed payload),
+  // and the minimum cross-node latency is the one-hop neighbour cost.
+  const std::size_t bytes = 256;
+  Cycles min_cross = net.uncontended_latency(0, 1, bytes);
+  for (int b = 1; b < n; ++b) {
+    ASSERT_EQ(net.uncontended_latency(0, b, bytes),
+              net.uncontended_latency(b, 0, bytes));
+    ASSERT_GE(net.uncontended_latency(0, b, bytes), min_cross);
+  }
+  EXPECT_LT(net.uncontended_latency(0, 1, bytes),
+            net.uncontended_latency(0, far, bytes));
+  // A delivered message observes exactly the analytic uncontended latency.
+  Cycles arrival = 0;
+  net.send(0, far, bytes, [&] { arrival = engine.now(); });
+  engine.run();
+  EXPECT_EQ(arrival, net.uncontended_latency(0, far, bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, MeshKbyK, ::testing::Values(2, 4, 8, 16, 32),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "k" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace aecdsm::test

@@ -96,6 +96,56 @@ trace::TraceMeta toy_meta() {
   return meta;
 }
 
+// --------------------------------------------------------- Streaming spill
+
+TEST(TraceSpill, KeepsFullTimelineAcrossRingWrap) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  Recorder rec(4);
+  rec.enable_spill(::testing::TempDir(), "spill_wrap", /*chunk_events=*/3);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.instant(0, Category::kNet, names::kNetSend, 100 + i, "dst", i);
+  }
+  // The ring dropped its head, the spill did not.
+  EXPECT_EQ(rec.dropped(), 6u);
+  EXPECT_EQ(rec.spilled(), 10u);
+  EXPECT_EQ(rec.spill_chunks().size(), 4u);  // ceil(10 / 3)
+  trace::TraceMeta meta = toy_meta();
+  const json::Value doc = trace::trace_json(rec, meta);
+  EXPECT_EQ(doc.at("dropped").as_uint(), 6u);
+  EXPECT_EQ(doc.at("spilled").as_uint(), 10u);
+  EXPECT_EQ(doc.at("spill_chunks").as_uint(), 4u);
+  const std::vector<json::Value>& events = doc.at("events").items();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].at("ts").as_uint(), 100 + i);
+    EXPECT_EQ(events[i].at("args").at("dst").as_uint(), i);
+  }
+}
+
+TEST(TraceSpill, DisabledPathIsByteIdenticalAndEnabledMatchesRingRows) {
+  if (!trace::kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  auto record = [](Recorder& rec) {
+    rec.span(0, Category::kLock, names::kLockWait, 100, 250, "lock", 3);
+    rec.counter(1, names::kLockQueueDepth, 140, 2);
+    rec.instant(1, Category::kNet, names::kNetSend, 160, "dst", 0, "bytes", 64);
+  };
+  Recorder plain(8);
+  record(plain);
+  Recorder spilling(8);
+  spilling.enable_spill(::testing::TempDir(), "spill_match");
+  record(spilling);
+  const trace::TraceMeta meta = toy_meta();
+  const json::Value plain_doc = trace::trace_json(plain, meta);
+  const json::Value spill_doc = trace::trace_json(spilling, meta);
+  // Same events either way; the spilling doc only adds its bookkeeping.
+  EXPECT_EQ(plain_doc.at("events").dump(-1), spill_doc.at("events").dump(-1));
+  EXPECT_EQ(plain_doc.find("spilled"), nullptr);
+  EXPECT_EQ(spill_doc.at("spilled").as_uint(), 3u);
+  // Perfetto export (counters included) is row-for-row identical too.
+  EXPECT_EQ(trace::perfetto_json(plain, meta).dump(-1),
+            trace::perfetto_json(spilling, meta).dump(-1));
+}
+
 Recorder toy_recorder() {
   Recorder rec(8);
   rec.span(0, Category::kLock, names::kLockWait, 100, 250, "lock", 3);
